@@ -1,0 +1,150 @@
+//! Temporal analysis: the interval CDFs of Figures 4 and 7.
+
+use serde::{Deserialize, Serialize};
+use shadow_core::correlate::CorrelatedRequest;
+use shadow_core::decoy::DecoyProtocol;
+use shadow_netsim::time::SimDuration;
+
+/// An empirical CDF over durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted sample, milliseconds.
+    samples: Vec<u64>,
+}
+
+impl Cdf {
+    pub fn from_durations(mut durations: Vec<SimDuration>) -> Self {
+        durations.sort();
+        Self {
+            samples: durations.into_iter().map(|d| d.millis()).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction of samples ≤ `d`.
+    pub fn fraction_at(&self, d: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = self.samples.partition_point(|&s| s <= d.millis());
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0..=1) of the sample.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        Some(SimDuration::from_millis(self.samples[idx]))
+    }
+
+    /// Evaluate at the paper's figure grid: 1 s, 1 min, 1 h, 1 d, 10 d, 30 d.
+    pub fn paper_grid(&self) -> Vec<(&'static str, f64)> {
+        [
+            ("1s", SimDuration::from_secs(1)),
+            ("1min", SimDuration::from_mins(1)),
+            ("1h", SimDuration::from_hours(1)),
+            ("1d", SimDuration::from_days(1)),
+            ("10d", SimDuration::from_days(10)),
+            ("30d", SimDuration::from_days(30)),
+        ]
+        .into_iter()
+        .map(|(label, d)| (label, self.fraction_at(d)))
+        .collect()
+    }
+
+    /// Detect a spike around an hourly mark: the paper uses the *absence*
+    /// of spikes at TTL-ish boundaries (≈1 h) to rule out cache refreshing.
+    /// Returns the fraction of mass inside `window` of `mark`.
+    pub fn mass_near(&self, mark: SimDuration, window: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let lo = mark.millis().saturating_sub(window.millis());
+        let hi = mark.millis().saturating_add(window.millis());
+        let count = self
+            .samples
+            .iter()
+            .filter(|&&s| s >= lo && s <= hi)
+            .count();
+        count as f64 / self.samples.len() as f64
+    }
+}
+
+/// Figure 4 / Figure 7: CDF of intervals between decoys of `protocol` (to
+/// destinations in `dst_filter`, if given) and the unsolicited requests
+/// they triggered.
+pub fn interval_cdf(
+    correlated: &[CorrelatedRequest],
+    protocol: DecoyProtocol,
+    dst_filter: Option<&[std::net::Ipv4Addr]>,
+) -> Cdf {
+    let samples = correlated
+        .iter()
+        .filter(|r| r.label.is_unsolicited())
+        .filter(|r| r.decoy.protocol == protocol)
+        .filter(|r| match dst_filter {
+            Some(dsts) => dsts.contains(&r.decoy.dst()),
+            None => true,
+        })
+        .map(|r| r.interval)
+        .collect();
+    Cdf::from_durations(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(ms: &[u64]) -> Cdf {
+        Cdf::from_durations(ms.iter().map(|&m| SimDuration::from_millis(m)).collect())
+    }
+
+    #[test]
+    fn fractions_monotone() {
+        let c = cdf(&[100, 1_000, 60_000, 3_600_000, 86_400_000]);
+        let grid = c.paper_grid();
+        for pair in grid.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "CDF must be monotone");
+        }
+        assert!((c.fraction_at(SimDuration::from_secs(1)) - 0.4).abs() < 1e-9);
+        assert_eq!(c.fraction_at(SimDuration::from_days(2)), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf(&[10, 20, 30, 40, 50]);
+        assert_eq!(c.quantile(0.0), Some(SimDuration::from_millis(10)));
+        assert_eq!(c.quantile(0.5), Some(SimDuration::from_millis(30)));
+        assert_eq!(c.quantile(1.0), Some(SimDuration::from_millis(50)));
+        assert_eq!(Cdf::from_durations(vec![]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn mass_near_detects_spikes() {
+        // 3 of 4 samples within ±5 min of the 1 h mark.
+        let hour = 3_600_000;
+        let c = cdf(&[hour - 60_000, hour, hour + 120_000, 10 * hour]);
+        let mass = c.mass_near(SimDuration::from_hours(1), SimDuration::from_mins(5));
+        assert!((mass - 0.75).abs() < 1e-9);
+        let none = c.mass_near(SimDuration::from_hours(5), SimDuration::from_mins(5));
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::from_durations(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(SimDuration::from_days(1)), 0.0);
+        assert_eq!(c.mass_near(SimDuration::from_hours(1), SimDuration::from_mins(5)), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Ablation (§6): clear-text vs encrypted decoys.
+//!
+//! Regenerates the discussion section's predictions as a table —
+//! resolver-side DNS shadowing survives encryption, TLS shadowing dies with
+//! ECH — and times the encrypted campaign end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadow_bench::pct;
+use traffic_shadowing::shadow_core::campaign::Phase1Config;
+use traffic_shadowing::shadow_core::decoy::DecoyProtocol;
+use traffic_shadowing::shadow_core::phase2::Phase2Config;
+use traffic_shadowing::shadow_core::world::WorldConfig;
+use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
+
+fn run(seed: u64, encrypted: bool) -> StudyOutcome {
+    Study::run(StudyConfig {
+        world: WorldConfig::tiny(seed),
+        phase1: Phase1Config {
+            encrypted_dns: encrypted,
+            ech_tls: encrypted,
+            ..Phase1Config::default()
+        },
+        phase2: Phase2Config::default(),
+        trace_cap_per_protocol: 0,
+        run_phase2: false,
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let clear = run(41, false);
+    let encrypted = run(41, true);
+    let clear_ls = clear.landscape();
+    let enc_ls = encrypted.landscape();
+
+    println!("\n=== Ablation: encryption (§6) ===");
+    println!("{:<26} {:>11} {:>11}", "metric", "clear", "encrypted");
+    println!(
+        "{:<26} {:>11} {:>11}",
+        "Yandex DNS ratio",
+        pct(clear_ls.destination_ratio("Yandex", DecoyProtocol::Dns)),
+        pct(enc_ls.destination_ratio("Yandex", DecoyProtocol::Dns)),
+    );
+    println!(
+        "{:<26} {:>11} {:>11}",
+        "TLS path ratio",
+        pct(clear_ls.protocol_ratio(DecoyProtocol::Tls)),
+        pct(enc_ls.protocol_ratio(DecoyProtocol::Tls)),
+    );
+    println!(
+        "{:<26} {:>11} {:>11}",
+        "HTTP path ratio",
+        pct(clear_ls.protocol_ratio(DecoyProtocol::Http)),
+        pct(enc_ls.protocol_ratio(DecoyProtocol::Http)),
+    );
+    println!("expected: DNS unchanged (resolver decrypts), TLS → 0 (ECH), HTTP unchanged\n");
+
+    let mut group = c.benchmark_group("ablation_encryption");
+    group.sample_size(10);
+    group.bench_function("tiny_encrypted_campaign", |b| {
+        b.iter(|| run(41, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

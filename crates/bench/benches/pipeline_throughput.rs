@@ -1,0 +1,64 @@
+//! Pipeline-scale benchmarks: how fast the simulator executes campaigns and
+//! the correlator digests capture streams — the numbers a user sizing a
+//! larger simulated world cares about.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shadow_bench::study;
+use traffic_shadowing::shadow_core::campaign::{CampaignRunner, Phase1Config};
+use traffic_shadowing::shadow_core::correlate::Correlator;
+use traffic_shadowing::shadow_core::noise::NoiseFilter;
+use traffic_shadowing::shadow_core::world::{World, WorldConfig};
+use traffic_shadowing::shadow_netsim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    // Correlation throughput over the cached standard campaign.
+    let outcome = study();
+    println!(
+        "\ncorrelating {} arrivals against {} decoys",
+        outcome.phase1.arrivals.len(),
+        outcome.phase1.registry.len()
+    );
+    c.bench_function("pipeline/correlate_standard_campaign", |b| {
+        b.iter(|| {
+            let correlator = Correlator::new(&outcome.phase1.registry);
+            correlator.correlate(&outcome.phase1.arrivals)
+        })
+    });
+    c.bench_function("pipeline/problematic_paths", |b| {
+        let correlator = Correlator::new(&outcome.phase1.registry);
+        b.iter(|| correlator.problematic_paths(&outcome.correlated))
+    });
+
+    // World construction.
+    c.bench_function("pipeline/world_build_tiny", |b| {
+        b.iter(|| World::build(WorldConfig::tiny(3)))
+    });
+
+    // A full tiny Phase I campaign per iteration (world build + preflight +
+    // spread + capture): the end-to-end simulator cost.
+    let mut group = c.benchmark_group("pipeline_e2e");
+    group.sample_size(10);
+    group.bench_function("tiny_phase1_campaign", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::build(WorldConfig::tiny(3));
+                NoiseFilter::run_and_apply(&mut world);
+                world
+            },
+            |mut world| {
+                CampaignRunner::run_phase1(
+                    &mut world,
+                    &Phase1Config {
+                        grace: SimDuration::from_days(35),
+                        ..Phase1Config::default()
+                    },
+                )
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Section 5.2 — open ports of on-wire observers.
+//!
+//! Paper: 92% of ICMP-revealed observers expose no open ports; the most
+//! common open port among the rest is 179 (BGP) — routing devices between
+//! networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadow_bench::{pct, study};
+
+fn bench(c: &mut Criterion) {
+    let outcome = study();
+    let report = outcome.observer_port_scan();
+
+    println!("\n=== §5.2 (reproduced): observer open ports ===");
+    println!("observers scanned: {}", report.targets);
+    println!(
+        "no open ports: {} (paper 92%)",
+        pct(report.closed_fraction())
+    );
+    println!(
+        "most common open port: {:?} (paper: 179/BGP)",
+        report.top_port()
+    );
+    println!("per-port counts: {:?}\n", report.port_counts);
+
+    c.bench_function("s52/port_scan", |b| b.iter(|| outcome.observer_port_scan()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

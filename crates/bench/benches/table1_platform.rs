@@ -1,0 +1,39 @@
+//! Table 1 — capabilities of the VPN measurement platform.
+//!
+//! Paper: 19 providers, 4,364 VPs, 121 ASes, 82 countries (global
+//! 6/2,179/74/81; CN 13/2,185/47/30 provinces). The harness prints our
+//! (scaled-down) equivalent and times the summary computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadow_bench::study;
+use traffic_shadowing::shadow_analysis::report::render_table;
+
+fn bench(c: &mut Criterion) {
+    let outcome = study();
+    let rows = outcome.world.platform.table1(&outcome.world.geo);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.market.to_string(),
+                r.providers.to_string(),
+                r.vps.to_string(),
+                r.ases.to_string(),
+                r.countries.to_string(),
+            ]
+        })
+        .collect();
+    println!("\n=== Table 1 (reproduced) ===");
+    println!(
+        "{}",
+        render_table(&["Market", "Providers", "VPs", "ASes", "Countries"], &table)
+    );
+    println!("paper: Global 6/2179/74/81 · CN 13/2185/47/30 · Total 19/4364/121/82\n");
+
+    c.bench_function("table1/platform_summary", |b| {
+        b.iter(|| outcome.world.platform.table1(&outcome.world.geo))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

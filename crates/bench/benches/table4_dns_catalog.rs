@@ -1,0 +1,43 @@
+//! Table 4 — the DNS servers decoys are sent to (20 public resolvers, one
+//! self-built resolver, 13 roots, 2 TLDs), plus the pair-resolver address
+//! derivation of Appendix E.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use traffic_shadowing::shadow_analysis::report::render_table;
+use traffic_shadowing::shadow_dns::catalog::{pair_address, DnsDestinationKind, DNS_DESTINATIONS};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 4 (reproduced): DNS destinations ===");
+    let rows: Vec<Vec<String>> = DNS_DESTINATIONS
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{:?}", d.kind),
+                d.name.to_string(),
+                d.addr.to_string(),
+                pair_address(d.addr).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Kind", "Name", "IP", "Pair (App. E)"], &rows)
+    );
+    let publics = DNS_DESTINATIONS
+        .iter()
+        .filter(|d| d.kind == DnsDestinationKind::PublicResolver)
+        .count();
+    println!("counts: {publics} public + 1 self-built + 13 roots + 2 TLDs = {}\n", DNS_DESTINATIONS.len());
+
+    c.bench_function("table4/pair_address_derivation", |b| {
+        b.iter(|| {
+            DNS_DESTINATIONS
+                .iter()
+                .map(|d| pair_address(d.addr))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

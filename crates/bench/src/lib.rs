@@ -1,0 +1,31 @@
+//! Shared fixtures for the benchmark harnesses.
+//!
+//! Every table/figure bench needs a completed campaign; running one per
+//! criterion iteration would be absurd, so the study is executed once per
+//! process (a couple of seconds) and cached. Each bench then (a) prints the
+//! regenerated table or series — the actual reproduction artifact — and
+//! (b) times the analysis computation itself.
+
+use std::sync::OnceLock;
+use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
+
+/// The seed every bench harness uses, so printed tables match
+/// EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 7;
+
+/// The cached full-campaign outcome.
+pub fn study() -> &'static StudyOutcome {
+    static STUDY: OnceLock<StudyOutcome> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        eprintln!("[bench fixture] running the standard campaign (seed {BENCH_SEED})...");
+        let started = std::time::Instant::now();
+        let outcome = Study::run(StudyConfig::standard(BENCH_SEED));
+        eprintln!("[bench fixture] campaign done in {:?}", started.elapsed());
+        outcome
+    })
+}
+
+/// Percentage formatting shared by harness printers.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}

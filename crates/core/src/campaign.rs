@@ -1,0 +1,221 @@
+//! Phase I: spread decoys from every vantage point to every destination,
+//! run the simulated clock forward, and harvest honeypot captures.
+
+use crate::decoy::{DecoyProtocol, DecoyRegistry};
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use shadow_honeypot::authority::ExperimentAuthorityHost;
+use shadow_honeypot::capture::{Arrival, CaptureLog};
+use shadow_honeypot::web::WebHost;
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_vantage::platform::VpId;
+use shadow_vantage::schedule::RateLimitedScheduler;
+use shadow_vantage::vp::{VantagePointHost, VpCommand, VpReport};
+use std::collections::HashMap;
+
+/// Phase I configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase1Config {
+    pub send_dns: bool,
+    pub send_http: bool,
+    pub send_tls: bool,
+    /// §6 ablation: send DNS decoys over the encrypted channel instead of
+    /// clear-text UDP/53 (on-path observers go blind; the terminating
+    /// resolver still sees everything).
+    pub encrypted_dns: bool,
+    /// §6 ablation: send TLS decoys with Encrypted Client Hello instead of
+    /// clear-text SNI.
+    pub ech_tls: bool,
+    /// Full passes over (VP × destination); the paper round-robins
+    /// "continuously ... without stop" for two months.
+    pub rounds: usize,
+    /// Gap between rounds.
+    pub round_gap: SimDuration,
+    /// How long to keep the clock running after the last send, so that
+    /// days-later probes still land (Figure 4's ≥10-day tail).
+    pub grace: SimDuration,
+}
+
+impl Default for Phase1Config {
+    fn default() -> Self {
+        Self {
+            send_dns: true,
+            send_http: true,
+            send_tls: true,
+            encrypted_dns: false,
+            ech_tls: false,
+            rounds: 1,
+            round_gap: SimDuration::from_hours(12),
+            grace: SimDuration::from_days(30),
+        }
+    }
+}
+
+/// Everything Phase I produced: the decoy registry, every capture, and the
+/// per-VP reports.
+#[derive(Debug, Default)]
+pub struct CampaignData {
+    pub registry: DecoyRegistry,
+    pub arrivals: Vec<Arrival>,
+    pub vp_reports: HashMap<VpId, VpReport>,
+    /// When the last decoy left a VP.
+    pub last_send: SimTime,
+}
+
+impl CampaignData {
+    /// Absorb another phase's data (registry + arrivals).
+    pub fn absorb(&mut self, other: CampaignData) {
+        self.registry.absorb(other.registry);
+        self.arrivals.extend(other.arrivals);
+        for (vp, report) in other.vp_reports {
+            self.vp_reports.insert(vp, report);
+        }
+        self.last_send = self.last_send.max(other.last_send);
+    }
+}
+
+/// The campaign runner.
+pub struct CampaignRunner;
+
+impl CampaignRunner {
+    /// Run Phase I on `world` and harvest captures.
+    pub fn run_phase1(world: &mut World, config: &Phase1Config) -> CampaignData {
+        let zone = world.zone.clone();
+        let mut registry = DecoyRegistry::new(zone);
+        let mut scheduler = RateLimitedScheduler::paper_defaults();
+        let mut last_send = world.engine.now();
+        let start0 = world.engine.now() + SimDuration::from_secs(5);
+
+        let dns_targets: Vec<_> = world.dns_destinations.iter().map(|d| d.addr).collect();
+        let web_targets: Vec<_> = world.tranco.iter().map(|s| s.addr).collect();
+        let vps: Vec<_> = world
+            .platform
+            .vps
+            .iter()
+            .map(|vp| (vp.id, vp.node, vp.addr))
+            .collect();
+
+        for round in 0..config.rounds {
+            let round_start = start0 + config.round_gap.saturating_mul(round as u64);
+            for &(vp_id, vp_node, vp_addr) in &vps {
+                if config.send_dns {
+                    for &dst in &dns_targets {
+                        let at = scheduler.reserve(round_start, vp_id, dst);
+                        let record = registry.register(
+                            vp_id,
+                            vp_addr,
+                            dst,
+                            DecoyProtocol::Dns,
+                            64,
+                            at,
+                            None,
+                        );
+                        let command = if config.encrypted_dns {
+                            VpCommand::EncryptedDnsDecoy {
+                                domain: record.domain.clone(),
+                                dst,
+                                ttl: 64,
+                            }
+                        } else {
+                            VpCommand::DnsDecoy {
+                                domain: record.domain.clone(),
+                                dst,
+                                ttl: 64,
+                            }
+                        };
+                        world.engine.post(at, vp_node, Box::new(command));
+                        last_send = last_send.max(at);
+                    }
+                }
+                for &dst in &web_targets {
+                    if config.send_http {
+                        let at = scheduler.reserve(round_start, vp_id, dst);
+                        let record = registry.register(
+                            vp_id,
+                            vp_addr,
+                            dst,
+                            DecoyProtocol::Http,
+                            64,
+                            at,
+                            None,
+                        );
+                        world.engine.post(
+                            at,
+                            vp_node,
+                            Box::new(VpCommand::HttpDecoy {
+                                domain: record.domain.clone(),
+                                dst,
+                                ttl: 64,
+                            }),
+                        );
+                        last_send = last_send.max(at);
+                    }
+                    if config.send_tls {
+                        let at = scheduler.reserve(round_start, vp_id, dst);
+                        let record = registry.register(
+                            vp_id,
+                            vp_addr,
+                            dst,
+                            DecoyProtocol::Tls,
+                            64,
+                            at,
+                            None,
+                        );
+                        let command = if config.ech_tls {
+                            VpCommand::EchTlsDecoy {
+                                domain: record.domain.clone(),
+                                dst,
+                                ttl: 64,
+                            }
+                        } else {
+                            VpCommand::TlsDecoy {
+                                domain: record.domain.clone(),
+                                dst,
+                                ttl: 64,
+                            }
+                        };
+                        world.engine.post(at, vp_node, Box::new(command));
+                        last_send = last_send.max(at);
+                    }
+                }
+            }
+        }
+
+        world.engine.run_until(last_send + config.grace);
+        let (arrivals, vp_reports) = Self::harvest(world);
+        CampaignData {
+            registry,
+            arrivals,
+            vp_reports,
+            last_send,
+        }
+    }
+
+    /// Drain capture logs from the authoritative honeypot and the honey
+    /// web servers, and snapshot VP reports. Draining means each phase
+    /// sees only its own captures.
+    pub fn harvest(world: &mut World) -> (Vec<Arrival>, HashMap<VpId, VpReport>) {
+        let mut logs: Vec<CaptureLog> = Vec::new();
+        let auth_node = world.auth_node;
+        if let Some(auth) = world
+            .engine
+            .host_as_mut::<ExperimentAuthorityHost>(auth_node)
+        {
+            logs.push(std::mem::take(&mut auth.captures));
+        }
+        let web_nodes: Vec<_> = world.honey_web.iter().map(|&(node, _, _)| node).collect();
+        for node in web_nodes {
+            if let Some(web) = world.engine.host_as_mut::<WebHost>(node) {
+                logs.push(web.take_captures());
+            }
+        }
+        let arrivals = CaptureLog::merged(logs);
+        let mut vp_reports = HashMap::new();
+        for vp in &world.platform.vps {
+            if let Some(host) = world.engine.host_as::<VantagePointHost>(vp.node) {
+                vp_reports.insert(vp.id, host.report.clone());
+            }
+        }
+        (arrivals, vp_reports)
+    }
+}

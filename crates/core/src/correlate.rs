@@ -1,0 +1,328 @@
+//! Correlation: map every honeypot arrival back to its decoy and decide
+//! whether it is *unsolicited* (Section 3's rules), then derive the
+//! problematic client-server paths of Figure 3.
+
+use crate::decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+use serde::{Deserialize, Serialize};
+use shadow_honeypot::capture::{Arrival, ArrivalProtocol};
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_vantage::platform::VpId;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Why an arrival counts as unsolicited (the paper's rules i–iii), or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnsolicitedLabel {
+    /// The expected one-time resolution of a DNS decoy.
+    SolicitedResolution,
+    /// Rule (i): request and decoy protocols differ.
+    CrossProtocol,
+    /// Rule (ii): HTTP/TLS requests are never solicited at honeypots.
+    HttpTlsArrival,
+    /// Rule (iii): a DNS query whose unique name appeared in an earlier
+    /// DNS query.
+    RepeatedDnsQuery,
+    /// Appendix E: a near-simultaneous duplicate indicating on-path
+    /// request replication (interception), filtered out of shadowing.
+    ReplicationNoise,
+}
+
+impl UnsolicitedLabel {
+    pub fn is_unsolicited(self) -> bool {
+        matches!(
+            self,
+            UnsolicitedLabel::CrossProtocol
+                | UnsolicitedLabel::HttpTlsArrival
+                | UnsolicitedLabel::RepeatedDnsQuery
+        )
+    }
+}
+
+/// One arrival resolved against the decoy registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelatedRequest {
+    pub arrival: Arrival,
+    pub decoy: DecoyRecord,
+    /// Time between decoy emission and this arrival — the paper's proxy
+    /// for how long the data was retained (Figures 4 and 7).
+    pub interval: SimDuration,
+    pub label: UnsolicitedLabel,
+}
+
+impl CorrelatedRequest {
+    /// The paper's protocol-combination label, e.g. "DNS-HTTP".
+    pub fn combo(&self) -> String {
+        format!(
+            "{}-{}",
+            self.decoy.protocol.as_str(),
+            self.arrival.protocol.as_str()
+        )
+    }
+}
+
+/// Identity of one client-server path (per decoy protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathKey {
+    pub vp: VpId,
+    pub dst: Ipv4Addr,
+    pub protocol: DecoyProtocol,
+}
+
+/// Aggregate over one problematic path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProblematicPath {
+    pub key: PathKey,
+    pub unsolicited: usize,
+    pub first_unsolicited_at: SimTime,
+    pub decoys_triggering: usize,
+}
+
+/// The correlation engine.
+pub struct Correlator<'a> {
+    registry: &'a DecoyRegistry,
+    /// Arrivals closer together than this (for the same DNS-decoy domain,
+    /// right after emission) are treated as on-path replication, not
+    /// shadowing (Appendix E).
+    replication_window: SimDuration,
+}
+
+impl<'a> Correlator<'a> {
+    pub fn new(registry: &'a DecoyRegistry) -> Self {
+        Self {
+            registry,
+            replication_window: SimDuration::from_millis(1_500),
+        }
+    }
+
+    pub fn with_replication_window(mut self, window: SimDuration) -> Self {
+        self.replication_window = window;
+        self
+    }
+
+    /// Correlate a time-sorted arrival stream. Arrivals whose domain does
+    /// not resolve to a registered decoy (scanner noise, corrupted labels)
+    /// are dropped.
+    pub fn correlate(&self, arrivals: &[Arrival]) -> Vec<CorrelatedRequest> {
+        let mut first_dns_seen: HashMap<&shadow_packet::dns::DnsName, SimTime> = HashMap::new();
+        let mut out = Vec::with_capacity(arrivals.len());
+        for arrival in arrivals {
+            let Some(decoy) = self.registry.lookup(&arrival.domain) else {
+                continue;
+            };
+            let interval = arrival.at.since(decoy.planned_at);
+            let label = match arrival.protocol {
+                ArrivalProtocol::Http | ArrivalProtocol::Https => UnsolicitedLabel::HttpTlsArrival,
+                ArrivalProtocol::Dns => {
+                    if decoy.protocol != DecoyProtocol::Dns {
+                        UnsolicitedLabel::CrossProtocol
+                    } else {
+                        match first_dns_seen.get(&decoy.domain) {
+                            None => {
+                                first_dns_seen.insert(&decoy.domain, arrival.at);
+                                UnsolicitedLabel::SolicitedResolution
+                            }
+                            Some(&first_at) => {
+                                if arrival.at.since(first_at) <= self.replication_window {
+                                    UnsolicitedLabel::ReplicationNoise
+                                } else {
+                                    UnsolicitedLabel::RepeatedDnsQuery
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            out.push(CorrelatedRequest {
+                arrival: arrival.clone(),
+                decoy: decoy.clone(),
+                interval,
+                label,
+            });
+        }
+        out
+    }
+
+    /// Group unsolicited requests into problematic paths.
+    pub fn problematic_paths(
+        &self,
+        correlated: &[CorrelatedRequest],
+    ) -> BTreeMap<PathKey, ProblematicPath> {
+        let mut paths: BTreeMap<PathKey, ProblematicPath> = BTreeMap::new();
+        let mut triggering: BTreeMap<PathKey, std::collections::BTreeSet<&shadow_packet::dns::DnsName>> =
+            BTreeMap::new();
+        for req in correlated {
+            if !req.label.is_unsolicited() {
+                continue;
+            }
+            let key = PathKey {
+                vp: req.decoy.vp,
+                dst: req.decoy.dst(),
+                protocol: req.decoy.protocol,
+            };
+            triggering.entry(key).or_default().insert(&req.decoy.domain);
+            paths
+                .entry(key)
+                .and_modify(|p| {
+                    p.unsolicited += 1;
+                    p.first_unsolicited_at = p.first_unsolicited_at.min(req.arrival.at);
+                })
+                .or_insert(ProblematicPath {
+                    key,
+                    unsolicited: 1,
+                    first_unsolicited_at: req.arrival.at,
+                    decoys_triggering: 0,
+                });
+        }
+        for (key, path) in paths.iter_mut() {
+            path.decoys_triggering = triggering.get(key).map(|s| s.len()).unwrap_or(0);
+        }
+        paths
+    }
+
+    /// All paths probed for a protocol (problematic or not): the Figure-3
+    /// denominator is (VPs × destinations).
+    pub fn total_paths(&self, protocol: DecoyProtocol) -> usize {
+        let mut keys: std::collections::BTreeSet<(VpId, Ipv4Addr)> =
+            std::collections::BTreeSet::new();
+        for decoy in self.registry.iter() {
+            if decoy.protocol == protocol {
+                keys.insert((decoy.vp, decoy.dst()));
+            }
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_packet::dns::DnsName;
+
+    fn zone() -> DnsName {
+        DnsName::parse("www.experiment.example").unwrap()
+    }
+
+    fn registry_with(protocol: DecoyProtocol) -> (DecoyRegistry, DecoyRecord) {
+        let mut reg = DecoyRegistry::new(zone());
+        let rec = reg.register(
+            VpId(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(77, 88, 8, 8),
+            protocol,
+            64,
+            SimTime(1_000),
+            None,
+        );
+        (reg, rec)
+    }
+
+    fn arrival(domain: &DnsName, at: u64, proto: ArrivalProtocol) -> Arrival {
+        Arrival {
+            at: SimTime(at),
+            src: Ipv4Addr::new(8, 8, 8, 8),
+            protocol: proto,
+            domain: domain.clone(),
+            http_path: None,
+            honeypot: "AUTH".to_string(),
+        }
+    }
+
+    #[test]
+    fn first_dns_arrival_is_solicited_then_repeats_are_not() {
+        let (reg, rec) = registry_with(DecoyProtocol::Dns);
+        let correlator = Correlator::new(&reg);
+        let arrivals = vec![
+            arrival(&rec.domain, 2_000, ArrivalProtocol::Dns),
+            arrival(&rec.domain, 60_000, ArrivalProtocol::Dns),
+            arrival(&rec.domain, 86_400_000, ArrivalProtocol::Dns),
+        ];
+        let out = correlator.correlate(&arrivals);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].label, UnsolicitedLabel::SolicitedResolution);
+        assert_eq!(out[1].label, UnsolicitedLabel::RepeatedDnsQuery);
+        assert_eq!(out[2].label, UnsolicitedLabel::RepeatedDnsQuery);
+        assert_eq!(out[2].interval, SimDuration::from_millis(86_399_000));
+    }
+
+    #[test]
+    fn http_and_tls_arrivals_always_unsolicited() {
+        let (reg, rec) = registry_with(DecoyProtocol::Dns);
+        let correlator = Correlator::new(&reg);
+        let out = correlator.correlate(&[
+            arrival(&rec.domain, 5_000, ArrivalProtocol::Http),
+            arrival(&rec.domain, 6_000, ArrivalProtocol::Https),
+        ]);
+        assert!(out.iter().all(|r| r.label == UnsolicitedLabel::HttpTlsArrival));
+        assert_eq!(out[0].combo(), "DNS-HTTP");
+        assert_eq!(out[1].combo(), "DNS-HTTPS");
+    }
+
+    #[test]
+    fn dns_arrival_for_http_decoy_is_cross_protocol() {
+        let (reg, rec) = registry_with(DecoyProtocol::Http);
+        let correlator = Correlator::new(&reg);
+        let out = correlator.correlate(&[arrival(&rec.domain, 9_000, ArrivalProtocol::Dns)]);
+        assert_eq!(out[0].label, UnsolicitedLabel::CrossProtocol);
+        assert_eq!(out[0].combo(), "HTTP-DNS");
+        assert!(out[0].label.is_unsolicited());
+    }
+
+    #[test]
+    fn replication_noise_window() {
+        let (reg, rec) = registry_with(DecoyProtocol::Dns);
+        let correlator = Correlator::new(&reg);
+        let out = correlator.correlate(&[
+            arrival(&rec.domain, 2_000, ArrivalProtocol::Dns),
+            arrival(&rec.domain, 2_500, ArrivalProtocol::Dns), // replication
+            arrival(&rec.domain, 30_000, ArrivalProtocol::Dns), // retry
+        ]);
+        assert_eq!(out[1].label, UnsolicitedLabel::ReplicationNoise);
+        assert!(!out[1].label.is_unsolicited());
+        assert_eq!(out[2].label, UnsolicitedLabel::RepeatedDnsQuery);
+    }
+
+    #[test]
+    fn unknown_domains_dropped() {
+        let (reg, _) = registry_with(DecoyProtocol::Dns);
+        let correlator = Correlator::new(&reg);
+        let foreign = zone().prepend("not-a-decoy").unwrap();
+        let out = correlator.correlate(&[arrival(&foreign, 1, ArrivalProtocol::Dns)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn problematic_paths_aggregate() {
+        let mut reg = DecoyRegistry::new(zone());
+        let a = reg.register(
+            VpId(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(77, 88, 8, 8),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(1_000),
+            None,
+        );
+        let b = reg.register(
+            VpId(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(77, 88, 8, 8),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(2_000),
+            None,
+        );
+        let correlator = Correlator::new(&reg);
+        let out = correlator.correlate(&[
+            arrival(&a.domain, 3_000, ArrivalProtocol::Dns), // solicited
+            arrival(&a.domain, 90_000, ArrivalProtocol::Dns), // unsolicited
+            arrival(&a.domain, 95_000, ArrivalProtocol::Http), // unsolicited
+            arrival(&b.domain, 4_000, ArrivalProtocol::Dns), // solicited
+        ]);
+        let paths = correlator.problematic_paths(&out);
+        assert_eq!(paths.len(), 1);
+        let path = paths.values().next().unwrap();
+        assert_eq!(path.unsolicited, 2);
+        assert_eq!(path.decoys_triggering, 1, "only decoy A triggered");
+        assert_eq!(correlator.total_paths(DecoyProtocol::Dns), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Decoy specifications and the campaign-wide registry.
+
+use crate::ident::DecoyIdent;
+use serde::{Deserialize, Serialize};
+use shadow_netsim::time::SimTime;
+use shadow_packet::dns::DnsName;
+use shadow_vantage::platform::VpId;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The protocol a decoy is sent over — the `Decoy` half of the paper's
+/// `Decoy-Request` labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DecoyProtocol {
+    Dns,
+    Http,
+    Tls,
+}
+
+impl DecoyProtocol {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecoyProtocol::Dns => "DNS",
+            DecoyProtocol::Http => "HTTP",
+            DecoyProtocol::Tls => "TLS",
+        }
+    }
+}
+
+/// One generated decoy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecoyRecord {
+    pub domain: DnsName,
+    pub ident: DecoyIdent,
+    pub protocol: DecoyProtocol,
+    pub vp: VpId,
+    /// Scheduled emission time.
+    pub planned_at: SimTime,
+    /// Phase II sweeps group decoys of one traceroute run.
+    pub sweep: Option<u32>,
+}
+
+impl DecoyRecord {
+    pub fn dst(&self) -> Ipv4Addr {
+        self.ident.dst
+    }
+
+    pub fn ttl(&self) -> u8 {
+        self.ident.ttl
+    }
+}
+
+/// The registry of every decoy the campaign generated, indexed by domain.
+/// Honeypot arrivals are resolved against this to recover the triggering
+/// decoy.
+#[derive(Debug, Clone, Default)]
+pub struct DecoyRegistry {
+    zone: Option<DnsName>,
+    by_domain: HashMap<DnsName, DecoyRecord>,
+    order: Vec<DnsName>,
+}
+
+impl DecoyRegistry {
+    pub fn new(zone: DnsName) -> Self {
+        Self {
+            zone: Some(zone),
+            by_domain: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    pub fn zone(&self) -> &DnsName {
+        self.zone.as_ref().expect("registry built with a zone")
+    }
+
+    /// Build and register a decoy for `(vp, dst, protocol, ttl)` planned at
+    /// `planned_at`. Returns the record (domain included).
+    pub fn register(
+        &mut self,
+        vp: VpId,
+        vp_addr: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: DecoyProtocol,
+        ttl: u8,
+        planned_at: SimTime,
+        sweep: Option<u32>,
+    ) -> DecoyRecord {
+        let ident = DecoyIdent::at(planned_at, vp_addr, dst, ttl);
+        let label = ident.encode();
+        let domain = self
+            .zone()
+            .prepend(&label)
+            .expect("identifier labels are DNS-safe");
+        let record = DecoyRecord {
+            domain: domain.clone(),
+            ident,
+            protocol,
+            vp,
+            planned_at,
+            sweep,
+        };
+        let previous = self.by_domain.insert(domain.clone(), record.clone());
+        debug_assert!(
+            previous.is_none(),
+            "decoy domains must be unique: {domain} reused"
+        );
+        self.order.push(domain);
+        record
+    }
+
+    pub fn lookup(&self, domain: &DnsName) -> Option<&DecoyRecord> {
+        self.by_domain.get(domain)
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &DecoyRecord> {
+        self.order.iter().map(|d| &self.by_domain[d])
+    }
+
+    /// Count decoys per protocol (the paper reports 46.6M DNS / 1.69G HTTP
+    /// / 1.69G TLS; we report our scaled-down equivalents).
+    pub fn counts(&self) -> HashMap<DecoyProtocol, usize> {
+        let mut counts = HashMap::new();
+        for record in self.iter() {
+            *counts.entry(record.protocol).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Merge another registry (e.g. Phase II sweeps) into this one.
+    pub fn absorb(&mut self, other: DecoyRegistry) {
+        for domain in other.order {
+            if let Some(record) = other.by_domain.get(&domain) {
+                if self
+                    .by_domain
+                    .insert(domain.clone(), record.clone())
+                    .is_none()
+                {
+                    self.order.push(domain);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> DnsName {
+        DnsName::parse("www.experiment.example").unwrap()
+    }
+
+    fn vp_addr() -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, 9)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = DecoyRegistry::new(zone());
+        let rec = reg.register(
+            VpId(1),
+            vp_addr(),
+            Ipv4Addr::new(8, 8, 8, 8),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(5_000),
+            None,
+        );
+        assert!(rec.domain.is_subdomain_of(&zone()));
+        let found = reg.lookup(&rec.domain).unwrap();
+        assert_eq!(found, &rec);
+        assert_eq!(found.dst(), Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(found.ttl(), 64);
+    }
+
+    #[test]
+    fn domains_unique_across_protocols_and_times() {
+        let mut reg = DecoyRegistry::new(zone());
+        // Same vp/dst/ttl but different seconds → distinct domains.
+        let a = reg.register(
+            VpId(1),
+            vp_addr(),
+            Ipv4Addr::new(1, 1, 1, 1),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(1_000),
+            None,
+        );
+        let b = reg.register(
+            VpId(1),
+            vp_addr(),
+            Ipv4Addr::new(1, 1, 1, 1),
+            DecoyProtocol::Http,
+            64,
+            SimTime(2_000),
+            None,
+        );
+        assert_ne!(a.domain, b.domain);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn counts_by_protocol() {
+        let mut reg = DecoyRegistry::new(zone());
+        for (i, proto) in [DecoyProtocol::Dns, DecoyProtocol::Dns, DecoyProtocol::Tls]
+            .into_iter()
+            .enumerate()
+        {
+            reg.register(
+                VpId(1),
+                vp_addr(),
+                Ipv4Addr::new(1, 1, 1, 1),
+                proto,
+                64,
+                SimTime(1_000 * (i as u64 + 1)),
+                None,
+            );
+        }
+        let counts = reg.counts();
+        assert_eq!(counts[&DecoyProtocol::Dns], 2);
+        assert_eq!(counts[&DecoyProtocol::Tls], 1);
+        assert!(!counts.contains_key(&DecoyProtocol::Http));
+    }
+
+    #[test]
+    fn absorb_merges_without_duplicates() {
+        let mut a = DecoyRegistry::new(zone());
+        let rec = a.register(
+            VpId(1),
+            vp_addr(),
+            Ipv4Addr::new(1, 1, 1, 1),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(1_000),
+            None,
+        );
+        let mut b = DecoyRegistry::new(zone());
+        b.register(
+            VpId(2),
+            vp_addr(),
+            Ipv4Addr::new(2, 2, 2, 2),
+            DecoyProtocol::Tls,
+            7,
+            SimTime(3_000),
+            Some(1),
+        );
+        let b_len = b.len();
+        a.absorb(b);
+        assert_eq!(a.len(), 1 + b_len);
+        assert!(a.lookup(&rec.domain).is_some());
+    }
+
+    #[test]
+    fn identifier_recovers_send_metadata() {
+        let mut reg = DecoyRegistry::new(zone());
+        let rec = reg.register(
+            VpId(3),
+            vp_addr(),
+            Ipv4Addr::new(114, 114, 114, 114),
+            DecoyProtocol::Dns,
+            17,
+            SimTime(90_000),
+            Some(4),
+        );
+        let decoded = crate::ident::DecoyIdent::from_domain(&rec.domain).unwrap();
+        assert_eq!(decoded.sent_time(), SimTime(90_000));
+        assert_eq!(decoded.vp, vp_addr());
+        assert_eq!(decoded.dst, Ipv4Addr::new(114, 114, 114, 114));
+        assert_eq!(decoded.ttl, 17);
+    }
+}

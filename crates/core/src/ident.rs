@@ -1,0 +1,316 @@
+//! The decoy identifier codec.
+//!
+//! Each decoy embeds a unique domain of the form
+//!
+//! ```text
+//! g6d8jjkut5obc4ags2bkdi-9982 . www.experiment.example
+//! └── identifier ──┘ └chk┘       └── zone → honeypots ──┘
+//! ```
+//!
+//! where the identifier encodes *(send time, VP address, destination
+//! address, initial TTL)* — exactly the fields the paper packs in (§3) so
+//! that honeypots can map any arriving request back to the decoy and the
+//! client-server path that leaked it, including which TTL of a Phase-II
+//! sweep it came from.
+//!
+//! Encoding: 13 payload bytes (u32 seconds, u32 VP, u32 destination, u8
+//! TTL) in base32 (21 chars, alphabet `a-z2-7`), then `-` and a 4-digit
+//! checksum. Everything is lowercase and DNS-label-safe.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Base32 alphabet (RFC 4648 lowercase, no padding).
+const ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// The decoded identity of one decoy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecoyIdent {
+    /// Simulated *deciseconds* (100 ms units) since campaign start when
+    /// the decoy was sent. Decisecond resolution plus the scheduler's
+    /// ≥100 ms per-VP pacing guarantees identifier uniqueness even for
+    /// back-to-back HTTP and TLS decoys to one destination.
+    pub sent_ds: u32,
+    /// The vantage point's (true) address.
+    pub vp: Ipv4Addr,
+    /// The decoy's destination address.
+    pub dst: Ipv4Addr,
+    /// Initial IP TTL (64 in Phase I; 1..=64 during Phase II sweeps).
+    pub ttl: u8,
+}
+
+/// Why an identifier failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentError {
+    BadLength(usize),
+    MissingSeparator,
+    BadChecksum { expected: u16, found: u16 },
+    BadCharacter(char),
+}
+
+impl fmt::Display for IdentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentError::BadLength(n) => write!(f, "identifier has bad length {n}"),
+            IdentError::MissingSeparator => write!(f, "identifier missing '-' separator"),
+            IdentError::BadChecksum { expected, found } => {
+                write!(f, "identifier checksum mismatch: expected {expected:04}, found {found:04}")
+            }
+            IdentError::BadCharacter(c) => write!(f, "invalid identifier character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IdentError {}
+
+const PAYLOAD_LEN: usize = 13;
+const ENCODED_LEN: usize = 21; // ceil(13 * 8 / 5)
+
+impl DecoyIdent {
+    pub fn new(sent_ds: u32, vp: Ipv4Addr, dst: Ipv4Addr, ttl: u8) -> Self {
+        Self {
+            sent_ds,
+            vp,
+            dst,
+            ttl,
+        }
+    }
+
+    /// Build from an absolute send time.
+    pub fn at(sent: shadow_netsim::time::SimTime, vp: Ipv4Addr, dst: Ipv4Addr, ttl: u8) -> Self {
+        Self::new((sent.millis() / 100) as u32, vp, dst, ttl)
+    }
+
+    /// The send time this identifier encodes (decisecond resolution).
+    pub fn sent_time(&self) -> shadow_netsim::time::SimTime {
+        shadow_netsim::time::SimTime(u64::from(self.sent_ds) * 100)
+    }
+
+    fn payload(&self) -> [u8; PAYLOAD_LEN] {
+        let mut out = [0u8; PAYLOAD_LEN];
+        out[0..4].copy_from_slice(&self.sent_ds.to_be_bytes());
+        out[4..8].copy_from_slice(&self.vp.octets());
+        out[8..12].copy_from_slice(&self.dst.octets());
+        out[12] = self.ttl;
+        out
+    }
+
+    /// Encode into the DNS label (identifier + `-` + 4-digit checksum).
+    pub fn encode(&self) -> String {
+        let payload = self.payload();
+        let mut label = String::with_capacity(ENCODED_LEN + 5);
+        let mut acc: u32 = 0;
+        let mut bits = 0u8;
+        for &byte in &payload {
+            acc = (acc << 8) | u32::from(byte);
+            bits += 8;
+            while bits >= 5 {
+                bits -= 5;
+                label.push(ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+            }
+        }
+        if bits > 0 {
+            label.push(ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+        }
+        debug_assert_eq!(label.len(), ENCODED_LEN);
+        let check = checksum(&payload);
+        label.push('-');
+        label.push_str(&format!("{check:04}"));
+        label
+    }
+
+    /// Decode a label produced by [`DecoyIdent::encode`].
+    pub fn decode(label: &str) -> Result<Self, IdentError> {
+        let (encoded, check_str) = label.split_once('-').ok_or(IdentError::MissingSeparator)?;
+        if encoded.len() != ENCODED_LEN || check_str.len() != 4 {
+            return Err(IdentError::BadLength(label.len()));
+        }
+        let found: u16 = check_str
+            .parse()
+            .map_err(|_| IdentError::BadCharacter(check_str.chars().next().unwrap_or('?')))?;
+        let mut payload = [0u8; PAYLOAD_LEN];
+        let mut acc: u32 = 0;
+        let mut bits = 0u8;
+        let mut idx = 0;
+        for ch in encoded.chars() {
+            let value = decode_char(ch)?;
+            acc = (acc << 5) | u32::from(value);
+            bits += 5;
+            if bits >= 8 {
+                bits -= 8;
+                if idx < PAYLOAD_LEN {
+                    payload[idx] = ((acc >> bits) & 0xff) as u8;
+                    idx += 1;
+                }
+            }
+        }
+        if idx != PAYLOAD_LEN {
+            return Err(IdentError::BadLength(encoded.len()));
+        }
+        // 21 base32 chars carry 105 bits for a 104-bit payload: the final
+        // padding bit must be zero, keeping encode/decode bijective (a
+        // corrupted padding bit must not alias the original label).
+        if bits > 0 && acc & ((1 << bits) - 1) != 0 {
+            return Err(IdentError::BadChecksum {
+                expected: checksum(&payload),
+                found,
+            });
+        }
+        let expected = checksum(&payload);
+        if expected != found {
+            return Err(IdentError::BadChecksum { expected, found });
+        }
+        Ok(Self {
+            sent_ds: u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]),
+            vp: Ipv4Addr::new(payload[4], payload[5], payload[6], payload[7]),
+            dst: Ipv4Addr::new(payload[8], payload[9], payload[10], payload[11]),
+            ttl: payload[12],
+        })
+    }
+
+    /// Extract and decode the identifier from a full decoy domain (the
+    /// leftmost label), returning `None` for non-decoy domains.
+    pub fn from_domain(domain: &shadow_packet::dns::DnsName) -> Option<Self> {
+        Self::decode(domain.first_label()?).ok()
+    }
+}
+
+fn decode_char(ch: char) -> Result<u8, IdentError> {
+    let b = ch as u32;
+    match ch {
+        'a'..='z' => Ok((b - 'a' as u32) as u8),
+        '2'..='7' => Ok((b - '2' as u32 + 26) as u8),
+        other => Err(IdentError::BadCharacter(other)),
+    }
+}
+
+/// 4-digit checksum (0000–9999) over the payload: an FNV-1a fold. Detects
+/// mangled identifiers (e.g. case-randomizing resolvers, truncation) before
+/// they pollute correlation.
+fn checksum(payload: &[u8]) -> u16 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in payload {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    (h % 10_000) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_packet::dns::DnsName;
+
+    fn ident() -> DecoyIdent {
+        DecoyIdent::new(
+            1_234_567,
+            Ipv4Addr::new(203, 0, 113, 7),
+            Ipv4Addr::new(77, 88, 8, 8),
+            64,
+        )
+    }
+
+    #[test]
+    fn round_trips() {
+        let id = ident();
+        let label = id.encode();
+        assert_eq!(DecoyIdent::decode(&label).unwrap(), id);
+    }
+
+    #[test]
+    fn label_is_dns_safe() {
+        let label = ident().encode();
+        assert!(label.len() <= 63, "fits one DNS label");
+        assert!(label
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        // And actually parses as a label of a DnsName.
+        let name = DnsName::parse(&format!("{label}.www.experiment.example")).unwrap();
+        assert_eq!(name.first_label(), Some(label.as_str()));
+    }
+
+    #[test]
+    fn shape_matches_paper_example() {
+        // "identifier-9982" — lowercase base32 body, dash, 4 digits.
+        let label = ident().encode();
+        let (body, check) = label.split_once('-').unwrap();
+        assert_eq!(body.len(), 21);
+        assert_eq!(check.len(), 4);
+        assert!(check.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn ttl_sweep_yields_distinct_labels() {
+        // Phase II: "changing TTL will result in a new identifier string".
+        let base = ident();
+        let mut labels = std::collections::HashSet::new();
+        for ttl in 1..=64u8 {
+            let id = DecoyIdent { ttl, ..base };
+            labels.insert(id.encode());
+        }
+        assert_eq!(labels.len(), 64);
+        // And each decodes back to its TTL.
+        for label in &labels {
+            let id = DecoyIdent::decode(label).unwrap();
+            assert_eq!(DecoyIdent { ttl: id.ttl, ..base }, id);
+        }
+    }
+
+    #[test]
+    fn checksum_catches_corruption() {
+        let label = ident().encode();
+        // Flip one character of the body.
+        let mut chars: Vec<char> = label.chars().collect();
+        chars[3] = if chars[3] == 'a' { 'b' } else { 'a' };
+        let corrupted: String = chars.iter().collect();
+        assert!(matches!(
+            DecoyIdent::decode(&corrupted),
+            Err(IdentError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            DecoyIdent::decode("nodasheshere"),
+            Err(IdentError::MissingSeparator)
+        ));
+        assert!(matches!(
+            DecoyIdent::decode("short-1234"),
+            Err(IdentError::BadLength(_))
+        ));
+        assert!(matches!(
+            DecoyIdent::decode("ABCDEFGHIJKLMNOPQRSTU-1234"),
+            Err(IdentError::BadCharacter(_))
+        ));
+        let label = ident().encode();
+        let bad_check = format!("{}-abcd", label.split_once('-').unwrap().0);
+        assert!(DecoyIdent::decode(&bad_check).is_err());
+    }
+
+    #[test]
+    fn from_domain_extracts_leftmost_label() {
+        let id = ident();
+        let domain =
+            DnsName::parse(&format!("{}.www.experiment.example", id.encode())).unwrap();
+        assert_eq!(DecoyIdent::from_domain(&domain), Some(id));
+        let not_decoy = DnsName::parse("www.experiment.example").unwrap();
+        assert_eq!(DecoyIdent::from_domain(&not_decoy), None);
+    }
+
+    #[test]
+    fn distinct_fields_distinct_labels() {
+        let a = ident();
+        let variants = [
+            DecoyIdent { sent_ds: a.sent_ds + 1, ..a },
+            DecoyIdent { vp: Ipv4Addr::new(203, 0, 113, 8), ..a },
+            DecoyIdent { dst: Ipv4Addr::new(8, 8, 8, 8), ..a },
+            DecoyIdent { ttl: 63, ..a },
+        ];
+        let base_label = a.encode();
+        for v in variants {
+            assert_ne!(v.encode(), base_label);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # shadow-core
+//!
+//! The reproduction of the paper's actual contribution — the measurement
+//! methodology of Section 3 — plus the simulated-world builder it runs
+//! against:
+//!
+//! * [`ident`] — the decoy identifier codec: send time, VP address,
+//!   destination address, and initial TTL encoded (with a checksum) into
+//!   the DNS label `g6d8jjkut5obc4-9982`-style that honeypots decode back;
+//! * [`decoy`] — decoy specifications and the campaign-wide registry;
+//! * [`world`] — builds the simulated Internet (topology, resolvers,
+//!   observers, honeypots, VPs) from a seeded configuration;
+//! * [`campaign`] — Phase I: spread decoys from every VP to every
+//!   destination under the ethical rate limit, capture arrivals;
+//! * [`correlate`] — label arrivals, apply unsolicited rules (i)–(iii),
+//!   derive problematic paths;
+//! * [`phase2`] — hop-by-hop traceroute: locate observers, harvest ICMP-
+//!   revealed router addresses;
+//! * [`noise`] — Appendix E mitigations: pair-resolver interception test
+//!   and the TTL-rewrite pre-flight.
+//!
+//! The measurement code never touches ground truth: everything it reports
+//! is recovered from packets its own decoys triggered.
+
+pub mod campaign;
+pub mod correlate;
+pub mod decoy;
+pub mod ident;
+pub mod noise;
+pub mod phase2;
+pub mod world;
+
+pub use campaign::{CampaignData, CampaignRunner, Phase1Config};
+pub use correlate::{CorrelatedRequest, Correlator, PathKey, ProblematicPath, UnsolicitedLabel};
+pub use decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+pub use ident::{DecoyIdent, IdentError};
+pub use noise::{NoiseFilter, PreflightOutcome};
+pub use phase2::{ObserverLocation, Phase2Config, Phase2Runner, TracerouteResult};
+pub use world::{World, WorldConfig};

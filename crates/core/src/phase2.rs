@@ -1,0 +1,297 @@
+//! Phase II: hop-by-hop traceroute to locate on-path observers (Figure 2).
+//!
+//! For each problematic path, the VP re-sends the decoy with initial TTL
+//! 1..=max — each TTL gets a *fresh identifier* so the honeypots can map
+//! unsolicited requests back to the exact probe. The smallest TTL whose
+//! decoy triggers unsolicited requests is the observer's hop; the ICMP
+//! Time Exceeded stream exposes router addresses along the way; the
+//! deepest ICMP hop bounds the destination distance.
+
+use crate::campaign::{CampaignData, CampaignRunner};
+use crate::correlate::{Correlator, PathKey};
+use crate::decoy::{DecoyProtocol, DecoyRegistry};
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use shadow_netsim::time::SimDuration;
+use shadow_vantage::schedule::RateLimitedScheduler;
+use shadow_vantage::vp::VpCommand;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Phase II configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase2Config {
+    /// Highest initial TTL swept (the paper sweeps to 64; simulated paths
+    /// are shorter, so a lower cap saves decoys without losing hops).
+    pub max_ttl: u8,
+    /// Cap on the number of paths traced (the heaviest campaigns trace a
+    /// sample; `usize::MAX` = all).
+    pub max_paths: usize,
+    /// Clock grace after the last probe.
+    pub grace: SimDuration,
+}
+
+impl Default for Phase2Config {
+    fn default() -> Self {
+        Self {
+            max_ttl: 32,
+            max_paths: usize::MAX,
+            grace: SimDuration::from_days(20),
+        }
+    }
+}
+
+/// Where an observer was localized on one path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracerouteResult {
+    pub path: PathKey,
+    /// Smallest initial TTL whose decoy triggered unsolicited requests.
+    pub observer_hop: Option<u8>,
+    /// Hops from the VP to the destination (deepest ICMP hop + 1, or the
+    /// smallest TTL that yielded a destination response).
+    pub dest_distance: Option<u8>,
+    /// The paper's 1–10 normalization (10 = destination).
+    pub normalized_hop: Option<u8>,
+    /// Observer router address revealed by ICMP at the observer hop.
+    pub observer_addr: Option<Ipv4Addr>,
+    /// Every (hop, router) the sweep revealed.
+    pub revealed_routers: Vec<(u8, Ipv4Addr)>,
+}
+
+/// Aggregated observer-location table (Table 2 input).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserverLocation {
+    /// normalized hop (1–10) → path count, per decoy protocol.
+    pub by_protocol: BTreeMap<(DecoyProtocol, u8), usize>,
+}
+
+/// The Phase II runner.
+pub struct Phase2Runner;
+
+impl Phase2Runner {
+    /// Trace the given problematic paths. Returns per-path localization and
+    /// the Phase II campaign data (new decoys + their captures), which the
+    /// caller may absorb into the global data set.
+    pub fn run(
+        world: &mut World,
+        paths: &[PathKey],
+        config: &Phase2Config,
+    ) -> (Vec<TracerouteResult>, CampaignData) {
+        let zone = world.zone.clone();
+        let mut registry = DecoyRegistry::new(zone);
+        let mut scheduler = RateLimitedScheduler::paper_defaults();
+        let start = world.engine.now() + SimDuration::from_secs(5);
+        let mut last_send = start;
+
+        let vp_index: HashMap<_, _> = world
+            .platform
+            .vps
+            .iter()
+            .map(|vp| (vp.id, (vp.node, vp.addr)))
+            .collect();
+
+        let traced: Vec<PathKey> = paths.iter().copied().take(config.max_paths).collect();
+        for (sweep, key) in traced.iter().enumerate() {
+            let Some(&(vp_node, vp_addr)) = vp_index.get(&key.vp) else {
+                continue;
+            };
+            for ttl in 1..=config.max_ttl {
+                let at = scheduler.reserve(start, key.vp, key.dst);
+                let record = registry.register(
+                    key.vp,
+                    vp_addr,
+                    key.dst,
+                    key.protocol,
+                    ttl,
+                    at,
+                    Some(sweep as u32),
+                );
+                // HTTP/TLS probes skip the handshake in Phase II (the paper
+                // avoids holding destination connections open).
+                let command = match key.protocol {
+                    DecoyProtocol::Dns => VpCommand::DnsDecoy {
+                        domain: record.domain.clone(),
+                        dst: key.dst,
+                        ttl,
+                    },
+                    DecoyProtocol::Http => VpCommand::RawHttpProbe {
+                        domain: record.domain.clone(),
+                        dst: key.dst,
+                        ttl,
+                    },
+                    DecoyProtocol::Tls => VpCommand::RawTlsProbe {
+                        domain: record.domain.clone(),
+                        dst: key.dst,
+                        ttl,
+                    },
+                };
+                world.engine.post(at, vp_node, Box::new(command));
+                last_send = last_send.max(at);
+            }
+        }
+
+        world.engine.run_until(last_send + config.grace);
+        let (arrivals, vp_reports) = CampaignRunner::harvest(world);
+        let data = CampaignData {
+            registry,
+            arrivals,
+            vp_reports,
+            last_send,
+        };
+
+        let results = Self::localize(&data, &traced, config.max_ttl);
+        (results, data)
+    }
+
+    /// Pure localization from Phase II data (separated for testing).
+    pub fn localize(
+        data: &CampaignData,
+        traced: &[PathKey],
+        max_ttl: u8,
+    ) -> Vec<TracerouteResult> {
+        let correlator = Correlator::new(&data.registry);
+        let correlated = correlator.correlate(&data.arrivals);
+
+        // Smallest triggering TTL per path.
+        let mut min_trigger: HashMap<PathKey, u8> = HashMap::new();
+        for req in &correlated {
+            if !req.label.is_unsolicited() {
+                continue;
+            }
+            let key = PathKey {
+                vp: req.decoy.vp,
+                dst: req.decoy.dst(),
+                protocol: req.decoy.protocol,
+            };
+            let ttl = req.decoy.ttl();
+            min_trigger
+                .entry(key)
+                .and_modify(|t| *t = (*t).min(ttl))
+                .or_insert(ttl);
+        }
+
+        // ICMP evidence per (vp, dst): hop → router address; and, for DNS,
+        // the smallest TTL that produced a destination answer.
+        let mut results = Vec::with_capacity(traced.len());
+        for key in traced {
+            let report = data.vp_reports.get(&key.vp);
+            let mut revealed: BTreeMap<u8, Ipv4Addr> = BTreeMap::new();
+            let mut min_answer_ttl: Option<u8> = None;
+            if let Some(report) = report {
+                for obs in &report.icmp {
+                    if obs.orig_dst != key.dst {
+                        continue;
+                    }
+                    // The identification field maps the expired probe back
+                    // to its decoy — and therefore to its initial TTL.
+                    if let Some(&(ref domain, ttl, dst)) =
+                        report.ident_map.get(&obs.orig_ident)
+                    {
+                        if dst == key.dst && data.registry.lookup(domain).is_some() {
+                            revealed.entry(ttl).or_insert(obs.router);
+                        }
+                    }
+                }
+                for ans in &report.dns_answers {
+                    if let Some(decoy) = data.registry.lookup(&ans.domain) {
+                        if decoy.vp == key.vp
+                            && decoy.dst() == key.dst
+                            && decoy.protocol == key.protocol
+                        {
+                            min_answer_ttl = Some(
+                                min_answer_ttl
+                                    .map_or(decoy.ttl(), |t: u8| t.min(decoy.ttl())),
+                            );
+                        }
+                    }
+                }
+            }
+
+            let deepest_icmp = revealed.keys().max().copied();
+            let dest_distance = match (deepest_icmp, min_answer_ttl) {
+                // The first TTL that reached the destination is one past the
+                // deepest expiring hop; a destination answer pins it too.
+                (Some(d), Some(a)) => Some(a.min(d + 1)),
+                (Some(d), None) if d < max_ttl => Some(d + 1),
+                (Some(_), None) => None, // swept out before reaching it
+                (None, Some(a)) => Some(a),
+                (None, None) => None,
+            };
+
+            let observer_hop = min_trigger.get(key).copied();
+            let normalized_hop = match (observer_hop, dest_distance) {
+                (Some(hop), Some(dist)) if dist > 0 => {
+                    Some((((hop as u32 * 10).div_ceil(dist as u32)) as u8).clamp(1, 10))
+                }
+                _ => None,
+            };
+            let observer_addr = observer_hop.and_then(|hop| revealed.get(&hop).copied());
+            results.push(TracerouteResult {
+                path: *key,
+                observer_hop,
+                dest_distance,
+                normalized_hop,
+                observer_addr,
+                revealed_routers: revealed.into_iter().collect(),
+            });
+        }
+        results
+    }
+
+    /// Build the Table-2 aggregation from per-path results.
+    pub fn observer_locations(results: &[TracerouteResult]) -> ObserverLocation {
+        let mut by_protocol = BTreeMap::new();
+        for result in results {
+            if let Some(hop) = result.normalized_hop {
+                *by_protocol
+                    .entry((result.path.protocol, hop))
+                    .or_insert(0) += 1;
+            }
+        }
+        ObserverLocation { by_protocol }
+    }
+}
+
+/// Convenience: pick the Phase II input from Phase I output, capped and
+/// deterministic (sorted by path key).
+pub fn paths_to_trace(
+    correlated: &[crate::correlate::CorrelatedRequest],
+    registry: &DecoyRegistry,
+    cap_per_protocol: usize,
+) -> Vec<PathKey> {
+    let correlator = Correlator::new(registry);
+    let paths = correlator.problematic_paths(correlated);
+    let mut per_protocol: BTreeMap<DecoyProtocol, usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    for key in paths.keys() {
+        let count = per_protocol.entry(key.protocol).or_insert(0);
+        if *count < cap_per_protocol {
+            *count += 1;
+            out.push(*key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_matches_paper_scale() {
+        // hop == distance ⇒ 10 (destination); fractions round up.
+        let norm = |hop: u32, dist: u32| ((hop * 10).div_ceil(dist) as u8).clamp(1, 10);
+        assert_eq!(norm(8, 8), 10);
+        assert_eq!(norm(4, 8), 5);
+        assert_eq!(norm(1, 8), 2);
+        assert_eq!(norm(1, 20), 1);
+        assert_eq!(norm(5, 9), 6);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let config = Phase2Config::default();
+        assert!(config.max_ttl >= 16);
+        assert!(config.grace >= SimDuration::from_days(1));
+    }
+}

@@ -1,0 +1,162 @@
+//! The simulated world: topology, resolvers, observers, honeypots, vantage
+//! points — everything DESIGN.md §2 substitutes for the real Internet.
+//!
+//! [`WorldConfig`] holds the scale knobs; [`World::build`] assembles a
+//! deterministic world from a seed. Ground truth (which resolvers shadow,
+//! where DPI taps sit, which origin addresses a blocklist would flag) is
+//! recorded in [`GroundTruth`] for tests — the measurement pipeline never
+//! reads it.
+
+mod build;
+
+pub use build::build_world;
+
+use serde::{Deserialize, Serialize};
+use shadow_dns::catalog::DnsDestination;
+use shadow_geo::{AsCatalog, CountryCode, GeoDb};
+use shadow_netsim::engine::Engine;
+use shadow_netsim::topology::NodeId;
+use shadow_packet::dns::DnsName;
+use shadow_vantage::platform::Platform;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Scale and behaviour knobs for world generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    pub seed: u64,
+    /// Vantage points recruited from global providers.
+    pub vps_global: usize,
+    /// Vantage points recruited from China-market providers.
+    pub vps_cn: usize,
+    /// Number of Tranco-stand-in destination websites.
+    pub tranco_sites: usize,
+    /// Routers per AS.
+    pub routers_per_as: usize,
+    /// Synthetic ASes per unit of country weight.
+    pub synthetic_as_density: f64,
+    /// The experiment zone decoys embed.
+    pub experiment_zone: String,
+    /// DNS interception middleboxes to place (Appendix E noise).
+    pub interceptors: usize,
+    /// Fraction of routers answering traceroute, in percent (the paper
+    /// notes hops that "refuse to respond").
+    pub icmp_response_percent: u8,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_2024,
+            vps_global: 110,
+            vps_cn: 110,
+            tranco_sites: 40,
+            routers_per_as: 3,
+            synthetic_as_density: 0.12,
+            experiment_zone: "www.experiment.example".to_string(),
+            interceptors: 1,
+            icmp_response_percent: 85,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A miniature world for unit/integration tests: a handful of VPs, a
+    /// few sites, but every subsystem present.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            vps_global: 6,
+            vps_cn: 6,
+            tranco_sites: 4,
+            routers_per_as: 2,
+            synthetic_as_density: 0.02,
+            interceptors: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A mid-size world for examples and benches.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A Tranco-stand-in destination site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrancoSite {
+    pub node: NodeId,
+    pub addr: Ipv4Addr,
+    pub country: CountryCode,
+}
+
+/// A deployed DNS destination (catalog entry + the node(s) serving it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployedDnsDestination {
+    pub dest: &'static DnsDestination,
+    pub nodes: Vec<NodeId>,
+    /// The address decoys are sent to (catalog address).
+    pub addr: Ipv4Addr,
+    /// The pair-resolver address (registered as a silent host).
+    pub pair_addr: Ipv4Addr,
+}
+
+/// Ground truth recorded at build time — for tests and EXPERIMENTS.md
+/// comparisons only; the measurement pipeline never reads this.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// (router node, exhibitor label) of every DPI tap placed.
+    pub dpi_taps: Vec<(NodeId, String)>,
+    /// Names of resolver instances configured to shadow.
+    pub shadowing_resolvers: Vec<String>,
+    /// Origin addresses a Spamhaus-like blocklist would flag.
+    pub blocklisted_addrs: BTreeSet<Ipv4Addr>,
+    /// All probe-origin addresses.
+    pub origin_addrs: Vec<Ipv4Addr>,
+    /// Router nodes carrying DNS interception middleboxes.
+    pub interceptor_nodes: Vec<NodeId>,
+    /// Observer router nodes that listen on BGP (port 179) when the
+    /// open-port prober knocks (§5.2: routing devices between networks).
+    pub bgp_speaking_observers: BTreeSet<Ipv4Addr>,
+}
+
+/// The assembled world.
+pub struct World {
+    pub config: WorldConfig,
+    pub engine: Engine,
+    pub catalog: AsCatalog,
+    pub geo: GeoDb,
+    pub platform: Platform,
+    pub zone: DnsName,
+    /// Experiment authoritative server (the DNS honeypot).
+    pub auth_node: NodeId,
+    pub auth_addr: Ipv4Addr,
+    /// Honey web servers: (node, address, region label).
+    pub honey_web: Vec<(NodeId, Ipv4Addr, String)>,
+    /// Control server used by pre-flight checks.
+    pub control_node: NodeId,
+    pub control_addr: Ipv4Addr,
+    pub dns_destinations: Vec<DeployedDnsDestination>,
+    pub tranco: Vec<TrancoSite>,
+    pub ground_truth: GroundTruth,
+}
+
+impl World {
+    /// Build a world from a configuration (see [`build_world`]).
+    pub fn build(config: WorldConfig) -> Self {
+        build_world(config)
+    }
+
+    /// Addresses of the honey web servers (wildcard targets).
+    pub fn honey_web_addrs(&self) -> Vec<Ipv4Addr> {
+        self.honey_web.iter().map(|&(_, addr, _)| addr).collect()
+    }
+
+    /// The deployed destination for a catalog name, if present.
+    pub fn dns_destination(&self, name: &str) -> Option<&DeployedDnsDestination> {
+        self.dns_destinations.iter().find(|d| d.dest.name == name)
+    }
+}

@@ -1,0 +1,153 @@
+//! World-builder consistency: the generated world must be internally
+//! coherent (addresses geolocate to their ASes, destinations resolve to the
+//! right operators, taps sit on routers, ground truth matches deployment).
+
+use shadow_core::world::{World, WorldConfig};
+use shadow_dns::catalog::{DnsDestinationKind, DNS_DESTINATIONS};
+use shadow_geo::country::cc;
+
+fn world() -> World {
+    World::build(WorldConfig::tiny(321))
+}
+
+#[test]
+fn vp_addresses_geolocate_to_their_recorded_country_and_as() {
+    let world = world();
+    for vp in &world.platform.vps {
+        let record = world
+            .geo
+            .lookup(vp.addr)
+            .unwrap_or_else(|| panic!("VP {} has no geo record", vp.addr));
+        assert_eq!(
+            record.country, vp.country,
+            "VP {} country mismatch",
+            vp.addr
+        );
+        let node_as = world.engine.topology().node(vp.node).asn;
+        assert_eq!(record.asn, node_as, "VP {} AS mismatch", vp.addr);
+        // Appendix C: recruited VPs live in hosting-labeled networks.
+        assert_eq!(
+            world.geo.hosting_of(vp.addr),
+            Some(shadow_geo::HostingLabel::Hosting),
+            "VP {} not in a hosting network",
+            vp.addr
+        );
+    }
+}
+
+#[test]
+fn every_table4_destination_is_deployed_and_routed() {
+    let world = world();
+    assert_eq!(world.dns_destinations.len(), DNS_DESTINATIONS.len());
+    for deployed in &world.dns_destinations {
+        assert!(!deployed.nodes.is_empty(), "{} has no nodes", deployed.dest.name);
+        // The destination address resolves to at least one host node.
+        let nodes = world.engine.topology().nodes_at(deployed.addr);
+        assert!(!nodes.is_empty(), "{} unrouted", deployed.dest.name);
+        // The pair address is registered too, in the same /24.
+        let pair_nodes = world.engine.topology().nodes_at(deployed.pair_addr);
+        assert!(!pair_nodes.is_empty(), "{} pair unrouted", deployed.dest.name);
+        let a = deployed.addr.octets();
+        let p = deployed.pair_addr.octets();
+        assert_eq!(&a[..3], &p[..3]);
+        // Geo lookup puts the address in the operator's network.
+        let record = world.geo.lookup(deployed.addr).expect("dest geolocates");
+        if deployed.dest.operator_asn != 0 {
+            assert_eq!(record.asn.0, deployed.dest.operator_asn, "{}", deployed.dest.name);
+        }
+    }
+}
+
+#[test]
+fn anycast_destinations_have_multiple_instances() {
+    let world = world();
+    let d114 = world.dns_destination("114DNS").unwrap();
+    assert_eq!(d114.nodes.len(), 2, "CN + US instances");
+    let countries: Vec<_> = d114
+        .nodes
+        .iter()
+        .map(|&n| {
+            let asn = world.engine.topology().node(n).asn;
+            world.catalog.get(asn).unwrap().country
+        })
+        .collect();
+    assert!(countries.contains(&cc("CN")));
+    assert!(countries.contains(&cc("US")));
+    // Every other public resolver has exactly one instance.
+    for deployed in &world.dns_destinations {
+        if deployed.dest.name != "114DNS"
+            && deployed.dest.kind == DnsDestinationKind::PublicResolver
+        {
+            assert_eq!(deployed.nodes.len(), 1, "{}", deployed.dest.name);
+        }
+    }
+}
+
+#[test]
+fn dpi_taps_sit_on_routers_of_the_right_ases() {
+    let world = world();
+    assert!(!world.ground_truth.dpi_taps.is_empty());
+    for (node, label) in &world.ground_truth.dpi_taps {
+        let n = world.engine.topology().node(*node);
+        assert!(n.is_router(), "tap {label} not on a router");
+        if let Some(asn_str) = label.strip_prefix("AS") {
+            let asn: u32 = asn_str.parse().expect("label is an AS number");
+            assert_eq!(n.asn.0, asn, "tap {label} on the wrong AS");
+        }
+    }
+}
+
+#[test]
+fn origin_addresses_are_routable_and_blocklist_is_a_subset() {
+    let world = world();
+    assert!(!world.ground_truth.origin_addrs.is_empty());
+    for addr in &world.ground_truth.origin_addrs {
+        assert!(
+            !world.engine.topology().nodes_at(*addr).is_empty(),
+            "origin {addr} unrouted"
+        );
+    }
+    for addr in &world.ground_truth.blocklisted_addrs {
+        assert!(
+            world.ground_truth.origin_addrs.contains(addr),
+            "blocklisted {addr} is not an origin"
+        );
+    }
+    // Both dirty and clean origins exist (the blocklist analyses need
+    // contrast).
+    assert!(world.ground_truth.blocklisted_addrs.len() < world.ground_truth.origin_addrs.len());
+}
+
+#[test]
+fn honeypots_span_three_regions_and_control_server_exists() {
+    let world = world();
+    let regions: Vec<_> = world.honey_web.iter().map(|(_, _, r)| r.clone()).collect();
+    assert_eq!(regions, vec!["US", "DE", "SG"]);
+    assert!(!world
+        .engine
+        .topology()
+        .nodes_at(world.auth_addr)
+        .is_empty());
+    assert!(!world
+        .engine
+        .topology()
+        .nodes_at(world.control_addr)
+        .is_empty());
+}
+
+#[test]
+fn tranco_sites_cover_the_headline_countries() {
+    // Figure 3 highlights destinations in CN, AD, US, CA. With enough
+    // sites, the palette must cover CN and US at least; AD/CA appear at
+    // larger site counts.
+    let world = World::build(WorldConfig {
+        tranco_sites: 60,
+        ..WorldConfig::tiny(322)
+    });
+    let countries: std::collections::BTreeSet<_> =
+        world.tranco.iter().map(|s| s.country).collect();
+    assert!(countries.contains(&cc("CN")));
+    assert!(countries.contains(&cc("US")));
+    assert!(countries.contains(&cc("CA")));
+    assert!(countries.contains(&cc("AD")));
+}

@@ -1,0 +1,239 @@
+//! The paper's Table 4: every DNS server decoys are sent to.
+//!
+//! 20 large public resolvers (selected by APNIC use metrics in the paper),
+//! one self-built control resolver, the 13 root servers, and 2 TLD
+//! authoritative servers. Real addresses are kept so reproduced tables read
+//! like the original; the simulated world registers these prefixes
+//! explicitly (the allocator withholds them).
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What kind of destination a DNS decoy targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnsDestinationKind {
+    PublicResolver,
+    SelfBuiltResolver,
+    Root,
+    Tld,
+}
+
+/// Ground-truth shadowing class of a destination, mirroring the landscape
+/// the paper reports (Figure 3 / Section 5.1). The measurement pipeline
+/// never reads this — it must rediscover it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShadowClass {
+    /// Member of Resolver_h with near-total shadowing (Yandex: >99% of
+    /// decoys shadowed; OneDNS; DNSPAI).
+    Heavy,
+    /// Heavy, but only at anycast instances in China (the 114DNS case).
+    HeavyCnAnycast,
+    /// Member of Resolver_h with a moderate ratio (Vercara).
+    Moderate,
+    /// Benign implementation retries only (95% of unsolicited requests
+    /// within one minute, all DNS-DNS).
+    Benign,
+    /// No unsolicited traffic at all (roots, TLDs, the control resolver).
+    None,
+}
+
+/// One Table-4 destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsDestination {
+    pub name: &'static str,
+    pub addr: Ipv4Addr,
+    pub kind: DnsDestinationKind,
+    /// Operator AS (for registering the address in the simulated world).
+    pub operator_asn: u32,
+    /// Country the primary instance sits in.
+    pub country: &'static str,
+    pub shadow_class: ShadowClass,
+}
+
+const fn dest(
+    name: &'static str,
+    addr: [u8; 4],
+    kind: DnsDestinationKind,
+    operator_asn: u32,
+    country: &'static str,
+    shadow_class: ShadowClass,
+) -> DnsDestination {
+    DnsDestination {
+        name,
+        addr: Ipv4Addr::new(addr[0], addr[1], addr[2], addr[3]),
+        kind,
+        operator_asn,
+        country,
+        shadow_class,
+    }
+}
+
+use DnsDestinationKind::{PublicResolver, Root, SelfBuiltResolver, Tld};
+
+/// All 36 destinations of Table 4. The self-built resolver's address is a
+/// placeholder the world builder replaces ("–" in the paper).
+pub const DNS_DESTINATIONS: &[DnsDestination] = &[
+    dest("Cloudflare", [1, 1, 1, 1], PublicResolver, 13335, "US", ShadowClass::Benign),
+    dest("CNNIC", [1, 2, 4, 8], PublicResolver, 24151, "CN", ShadowClass::Benign),
+    dest("DNS PAI", [101, 226, 4, 6], PublicResolver, 17964, "CN", ShadowClass::Heavy),
+    dest("DNSPod", [119, 29, 29, 29], PublicResolver, 45090, "CN", ShadowClass::Benign),
+    dest("DNS.Watch", [84, 200, 69, 80], PublicResolver, 8972, "DE", ShadowClass::Benign),
+    dest("Oracle Dyn", [216, 146, 35, 35], PublicResolver, 33517, "US", ShadowClass::Benign),
+    dest("Google", [8, 8, 8, 8], PublicResolver, 15169, "US", ShadowClass::Benign),
+    dest("Hurricane", [74, 82, 42, 42], PublicResolver, 6939, "US", ShadowClass::Benign),
+    dest("Level3", [209, 244, 0, 3], PublicResolver, 3356, "US", ShadowClass::Benign),
+    dest("VERCARA", [156, 154, 70, 1], PublicResolver, 12222, "US", ShadowClass::Moderate),
+    dest("One DNS", [117, 50, 10, 10], PublicResolver, 4788, "CN", ShadowClass::Heavy),
+    dest("OpenDNS", [208, 67, 222, 222], PublicResolver, 36692, "US", ShadowClass::Benign),
+    dest("Open NIC", [217, 160, 166, 161], PublicResolver, 51559, "TR", ShadowClass::Benign),
+    dest("Quad9", [9, 9, 9, 9], PublicResolver, 19281, "US", ShadowClass::Benign),
+    dest("Yandex", [77, 88, 8, 8], PublicResolver, 13238, "RU", ShadowClass::Heavy),
+    dest("SafeDNS", [195, 46, 39, 39], PublicResolver, 197988, "RU", ShadowClass::Benign),
+    dest("Freenom", [80, 80, 80, 80], PublicResolver, 42473, "NL", ShadowClass::Benign),
+    dest("Baidu", [180, 76, 76, 76], PublicResolver, 38365, "CN", ShadowClass::Benign),
+    dest("114DNS", [114, 114, 114, 114], PublicResolver, 23724, "CN", ShadowClass::HeavyCnAnycast),
+    dest("Quad101", [101, 101, 101, 101], PublicResolver, 131657, "TW", ShadowClass::Benign),
+    dest("self-built", [203, 0, 113, 53], SelfBuiltResolver, 0, "US", ShadowClass::None),
+    dest("a.root", [198, 41, 0, 4], Root, 397197, "US", ShadowClass::None),
+    dest("b.root", [170, 247, 170, 2], Root, 394353, "US", ShadowClass::None),
+    dest("c.root", [192, 33, 4, 12], Root, 2149, "US", ShadowClass::None),
+    dest("d.root", [199, 7, 91, 13], Root, 10886, "US", ShadowClass::None),
+    dest("e.root", [192, 203, 230, 10], Root, 21556, "US", ShadowClass::None),
+    dest("f.root", [192, 5, 5, 241], Root, 3557, "US", ShadowClass::None),
+    dest("g.root", [192, 112, 36, 4], Root, 5927, "US", ShadowClass::None),
+    dest("h.root", [198, 97, 190, 53], Root, 1508, "US", ShadowClass::None),
+    dest("i.root", [192, 36, 148, 17], Root, 29216, "SE", ShadowClass::None),
+    dest("j.root", [192, 58, 128, 30], Root, 26415, "US", ShadowClass::None),
+    dest("k.root", [193, 0, 14, 129], Root, 25152, "NL", ShadowClass::None),
+    dest("l.root", [199, 7, 83, 42], Root, 20144, "US", ShadowClass::None),
+    dest("m.root", [202, 12, 27, 33], Root, 7500, "JP", ShadowClass::None),
+    dest(".com", [192, 12, 94, 30], Tld, 36622, "US", ShadowClass::None),
+    dest(".org", [199, 19, 57, 1], Tld, 26415, "US", ShadowClass::None),
+];
+
+/// The five resolvers the paper groups as Resolver_h (most problematic
+/// paths: Yandex, 114DNS, OneDNS, DNSPAI, Vercara).
+pub fn resolver_h() -> Vec<&'static DnsDestination> {
+    DNS_DESTINATIONS
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.shadow_class,
+                ShadowClass::Heavy | ShadowClass::HeavyCnAnycast | ShadowClass::Moderate
+            )
+        })
+        .collect()
+}
+
+/// The pair-resolver address of a target (Appendix E): another address in
+/// the same /24 that offers no DNS service — e.g. 1.1.1.4 for 1.1.1.1.
+pub fn pair_address(addr: Ipv4Addr) -> Ipv4Addr {
+    let o = addr.octets();
+    // +3 like the paper's example; wrap within the /24 and avoid landing on
+    // the original or the network/broadcast addresses.
+    let mut last = o[3].wrapping_add(3);
+    if last == o[3] || last == 0 || last == 255 {
+        last = last.wrapping_add(1).max(1);
+        if last == o[3] {
+            last = last.wrapping_add(1);
+        }
+    }
+    Ipv4Addr::new(o[0], o[1], o[2], last)
+}
+
+/// Look a destination up by address.
+pub fn destination_by_addr(addr: Ipv4Addr) -> Option<&'static DnsDestination> {
+    DNS_DESTINATIONS.iter().find(|d| d.addr == addr)
+}
+
+/// Look a destination up by name.
+pub fn destination_by_name(name: &str) -> Option<&'static DnsDestination> {
+    DNS_DESTINATIONS.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_counts_match_paper() {
+        assert_eq!(DNS_DESTINATIONS.len(), 36, "36 destinations total");
+        let publics = DNS_DESTINATIONS
+            .iter()
+            .filter(|d| d.kind == PublicResolver)
+            .count();
+        assert_eq!(publics, 20, "20 public resolvers");
+        let roots = DNS_DESTINATIONS.iter().filter(|d| d.kind == Root).count();
+        assert_eq!(roots, 13, "13 roots");
+        let tlds = DNS_DESTINATIONS.iter().filter(|d| d.kind == Tld).count();
+        assert_eq!(tlds, 2, "2 TLDs");
+        assert_eq!(
+            DNS_DESTINATIONS
+                .iter()
+                .filter(|d| d.kind == SelfBuiltResolver)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn resolver_h_members() {
+        let names: Vec<_> = resolver_h().iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 5);
+        for expected in ["Yandex", "114DNS", "One DNS", "DNS PAI", "VERCARA"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn addresses_unique() {
+        let mut addrs: Vec<_> = DNS_DESTINATIONS.iter().map(|d| d.addr).collect();
+        addrs.sort();
+        let n = addrs.len();
+        addrs.dedup();
+        assert_eq!(addrs.len(), n);
+    }
+
+    #[test]
+    fn known_addresses_present() {
+        assert_eq!(destination_by_name("Google").unwrap().addr, Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(
+            destination_by_name("114DNS").unwrap().addr,
+            Ipv4Addr::new(114, 114, 114, 114)
+        );
+        assert_eq!(
+            destination_by_addr(Ipv4Addr::new(77, 88, 8, 8)).unwrap().name,
+            "Yandex"
+        );
+    }
+
+    #[test]
+    fn pair_address_shape() {
+        // The paper's own example: 1.1.1.4 pairs 1.1.1.1.
+        assert_eq!(
+            pair_address(Ipv4Addr::new(1, 1, 1, 1)),
+            Ipv4Addr::new(1, 1, 1, 4)
+        );
+        for d in DNS_DESTINATIONS {
+            let pair = pair_address(d.addr);
+            let (a, b) = (d.addr.octets(), pair.octets());
+            assert_eq!(&a[..3], &b[..3], "same /24 for {}", d.name);
+            assert_ne!(a[3], b[3], "distinct host for {}", d.name);
+            assert_ne!(b[3], 0);
+            assert_ne!(b[3], 255);
+            // The pair must not collide with another real destination.
+            assert!(destination_by_addr(pair).is_none(), "{} pair collides", d.name);
+        }
+    }
+
+    #[test]
+    fn shadow_classes_match_findings() {
+        assert_eq!(destination_by_name("Yandex").unwrap().shadow_class, ShadowClass::Heavy);
+        assert_eq!(
+            destination_by_name("114DNS").unwrap().shadow_class,
+            ShadowClass::HeavyCnAnycast
+        );
+        assert_eq!(destination_by_name("Google").unwrap().shadow_class, ShadowClass::Benign);
+        assert_eq!(destination_by_name("a.root").unwrap().shadow_class, ShadowClass::None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic IPv4 prefix allocation.
+//!
+//! Each AS in the simulated world receives one or more prefixes from a global
+//! pool. The allocator walks the unicast space sequentially (skipping
+//! reserved ranges) so that allocation is reproducible and prefix overlap is
+//! impossible by construction.
+
+use crate::db::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+/// Lowest first octet handed out; keeps us clear of 0.0.0.0/8.
+pub const MIN_PUBLIC_OCTET: u8 = 1;
+
+/// Ranges the allocator must never hand out (loopback, RFC1918, multicast,
+/// and the special-purpose blocks a real RIR would withhold). The simulation
+/// also withholds the prefixes of the real public resolvers in Table 4 —
+/// those are registered explicitly by the world builder, not allocated.
+const RESERVED: &[(u32, u8)] = &[
+    (0x0000_0000, 8),  // 0.0.0.0/8
+    (0x0A00_0000, 8),  // 10.0.0.0/8
+    (0x7F00_0000, 8),  // 127.0.0.0/8
+    (0xA9FE_0000, 16), // 169.254.0.0/16
+    (0xAC10_0000, 12), // 172.16.0.0/12
+    (0xC0A8_0000, 16), // 192.168.0.0/16
+    (0xC612_0000, 15), // 198.18.0.0/15
+    (0xE000_0000, 4),  // 224.0.0.0/4 multicast
+    (0xF000_0000, 4),  // 240.0.0.0/4 reserved
+];
+
+fn in_reserved(addr: u32) -> Option<(u32, u8)> {
+    RESERVED
+        .iter()
+        .copied()
+        .find(|&(base, len)| addr & mask(len) == base)
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+/// Sequential, reservation-aware prefix allocator.
+#[derive(Debug, Clone)]
+pub struct PrefixAllocator {
+    cursor: u32,
+    /// Prefixes explicitly withheld by the caller (e.g. real resolver
+    /// prefixes registered by hand).
+    withheld: Vec<(u32, u8)>,
+}
+
+/// Error for an exhausted or conflicting allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No space left in the unicast pool for a prefix of the requested size.
+    Exhausted,
+    /// Requested prefix length is outside 8..=30.
+    BadLength(u8),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Exhausted => write!(f, "IPv4 pool exhausted"),
+            AllocError::BadLength(l) => write!(f, "unsupported prefix length /{l}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixAllocator {
+    pub fn new() -> Self {
+        Self {
+            cursor: (MIN_PUBLIC_OCTET as u32) << 24,
+            withheld: Vec::new(),
+        }
+    }
+
+    /// Withhold a prefix so it is never allocated (used for hand-registered
+    /// real-world addresses such as 8.8.8.8's covering prefix).
+    pub fn withhold(&mut self, prefix: Ipv4Prefix) {
+        self.withheld.push((prefix.base_u32(), prefix.len()));
+    }
+
+    fn is_withheld(&self, base: u32, len: u8) -> bool {
+        self.withheld.iter().any(|&(wb, wl)| {
+            let l = len.min(wl);
+            base & mask(l) == wb & mask(l)
+        })
+    }
+
+    /// Allocate the next free prefix of length `len` (8..=30).
+    pub fn alloc(&mut self, len: u8) -> Result<Ipv4Prefix, AllocError> {
+        if !(8..=30).contains(&len) {
+            return Err(AllocError::BadLength(len));
+        }
+        let step = 1u32 << (32 - len);
+        loop {
+            // Align cursor up to the prefix size.
+            let base = self.cursor.div_ceil(step).checked_mul(step).ok_or(AllocError::Exhausted)?;
+            if base.checked_add(step - 1).is_none() {
+                return Err(AllocError::Exhausted);
+            }
+            if let Some((rbase, rlen)) = in_reserved(base) {
+                // Jump past the reserved block.
+                let rstep = 1u32 << (32 - rlen);
+                self.cursor = rbase
+                    .checked_add(rstep)
+                    .ok_or(AllocError::Exhausted)?;
+                continue;
+            }
+            // A larger allocation can *straddle into* a reserved block even
+            // when its base is clear; check the block's last address too.
+            if in_reserved(base + step - 1).is_some() || self.is_withheld(base, len) {
+                self.cursor = base + step;
+                continue;
+            }
+            self.cursor = base + step;
+            return Ok(Ipv4Prefix::new(Ipv4Addr::from(base), len)
+                .expect("aligned base by construction"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut alloc = PrefixAllocator::new();
+        let mut prefixes = Vec::new();
+        for _ in 0..200 {
+            prefixes.push(alloc.alloc(16).unwrap());
+        }
+        for (i, a) in prefixes.iter().enumerate() {
+            for b in &prefixes[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn skips_reserved_ranges() {
+        let mut alloc = PrefixAllocator::new();
+        for _ in 0..4000 {
+            let p = alloc.alloc(16).unwrap();
+            let base = p.base_u32();
+            assert!(in_reserved(base).is_none(), "allocated reserved {p}");
+            assert!(
+                in_reserved(base + (1 << 16) - 1).is_none(),
+                "straddles reserved {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_withheld() {
+        let mut alloc = PrefixAllocator::new();
+        let withheld = Ipv4Prefix::new(Ipv4Addr::new(1, 1, 0, 0), 16).unwrap();
+        alloc.withhold(withheld);
+        for _ in 0..100 {
+            let p = alloc.alloc(20).unwrap();
+            assert!(!p.overlaps(&withheld), "{p} overlaps withheld {withheld}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        let mut alloc = PrefixAllocator::new();
+        assert_eq!(alloc.alloc(0), Err(AllocError::BadLength(0)));
+        assert_eq!(alloc.alloc(31), Err(AllocError::BadLength(31)));
+    }
+
+    #[test]
+    fn mixed_sizes_stay_disjoint() {
+        let mut alloc = PrefixAllocator::new();
+        let mut prefixes = Vec::new();
+        for len in [16u8, 20, 24, 20, 16, 24, 12, 24] {
+            prefixes.push(alloc.alloc(len).unwrap());
+        }
+        for (i, a) in prefixes.iter().enumerate() {
+            for b in &prefixes[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut alloc = PrefixAllocator::new();
+            (0..50).map(|_| alloc.alloc(18).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

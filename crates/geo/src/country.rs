@@ -1,0 +1,248 @@
+//! Country codes and the catalog of countries covered by the measurement
+//! platform (82 countries in the paper, Table 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// ISO-3166-ish two-letter country code.
+///
+/// Stored as two ASCII uppercase bytes so the type is `Copy` and hashable
+/// without allocation; construction validates the alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Parse a two-letter code. Lowercase input is accepted and uppercased.
+    pub fn new(code: &str) -> Result<Self, InvalidCountryCode> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 {
+            return Err(InvalidCountryCode(code.to_string()));
+        }
+        let mut out = [0u8; 2];
+        for (i, b) in bytes.iter().enumerate() {
+            if !b.is_ascii_alphabetic() {
+                return Err(InvalidCountryCode(code.to_string()));
+            }
+            out[i] = b.to_ascii_uppercase();
+        }
+        Ok(Self(out))
+    }
+
+    /// Infallible constructor for compile-time-known codes; panics on bad input.
+    pub const fn literal(code: &str) -> Self {
+        let bytes = code.as_bytes();
+        assert!(bytes.len() == 2, "country code must be two letters");
+        let a = bytes[0].to_ascii_uppercase();
+        let b = bytes[1].to_ascii_uppercase();
+        assert!(a.is_ascii_uppercase() && b.is_ascii_uppercase());
+        Self([a, b])
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        // Construction guarantees ASCII uppercase, so this cannot fail.
+        std::str::from_utf8(&self.0).expect("country code is ASCII by construction")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CountryCode({})", self.as_str())
+    }
+}
+
+/// Error returned when a country code fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCountryCode(pub String);
+
+impl fmt::Display for InvalidCountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid country code: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidCountryCode {}
+
+/// Coarse world region, used when synthesizing AS-level topology (intra-region
+/// AS paths are shorter than inter-region ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    SouthAmerica,
+    Europe,
+    EastAsia,
+    SouthAsia,
+    SoutheastAsia,
+    MiddleEast,
+    Africa,
+    Oceania,
+}
+
+/// Static information about a country participating in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountryInfo {
+    pub code: CountryCode,
+    pub name: &'static str,
+    pub region: Region,
+    /// Relative weight used when distributing synthetic ASes and vantage
+    /// points; loosely tracks Internet population.
+    pub weight: u32,
+}
+
+const fn c(code: &str, name: &'static str, region: Region, weight: u32) -> CountryInfo {
+    CountryInfo {
+        code: CountryCode::literal(code),
+        name,
+        region,
+        weight,
+    }
+}
+
+/// The 82 countries covered by the paper's vantage-point platform (Table 1:
+/// 81 countries outside mainland China, plus China).
+pub const COUNTRIES: &[CountryInfo] = &[
+    c("CN", "China", Region::EastAsia, 100),
+    c("US", "United States", Region::NorthAmerica, 90),
+    c("DE", "Germany", Region::Europe, 40),
+    c("SG", "Singapore", Region::SoutheastAsia, 30),
+    c("RU", "Russia", Region::Europe, 45),
+    c("GB", "United Kingdom", Region::Europe, 40),
+    c("FR", "France", Region::Europe, 35),
+    c("NL", "Netherlands", Region::Europe, 30),
+    c("JP", "Japan", Region::EastAsia, 45),
+    c("KR", "South Korea", Region::EastAsia, 30),
+    c("IN", "India", Region::SouthAsia, 60),
+    c("BR", "Brazil", Region::SouthAmerica, 40),
+    c("CA", "Canada", Region::NorthAmerica, 30),
+    c("AU", "Australia", Region::Oceania, 25),
+    c("IT", "Italy", Region::Europe, 25),
+    c("ES", "Spain", Region::Europe, 25),
+    c("SE", "Sweden", Region::Europe, 15),
+    c("CH", "Switzerland", Region::Europe, 15),
+    c("PL", "Poland", Region::Europe, 20),
+    c("TR", "Turkey", Region::MiddleEast, 25),
+    c("MX", "Mexico", Region::NorthAmerica, 25),
+    c("AR", "Argentina", Region::SouthAmerica, 20),
+    c("CL", "Chile", Region::SouthAmerica, 12),
+    c("CO", "Colombia", Region::SouthAmerica, 15),
+    c("ZA", "South Africa", Region::Africa, 15),
+    c("EG", "Egypt", Region::Africa, 15),
+    c("NG", "Nigeria", Region::Africa, 18),
+    c("KE", "Kenya", Region::Africa, 10),
+    c("SA", "Saudi Arabia", Region::MiddleEast, 15),
+    c("AE", "United Arab Emirates", Region::MiddleEast, 12),
+    c("IL", "Israel", Region::MiddleEast, 12),
+    c("HK", "Hong Kong", Region::EastAsia, 20),
+    c("TW", "Taiwan", Region::EastAsia, 18),
+    c("TH", "Thailand", Region::SoutheastAsia, 18),
+    c("VN", "Vietnam", Region::SoutheastAsia, 20),
+    c("ID", "Indonesia", Region::SoutheastAsia, 25),
+    c("MY", "Malaysia", Region::SoutheastAsia, 15),
+    c("PH", "Philippines", Region::SoutheastAsia, 15),
+    c("PK", "Pakistan", Region::SouthAsia, 18),
+    c("BD", "Bangladesh", Region::SouthAsia, 12),
+    c("UA", "Ukraine", Region::Europe, 15),
+    c("RO", "Romania", Region::Europe, 12),
+    c("CZ", "Czechia", Region::Europe, 10),
+    c("AT", "Austria", Region::Europe, 10),
+    c("BE", "Belgium", Region::Europe, 10),
+    c("DK", "Denmark", Region::Europe, 8),
+    c("FI", "Finland", Region::Europe, 8),
+    c("NO", "Norway", Region::Europe, 8),
+    c("IE", "Ireland", Region::Europe, 8),
+    c("PT", "Portugal", Region::Europe, 8),
+    c("GR", "Greece", Region::Europe, 8),
+    c("HU", "Hungary", Region::Europe, 8),
+    c("BG", "Bulgaria", Region::Europe, 7),
+    c("RS", "Serbia", Region::Europe, 6),
+    c("HR", "Croatia", Region::Europe, 5),
+    c("SK", "Slovakia", Region::Europe, 5),
+    c("SI", "Slovenia", Region::Europe, 4),
+    c("LT", "Lithuania", Region::Europe, 4),
+    c("LV", "Latvia", Region::Europe, 4),
+    c("EE", "Estonia", Region::Europe, 4),
+    c("IS", "Iceland", Region::Europe, 3),
+    c("LU", "Luxembourg", Region::Europe, 3),
+    c("MD", "Moldova", Region::Europe, 4),
+    c("AD", "Andorra", Region::Europe, 2),
+    c("NZ", "New Zealand", Region::Oceania, 8),
+    c("PE", "Peru", Region::SouthAmerica, 10),
+    c("EC", "Ecuador", Region::SouthAmerica, 7),
+    c("UY", "Uruguay", Region::SouthAmerica, 5),
+    c("PA", "Panama", Region::NorthAmerica, 5),
+    c("CR", "Costa Rica", Region::NorthAmerica, 5),
+    c("GT", "Guatemala", Region::NorthAmerica, 5),
+    c("DO", "Dominican Republic", Region::NorthAmerica, 5),
+    c("MA", "Morocco", Region::Africa, 8),
+    c("TN", "Tunisia", Region::Africa, 5),
+    c("GH", "Ghana", Region::Africa, 6),
+    c("TZ", "Tanzania", Region::Africa, 5),
+    c("JO", "Jordan", Region::MiddleEast, 6),
+    c("QA", "Qatar", Region::MiddleEast, 5),
+    c("KW", "Kuwait", Region::MiddleEast, 5),
+    c("KZ", "Kazakhstan", Region::EastAsia, 8),
+    c("GE", "Georgia", Region::Europe, 5),
+    c("AM", "Armenia", Region::Europe, 4),
+];
+
+/// Look up a country's static info by code.
+pub fn country_info(code: CountryCode) -> Option<&'static CountryInfo> {
+    COUNTRIES.iter().find(|ci| ci.code == code)
+}
+
+/// Convenience constructor used pervasively in tests and world building.
+pub fn cc(code: &str) -> CountryCode {
+    CountryCode::new(code).expect("valid country code literal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_uppercases() {
+        assert_eq!(CountryCode::new("cn").unwrap().as_str(), "CN");
+        assert_eq!(CountryCode::new("US").unwrap().as_str(), "US");
+    }
+
+    #[test]
+    fn rejects_bad_codes() {
+        assert!(CountryCode::new("").is_err());
+        assert!(CountryCode::new("USA").is_err());
+        assert!(CountryCode::new("1A").is_err());
+        assert!(CountryCode::new("C!").is_err());
+    }
+
+    #[test]
+    fn catalog_has_82_countries_like_table1() {
+        assert_eq!(COUNTRIES.len(), 82);
+    }
+
+    #[test]
+    fn catalog_codes_are_unique() {
+        let mut codes: Vec<_> = COUNTRIES.iter().map(|ci| ci.code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), COUNTRIES.len());
+    }
+
+    #[test]
+    fn catalog_includes_honeypot_and_case_study_countries() {
+        for code in ["CN", "US", "DE", "SG", "RU", "CA", "AD"] {
+            assert!(country_info(cc(code)).is_some(), "missing {code}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let code = cc("JP");
+        assert_eq!(code.to_string(), "JP");
+        assert_eq!(CountryCode::new(&code.to_string()).unwrap(), code);
+    }
+}

@@ -1,0 +1,25 @@
+//! # shadow-geo
+//!
+//! The geographic / routing-registry substrate for the traffic-shadowing
+//! reproduction. The paper geolocates vantage points and traffic observers by
+//! "looking them up in IP databases" (ip-api, IPinfo); this crate is the
+//! synthetic equivalent: a deterministic registry of autonomous systems,
+//! per-AS IPv4 prefix allocations, and a longest-prefix-match lookup database.
+//!
+//! The well-known ASes named in the paper (Chinanet AS4134, HostRoyale
+//! AS203020, Google AS15169, ...) are present with their real numbers and
+//! names so that analysis output reads like the paper's tables; all other
+//! ASes are synthesized per country.
+//!
+//! Nothing in this crate performs I/O; every structure is built
+//! deterministically from a seed.
+
+pub mod alloc;
+pub mod asn;
+pub mod country;
+pub mod db;
+
+pub use alloc::{PrefixAllocator, MIN_PUBLIC_OCTET};
+pub use asn::{AsCatalog, AsInfo, AsKind, Asn, WellKnownAs, WELL_KNOWN_ASES};
+pub use country::{CountryCode, CountryInfo, Region, COUNTRIES};
+pub use db::{GeoDb, GeoRecord, HostingLabel, Ipv4Prefix};

@@ -1,0 +1,119 @@
+//! Capture records: everything that arrives at a honeypot.
+
+use serde::{Deserialize, Serialize};
+use shadow_netsim::time::SimTime;
+use shadow_packet::dns::DnsName;
+use std::net::Ipv4Addr;
+
+/// The protocol an arrival came in over — the `Request` half of the paper's
+/// `Decoy-Request` protocol-combination labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ArrivalProtocol {
+    Dns,
+    Http,
+    /// TLS arrivals on 443 ("HTTPS" in the paper's labels).
+    Https,
+}
+
+impl ArrivalProtocol {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalProtocol::Dns => "DNS",
+            ArrivalProtocol::Http => "HTTP",
+            ArrivalProtocol::Https => "HTTPS",
+        }
+    }
+}
+
+/// One request that reached a honeypot bearing an experiment domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    pub at: SimTime,
+    pub src: Ipv4Addr,
+    pub protocol: ArrivalProtocol,
+    /// The experiment domain the request bears (QNAME / Host / SNI).
+    pub domain: DnsName,
+    /// For HTTP arrivals: the requested path (payload analysis, §5).
+    pub http_path: Option<String>,
+    /// Which honeypot captured it ("US", "DE", "SG").
+    pub honeypot: String,
+}
+
+/// An append-only capture log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CaptureLog {
+    entries: Vec<Arrival>,
+}
+
+impl CaptureLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, arrival: Arrival) {
+        self.entries.push(arrival);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Arrival> {
+        self.entries.iter()
+    }
+
+    /// Merge several logs into one stream sorted by arrival time (the
+    /// cross-honeypot view the analysis runs on).
+    pub fn merged(logs: impl IntoIterator<Item = CaptureLog>) -> Vec<Arrival> {
+        let mut all: Vec<Arrival> = logs.into_iter().flat_map(|l| l.entries).collect();
+        all.sort_by_key(|a| (a.at, a.src, a.protocol));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(at: u64, proto: ArrivalProtocol, hp: &str) -> Arrival {
+        Arrival {
+            at: SimTime(at),
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            protocol: proto,
+            domain: DnsName::parse("x.www.experiment.example").unwrap(),
+            http_path: None,
+            honeypot: hp.to_string(),
+        }
+    }
+
+    #[test]
+    fn log_accumulates() {
+        let mut log = CaptureLog::new();
+        assert!(log.is_empty());
+        log.push(arrival(5, ArrivalProtocol::Dns, "US"));
+        log.push(arrival(1, ArrivalProtocol::Http, "US"));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn merged_sorts_by_time() {
+        let mut us = CaptureLog::new();
+        us.push(arrival(50, ArrivalProtocol::Dns, "US"));
+        let mut de = CaptureLog::new();
+        de.push(arrival(10, ArrivalProtocol::Https, "DE"));
+        de.push(arrival(90, ArrivalProtocol::Http, "DE"));
+        let merged = CaptureLog::merged([us, de]);
+        let times: Vec<u64> = merged.iter().map(|a| a.at.millis()).collect();
+        assert_eq!(times, vec![10, 50, 90]);
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(ArrivalProtocol::Dns.as_str(), "DNS");
+        assert_eq!(ArrivalProtocol::Https.as_str(), "HTTPS");
+    }
+}

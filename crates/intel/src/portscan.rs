@@ -1,0 +1,144 @@
+//! The open-port prober of Section 5.2: "By actively probing for their open
+//! ports and banners, we attempt to reveal what types of device traffic
+//! observers are. While, unfortunately, most (92%) observers do not have
+//! open ports, we find the most commonly open port among the remainder is
+//! 179 (BGP), indicating they are routing devices between networks."
+//!
+//! The simulated world has no real listening sockets on routers, so the
+//! scanner resolves against a port table supplied by the world builder
+//! (DESIGN.md documents this substitution); the *analysis* code paths —
+//! scanning, aggregation, reporting — are the same as a real deployment's.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Well-known ports the prober knocks on (nmap-style top ports plus BGP).
+pub const PROBED_PORTS: &[u16] = &[21, 22, 23, 25, 53, 80, 110, 143, 179, 443, 3306, 8080];
+
+/// A scanner bound to a port table.
+#[derive(Debug, Clone, Default)]
+pub struct PortScanner {
+    /// Ground-truth open ports per address.
+    open_ports: BTreeMap<Ipv4Addr, BTreeSet<u16>>,
+}
+
+/// Aggregated scan results over a set of targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortScanReport {
+    pub targets: usize,
+    pub with_open_ports: usize,
+    /// port → number of targets exposing it.
+    pub port_counts: BTreeMap<u16, usize>,
+}
+
+impl PortScanReport {
+    /// Fraction of targets with no open ports at all.
+    pub fn closed_fraction(&self) -> f64 {
+        if self.targets == 0 {
+            return 0.0;
+        }
+        (self.targets - self.with_open_ports) as f64 / self.targets as f64
+    }
+
+    /// The most commonly open port, if any.
+    pub fn top_port(&self) -> Option<u16> {
+        self.port_counts
+            .iter()
+            .max_by_key(|&(port, count)| (*count, std::cmp::Reverse(*port)))
+            .map(|(&port, _)| port)
+    }
+}
+
+impl PortScanner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `port` open on `addr` (world-builder ground truth).
+    pub fn set_open(&mut self, addr: Ipv4Addr, port: u16) {
+        self.open_ports.entry(addr).or_default().insert(port);
+    }
+
+    /// Scan one address: the probed ports that answered.
+    pub fn scan(&self, addr: Ipv4Addr) -> Vec<u16> {
+        let Some(open) = self.open_ports.get(&addr) else {
+            return Vec::new();
+        };
+        PROBED_PORTS
+            .iter()
+            .copied()
+            .filter(|p| open.contains(p))
+            .collect()
+    }
+
+    /// Scan a set of observer addresses and aggregate.
+    pub fn scan_all<'a>(&self, targets: impl IntoIterator<Item = &'a Ipv4Addr>) -> PortScanReport {
+        let distinct: BTreeSet<_> = targets.into_iter().copied().collect();
+        let mut with_open_ports = 0;
+        let mut port_counts: BTreeMap<u16, usize> = BTreeMap::new();
+        for addr in &distinct {
+            let open = self.scan(*addr);
+            if !open.is_empty() {
+                with_open_ports += 1;
+            }
+            for port in open {
+                *port_counts.entry(port).or_insert(0) += 1;
+            }
+        }
+        PortScanReport {
+            targets: distinct.len(),
+            with_open_ports,
+            port_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, 8, last)
+    }
+
+    #[test]
+    fn scan_unknown_address_is_closed() {
+        let scanner = PortScanner::new();
+        assert!(scanner.scan(a(1)).is_empty());
+    }
+
+    #[test]
+    fn scan_finds_declared_ports() {
+        let mut scanner = PortScanner::new();
+        scanner.set_open(a(1), 179);
+        scanner.set_open(a(1), 22);
+        scanner.set_open(a(1), 9999); // not probed ⇒ invisible
+        let found = scanner.scan(a(1));
+        assert_eq!(found, vec![22, 179]);
+    }
+
+    #[test]
+    fn report_aggregates_like_the_paper() {
+        let mut scanner = PortScanner::new();
+        // 2 of 25 observers expose something; BGP leads.
+        scanner.set_open(a(1), 179);
+        scanner.set_open(a(2), 179);
+        scanner.set_open(a(2), 22);
+        let targets: Vec<Ipv4Addr> = (1..=25).map(a).collect();
+        let report = scanner.scan_all(targets.iter());
+        assert_eq!(report.targets, 25);
+        assert_eq!(report.with_open_ports, 2);
+        assert!((report.closed_fraction() - 0.92).abs() < 1e-9);
+        assert_eq!(report.top_port(), Some(179));
+    }
+
+    #[test]
+    fn empty_report() {
+        let scanner = PortScanner::new();
+        let report = scanner.scan_all([].iter());
+        assert_eq!(report.targets, 0);
+        assert_eq!(report.closed_fraction(), 0.0);
+        assert_eq!(report.top_port(), None);
+    }
+}

@@ -1,0 +1,976 @@
+//! The discrete-event engine: forwards packets hop by hop, decrements TTL,
+//! generates ICMP Time Exceeded, delivers to endpoint hosts, and runs
+//! on-path wire taps (where traffic observers live).
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use shadow_packet::icmp::IcmpMessage;
+use shadow_packet::ipv4::{IpProtocol, Ipv4Packet, DEFAULT_TTL};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// An endpoint application bound to one topology node (a VP, a resolver, a
+/// honeypot, a web server, an exhibitor's probe origin...).
+///
+/// Hosts receive packets addressed to their node, fire timers they armed,
+/// and receive application-level messages posted by the campaign controller
+/// or by wire taps (e.g. "probe this domain in 2 days").
+pub trait Host: Send + Sync {
+    fn on_packet(&mut self, pkt: Ipv4Packet, ctx: &mut Ctx<'_>);
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    fn on_message(&mut self, _msg: Box<dyn Any + Send + Sync>, _ctx: &mut Ctx<'_>) {}
+
+    /// Downcasting hook so campaign code can harvest results after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// What a wire tap tells the engine to do with an observed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapVerdict {
+    /// Forward normally (pure observation — the traffic-shadowing case:
+    /// "communication between clients and servers is not tampered with").
+    Continue,
+    /// Swallow the packet (interception devices, Appendix E noise).
+    Drop,
+}
+
+/// A passive (or not quite passive) device attached to a router, seeing
+/// every packet the router forwards.
+pub trait WireTap: Send + Sync {
+    fn on_packet(&mut self, pkt: &Ipv4Packet, at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict;
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    fn as_any(&self) -> &dyn Any;
+
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Deferred side effects collected during a callback and applied by the
+/// engine afterwards (avoids aliasing the engine inside host calls).
+enum Action {
+    /// Route `pkt` from `from` towards its IP destination after `delay`.
+    Send {
+        from: NodeId,
+        pkt: Ipv4Packet,
+        delay: SimDuration,
+    },
+    /// Arm a timer on a host node.
+    HostTimer {
+        node: NodeId,
+        token: u64,
+        delay: SimDuration,
+    },
+    /// Arm a timer on a tap (index within the node's tap list).
+    TapTimer {
+        node: NodeId,
+        tap_index: usize,
+        token: u64,
+        delay: SimDuration,
+    },
+    /// Deliver an application message to a host node.
+    Post {
+        node: NodeId,
+        msg: Box<dyn Any + Send + Sync>,
+        delay: SimDuration,
+    },
+}
+
+/// Callback context: simulated clock plus an action buffer.
+pub struct Ctx<'a> {
+    now: SimTime,
+    /// The node the callback runs on.
+    node: NodeId,
+    /// `Some(index)` when the callback belongs to a tap at this node.
+    tap: Option<usize>,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Ctx<'_> {
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback is running on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send `pkt` into the network from this node.
+    pub fn send(&mut self, pkt: Ipv4Packet) {
+        self.send_after(SimDuration::ZERO, pkt);
+    }
+
+    /// Send `pkt` after a local processing delay.
+    pub fn send_after(&mut self, delay: SimDuration, pkt: Ipv4Packet) {
+        self.actions.push(Action::Send {
+            from: self.node,
+            pkt,
+            delay,
+        });
+    }
+
+    /// Send from an arbitrary node — used by taps whose probe traffic must
+    /// originate elsewhere (the paper: "observers may not initiate
+    /// unsolicited requests by themselves").
+    pub fn send_from(&mut self, from: NodeId, delay: SimDuration, pkt: Ipv4Packet) {
+        self.actions.push(Action::Send { from, pkt, delay });
+    }
+
+    /// Arm a timer that re-enters this host (or tap) with `token`.
+    pub fn timer(&mut self, delay: SimDuration, token: u64) {
+        match self.tap {
+            Some(tap_index) => self.actions.push(Action::TapTimer {
+                node: self.node,
+                tap_index,
+                token,
+                delay,
+            }),
+            None => self.actions.push(Action::HostTimer {
+                node: self.node,
+                token,
+                delay,
+            }),
+        }
+    }
+
+    /// Post an application message to another host after `delay`.
+    pub fn post(&mut self, node: NodeId, delay: SimDuration, msg: Box<dyn Any + Send + Sync>) {
+        self.actions.push(Action::Post { node, msg, delay });
+    }
+}
+
+/// Why a timer callback targets a tap and not a host: taps call
+/// [`Ctx::timer`] too, so the engine must remember which kind armed it.
+enum EventKind {
+    /// Packet arriving at `path[idx]`.
+    Hop {
+        pkt: Ipv4Packet,
+        path: Arc<[NodeId]>,
+        idx: usize,
+    },
+    HostTimer {
+        node: NodeId,
+        token: u64,
+    },
+    TapTimer {
+        node: NodeId,
+        tap_index: usize,
+        token: u64,
+    },
+    Message {
+        node: NodeId,
+        msg: Box<dyn Any + Send + Sync>,
+    },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversal: earliest time first, then insertion order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Aggregate counters, exposed for tests and benches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub events_processed: u64,
+    pub packets_sent: u64,
+    pub packets_delivered: u64,
+    pub packets_dropped_unroutable: u64,
+    pub packets_dropped_by_tap: u64,
+    pub ttl_expirations: u64,
+    pub icmp_time_exceeded_sent: u64,
+    pub icmp_suppressed: u64,
+}
+
+/// The simulator.
+pub struct Engine {
+    topo: Topology,
+    queue: BinaryHeap<Event>,
+    hosts: HashMap<NodeId, Box<dyn Host>>,
+    taps: HashMap<NodeId, Vec<Box<dyn WireTap>>>,
+    now: SimTime,
+    seq: u64,
+    ident: u16,
+    stats: EngineStats,
+}
+
+impl Engine {
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            queue: BinaryHeap::new(),
+            hosts: HashMap::new(),
+            taps: HashMap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            ident: 1,
+            stats: EngineStats::default(),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Bind a host application to a node. Replaces any previous binding.
+    pub fn add_host(&mut self, node: NodeId, host: Box<dyn Host>) {
+        self.hosts.insert(node, host);
+    }
+
+    /// Attach a wire tap to a router node. Multiple taps stack in order.
+    pub fn add_tap(&mut self, node: NodeId, tap: Box<dyn WireTap>) {
+        self.taps.entry(node).or_default().push(tap);
+    }
+
+    /// Borrow a host downcast to its concrete type (post-run harvesting).
+    pub fn host_as<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.hosts.get(&node)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a host downcast to its concrete type.
+    pub fn host_as_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.hosts.get_mut(&node)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Borrow a tap downcast to its concrete type.
+    pub fn tap_as<T: 'static>(&self, node: NodeId, index: usize) -> Option<&T> {
+        self.taps.get(&node)?.get(index)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Fresh IP identification value (per-engine counter).
+    pub fn next_ident(&mut self) -> u16 {
+        self.ident = self.ident.wrapping_add(1);
+        self.ident
+    }
+
+    /// Schedule an application message delivery at absolute time `at`.
+    pub fn post(&mut self, at: SimTime, node: NodeId, msg: Box<dyn Any + Send + Sync>) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Message { node, msg });
+    }
+
+    /// Inject a packet into the network from `from` at absolute time `at`.
+    pub fn inject(&mut self, at: SimTime, from: NodeId, pkt: Ipv4Packet) {
+        let at = at.max(self.now);
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(ev) = self.launch(at, from, pkt) {
+            self.queue.push(Event { at: ev.0, seq, kind: ev.1 });
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Compute the first hop event for a packet leaving `from`.
+    fn launch(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        pkt: Ipv4Packet,
+    ) -> Option<(SimTime, EventKind)> {
+        self.stats.packets_sent += 1;
+        let Some(path) = self.topo.route_to_addr(from, pkt.header.dst) else {
+            self.stats.packets_dropped_unroutable += 1;
+            return None;
+        };
+        if path.len() == 1 {
+            // Loopback: deliver to self immediately.
+            return Some((at, EventKind::Hop { pkt, path, idx: 0 }));
+        }
+        let delay = SimDuration::from_millis(self.topo.latency_ms(path[0], path[1]));
+        Some((
+            at + delay,
+            EventKind::Hop {
+                pkt,
+                path,
+                idx: 1,
+            },
+        ))
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+            processed += 1;
+            self.stats.events_processed += 1;
+        }
+        self.now = self.now.max(deadline.min(
+            self.queue
+                .peek()
+                .map(|e| e.at)
+                .unwrap_or(deadline),
+        ));
+        processed
+    }
+
+    /// Run until the queue is fully drained.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until the queue drains or `max_events` have been processed.
+    /// Returns `(processed, drained)`; `drained == false` means the budget
+    /// was exhausted — a runaway feedback loop in the configured world.
+    pub fn run_with_budget(&mut self, max_events: u64) -> (u64, bool) {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(ev) = self.queue.pop() else {
+                return (processed, true);
+            };
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+            processed += 1;
+            self.stats.events_processed += 1;
+        }
+        (processed, self.queue.is_empty())
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        let mut actions = Vec::new();
+        match kind {
+            EventKind::Hop { pkt, path, idx } => {
+                self.hop(pkt, path, idx, &mut actions);
+            }
+            EventKind::HostTimer { node, token } => {
+                if let Some(mut host) = self.hosts.remove(&node) {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        node,
+                        tap: None,
+                        actions: &mut actions,
+                    };
+                    host.on_timer(token, &mut ctx);
+                    self.hosts.insert(node, host);
+                }
+            }
+            EventKind::TapTimer { node, tap_index, token } => {
+                if let Some(mut taps) = self.taps.remove(&node) {
+                    if let Some(tap) = taps.get_mut(tap_index) {
+                        let mut ctx = Ctx {
+                            now: self.now,
+                            node,
+                            tap: Some(tap_index),
+                            actions: &mut actions,
+                        };
+                        tap.on_timer(token, &mut ctx);
+                    }
+                    self.taps.insert(node, taps);
+                }
+            }
+            EventKind::Message { node, msg } => {
+                if let Some(mut host) = self.hosts.remove(&node) {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        node,
+                        tap: None,
+                        actions: &mut actions,
+                    };
+                    host.on_message(msg, &mut ctx);
+                    self.hosts.insert(node, host);
+                }
+            }
+        }
+        self.apply(actions);
+    }
+
+    fn hop(&mut self, mut pkt: Ipv4Packet, path: Arc<[NodeId]>, idx: usize, actions: &mut Vec<Action>) {
+        let node_id = path[idx];
+        let node = *self.topo.node(node_id);
+        let is_final = idx == path.len() - 1;
+
+        if node.is_router() {
+            // Taps observe arriving packets (a DPI box sees the wire even
+            // when the packet is about to expire here).
+            if let Some(mut taps) = self.taps.remove(&node_id) {
+                let mut dropped = false;
+                for (tap_index, tap) in taps.iter_mut().enumerate() {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        node: node_id,
+                        tap: Some(tap_index),
+                        actions,
+                    };
+                    if tap.on_packet(&pkt, node_id, &mut ctx) == TapVerdict::Drop {
+                        dropped = true;
+                        break;
+                    }
+                }
+                self.taps.insert(node_id, taps);
+                if dropped {
+                    self.stats.packets_dropped_by_tap += 1;
+                    return;
+                }
+            }
+            // Forwarding: decrement TTL; expire ⇒ ICMP Time Exceeded.
+            if pkt.header.decrement_ttl().is_none() {
+                self.stats.ttl_expirations += 1;
+                if node.responds_icmp() {
+                    self.stats.icmp_time_exceeded_sent += 1;
+                    let icmp = IcmpMessage::time_exceeded(pkt.header, &pkt.payload);
+                    let ident = self.next_ident();
+                    let reply = Ipv4Packet::new(
+                        node.addr,
+                        pkt.header.src,
+                        IpProtocol::Icmp,
+                        DEFAULT_TTL,
+                        ident,
+                        icmp.encode(),
+                    );
+                    actions.push(Action::Send {
+                        from: node_id,
+                        pkt: reply,
+                        delay: SimDuration::ZERO,
+                    });
+                } else {
+                    self.stats.icmp_suppressed += 1;
+                }
+                return;
+            }
+            debug_assert!(!is_final, "routes terminate at hosts");
+            let next = path[idx + 1];
+            let delay = SimDuration::from_millis(self.topo.latency_ms(node_id, next));
+            self.push(
+                self.now + delay,
+                EventKind::Hop {
+                    pkt,
+                    path,
+                    idx: idx + 1,
+                },
+            );
+        } else {
+            // Endpoint delivery.
+            debug_assert!(is_final, "hosts only appear at path ends");
+            self.stats.packets_delivered += 1;
+            if let Some(mut host) = self.hosts.remove(&node_id) {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node: node_id,
+                    tap: None,
+                    actions,
+                };
+                host.on_packet(pkt, &mut ctx);
+                self.hosts.insert(node_id, host);
+            }
+            // No host bound: silent blackhole (e.g. pair-resolver addresses).
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { from, pkt, delay } => {
+                    let at = self.now + delay;
+                    if let Some((when, kind)) = self.launch(at, from, pkt) {
+                        self.push(when, kind);
+                    }
+                }
+                Action::HostTimer { node, token, delay } => {
+                    self.push(self.now + delay, EventKind::HostTimer { node, token });
+                }
+                Action::TapTimer {
+                    node,
+                    tap_index,
+                    token,
+                    delay,
+                } => {
+                    self.push(
+                        self.now + delay,
+                        EventKind::TapTimer {
+                            node,
+                            tap_index,
+                            token,
+                        },
+                    );
+                }
+                Action::Post { node, msg, delay } => {
+                    self.push(self.now + delay, EventKind::Message { node, msg });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use shadow_geo::{Asn, Region};
+    use shadow_packet::udp::UdpDatagram;
+    use std::net::Ipv4Addr;
+
+    /// Echo host: bounces any UDP payload back to the sender.
+    struct Echo {
+        addr: Ipv4Addr,
+        received: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl Host for Echo {
+        fn on_packet(&mut self, pkt: Ipv4Packet, ctx: &mut Ctx<'_>) {
+            if pkt.header.protocol != IpProtocol::Udp {
+                return;
+            }
+            let dg = UdpDatagram::decode(&pkt.payload).expect("well-formed in test");
+            self.received.push((ctx.now(), dg.payload.clone()));
+            let reply = UdpDatagram::new(dg.dst_port, dg.src_port, dg.payload);
+            ctx.send(Ipv4Packet::new(
+                self.addr,
+                pkt.header.src,
+                IpProtocol::Udp,
+                DEFAULT_TTL,
+                1,
+                reply.encode(),
+            ));
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sink host: records everything.
+    struct Sink {
+        received: Vec<(SimTime, Ipv4Packet)>,
+        timers: Vec<(SimTime, u64)>,
+        messages: Vec<SimTime>,
+    }
+
+    impl Sink {
+        fn new() -> Self {
+            Self {
+                received: Vec::new(),
+                timers: Vec::new(),
+                messages: Vec::new(),
+            }
+        }
+    }
+
+    impl Host for Sink {
+        fn on_packet(&mut self, pkt: Ipv4Packet, ctx: &mut Ctx<'_>) {
+            self.received.push((ctx.now(), pkt));
+        }
+
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+            self.timers.push((ctx.now(), token));
+            if token < 3 {
+                ctx.timer(SimDuration::from_secs(1), token + 1);
+            }
+        }
+
+        fn on_message(&mut self, _msg: Box<dyn Any + Send + Sync>, ctx: &mut Ctx<'_>) {
+            self.messages.push(ctx.now());
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counting tap; drops packets to `poison` destinations.
+    struct CountingTap {
+        seen: usize,
+        poison: Option<Ipv4Addr>,
+    }
+
+    impl WireTap for CountingTap {
+        fn on_packet(&mut self, pkt: &Ipv4Packet, _at: NodeId, _ctx: &mut Ctx<'_>) -> TapVerdict {
+            self.seen += 1;
+            if Some(pkt.header.dst) == self.poison {
+                TapVerdict::Drop
+            } else {
+                TapVerdict::Continue
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct World {
+        engine: Engine,
+        client: NodeId,
+        server: NodeId,
+        client_addr: Ipv4Addr,
+        server_addr: Ipv4Addr,
+        #[allow(dead_code)]
+        first_router: NodeId,
+    }
+
+    fn world() -> World {
+        let mut tb = TopologyBuilder::new(7);
+        tb.add_as(Asn(10), Region::Europe);
+        tb.add_as(Asn(20), Region::Europe);
+        tb.add_as(Asn(30), Region::EastAsia);
+        tb.link(Asn(10), Asn(20)).unwrap();
+        tb.link(Asn(20), Asn(30)).unwrap();
+        let mut first_router = None;
+        for (asn, base) in [(10u32, 1u8), (20, 2), (30, 3)] {
+            for r in 0..2u8 {
+                let id = tb
+                    .add_router(Asn(asn), Ipv4Addr::new(base, 0, 0, r + 1), true)
+                    .unwrap();
+                if first_router.is_none() {
+                    first_router = Some(id);
+                }
+            }
+        }
+        let client_addr = Ipv4Addr::new(1, 1, 0, 1);
+        let server_addr = Ipv4Addr::new(3, 1, 0, 1);
+        let client = tb.add_host(Asn(10), client_addr).unwrap();
+        let server = tb.add_host(Asn(30), server_addr).unwrap();
+        let engine = Engine::new(tb.build().unwrap());
+        World {
+            engine,
+            client,
+            server,
+            client_addr,
+            server_addr,
+            first_router: first_router.unwrap(),
+        }
+    }
+
+    fn udp_packet(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, payload: &[u8]) -> Ipv4Packet {
+        Ipv4Packet::new(
+            src,
+            dst,
+            IpProtocol::Udp,
+            ttl,
+            99,
+            UdpDatagram::new(1000, 2000, payload.to_vec()).encode(),
+        )
+    }
+
+    #[test]
+    fn packet_reaches_host_and_echoes_back() {
+        let mut w = world();
+        w.engine.add_host(
+            w.server,
+            Box::new(Echo {
+                addr: w.server_addr,
+                received: Vec::new(),
+            }),
+        );
+        w.engine.add_host(w.client, Box::new(Sink::new()));
+        w.engine.inject(
+            SimTime::ZERO,
+            w.client,
+            udp_packet(w.client_addr, w.server_addr, DEFAULT_TTL, b"hello"),
+        );
+        w.engine.run_to_completion();
+        let echo = w.engine.host_as::<Echo>(w.server).unwrap();
+        assert_eq!(echo.received.len(), 1);
+        assert_eq!(echo.received[0].1, b"hello");
+        let sink = w.engine.host_as::<Sink>(w.client).unwrap();
+        assert_eq!(sink.received.len(), 1, "client got the echo");
+        assert!(sink.received[0].0 > SimTime::ZERO, "latency accrued");
+        assert_eq!(w.engine.stats().packets_delivered, 2);
+    }
+
+    #[test]
+    fn ttl_expiry_generates_icmp_from_router() {
+        let mut w = world();
+        w.engine.add_host(w.client, Box::new(Sink::new()));
+        // TTL=1 expires at the first router on the path.
+        w.engine.inject(
+            SimTime::ZERO,
+            w.client,
+            udp_packet(w.client_addr, w.server_addr, 1, b"probe"),
+        );
+        w.engine.run_to_completion();
+        assert_eq!(w.engine.stats().ttl_expirations, 1);
+        assert_eq!(w.engine.stats().icmp_time_exceeded_sent, 1);
+        let sink = w.engine.host_as::<Sink>(w.client).unwrap();
+        assert_eq!(sink.received.len(), 1);
+        let pkt = &sink.received[0].1;
+        assert_eq!(pkt.header.protocol, IpProtocol::Icmp);
+        let msg = IcmpMessage::decode(&pkt.payload).unwrap();
+        let orig = msg.original_header().unwrap();
+        assert_eq!(orig.src, w.client_addr);
+        assert_eq!(orig.dst, w.server_addr);
+        assert_eq!(orig.ttl, 0);
+        // The ICMP source is a router on the path, not the destination.
+        let src_node = w.engine.topology().nodes_at(pkt.header.src);
+        assert!(!src_node.is_empty());
+        assert!(w.engine.topology().node(src_node[0]).is_router());
+    }
+
+    #[test]
+    fn ttl_sweep_exposes_consecutive_routers() {
+        let mut w = world();
+        w.engine.add_host(w.client, Box::new(Sink::new()));
+        let route = w
+            .engine
+            .topology()
+            .route(w.client, w.server)
+            .unwrap()
+            .to_vec();
+        let router_hops = route.len() - 2;
+        for ttl in 1..=router_hops as u8 {
+            w.engine.inject(
+                SimTime(ttl as u64 * 10_000),
+                w.client,
+                udp_packet(w.client_addr, w.server_addr, ttl, b"sweep"),
+            );
+        }
+        w.engine.run_to_completion();
+        let sink = w.engine.host_as::<Sink>(w.client).unwrap();
+        assert_eq!(sink.received.len(), router_hops);
+        // The i-th ICMP comes from the i-th router on the route.
+        for (i, (_, pkt)) in sink.received.iter().enumerate() {
+            let expected = w.engine.topology().node(route[i + 1]).addr;
+            assert_eq!(pkt.header.src, expected, "hop {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn silent_router_suppresses_icmp() {
+        let mut tb = TopologyBuilder::new(3);
+        tb.add_as(Asn(1), Region::Europe);
+        tb.add_as(Asn(2), Region::Europe);
+        tb.link(Asn(1), Asn(2)).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), false).unwrap();
+        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), false).unwrap();
+        let client = tb.add_host(Asn(1), Ipv4Addr::new(1, 1, 1, 1)).unwrap();
+        let _server = tb.add_host(Asn(2), Ipv4Addr::new(2, 1, 1, 1)).unwrap();
+        let mut engine = Engine::new(tb.build().unwrap());
+        engine.add_host(client, Box::new(Sink::new()));
+        engine.inject(
+            SimTime::ZERO,
+            client,
+            udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 1, 1, 1), 1, b"x"),
+        );
+        engine.run_to_completion();
+        assert_eq!(engine.stats().ttl_expirations, 1);
+        assert_eq!(engine.stats().icmp_suppressed, 1);
+        let sink = engine.host_as::<Sink>(client).unwrap();
+        assert!(sink.received.is_empty(), "no ICMP from a silent router");
+    }
+
+    #[test]
+    fn tap_sees_and_can_drop() {
+        let mut w = world();
+        let route = w.engine.topology().route(w.client, w.server).unwrap();
+        let tap_node = route[1];
+        w.engine.add_tap(
+            tap_node,
+            Box::new(CountingTap {
+                seen: 0,
+                poison: Some(w.server_addr),
+            }),
+        );
+        w.engine.add_host(w.server, Box::new(Sink::new()));
+        w.engine.inject(
+            SimTime::ZERO,
+            w.client,
+            udp_packet(w.client_addr, w.server_addr, DEFAULT_TTL, b"to-drop"),
+        );
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<CountingTap>(tap_node, 0).unwrap();
+        assert_eq!(tap.seen, 1);
+        assert_eq!(w.engine.stats().packets_dropped_by_tap, 1);
+        let sink = w.engine.host_as::<Sink>(w.server).unwrap();
+        assert!(sink.received.is_empty(), "tap dropped the packet");
+    }
+
+    #[test]
+    fn timers_chain_and_messages_deliver() {
+        let mut w = world();
+        w.engine.add_host(w.client, Box::new(Sink::new()));
+        w.engine.post(SimTime(500), w.client, Box::new("kick".to_string()));
+        // Kick off a timer chain via a packet-free path: arm via message is
+        // not exposed, so drive a timer through a self-posted message first.
+        struct Kicker;
+        // Simplest: run and then arm timers directly through dispatch.
+        w.engine.run_to_completion();
+        let _ = Kicker;
+        {
+            let sink = w.engine.host_as::<Sink>(w.client).unwrap();
+            assert_eq!(sink.messages, vec![SimTime(500)]);
+        }
+        // Arm a timer chain: token increments until 3 (see Sink::on_timer).
+        w.engine.push(SimTime(1_000), EventKind::HostTimer { node: w.client, token: 0 });
+        w.engine.run_to_completion();
+        let sink = w.engine.host_as::<Sink>(w.client).unwrap();
+        assert_eq!(
+            sink.timers.iter().map(|&(_, t)| t).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(sink.timers[3].0, SimTime(4_000));
+    }
+
+    #[test]
+    fn unroutable_packets_counted() {
+        let mut w = world();
+        w.engine.inject(
+            SimTime::ZERO,
+            w.client,
+            udp_packet(w.client_addr, Ipv4Addr::new(203, 0, 113, 99), 64, b"void"),
+        );
+        w.engine.run_to_completion();
+        assert_eq!(w.engine.stats().packets_dropped_unroutable, 1);
+        assert_eq!(w.engine.stats().packets_delivered, 0);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let run = || {
+            let mut w = world();
+            w.engine.add_host(
+                w.server,
+                Box::new(Echo {
+                    addr: w.server_addr,
+                    received: Vec::new(),
+                }),
+            );
+            w.engine.add_host(w.client, Box::new(Sink::new()));
+            for i in 0..10u64 {
+                w.engine.inject(
+                    SimTime(i * 3),
+                    w.client,
+                    udp_packet(w.client_addr, w.server_addr, DEFAULT_TTL, &i.to_be_bytes()),
+                );
+            }
+            w.engine.run_to_completion();
+            w.engine
+                .host_as::<Sink>(w.client)
+                .unwrap()
+                .received
+                .iter()
+                .map(|(t, p)| (*t, p.payload.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn blackhole_address_swallows_silently() {
+        // A host node with no bound Host: the pair-resolver shape.
+        let mut w = world();
+        w.engine.inject(
+            SimTime::ZERO,
+            w.client,
+            udp_packet(w.client_addr, w.server_addr, DEFAULT_TTL, b"unanswered"),
+        );
+        w.engine.run_to_completion();
+        assert_eq!(w.engine.stats().packets_delivered, 1);
+        // Nothing came back, no crash: the client had no host either.
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use shadow_geo::{Asn, Region};
+    use shadow_packet::udp::UdpDatagram;
+    use std::net::Ipv4Addr;
+
+    fn tiny() -> (Engine, NodeId, Ipv4Addr, Ipv4Addr) {
+        let mut tb = TopologyBuilder::new(1);
+        tb.add_as(Asn(1), Region::Europe);
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        let a = Ipv4Addr::new(1, 1, 0, 1);
+        let b = Ipv4Addr::new(1, 1, 0, 2);
+        let client = tb.add_host(Asn(1), a).unwrap();
+        tb.add_host(Asn(1), b).unwrap();
+        (Engine::new(tb.build().unwrap()), client, a, b)
+    }
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(
+            src,
+            dst,
+            IpProtocol::Udp,
+            DEFAULT_TTL,
+            1,
+            UdpDatagram::new(1, 2, vec![0]).encode(),
+        )
+    }
+
+    #[test]
+    fn budget_drains_small_queues() {
+        let (mut engine, client, a, b) = tiny();
+        engine.inject(SimTime::ZERO, client, pkt(a, b));
+        let (processed, drained) = engine.run_with_budget(1_000);
+        assert!(drained);
+        assert!(processed >= 2, "at least router hop + delivery");
+    }
+
+    #[test]
+    fn budget_caps_runaway_queues() {
+        let (mut engine, client, a, b) = tiny();
+        for i in 0..100u64 {
+            engine.inject(SimTime(i), client, pkt(a, b));
+        }
+        let (processed, drained) = engine.run_with_budget(10);
+        assert_eq!(processed, 10);
+        assert!(!drained, "budget exhausted before the queue");
+        // A later unconstrained run finishes the rest.
+        let (_, drained) = engine.run_with_budget(u64::MAX);
+        assert!(drained);
+        assert_eq!(engine.stats().packets_delivered, 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Transport-layer demultiplexing helper shared by every host
+//! implementation: an IPv4 payload becomes a typed UDP/TCP/ICMP message.
+
+use shadow_packet::icmp::IcmpMessage;
+use shadow_packet::ipv4::{IpProtocol, Ipv4Packet};
+use shadow_packet::tcp::TcpSegment;
+use shadow_packet::udp::UdpDatagram;
+use shadow_packet::DecodeError;
+
+/// A decoded transport payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    Udp(UdpDatagram),
+    Tcp(TcpSegment),
+    Icmp(IcmpMessage),
+}
+
+impl Transport {
+    /// Decode the transport message inside `pkt`.
+    pub fn parse(pkt: &Ipv4Packet) -> Result<Self, DecodeError> {
+        match pkt.header.protocol {
+            IpProtocol::Udp => UdpDatagram::decode(&pkt.payload).map(Transport::Udp),
+            IpProtocol::Tcp => TcpSegment::decode(&pkt.payload).map(Transport::Tcp),
+            IpProtocol::Icmp => IcmpMessage::decode(&pkt.payload).map(Transport::Icmp),
+            IpProtocol::Other(n) => Err(DecodeError::Unsupported {
+                what: "IP protocol",
+                value: u32::from(n),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_packet::ipv4::DEFAULT_TTL;
+    use std::net::Ipv4Addr;
+
+    fn wrap(proto: IpProtocol, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            proto,
+            DEFAULT_TTL,
+            1,
+            payload,
+        )
+    }
+
+    #[test]
+    fn demuxes_udp() {
+        let dg = UdpDatagram::new(53, 53, b"q".to_vec());
+        let pkt = wrap(IpProtocol::Udp, dg.encode());
+        assert_eq!(Transport::parse(&pkt).unwrap(), Transport::Udp(dg));
+    }
+
+    #[test]
+    fn demuxes_tcp() {
+        let seg = TcpSegment::syn(1, 80, 0);
+        let pkt = wrap(IpProtocol::Tcp, seg.encode());
+        assert_eq!(Transport::parse(&pkt).unwrap(), Transport::Tcp(seg));
+    }
+
+    #[test]
+    fn demuxes_icmp() {
+        let msg = IcmpMessage::EchoRequest {
+            identifier: 5,
+            sequence: 1,
+            payload: vec![],
+        };
+        let pkt = wrap(IpProtocol::Icmp, msg.encode());
+        assert_eq!(Transport::parse(&pkt).unwrap(), Transport::Icmp(msg));
+    }
+
+    #[test]
+    fn rejects_unknown_protocol() {
+        let pkt = wrap(IpProtocol::Other(47), vec![1, 2, 3]);
+        assert!(Transport::parse(&pkt).is_err());
+    }
+}

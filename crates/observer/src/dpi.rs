@@ -1,0 +1,437 @@
+//! The on-wire traffic observer: a DPI-style wire tap.
+//!
+//! Extracts the three clear-text fields the paper's decoys bait — DNS
+//! QNAMEs, HTTP `Host` headers, TLS SNI — from packets the router forwards,
+//! retains them, and schedules unsolicited probes through its exhibitor's
+//! probe-origin hosts. Forwarding is never disturbed ([`TapVerdict::Continue`]):
+//! that is precisely what makes traffic shadowing covert.
+
+use crate::policy::{ReplayPolicy, WeightedChoice};
+use crate::retention::RetentionStore;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use shadow_netsim::engine::{Ctx, TapVerdict, WireTap};
+use shadow_netsim::time::SimDuration;
+use shadow_netsim::topology::NodeId;
+use shadow_netsim::transport::Transport;
+use shadow_packet::dns::{DnsMessage, DnsName};
+use shadow_packet::http::HttpRequest;
+use shadow_packet::ipv4::Ipv4Packet;
+use shadow_packet::tls;
+use std::any::Any;
+
+/// Which protocol a domain was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObservedProtocol {
+    Dns,
+    Http,
+    Tls,
+}
+
+impl ObservedProtocol {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObservedProtocol::Dns => "dns",
+            ObservedProtocol::Http => "http",
+            ObservedProtocol::Tls => "tls",
+        }
+    }
+}
+
+/// Configuration of one DPI observer.
+#[derive(Debug, Clone)]
+pub struct DpiConfig {
+    /// Ground-truth exhibitor label (tests only; never read by the
+    /// measurement pipeline).
+    pub label: String,
+    pub watch_dns: bool,
+    pub watch_http: bool,
+    pub watch_tls: bool,
+    /// Only observe subdomains of this zone (`None` = everything). Real
+    /// exhibitors key on newly-observed domains; the filter keeps large
+    /// simulations cheap.
+    pub zone_filter: Option<DnsName>,
+    pub policy: ReplayPolicy,
+    pub retention_capacity: usize,
+    pub retention_ttl: SimDuration,
+    /// Only observe packets towards these destinations (`None` = any).
+    /// The paper: "observers exhibit preferences in traffic destination
+    /// (similar to other types of manipulation, e.g., interception)".
+    pub dst_filter: Option<std::collections::BTreeSet<std::net::Ipv4Addr>>,
+    /// Probe-origin hosts this exhibitor commands, with selection weights
+    /// (one AS may carry most probes, echoing Section 5.2).
+    pub origins: Vec<WeightedChoice<NodeId>>,
+    pub seed: u64,
+}
+
+/// Counters exposed for tests and for ground-truth bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpiStats {
+    pub packets_seen: u64,
+    pub domains_observed: u64,
+    pub probes_scheduled: u64,
+    pub probes_beyond_retention: u64,
+}
+
+/// The tap itself.
+pub struct DpiTap {
+    config: DpiConfig,
+    store: RetentionStore,
+    rng: ChaCha20Rng,
+    stats: DpiStats,
+}
+
+impl DpiTap {
+    pub fn new(config: DpiConfig) -> Self {
+        config
+            .policy
+            .validate()
+            .expect("DPI replay policy must validate");
+        assert!(
+            !config.origins.is_empty(),
+            "a DPI observer needs at least one probe origin"
+        );
+        let store = RetentionStore::new(config.retention_capacity, config.retention_ttl);
+        let rng = ChaCha20Rng::seed_from_u64(config.seed ^ 0xd91_7a9);
+        Self {
+            config,
+            store,
+            rng,
+            stats: DpiStats::default(),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.config.label
+    }
+
+    pub fn stats(&self) -> DpiStats {
+        self.stats
+    }
+
+    pub fn store(&self) -> &RetentionStore {
+        &self.store
+    }
+
+    /// Extract a watched domain from a packet, if any.
+    fn extract(&self, pkt: &Ipv4Packet) -> Option<(DnsName, ObservedProtocol)> {
+        match Transport::parse(pkt).ok()? {
+            Transport::Udp(dg) if dg.dst_port == 53 && self.config.watch_dns => {
+                let msg = DnsMessage::decode(&dg.payload).ok()?;
+                if msg.flags.response {
+                    return None;
+                }
+                msg.qname().cloned().map(|n| (n, ObservedProtocol::Dns))
+            }
+            Transport::Tcp(seg) if !seg.payload.is_empty() => {
+                if seg.dst_port == 80 && self.config.watch_http {
+                    let req = HttpRequest::decode(&seg.payload).ok()?;
+                    let host = req.host()?;
+                    DnsName::parse(host).ok().map(|n| (n, ObservedProtocol::Http))
+                } else if seg.dst_port == 443 && self.config.watch_tls {
+                    let sni = tls::sniff_sni(&seg.payload)?;
+                    DnsName::parse(&sni).ok().map(|n| (n, ObservedProtocol::Tls))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn in_zone(&self, name: &DnsName) -> bool {
+        match &self.config.zone_filter {
+            Some(zone) => name.is_subdomain_of(zone),
+            None => true,
+        }
+    }
+}
+
+impl WireTap for DpiTap {
+    fn on_packet(&mut self, pkt: &Ipv4Packet, _at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict {
+        self.stats.packets_seen += 1;
+        if let Some(filter) = &self.config.dst_filter {
+            if !filter.contains(&pkt.header.dst) {
+                return TapVerdict::Continue;
+            }
+        }
+        let Some((domain, proto)) = self.extract(pkt) else {
+            return TapVerdict::Continue;
+        };
+        if !self.in_zone(&domain) {
+            return TapVerdict::Continue;
+        }
+        // Data evicted after the retention TTL cannot fuel probes — the
+        // mechanism behind the shorter intervals the paper sees for
+        // mid-path (storage-bounded) observers.
+        let (orders, plan) = crate::scheduler::plan_probes(
+            &self.config.policy,
+            &mut self.store,
+            &self.config.origins,
+            &mut self.rng,
+            &domain,
+            proto.as_str(),
+            ctx.now(),
+            &self.config.label,
+        );
+        if plan.was_new {
+            self.stats.domains_observed += 1;
+        }
+        self.stats.probes_scheduled += u64::from(plan.probes);
+        self.stats.probes_beyond_retention += u64::from(plan.beyond_retention);
+        for (origin, delay, order) in orders {
+            ctx.post(origin, delay, Box::new(order));
+        }
+        TapVerdict::Continue
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DelayBucket, ProbeKind};
+    use crate::probe::ProbeOrder;
+    use shadow_geo::{Asn, Region};
+    use shadow_netsim::engine::{Engine, Host};
+    use shadow_netsim::time::SimTime;
+    use shadow_netsim::topology::TopologyBuilder;
+    use shadow_packet::ipv4::{IpProtocol, DEFAULT_TTL};
+    use shadow_packet::tcp::{TcpFlags, TcpSegment};
+    use shadow_packet::udp::UdpDatagram;
+    use std::net::Ipv4Addr;
+
+    /// Records ProbeOrders with their delivery times.
+    struct Recorder {
+        orders: Vec<(SimTime, ProbeOrder)>,
+    }
+
+    impl Host for Recorder {
+        fn on_packet(&mut self, _pkt: Ipv4Packet, _ctx: &mut Ctx<'_>) {}
+
+        fn on_message(&mut self, msg: Box<dyn Any + Send + Sync>, ctx: &mut Ctx<'_>) {
+            if let Ok(order) = msg.downcast::<ProbeOrder>() {
+                self.orders.push((ctx.now(), *order));
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct World {
+        engine: Engine,
+        client: shadow_netsim::NodeId,
+        origin: shadow_netsim::NodeId,
+        tap_node: shadow_netsim::NodeId,
+        client_addr: Ipv4Addr,
+        server_addr: Ipv4Addr,
+    }
+
+    fn world(config_for: impl FnOnce(NodeId) -> DpiConfig) -> World {
+        let mut tb = TopologyBuilder::new(5);
+        tb.add_as(Asn(1), Region::EastAsia);
+        tb.add_as(Asn(2), Region::EastAsia);
+        tb.link(Asn(1), Asn(2)).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), true).unwrap();
+        let client_addr = Ipv4Addr::new(1, 1, 0, 1);
+        let server_addr = Ipv4Addr::new(2, 1, 0, 1);
+        let client = tb.add_host(Asn(1), client_addr).unwrap();
+        let _server = tb.add_host(Asn(2), server_addr).unwrap();
+        let origin = tb.add_host(Asn(2), Ipv4Addr::new(2, 1, 0, 99)).unwrap();
+        let topo = tb.build().unwrap();
+        let route = topo.route(client, _server).unwrap();
+        let tap_node = route[1];
+        let mut engine = Engine::new(topo);
+        engine.add_tap(tap_node, Box::new(DpiTap::new(config_for(origin))));
+        engine.add_host(origin, Box::new(Recorder { orders: Vec::new() }));
+        World {
+            engine,
+            client,
+            origin,
+            tap_node,
+            client_addr,
+            server_addr,
+        }
+    }
+
+    fn prompt_policy() -> ReplayPolicy {
+        ReplayPolicy {
+            trigger_percent: 100,
+            delays: vec![WeightedChoice::new(DelayBucket::Seconds(1, 5), 1)],
+            protocols: vec![WeightedChoice::new(ProbeKind::Dns, 1)],
+            reuse: vec![WeightedChoice::new(2, 1)],
+        }
+    }
+
+    fn base_config(origin: NodeId) -> DpiConfig {
+        DpiConfig {
+            label: "test-observer".into(),
+            watch_dns: true,
+            watch_http: true,
+            watch_tls: true,
+            zone_filter: Some(DnsName::parse("www.experiment.example").unwrap()),
+            policy: prompt_policy(),
+            retention_capacity: 100,
+            retention_ttl: SimDuration::from_days(2),
+            dst_filter: None,
+            origins: vec![WeightedChoice::new(origin, 1)],
+            seed: 77,
+        }
+    }
+
+    fn dns_decoy(w: &World, label: &str) -> Ipv4Packet {
+        let name = DnsName::parse(&format!("{label}.www.experiment.example")).unwrap();
+        let query = DnsMessage::query(9, name);
+        Ipv4Packet::new(
+            w.client_addr,
+            w.server_addr,
+            IpProtocol::Udp,
+            DEFAULT_TTL,
+            1,
+            UdpDatagram::new(5000, 53, query.encode()).encode(),
+        )
+    }
+
+    fn http_decoy(w: &World, label: &str) -> Ipv4Packet {
+        let req = HttpRequest::get(&format!("{label}.www.experiment.example"), "/");
+        let seg = TcpSegment::new(40000, 80, 1, 1, TcpFlags::PSH_ACK, req.encode());
+        Ipv4Packet::new(
+            w.client_addr,
+            w.server_addr,
+            IpProtocol::Tcp,
+            DEFAULT_TTL,
+            2,
+            seg.encode(),
+        )
+    }
+
+    fn tls_decoy(w: &World, label: &str) -> Ipv4Packet {
+        let ch = tls::ClientHello::with_sni(
+            &format!("{label}.www.experiment.example"),
+            [3u8; 32],
+        );
+        let seg = TcpSegment::new(40001, 443, 1, 1, TcpFlags::PSH_ACK, ch.encode_record());
+        Ipv4Packet::new(
+            w.client_addr,
+            w.server_addr,
+            IpProtocol::Tcp,
+            DEFAULT_TTL,
+            3,
+            seg.encode(),
+        )
+    }
+
+    #[test]
+    fn observes_all_three_protocols_and_schedules_probes() {
+        let mut w = world(base_config);
+        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "d1"));
+        w.engine.inject(SimTime(1_000), w.client, http_decoy(&w, "h1"));
+        w.engine.inject(SimTime(2_000), w.client, tls_decoy(&w, "t1"));
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
+        assert_eq!(tap.stats().domains_observed, 3);
+        assert_eq!(tap.stats().probes_scheduled, 6, "2 probes per domain");
+        let recorder = w.engine.host_as::<Recorder>(w.origin).unwrap();
+        assert_eq!(recorder.orders.len(), 6);
+        let domains: std::collections::HashSet<_> = recorder
+            .orders
+            .iter()
+            .map(|(_, o)| o.domain.first_label().unwrap().to_string())
+            .collect();
+        assert_eq!(domains.len(), 3);
+        // Probe delays respect the policy (1..=5 s after observation).
+        for (at, order) in &recorder.orders {
+            assert!(at.millis() >= 1_000 * if order.domain.as_str().starts_with("d1") { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn zone_filter_excludes_foreign_domains() {
+        let mut w = world(base_config);
+        let query = DnsMessage::query(1, DnsName::parse("www.unrelated.org").unwrap());
+        let pkt = Ipv4Packet::new(
+            w.client_addr,
+            w.server_addr,
+            IpProtocol::Udp,
+            DEFAULT_TTL,
+            1,
+            UdpDatagram::new(5000, 53, query.encode()).encode(),
+        );
+        w.engine.inject(SimTime::ZERO, w.client, pkt);
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
+        assert_eq!(tap.stats().packets_seen, 1);
+        assert_eq!(tap.stats().domains_observed, 0);
+    }
+
+    #[test]
+    fn duplicate_domains_observed_once() {
+        let mut w = world(base_config);
+        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "same"));
+        w.engine.inject(SimTime(500), w.client, dns_decoy(&w, "same"));
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
+        assert_eq!(tap.stats().domains_observed, 1);
+        assert_eq!(tap.stats().probes_scheduled, 2);
+    }
+
+    #[test]
+    fn probes_beyond_retention_are_dropped() {
+        let mut w = world(|origin| {
+            let mut config = base_config(origin);
+            // Policy wants probes after days, but the device only retains
+            // data for one hour.
+            config.policy.delays = vec![WeightedChoice::new(DelayBucket::Days(3, 5), 1)];
+            config.retention_ttl = SimDuration::from_hours(1);
+            config
+        });
+        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "late"));
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
+        assert_eq!(tap.stats().probes_scheduled, 0);
+        assert_eq!(tap.stats().probes_beyond_retention, 2);
+        let recorder = w.engine.host_as::<Recorder>(w.origin).unwrap();
+        assert!(recorder.orders.is_empty());
+    }
+
+    #[test]
+    fn protocol_switches_disable_observation() {
+        let mut w = world(|origin| {
+            let mut config = base_config(origin);
+            config.watch_dns = false;
+            config.watch_tls = false;
+            config
+        });
+        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "d2"));
+        w.engine.inject(SimTime(100), w.client, tls_decoy(&w, "t2"));
+        w.engine.inject(SimTime(200), w.client, http_decoy(&w, "h2"));
+        w.engine.run_to_completion();
+        let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
+        assert_eq!(tap.stats().domains_observed, 1, "only HTTP watched");
+    }
+
+    #[test]
+    fn forwarding_is_untouched() {
+        // The defining property of traffic shadowing: the packet still
+        // reaches its destination.
+        let mut w = world(base_config);
+        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "fwd"));
+        w.engine.run_to_completion();
+        assert_eq!(w.engine.stats().packets_dropped_by_tap, 0);
+        assert_eq!(w.engine.stats().packets_delivered, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # shadow-observer
+//!
+//! Behaviour models for the parties the paper measures: on-path traffic
+//! observers and the shadowing exhibitors behind them.
+//!
+//! * [`retention`] — the bounded store where observed data lives
+//!   ("user data can be retained for long, e.g. over 10 days");
+//! * [`policy`] — replay policies: when observed data re-appears (delay
+//!   distributions), over which protocols, how many times (reuse), and from
+//!   which origins;
+//! * [`dpi`] — the on-wire observer: a [`shadow_netsim::WireTap`] that
+//!   extracts DNS QNAMEs, HTTP `Host` headers and TLS SNI from forwarded
+//!   packets and schedules unsolicited probes;
+//! * [`probe`] — probe-origin hosts: the machines that actually emit
+//!   unsolicited requests (DNS re-queries via public resolvers, HTTP
+//!   path-enumeration scans, TLS probes);
+//! * [`intercept`] — DNS interception devices (Appendix E), the noise
+//!   source the pair-resolver heuristic must filter out.
+//!
+//! Everything here is *ground truth* the measurement pipeline in
+//! `shadow-core` must rediscover from packets alone.
+
+pub mod dpi;
+pub mod scheduler;
+pub mod intercept;
+pub mod policy;
+pub mod probe;
+pub mod retention;
+
+pub use dpi::{DpiConfig, DpiTap, ObservedProtocol};
+pub use intercept::{InterceptMode, InterceptorTap};
+pub use policy::{DelayBucket, ProbeKind, ReplayPolicy, WeightedChoice};
+pub use probe::{DnsVia, ProbeOrder, ProbeOriginHost, ProbeRecord};
+pub use retention::{ObservedItem, RetentionStore};
+pub use scheduler::{plan_probes, PlanStats};

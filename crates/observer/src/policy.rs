@@ -1,0 +1,348 @@
+//! Replay policies: *when*, *how often*, and *over what protocol* observed
+//! data re-appears as unsolicited requests.
+//!
+//! These distributions are the ground-truth dials behind the paper's
+//! Figures 4, 5 and 7: a Yandex-style exhibitor probes after hours or days
+//! and re-uses data many times; a benign resolver merely retries within a
+//! minute; a router-grade DPI box replays within its short retention window.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use shadow_netsim::time::SimDuration;
+
+/// A delay range for one mixture component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayBucket {
+    /// Uniform in `[lo, hi]` seconds.
+    Seconds(u64, u64),
+    /// Uniform in `[lo, hi]` minutes.
+    Minutes(u64, u64),
+    /// Uniform in `[lo, hi]` hours.
+    Hours(u64, u64),
+    /// Uniform in `[lo, hi]` days.
+    Days(u64, u64),
+}
+
+impl DelayBucket {
+    fn range_ms(self) -> (u64, u64) {
+        match self {
+            DelayBucket::Seconds(lo, hi) => (lo * 1_000, hi * 1_000),
+            DelayBucket::Minutes(lo, hi) => (lo * 60_000, hi * 60_000),
+            DelayBucket::Hours(lo, hi) => (lo * 3_600_000, hi * 3_600_000),
+            DelayBucket::Days(lo, hi) => (lo * 86_400_000, hi * 86_400_000),
+        }
+    }
+
+    /// Sample a delay from the bucket.
+    pub fn sample<R: Rng>(self, rng: &mut R) -> SimDuration {
+        let (lo, hi) = self.range_ms();
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        SimDuration::from_millis(if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        })
+    }
+}
+
+/// A weighted item in a discrete mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedChoice<T> {
+    pub item: T,
+    pub weight: u32,
+}
+
+impl<T> WeightedChoice<T> {
+    pub fn new(item: T, weight: u32) -> Self {
+        Self { item, weight }
+    }
+}
+
+/// Sample one item from a weighted list (panics on an empty or zero-weight
+/// list — policies are validated at construction).
+pub fn sample_weighted<'a, T, R: Rng>(choices: &'a [WeightedChoice<T>], rng: &mut R) -> &'a T {
+    let total: u64 = choices.iter().map(|c| u64::from(c.weight)).sum();
+    assert!(total > 0, "weighted choice over empty/zero weights");
+    let mut pick = rng.gen_range(0..total);
+    for choice in choices {
+        let w = u64::from(choice.weight);
+        if pick < w {
+            return &choice.item;
+        }
+        pick -= w;
+    }
+    unreachable!("weights exhausted before selection")
+}
+
+/// The protocol of an unsolicited probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// Re-query the observed domain over DNS.
+    Dns,
+    /// HTTP GET against the domain (path enumeration).
+    Http,
+    /// TLS ClientHello bearing the domain in SNI ("HTTPS" in the paper's
+    /// protocol-combination labels).
+    Https,
+}
+
+/// Full replay policy of one exhibitor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayPolicy {
+    /// Probability (in percent) that an observed item is leveraged at all.
+    pub trigger_percent: u8,
+    /// Mixture over probe delays.
+    pub delays: Vec<WeightedChoice<DelayBucket>>,
+    /// Mixture over probe protocols.
+    pub protocols: Vec<WeightedChoice<ProbeKind>>,
+    /// Mixture over the number of probes per observed item (the paper: 51%
+    /// of DNS decoys produce >3 unsolicited requests an hour after emission).
+    pub reuse: Vec<WeightedChoice<u32>>,
+}
+
+impl ReplayPolicy {
+    /// Validate invariants (non-empty mixtures, non-zero weights).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trigger_percent > 100 {
+            return Err(format!("trigger_percent {} > 100", self.trigger_percent));
+        }
+        for (what, empty) in [
+            ("delays", self.delays.is_empty()),
+            ("protocols", self.protocols.is_empty()),
+            ("reuse", self.reuse.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("{what} mixture is empty"));
+            }
+        }
+        let zero = |s: u64| s == 0;
+        if zero(self.delays.iter().map(|c| u64::from(c.weight)).sum()) {
+            return Err("delays weights sum to zero".into());
+        }
+        if zero(self.protocols.iter().map(|c| u64::from(c.weight)).sum()) {
+            return Err("protocols weights sum to zero".into());
+        }
+        if zero(self.reuse.iter().map(|c| u64::from(c.weight)).sum()) {
+            return Err("reuse weights sum to zero".into());
+        }
+        Ok(())
+    }
+
+    /// Should this observation be leveraged at all?
+    pub fn triggers<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.gen_range(0..100u32) < u32::from(self.trigger_percent)
+    }
+
+    /// Sample the probe schedule for one observed item: a list of
+    /// (delay, protocol) pairs, sorted by delay.
+    pub fn sample_schedule<R: Rng>(&self, rng: &mut R) -> Vec<(SimDuration, ProbeKind)> {
+        let count = *sample_weighted(&self.reuse, rng);
+        let mut schedule: Vec<(SimDuration, ProbeKind)> = (0..count)
+            .map(|_| {
+                let delay = sample_weighted(&self.delays, rng).sample(rng);
+                let kind = *sample_weighted(&self.protocols, rng);
+                (delay, kind)
+            })
+            .collect();
+        schedule.sort();
+        schedule
+    }
+
+    /// A benign resolver's "implementation choice" behaviour: a duplicate
+    /// query within a minute, nothing else (the shape the paper sees for
+    /// the 15 resolvers beyond Resolver_h: 95% of unsolicited requests
+    /// within 1 minute, all DNS-DNS).
+    pub fn benign_retry() -> Self {
+        Self {
+            trigger_percent: 35,
+            delays: vec![
+                WeightedChoice::new(DelayBucket::Seconds(1, 55), 95),
+                WeightedChoice::new(DelayBucket::Minutes(2, 50), 5),
+            ],
+            protocols: vec![WeightedChoice::new(ProbeKind::Dns, 1)],
+            reuse: vec![
+                WeightedChoice::new(1, 80),
+                WeightedChoice::new(2, 20),
+            ],
+        }
+    }
+
+    /// A Yandex-style heavy exhibitor: nearly every query leveraged,
+    /// days-long retention, half the probes over HTTP(S), high reuse.
+    pub fn heavy_prober() -> Self {
+        Self {
+            trigger_percent: 99,
+            delays: vec![
+                WeightedChoice::new(DelayBucket::Seconds(2, 50), 15),
+                WeightedChoice::new(DelayBucket::Hours(1, 20), 25),
+                WeightedChoice::new(DelayBucket::Days(1, 9), 30),
+                WeightedChoice::new(DelayBucket::Days(10, 25), 30),
+            ],
+            protocols: vec![
+                WeightedChoice::new(ProbeKind::Dns, 49),
+                WeightedChoice::new(ProbeKind::Http, 31),
+                WeightedChoice::new(ProbeKind::Https, 20),
+            ],
+            reuse: vec![
+                WeightedChoice::new(2, 20),
+                WeightedChoice::new(4, 40),
+                WeightedChoice::new(6, 25),
+                WeightedChoice::new(12, 15),
+            ],
+        }
+    }
+
+    /// A router-grade on-wire observer: short retention (bounded by the
+    /// device's storage), mostly prompt probes.
+    pub fn wire_observer() -> Self {
+        Self {
+            trigger_percent: 90,
+            delays: vec![
+                WeightedChoice::new(DelayBucket::Minutes(1, 50), 35),
+                WeightedChoice::new(DelayBucket::Hours(1, 12), 45),
+                WeightedChoice::new(DelayBucket::Days(1, 2), 20),
+            ],
+            protocols: vec![
+                WeightedChoice::new(ProbeKind::Dns, 20),
+                WeightedChoice::new(ProbeKind::Http, 60),
+                WeightedChoice::new(ProbeKind::Https, 20),
+            ],
+            reuse: vec![
+                WeightedChoice::new(1, 50),
+                WeightedChoice::new(2, 35),
+                WeightedChoice::new(4, 15),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn builtin_policies_validate() {
+        ReplayPolicy::benign_retry().validate().unwrap();
+        ReplayPolicy::heavy_prober().validate().unwrap();
+        ReplayPolicy::wire_observer().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_policies() {
+        let mut p = ReplayPolicy::benign_retry();
+        p.trigger_percent = 101;
+        assert!(p.validate().is_err());
+        let mut p = ReplayPolicy::benign_retry();
+        p.delays.clear();
+        assert!(p.validate().is_err());
+        let mut p = ReplayPolicy::benign_retry();
+        for c in &mut p.protocols {
+            c.weight = 0;
+        }
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn delay_buckets_sample_in_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = DelayBucket::Hours(1, 20).sample(&mut r);
+            assert!(d >= SimDuration::from_hours(1) && d <= SimDuration::from_hours(20));
+            let d = DelayBucket::Days(10, 25).sample(&mut r);
+            assert!(d >= SimDuration::from_days(10) && d <= SimDuration::from_days(25));
+            let d = DelayBucket::Seconds(3, 3).sample(&mut r);
+            assert_eq!(d, SimDuration::from_secs(3));
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut r = rng();
+        let choices = vec![
+            WeightedChoice::new("common", 90),
+            WeightedChoice::new("rare", 10),
+        ];
+        let n = 2_000;
+        let common = (0..n)
+            .filter(|_| *sample_weighted(&choices, &mut r) == "common")
+            .count();
+        let frac = common as f64 / n as f64;
+        assert!((0.85..=0.95).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_sized() {
+        let mut r = rng();
+        let policy = ReplayPolicy::heavy_prober();
+        for _ in 0..50 {
+            let schedule = policy.sample_schedule(&mut r);
+            assert!(!schedule.is_empty());
+            assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(schedule.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn benign_policy_is_dns_only_and_prompt() {
+        let mut r = rng();
+        let policy = ReplayPolicy::benign_retry();
+        let mut within_minute = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for (delay, kind) in policy.sample_schedule(&mut r) {
+                assert_eq!(kind, ProbeKind::Dns);
+                total += 1;
+                if delay <= SimDuration::from_mins(1) {
+                    within_minute += 1;
+                }
+            }
+        }
+        let frac = within_minute as f64 / total as f64;
+        assert!(frac > 0.85, "benign retries should be prompt, got {frac}");
+    }
+
+    #[test]
+    fn heavy_prober_reaches_past_ten_days() {
+        let mut r = rng();
+        let policy = ReplayPolicy::heavy_prober();
+        let mut beyond_10d = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for (delay, _) in policy.sample_schedule(&mut r) {
+                total += 1;
+                if delay >= SimDuration::from_days(10) {
+                    beyond_10d += 1;
+                }
+            }
+        }
+        let frac = beyond_10d as f64 / total as f64;
+        assert!(
+            (0.15..=0.50).contains(&frac),
+            "expect a sizable ≥10-day tail, got {frac}"
+        );
+    }
+
+    #[test]
+    fn trigger_percent_honored() {
+        let mut r = rng();
+        let mut p = ReplayPolicy::benign_retry();
+        p.trigger_percent = 0;
+        assert!((0..100).all(|_| !p.triggers(&mut r)));
+        p.trigger_percent = 100;
+        assert!((0..100).all(|_| p.triggers(&mut r)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let policy = ReplayPolicy::heavy_prober();
+        let mut a = ChaCha20Rng::seed_from_u64(7);
+        let mut b = ChaCha20Rng::seed_from_u64(7);
+        assert_eq!(policy.sample_schedule(&mut a), policy.sample_schedule(&mut b));
+    }
+}

@@ -1,0 +1,181 @@
+//! The retention store: what an observer remembers, for how long.
+//!
+//! The paper infers retention from the interval between a decoy and the
+//! unsolicited requests bearing its data (Figures 4 and 7) and attributes
+//! shorter HTTP/TLS retention to "the limited storage capacity of routing
+//! devices serving as traffic observers". Both knobs live here: a hard
+//! capacity (FIFO eviction) and a time-to-live.
+
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_packet::dns::DnsName;
+use std::collections::VecDeque;
+
+/// One piece of sniffed data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedItem {
+    pub domain: DnsName,
+    pub first_seen: SimTime,
+    /// How the data was observed (stringly to avoid a dependency cycle;
+    /// values come from [`crate::dpi::ObservedProtocol`]).
+    pub via: &'static str,
+    /// How many times this item has been leveraged for probes so far.
+    pub uses: u32,
+}
+
+/// Bounded FIFO store with TTL expiry.
+#[derive(Debug)]
+pub struct RetentionStore {
+    items: VecDeque<ObservedItem>,
+    capacity: usize,
+    ttl: SimDuration,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl RetentionStore {
+    /// `capacity` — maximum items held (router-grade observers are small);
+    /// `ttl` — how long data stays usable.
+    pub fn new(capacity: usize, ttl: SimDuration) -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            ttl,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Drop items whose TTL elapsed as of `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(front) = self.items.front() {
+            if now.since(front.first_seen) > self.ttl {
+                self.items.pop_front();
+                self.expirations += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record an observation. Returns `false` if the domain was already
+    /// stored (observation refreshed nothing; exhibitors key on first
+    /// sight of a name).
+    pub fn observe(&mut self, domain: DnsName, via: &'static str, now: SimTime) -> bool {
+        self.expire(now);
+        if self.items.iter().any(|i| i.domain == domain) {
+            return false;
+        }
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.evictions += 1;
+        }
+        self.items.push_back(ObservedItem {
+            domain,
+            first_seen: now,
+            via,
+            uses: 0,
+        });
+        true
+    }
+
+    /// Whether `domain` is currently retained (after expiry at `now`).
+    pub fn contains(&mut self, domain: &DnsName, now: SimTime) -> bool {
+        self.expire(now);
+        self.items.iter().any(|i| &i.domain == domain)
+    }
+
+    /// Count one use of `domain`'s data (a probe emitted).
+    pub fn mark_used(&mut self, domain: &DnsName) {
+        if let Some(item) = self.items.iter_mut().find(|i| &i.domain == domain) {
+            item.uses += 1;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ObservedItem> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn stores_and_finds() {
+        let mut store = RetentionStore::new(10, SimDuration::from_days(10));
+        assert!(store.observe(name("a.example"), "dns", SimTime(0)));
+        assert!(store.contains(&name("a.example"), SimTime(1_000)));
+        assert!(!store.contains(&name("b.example"), SimTime(1_000)));
+    }
+
+    #[test]
+    fn duplicate_observation_rejected() {
+        let mut store = RetentionStore::new(10, SimDuration::from_days(1));
+        assert!(store.observe(name("a.example"), "dns", SimTime(0)));
+        assert!(!store.observe(name("a.example"), "http", SimTime(5)));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut store = RetentionStore::new(2, SimDuration::from_days(30));
+        store.observe(name("a.example"), "dns", SimTime(0));
+        store.observe(name("b.example"), "dns", SimTime(1));
+        store.observe(name("c.example"), "dns", SimTime(2));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(!store.contains(&name("a.example"), SimTime(3)));
+        assert!(store.contains(&name("c.example"), SimTime(3)));
+    }
+
+    #[test]
+    fn ttl_expires_items() {
+        let mut store = RetentionStore::new(10, SimDuration::from_hours(1));
+        store.observe(name("a.example"), "http", SimTime(0));
+        assert!(store.contains(&name("a.example"), SimTime(3_599_000)));
+        assert!(!store.contains(&name("a.example"), SimTime(3_600_001 + 1)));
+        assert_eq!(store.expirations(), 1);
+    }
+
+    #[test]
+    fn expired_domain_can_reenter() {
+        let mut store = RetentionStore::new(10, SimDuration::from_secs(10));
+        store.observe(name("a.example"), "dns", SimTime(0));
+        let later = SimTime(20_000);
+        assert!(!store.contains(&name("a.example"), later));
+        assert!(store.observe(name("a.example"), "dns", later));
+    }
+
+    #[test]
+    fn use_counting() {
+        let mut store = RetentionStore::new(10, SimDuration::from_days(1));
+        store.observe(name("a.example"), "dns", SimTime(0));
+        store.mark_used(&name("a.example"));
+        store.mark_used(&name("a.example"));
+        assert_eq!(store.iter().next().unwrap().uses, 2);
+    }
+}

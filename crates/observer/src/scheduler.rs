@@ -1,0 +1,143 @@
+//! Shared probe-scheduling logic used by every exhibitor embodiment —
+//! on-wire DPI taps, shadowing resolvers, and shadowing destination
+//! servers all run the same pipeline: dedup against retention, roll the
+//! trigger dice, sample a schedule, drop probes past the retention TTL,
+//! and pick an origin per probe.
+
+use crate::policy::{sample_weighted, ReplayPolicy, WeightedChoice};
+use crate::probe::ProbeOrder;
+use crate::retention::RetentionStore;
+use rand_chacha::ChaCha20Rng;
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_netsim::topology::NodeId;
+use shadow_packet::dns::DnsName;
+
+/// Outcome counters for one observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    pub was_new: bool,
+    pub triggered: bool,
+    pub probes: u32,
+    pub beyond_retention: u32,
+}
+
+/// Plan the unsolicited probes for one observed `domain`. Returns the
+/// (origin node, delay, order) triples the caller must post, plus counters.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_probes(
+    policy: &ReplayPolicy,
+    store: &mut RetentionStore,
+    origins: &[WeightedChoice<NodeId>],
+    rng: &mut ChaCha20Rng,
+    domain: &DnsName,
+    via: &'static str,
+    now: SimTime,
+    exhibitor: &str,
+) -> (Vec<(NodeId, SimDuration, ProbeOrder)>, PlanStats) {
+    let mut stats = PlanStats::default();
+    if !store.observe(domain.clone(), via, now) {
+        return (Vec::new(), stats);
+    }
+    stats.was_new = true;
+    if !policy.triggers(rng) {
+        return (Vec::new(), stats);
+    }
+    stats.triggered = true;
+    let mut out = Vec::new();
+    for (delay, kind) in policy.sample_schedule(rng) {
+        if delay > store.ttl() {
+            stats.beyond_retention += 1;
+            continue;
+        }
+        let origin = *sample_weighted(origins, rng);
+        store.mark_used(domain);
+        stats.probes += 1;
+        out.push((
+            origin,
+            delay,
+            ProbeOrder {
+                domain: domain.clone(),
+                kind,
+                exhibitor: exhibitor.to_string(),
+            },
+        ));
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DelayBucket, ProbeKind};
+    use rand_chacha::rand_core::SeedableRng;
+
+    fn setup() -> (ReplayPolicy, RetentionStore, Vec<WeightedChoice<NodeId>>, ChaCha20Rng) {
+        let policy = ReplayPolicy {
+            trigger_percent: 100,
+            delays: vec![WeightedChoice::new(DelayBucket::Seconds(1, 10), 1)],
+            protocols: vec![WeightedChoice::new(ProbeKind::Dns, 1)],
+            reuse: vec![WeightedChoice::new(3, 1)],
+        };
+        let store = RetentionStore::new(100, SimDuration::from_days(1));
+        let origins = vec![WeightedChoice::new(NodeId(7), 1)];
+        let rng = ChaCha20Rng::seed_from_u64(5);
+        (policy, store, origins, rng)
+    }
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn plans_reuse_many_probes() {
+        let (policy, mut store, origins, mut rng) = setup();
+        let (orders, stats) = plan_probes(
+            &policy,
+            &mut store,
+            &origins,
+            &mut rng,
+            &name("a.example"),
+            "dns",
+            SimTime(0),
+            "x",
+        );
+        assert_eq!(orders.len(), 3);
+        assert!(stats.was_new && stats.triggered);
+        assert_eq!(stats.probes, 3);
+        for (node, delay, order) in &orders {
+            assert_eq!(*node, NodeId(7));
+            assert!(*delay <= SimDuration::from_secs(10));
+            assert_eq!(order.exhibitor, "x");
+        }
+    }
+
+    #[test]
+    fn duplicate_observation_is_inert() {
+        let (policy, mut store, origins, mut rng) = setup();
+        let d = name("a.example");
+        let _ = plan_probes(&policy, &mut store, &origins, &mut rng, &d, "dns", SimTime(0), "x");
+        let (orders, stats) =
+            plan_probes(&policy, &mut store, &origins, &mut rng, &d, "dns", SimTime(5), "x");
+        assert!(orders.is_empty());
+        assert!(!stats.was_new);
+    }
+
+    #[test]
+    fn retention_bound_drops_late_probes() {
+        let (mut policy, _, origins, mut rng) = setup();
+        policy.delays = vec![WeightedChoice::new(DelayBucket::Days(3, 4), 1)];
+        let mut store = RetentionStore::new(100, SimDuration::from_hours(1));
+        let (orders, stats) = plan_probes(
+            &policy,
+            &mut store,
+            &origins,
+            &mut rng,
+            &name("b.example"),
+            "tls",
+            SimTime(0),
+            "x",
+        );
+        assert!(orders.is_empty());
+        assert_eq!(stats.beyond_retention, 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over exhibitor behaviour models: replay schedules stay
+//! inside their declared mixtures; retention stores respect their bounds.
+
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_observer::policy::{DelayBucket, ProbeKind, ReplayPolicy, WeightedChoice};
+use shadow_observer::retention::RetentionStore;
+use shadow_packet::dns::DnsName;
+
+fn arb_bucket() -> impl Strategy<Value = DelayBucket> {
+    prop_oneof![
+        (1u64..60, 1u64..60).prop_map(|(a, b)| DelayBucket::Seconds(a.min(b), a.max(b))),
+        (1u64..60, 1u64..60).prop_map(|(a, b)| DelayBucket::Minutes(a.min(b), a.max(b))),
+        (1u64..24, 1u64..24).prop_map(|(a, b)| DelayBucket::Hours(a.min(b), a.max(b))),
+        (1u64..25, 1u64..25).prop_map(|(a, b)| DelayBucket::Days(a.min(b), a.max(b))),
+    ]
+}
+
+fn bucket_bounds(bucket: DelayBucket) -> (SimDuration, SimDuration) {
+    match bucket {
+        DelayBucket::Seconds(lo, hi) => (SimDuration::from_secs(lo), SimDuration::from_secs(hi)),
+        DelayBucket::Minutes(lo, hi) => (SimDuration::from_mins(lo), SimDuration::from_mins(hi)),
+        DelayBucket::Hours(lo, hi) => (SimDuration::from_hours(lo), SimDuration::from_hours(hi)),
+        DelayBucket::Days(lo, hi) => (SimDuration::from_days(lo), SimDuration::from_days(hi)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn schedules_respect_the_mixture(
+        seed in any::<u64>(),
+        buckets in proptest::collection::vec((arb_bucket(), 1u32..10), 1..4),
+        reuse_counts in proptest::collection::vec((1u32..12, 1u32..10), 1..4),
+        trigger in 0u8..=100,
+    ) {
+        let policy = ReplayPolicy {
+            trigger_percent: trigger,
+            delays: buckets
+                .iter()
+                .map(|&(b, w)| WeightedChoice::new(b, w))
+                .collect(),
+            protocols: vec![
+                WeightedChoice::new(ProbeKind::Dns, 2),
+                WeightedChoice::new(ProbeKind::Http, 1),
+            ],
+            reuse: reuse_counts
+                .iter()
+                .map(|&(n, w)| WeightedChoice::new(n, w))
+                .collect(),
+        };
+        policy.validate().unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        let schedule = policy.sample_schedule(&mut rng);
+        // Count within the reuse support.
+        let max_reuse = reuse_counts.iter().map(|&(n, _)| n).max().unwrap();
+        let min_reuse = reuse_counts.iter().map(|&(n, _)| n).min().unwrap();
+        prop_assert!((schedule.len() as u32) >= min_reuse);
+        prop_assert!((schedule.len() as u32) <= max_reuse);
+        // Sorted, and every delay within some bucket's bounds.
+        prop_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (delay, _) in &schedule {
+            let inside = buckets.iter().any(|&(b, _)| {
+                let (lo, hi) = bucket_bounds(b);
+                *delay >= lo && *delay <= hi
+            });
+            prop_assert!(inside, "delay {delay} escapes every bucket");
+        }
+    }
+
+    #[test]
+    fn retention_store_never_exceeds_capacity(
+        capacity in 1usize..20,
+        ttl_secs in 1u64..1_000,
+        inserts in proptest::collection::vec(("[a-z]{1,8}", 0u64..2_000_000), 1..64),
+    ) {
+        let mut store = RetentionStore::new(capacity, SimDuration::from_secs(ttl_secs));
+        let mut last_t = 0;
+        for (label, t) in inserts {
+            let t = last_t + t % 10_000;
+            last_t = t;
+            let name = DnsName::parse(&format!("{label}.example")).unwrap();
+            store.observe(name, "dns", SimTime(t));
+            prop_assert!(store.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn retention_expiry_is_exact(
+        ttl_secs in 1u64..100,
+        gap_ms in 0u64..400_000,
+    ) {
+        let ttl = SimDuration::from_secs(ttl_secs);
+        let mut store = RetentionStore::new(16, ttl);
+        let name = DnsName::parse("probe.example").unwrap();
+        store.observe(name.clone(), "dns", SimTime(0));
+        let still_there = gap_ms <= ttl.millis();
+        prop_assert_eq!(store.contains(&name, SimTime(gap_ms)), still_there);
+    }
+
+    #[test]
+    fn trigger_rate_is_statistically_sane(percent in 0u8..=100) {
+        let policy = ReplayPolicy {
+            trigger_percent: percent,
+            ..ReplayPolicy::benign_retry()
+        };
+        let mut rng = ChaCha20Rng::seed_from_u64(42);
+        let n = 2_000;
+        let hits = (0..n).filter(|_| policy.triggers(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        let expected = f64::from(percent) / 100.0;
+        prop_assert!((rate - expected).abs() < 0.05, "rate {rate} vs {expected}");
+    }
+}

@@ -1,0 +1,145 @@
+//! A bounds-checked big-endian byte reader used by every decoder.
+
+use crate::error::DecodeError;
+
+/// Forward-only reader over a byte slice with decode-friendly errors.
+///
+/// Keeps the full original buffer accessible (needed by the DNS codec, whose
+/// compression pointers reference absolute message offsets).
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current absolute offset into the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Jump to an absolute offset (used for DNS compression pointers).
+    pub fn seek(&mut self, pos: usize) -> Result<(), DecodeError> {
+        if pos > self.buf.len() {
+            return Err(DecodeError::Truncated {
+                what: "seek target",
+                needed: pos - self.buf.len(),
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Bytes remaining from the cursor to the end.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The entire underlying buffer (not just the unread part).
+    pub fn full_buffer(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    fn need(&self, what: &'static str, n: usize) -> Result<(), DecodeError> {
+        if self.remaining() < n {
+            Err(DecodeError::Truncated {
+                what,
+                needed: n - self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        self.need(what, 1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        self.need(what, 2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        self.need(what, 4)?;
+        let v = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Read exactly `n` bytes.
+    pub fn bytes(&mut self, what: &'static str, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.need(what, n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read all remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, what: &'static str, n: usize) -> Result<(), DecodeError> {
+        self.need(what, n)?;
+        self.pos += n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_be_integers() {
+        let mut r = Reader::new(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07]);
+        assert_eq!(r.u8("a").unwrap(), 0x01);
+        assert_eq!(r.u16("b").unwrap(), 0x0203);
+        assert_eq!(r.u32("c").unwrap(), 0x0405_0607);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_reports_deficit() {
+        let mut r = Reader::new(&[0x01]);
+        match r.u32("x") {
+            Err(DecodeError::Truncated { what: "x", needed: 3 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seek_and_rest() {
+        let mut r = Reader::new(b"hello world");
+        r.seek(6).unwrap();
+        assert_eq!(r.rest(), b"world");
+        assert!(r.seek(100).is_err());
+    }
+
+    #[test]
+    fn bytes_advances() {
+        let mut r = Reader::new(b"abcdef");
+        assert_eq!(r.bytes("s", 3).unwrap(), b"abc");
+        assert_eq!(r.position(), 3);
+        r.skip("s", 2).unwrap();
+        assert_eq!(r.rest(), b"f");
+    }
+}

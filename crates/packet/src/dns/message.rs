@@ -1,0 +1,583 @@
+//! DNS message structure: header, question, resource records, full codec.
+
+use super::name::DnsName;
+use super::{DnsClass, RecordType};
+use crate::cursor::Reader;
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Query/response opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Opcode {
+    Query,
+    Other(u8),
+}
+
+impl Opcode {
+    fn number(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Other(n) => n & 0x0f,
+        }
+    }
+
+    fn from_number(n: u8) -> Self {
+        match n & 0x0f {
+            0 => Opcode::Query,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rcode {
+    NoError,
+    FormErr,
+    ServFail,
+    NxDomain,
+    NotImp,
+    Refused,
+    Other(u8),
+}
+
+impl Rcode {
+    fn number(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(n) => n & 0x0f,
+        }
+    }
+
+    fn from_number(n: u8) -> Self {
+        match n & 0x0f {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Decoded header flag word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsFlags {
+    pub response: bool,
+    pub opcode: Opcode,
+    pub authoritative: bool,
+    pub truncated: bool,
+    pub recursion_desired: bool,
+    pub recursion_available: bool,
+    pub rcode: Rcode,
+}
+
+impl DnsFlags {
+    /// Flags for a recursive client query.
+    pub fn query() -> Self {
+        Self {
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    /// Flags for a response to `q` with the given rcode.
+    pub fn response_to(q: DnsFlags, authoritative: bool, rcode: Rcode) -> Self {
+        Self {
+            response: true,
+            opcode: q.opcode,
+            authoritative,
+            truncated: false,
+            recursion_desired: q.recursion_desired,
+            recursion_available: true,
+            rcode,
+        }
+    }
+
+    fn encode(self) -> u16 {
+        let mut w = 0u16;
+        if self.response {
+            w |= 0x8000;
+        }
+        w |= u16::from(self.opcode.number()) << 11;
+        if self.authoritative {
+            w |= 0x0400;
+        }
+        if self.truncated {
+            w |= 0x0200;
+        }
+        if self.recursion_desired {
+            w |= 0x0100;
+        }
+        if self.recursion_available {
+            w |= 0x0080;
+        }
+        w |= u16::from(self.rcode.number());
+        w
+    }
+
+    fn decode(w: u16) -> Self {
+        Self {
+            response: w & 0x8000 != 0,
+            opcode: Opcode::from_number((w >> 11) as u8),
+            authoritative: w & 0x0400 != 0,
+            truncated: w & 0x0200 != 0,
+            recursion_desired: w & 0x0100 != 0,
+            recursion_available: w & 0x0080 != 0,
+            rcode: Rcode::from_number(w as u8),
+        }
+    }
+}
+
+/// One question-section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsQuestion {
+    pub name: DnsName,
+    pub rtype: RecordType,
+    pub class: DnsClass,
+}
+
+impl DnsQuestion {
+    pub fn a(name: DnsName) -> Self {
+        Self {
+            name,
+            rtype: RecordType::A,
+            class: DnsClass::In,
+        }
+    }
+}
+
+/// Record data, typed for the types the reproduction manipulates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordData {
+    A(Ipv4Addr),
+    Ns(DnsName),
+    Cname(DnsName),
+    Ptr(DnsName),
+    Txt(Vec<String>),
+    Soa {
+        mname: DnsName,
+        rname: DnsName,
+        serial: u32,
+        refresh: u32,
+        retry: u32,
+        expire: u32,
+        minimum: u32,
+    },
+    /// Unparsed rdata for types the codec keeps opaque.
+    Opaque(Vec<u8>),
+}
+
+impl RecordData {
+    pub fn rtype(&self) -> Option<RecordType> {
+        Some(match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Ptr(_) => RecordType::Ptr,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Soa { .. } => RecordType::Soa,
+            RecordData::Opaque(_) => return None,
+        })
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    pub name: DnsName,
+    pub rtype: RecordType,
+    pub class: DnsClass,
+    pub ttl: u32,
+    pub data: RecordData,
+}
+
+impl DnsRecord {
+    pub fn a(name: DnsName, ttl: u32, addr: Ipv4Addr) -> Self {
+        Self {
+            name,
+            rtype: RecordType::A,
+            class: DnsClass::In,
+            ttl,
+            data: RecordData::A(addr),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        out.extend_from_slice(&self.rtype.number().to_be_bytes());
+        out.extend_from_slice(&self.class.number().to_be_bytes());
+        out.extend_from_slice(&self.ttl.to_be_bytes());
+        let mut rdata = Vec::new();
+        match &self.data {
+            RecordData::A(addr) => rdata.extend_from_slice(&addr.octets()),
+            RecordData::Ns(n) | RecordData::Cname(n) | RecordData::Ptr(n) => n.encode(&mut rdata),
+            RecordData::Txt(strings) => {
+                for s in strings {
+                    let bytes = s.as_bytes();
+                    let take = bytes.len().min(255);
+                    rdata.push(take as u8);
+                    rdata.extend_from_slice(&bytes[..take]);
+                }
+            }
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
+                mname.encode(&mut rdata);
+                rname.encode(&mut rdata);
+                rdata.extend_from_slice(&serial.to_be_bytes());
+                rdata.extend_from_slice(&refresh.to_be_bytes());
+                rdata.extend_from_slice(&retry.to_be_bytes());
+                rdata.extend_from_slice(&expire.to_be_bytes());
+                rdata.extend_from_slice(&minimum.to_be_bytes());
+            }
+            RecordData::Opaque(bytes) => rdata.extend_from_slice(bytes),
+        }
+        out.extend_from_slice(&(rdata.len().min(u16::MAX as usize) as u16).to_be_bytes());
+        out.extend_from_slice(&rdata);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let name = DnsName::decode(r)?;
+        let rtype = RecordType::from_number(r.u16("DNS record type")?);
+        let class = DnsClass::from_number(r.u16("DNS record class")?);
+        let ttl = r.u32("DNS record TTL")?;
+        let rdlen = r.u16("DNS rdata length")? as usize;
+        let rdata_start = r.position();
+        let data = match rtype {
+            RecordType::A => {
+                if rdlen != 4 {
+                    return Err(DecodeError::malformed("A rdata", format!("length {rdlen}")));
+                }
+                RecordData::A(Ipv4Addr::from(r.u32("A rdata")?))
+            }
+            RecordType::Ns => RecordData::Ns(DnsName::decode(r)?),
+            RecordType::Cname => RecordData::Cname(DnsName::decode(r)?),
+            RecordType::Ptr => RecordData::Ptr(DnsName::decode(r)?),
+            RecordType::Txt => {
+                let mut strings = Vec::new();
+                while r.position() < rdata_start + rdlen {
+                    let len = usize::from(r.u8("TXT string length")?);
+                    let raw = r.bytes("TXT string", len)?;
+                    strings.push(String::from_utf8_lossy(raw).into_owned());
+                }
+                RecordData::Txt(strings)
+            }
+            RecordType::Soa => {
+                let mname = DnsName::decode(r)?;
+                let rname = DnsName::decode(r)?;
+                RecordData::Soa {
+                    mname,
+                    rname,
+                    serial: r.u32("SOA serial")?,
+                    refresh: r.u32("SOA refresh")?,
+                    retry: r.u32("SOA retry")?,
+                    expire: r.u32("SOA expire")?,
+                    minimum: r.u32("SOA minimum")?,
+                }
+            }
+            RecordType::Aaaa | RecordType::Other(_) => {
+                RecordData::Opaque(r.bytes("opaque rdata", rdlen)?.to_vec())
+            }
+        };
+        if r.position() != rdata_start + rdlen {
+            return Err(DecodeError::malformed(
+                "DNS rdata",
+                format!(
+                    "declared {rdlen} bytes, consumed {}",
+                    r.position() - rdata_start
+                ),
+            ));
+        }
+        Ok(Self {
+            name,
+            rtype,
+            class,
+            ttl,
+            data,
+        })
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsMessage {
+    pub id: u16,
+    pub flags: DnsFlags,
+    pub questions: Vec<DnsQuestion>,
+    pub answers: Vec<DnsRecord>,
+    pub authorities: Vec<DnsRecord>,
+    pub additionals: Vec<DnsRecord>,
+}
+
+impl DnsMessage {
+    /// A recursive A query for `name`.
+    pub fn query(id: u16, name: DnsName) -> Self {
+        Self {
+            id,
+            flags: DnsFlags::query(),
+            questions: vec![DnsQuestion::a(name)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// A response echoing `query`'s id and question.
+    pub fn response(query: &DnsMessage, authoritative: bool, rcode: Rcode, answers: Vec<DnsRecord>) -> Self {
+        Self {
+            id: query.id,
+            flags: DnsFlags::response_to(query.flags, authoritative, rcode),
+            questions: query.questions.clone(),
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The first question's name, if any (the QNAME observers sniff).
+    pub fn qname(&self) -> Option<&DnsName> {
+        self.questions.first().map(|q| &q.name)
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.flags.encode().to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.authorities.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.additionals.len() as u16).to_be_bytes());
+        for q in &self.questions {
+            q.name.encode(&mut out);
+            out.extend_from_slice(&q.rtype.number().to_be_bytes());
+            out.extend_from_slice(&q.class.number().to_be_bytes());
+        }
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            rr.encode(&mut out);
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let id = r.u16("DNS id")?;
+        let flags = DnsFlags::decode(r.u16("DNS flags")?);
+        let qdcount = r.u16("DNS qdcount")?;
+        let ancount = r.u16("DNS ancount")?;
+        let nscount = r.u16("DNS nscount")?;
+        let arcount = r.u16("DNS arcount")?;
+        if qdcount > 64 || ancount > 512 || nscount > 512 || arcount > 512 {
+            return Err(DecodeError::malformed(
+                "DNS counts",
+                format!("implausible counts {qdcount}/{ancount}/{nscount}/{arcount}"),
+            ));
+        }
+        let mut questions = Vec::with_capacity(qdcount as usize);
+        for _ in 0..qdcount {
+            let name = DnsName::decode(&mut r)?;
+            let rtype = RecordType::from_number(r.u16("DNS question type")?);
+            let class = DnsClass::from_number(r.u16("DNS question class")?);
+            questions.push(DnsQuestion { name, rtype, class });
+        }
+        let section = |count: u16, r: &mut Reader<'_>| -> Result<Vec<DnsRecord>, DecodeError> {
+            let mut out = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                out.push(DnsRecord::decode(r)?);
+            }
+            Ok(out)
+        };
+        let answers = section(ancount, &mut r)?;
+        let authorities = section(nscount, &mut r)?;
+        let additionals = section(arcount, &mut r)?;
+        Ok(Self {
+            id,
+            flags,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let q = DnsMessage::query(0xabcd, name("abc123.www.experiment.example"));
+        let back = DnsMessage::decode(&q.encode()).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.qname().unwrap().as_str(), "abc123.www.experiment.example");
+        assert!(!back.flags.response);
+        assert!(back.flags.recursion_desired);
+    }
+
+    #[test]
+    fn response_round_trips_with_answers() {
+        let q = DnsMessage::query(7, name("x.example"));
+        let resp = DnsMessage::response(
+            &q,
+            true,
+            Rcode::NoError,
+            vec![DnsRecord::a(name("x.example"), 3600, Ipv4Addr::new(192, 0, 2, 1))],
+        );
+        let back = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.flags.response);
+        assert!(back.flags.authoritative);
+        assert_eq!(back.answers[0].ttl, 3600);
+    }
+
+    #[test]
+    fn all_record_types_round_trip() {
+        let q = DnsMessage::query(1, name("zone.example"));
+        let mut resp = DnsMessage::response(&q, true, Rcode::NoError, Vec::new());
+        resp.answers = vec![
+            DnsRecord::a(name("a.zone.example"), 60, Ipv4Addr::new(1, 2, 3, 4)),
+            DnsRecord {
+                name: name("zone.example"),
+                rtype: RecordType::Ns,
+                class: DnsClass::In,
+                ttl: 300,
+                data: RecordData::Ns(name("ns1.zone.example")),
+            },
+            DnsRecord {
+                name: name("alias.zone.example"),
+                rtype: RecordType::Cname,
+                class: DnsClass::In,
+                ttl: 300,
+                data: RecordData::Cname(name("a.zone.example")),
+            },
+            DnsRecord {
+                name: name("zone.example"),
+                rtype: RecordType::Txt,
+                class: DnsClass::In,
+                ttl: 120,
+                data: RecordData::Txt(vec!["v=experiment".into(), "contact=ops".into()]),
+            },
+        ];
+        resp.authorities = vec![DnsRecord {
+            name: name("zone.example"),
+            rtype: RecordType::Soa,
+            class: DnsClass::In,
+            ttl: 900,
+            data: RecordData::Soa {
+                mname: name("ns1.zone.example"),
+                rname: name("hostmaster.zone.example"),
+                serial: 2024_03_01,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        }];
+        let back = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn opaque_record_preserved() {
+        let rr = DnsRecord {
+            name: name("x.example"),
+            rtype: RecordType::Other(99),
+            class: DnsClass::In,
+            ttl: 1,
+            data: RecordData::Opaque(vec![1, 2, 3]),
+        };
+        let q = DnsMessage::query(2, name("x.example"));
+        let mut resp = DnsMessage::response(&q, false, Rcode::NoError, vec![rr]);
+        resp.additionals = resp.answers.clone();
+        let back = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn rejects_implausible_counts() {
+        let q = DnsMessage::query(3, name("y.example"));
+        let mut bytes = q.encode();
+        bytes[4..6].copy_from_slice(&9999u16.to_be_bytes());
+        assert!(matches!(
+            DnsMessage::decode(&bytes),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rdata_length_mismatch() {
+        let q = DnsMessage::query(4, name("z.example"));
+        let resp = DnsMessage::response(
+            &q,
+            true,
+            Rcode::NoError,
+            vec![DnsRecord::a(name("z.example"), 60, Ipv4Addr::new(9, 9, 9, 9))],
+        );
+        let mut bytes = resp.encode();
+        // Corrupt the A record's rdlength (last 6 bytes are len(2)+addr(4)).
+        let len_at = bytes.len() - 6;
+        bytes[len_at..len_at + 2].copy_from_slice(&3u16.to_be_bytes());
+        assert!(DnsMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn nxdomain_flags() {
+        let q = DnsMessage::query(5, name("missing.example"));
+        let resp = DnsMessage::response(&q, true, Rcode::NxDomain, Vec::new());
+        let back = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(back.flags.rcode, Rcode::NxDomain);
+        assert!(back.answers.is_empty());
+    }
+
+    #[test]
+    fn decodes_response_with_compressed_answer_names() {
+        // Hand-build a response whose answer name is a pointer to the
+        // question name, as real resolvers emit.
+        let qname = name("decoy.www.experiment.example");
+        let q = DnsMessage::query(0x1111, qname.clone());
+        let mut bytes = q.encode();
+        // ancount = 1
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes());
+        // answer: pointer to offset 12 (question name), type A, class IN,
+        // ttl 3600, rdlen 4, addr.
+        bytes.extend_from_slice(&[0xc0, 12]);
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&3600u32.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[203, 0, 113, 7]);
+        let back = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(back.answers.len(), 1);
+        assert_eq!(back.answers[0].name, qname);
+        assert_eq!(back.answers[0].data, RecordData::A(Ipv4Addr::new(203, 0, 113, 7)));
+    }
+}

@@ -1,0 +1,80 @@
+//! DNS wire-format codec (RFC 1035).
+//!
+//! Supports the full message structure the reproduction needs: header with
+//! flags/rcode, questions, and A/NS/CNAME/SOA/PTR/TXT/AAAA-opaque records in
+//! all four sections. Name decompression follows pointers (with loop
+//! protection); encoding always emits uncompressed names, which is valid and
+//! keeps the encoder simple.
+
+mod message;
+mod name;
+
+pub use message::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, Opcode, Rcode, RecordData};
+pub use name::{DnsName, NameError, MAX_LABEL_LEN, MAX_NAME_LEN};
+
+use serde::{Deserialize, Serialize};
+
+/// DNS record types the codec understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Txt,
+    Aaaa,
+    /// Anything else, preserved by number (record data kept opaque).
+    Other(u16),
+}
+
+impl RecordType {
+    pub fn number(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Other(n) => n,
+        }
+    }
+
+    pub fn from_number(n: u16) -> Self {
+        match n {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+/// DNS classes (IN is the only one in live use; others preserved by number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnsClass {
+    In,
+    Other(u16),
+}
+
+impl DnsClass {
+    pub fn number(self) -> u16 {
+        match self {
+            DnsClass::In => 1,
+            DnsClass::Other(n) => n,
+        }
+    }
+
+    pub fn from_number(n: u16) -> Self {
+        match n {
+            1 => DnsClass::In,
+            other => DnsClass::Other(other),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Decode errors shared by all codecs in this crate.
+
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+///
+/// Decoders never panic on hostile input; every malformed-packet path maps
+/// to one of these variants with enough context to diagnose the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes while `what` still needed `needed` more.
+    Truncated { what: &'static str, needed: usize },
+    /// A length or version field is inconsistent with the data.
+    Malformed { what: &'static str, detail: String },
+    /// A checksum failed verification.
+    BadChecksum { what: &'static str },
+    /// A DNS name-compression pointer loops or points forward.
+    CompressionLoop,
+    /// A value is syntactically valid but unsupported by this codec.
+    Unsupported { what: &'static str, value: u32 },
+}
+
+impl DecodeError {
+    pub(crate) fn malformed(what: &'static str, detail: impl Into<String>) -> Self {
+        DecodeError::Malformed {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what, needed } => {
+                write!(f, "truncated {what}: {needed} more byte(s) needed")
+            }
+            DecodeError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            DecodeError::BadChecksum { what } => write!(f, "bad checksum in {what}"),
+            DecodeError::CompressionLoop => write!(f, "DNS name compression loop"),
+            DecodeError::Unsupported { what, value } => {
+                write!(f, "unsupported {what} value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

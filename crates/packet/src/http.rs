@@ -1,0 +1,351 @@
+//! HTTP/1.1 request/response codec.
+//!
+//! Decoys are `GET` requests whose `Host` header carries the experiment
+//! domain; unsolicited probes captured by the honeypot are parsed with the
+//! same codec, including the path-enumeration scans Section 5 analyzes.
+
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Request methods the honeypot distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpMethod {
+    Get,
+    Head,
+    Post,
+    Options,
+    Put,
+    Delete,
+}
+
+impl HttpMethod {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Head => "HEAD",
+            HttpMethod::Post => "POST",
+            HttpMethod::Options => "OPTIONS",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Delete => "DELETE",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, DecodeError> {
+        Ok(match s {
+            "GET" => HttpMethod::Get,
+            "HEAD" => HttpMethod::Head,
+            "POST" => HttpMethod::Post,
+            "OPTIONS" => HttpMethod::Options,
+            "PUT" => HttpMethod::Put,
+            "DELETE" => HttpMethod::Delete,
+            other => {
+                return Err(DecodeError::malformed(
+                    "HTTP method",
+                    format!("unknown method {other:?}"),
+                ))
+            }
+        })
+    }
+}
+
+impl fmt::Display for HttpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    pub method: HttpMethod,
+    pub path: String,
+    /// Header name/value pairs in order; names are stored lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The decoy shape: `GET / HTTP/1.1` with a `Host` header.
+    pub fn get(host: &str, path: &str) -> Self {
+        Self {
+            method: HttpMethod::Get,
+            path: path.to_string(),
+            headers: vec![
+                ("host".to_string(), host.to_string()),
+                ("user-agent".to_string(), "shadow-measurement/1.0".to_string()),
+                ("accept".to_string(), "*/*".to_string()),
+                ("connection".to_string(), "close".to_string()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Host` header — the field on-path observers sniff.
+    pub fn host(&self) -> Option<&str> {
+        self.header("host")
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        let mut has_len = false;
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+            has_len |= name == "content-length";
+        }
+        if !self.body.is_empty() && !has_len {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let (head, body) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| DecodeError::malformed("HTTP request", "missing request line"))?;
+        let mut parts = request_line.split(' ');
+        let method = HttpMethod::parse(
+            parts
+                .next()
+                .ok_or_else(|| DecodeError::malformed("HTTP request line", "missing method"))?,
+        )?;
+        let path = parts
+            .next()
+            .ok_or_else(|| DecodeError::malformed("HTTP request line", "missing path"))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| DecodeError::malformed("HTTP request line", "missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(DecodeError::malformed(
+                "HTTP version",
+                format!("unsupported {version:?}"),
+            ));
+        }
+        let headers = parse_headers(lines)?;
+        let body = read_body(&headers, body)?;
+        Ok(Self {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub reason: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn new(status: u16, reason: &str, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            reason: reason.to_string(),
+            headers: vec![
+                ("content-type".to_string(), "text/html".to_string()),
+                ("content-length".to_string(), body.len().to_string()),
+                ("connection".to_string(), "close".to_string()),
+            ],
+            body,
+        }
+    }
+
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self::new(200, "OK", body)
+    }
+
+    pub fn not_found() -> Self {
+        Self::new(404, "Not Found", b"<html><body>404</body></html>".to_vec())
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let (head, body) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| DecodeError::malformed("HTTP response", "missing status line"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| DecodeError::malformed("HTTP status line", "missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(DecodeError::malformed(
+                "HTTP version",
+                format!("unsupported {version:?}"),
+            ));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| DecodeError::malformed("HTTP status line", "bad status code"))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        let body = read_body(&headers, body)?;
+        Ok(Self {
+            status,
+            reason,
+            headers,
+            body,
+        })
+    }
+}
+
+fn split_head(buf: &[u8]) -> Result<(&str, &[u8]), DecodeError> {
+    let sep = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(DecodeError::Truncated {
+            what: "HTTP head",
+            needed: 4,
+        })?;
+    let head = std::str::from_utf8(&buf[..sep])
+        .map_err(|_| DecodeError::malformed("HTTP head", "not UTF-8"))?;
+    Ok((head, &buf[sep + 4..]))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, DecodeError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| DecodeError::malformed("HTTP header", format!("no colon in {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+fn read_body(headers: &[(String, String)], body: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let declared = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    match declared {
+        Some(len) if body.len() < len => Err(DecodeError::Truncated {
+            what: "HTTP body",
+            needed: len - body.len(),
+        }),
+        Some(len) => Ok(body[..len].to_vec()),
+        None => Ok(body.to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoy_request_round_trips() {
+        let req = HttpRequest::get("abc.www.experiment.example", "/");
+        let back = HttpRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.host(), Some("abc.www.experiment.example"));
+        assert_eq!(back.method, HttpMethod::Get);
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let req = HttpRequest::get("h.example", "/x");
+        assert_eq!(req.header("HOST"), Some("h.example"));
+        assert_eq!(req.header("User-Agent"), Some("shadow-measurement/1.0"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn request_with_body_round_trips() {
+        let mut req = HttpRequest::get("h.example", "/submit");
+        req.method = HttpMethod::Post;
+        req.body = b"a=1&b=2".to_vec();
+        let back = HttpRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.body, b"a=1&b=2");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = HttpResponse::ok(b"<html>honey</html>".to_vec());
+        let back = HttpResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.status, 200);
+    }
+
+    #[test]
+    fn not_found_has_status_404() {
+        let resp = HttpResponse::not_found();
+        assert_eq!(HttpResponse::decode(&resp.encode()).unwrap().status, 404);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(HttpRequest::decode(b"not http at all").is_err());
+        assert!(HttpRequest::decode(b"FROB / HTTP/1.1\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let bytes = b"GET / HTTP/1.1\r\nhost: h\r\ncontent-length: 10\r\n\r\nabc";
+        assert!(matches!(
+            HttpRequest::decode(bytes),
+            Err(DecodeError::Truncated { what: "HTTP body", .. })
+        ));
+    }
+
+    #[test]
+    fn path_enumeration_probe_parses() {
+        // The shape of unsolicited scanner traffic the honeypots log.
+        let bytes = b"GET /.git/config HTTP/1.1\r\nHost: abc.www.experiment.example\r\nUser-Agent: Mozilla/5.0 zgrab/0.x\r\n\r\n";
+        let req = HttpRequest::decode(bytes).unwrap();
+        assert_eq!(req.path, "/.git/config");
+        assert!(req.header("user-agent").unwrap().contains("zgrab"));
+    }
+}

@@ -1,0 +1,338 @@
+//! IPv4 header and packet codec with the Internet checksum.
+//!
+//! TTL behaviour is central to the reproduction: Phase II of the paper's
+//! methodology sweeps the initial TTL from 1 to 64 to locate on-path
+//! observers, and routers in `shadow-netsim` decrement [`Ipv4Header::ttl`]
+//! and emit ICMP Time Exceeded when it hits zero.
+
+use crate::cursor::Reader;
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Default initial TTL for packets originated by simulated hosts (Linux
+/// default; also what the VPN vantage points emit unless Phase II overrides).
+pub const DEFAULT_TTL: u8 = 64;
+
+/// The protocol numbers this stack speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProtocol {
+    Icmp,
+    Tcp,
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProtocol {
+    pub fn number(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+/// A decoded IPv4 header (options unsupported, IHL always 5 on encode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: IpProtocol,
+    pub ttl: u8,
+    pub identification: u16,
+    /// Total length: header (20) + payload.
+    pub total_length: u16,
+}
+
+pub const IPV4_HEADER_LEN: usize = 20;
+
+impl Ipv4Header {
+    /// Header for a payload of `payload_len` bytes.
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        ttl: u8,
+        identification: u16,
+        payload_len: usize,
+    ) -> Self {
+        let total = (IPV4_HEADER_LEN + payload_len).min(u16::MAX as usize) as u16;
+        Self {
+            src,
+            dst,
+            protocol,
+            ttl,
+            identification,
+            total_length: total,
+        }
+    }
+
+    /// Serialize, computing the header checksum.
+    pub fn encode(&self) -> [u8; IPV4_HEADER_LEN] {
+        let mut h = [0u8; IPV4_HEADER_LEN];
+        h[0] = 0x45; // version 4, IHL 5
+        h[1] = 0; // DSCP/ECN
+        h[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        h[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        h[6..8].copy_from_slice(&0u16.to_be_bytes()); // flags/fragment
+        h[8] = self.ttl;
+        h[9] = self.protocol.number();
+        // checksum at 10..12 left zero for computation
+        h[12..16].copy_from_slice(&self.src.octets());
+        h[16..20].copy_from_slice(&self.dst.octets());
+        let sum = internet_checksum(&h);
+        h[10..12].copy_from_slice(&sum.to_be_bytes());
+        h
+    }
+
+    /// Decode and verify the checksum.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let start = r.position();
+        let vihl = r.u8("IPv4 version/IHL")?;
+        let version = vihl >> 4;
+        let ihl = (vihl & 0x0f) as usize * 4;
+        if version != 4 {
+            return Err(DecodeError::Unsupported {
+                what: "IP version",
+                value: version as u32,
+            });
+        }
+        if ihl < IPV4_HEADER_LEN {
+            return Err(DecodeError::malformed("IPv4 header", format!("IHL {ihl} < 20")));
+        }
+        let _dscp = r.u8("IPv4 DSCP")?;
+        let total_length = r.u16("IPv4 total length")?;
+        let identification = r.u16("IPv4 identification")?;
+        let flags_frag = r.u16("IPv4 flags/fragment")?;
+        if flags_frag & 0x1fff != 0 {
+            return Err(DecodeError::Unsupported {
+                what: "IPv4 fragment offset",
+                value: (flags_frag & 0x1fff) as u32,
+            });
+        }
+        let ttl = r.u8("IPv4 TTL")?;
+        let protocol = IpProtocol::from_number(r.u8("IPv4 protocol")?);
+        let _checksum = r.u16("IPv4 checksum")?;
+        let src = Ipv4Addr::from(r.u32("IPv4 source")?);
+        let dst = Ipv4Addr::from(r.u32("IPv4 destination")?);
+        // Verify checksum over the full header (including any options).
+        let end_opts = start + ihl;
+        let full = r.full_buffer();
+        if end_opts > full.len() {
+            return Err(DecodeError::Truncated {
+                what: "IPv4 options",
+                needed: end_opts - full.len(),
+            });
+        }
+        // A buffer containing a correct checksum sums to zero.
+        if internet_checksum(&full[start..end_opts]) != 0 {
+            return Err(DecodeError::BadChecksum { what: "IPv4 header" });
+        }
+        r.seek(end_opts)?;
+        Ok(Self {
+            src,
+            dst,
+            protocol,
+            ttl,
+            identification,
+            total_length,
+        })
+    }
+
+    /// Decrement TTL in place; returns the new value, or `None` if the TTL
+    /// was already 0 or reaches 0 (packet must be dropped and ICMP Time
+    /// Exceeded generated, per router forwarding rules).
+    pub fn decrement_ttl(&mut self) -> Option<u8> {
+        if self.ttl <= 1 {
+            self.ttl = 0;
+            None
+        } else {
+            self.ttl -= 1;
+            Some(self.ttl)
+        }
+    }
+
+    pub fn payload_len(&self) -> usize {
+        (self.total_length as usize).saturating_sub(IPV4_HEADER_LEN)
+    }
+}
+
+/// A full IPv4 packet: header plus transport payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Packet {
+    pub header: Ipv4Header,
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        ttl: u8,
+        identification: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        let header = Ipv4Header::new(src, dst, protocol, ttl, identification, payload.len());
+        Self { header, payload }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(IPV4_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.header.encode());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let header = Ipv4Header::decode(&mut r)?;
+        let want = header.payload_len();
+        let payload = r.bytes("IPv4 payload", want.min(r.remaining()))?.to_vec();
+        if payload.len() < want {
+            return Err(DecodeError::Truncated {
+                what: "IPv4 payload",
+                needed: want - payload.len(),
+            });
+        }
+        Ok(Self { header, payload })
+    }
+}
+
+/// RFC 1071 Internet checksum of `data`.
+///
+/// With the checksum field zeroed, the result is the value to store. Over a
+/// buffer that already contains a correct checksum, the result is `0` — the
+/// verification condition decoders use.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(8, 8, 8, 8),
+            IpProtocol::Udp,
+            64,
+            0x1234,
+            40,
+        )
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let bytes = h.encode();
+        let mut r = Reader::new(&bytes);
+        let back = Ipv4Header::decode(&mut r).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let h = header();
+        let mut bytes = h.encode();
+        bytes[15] ^= 0x40; // flip a bit in the source address
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            Ipv4Header::decode(&mut r),
+            Err(DecodeError::BadChecksum { what: "IPv4 header" })
+        );
+    }
+
+    #[test]
+    fn ttl_decrement_semantics() {
+        let mut h = header();
+        h.ttl = 2;
+        assert_eq!(h.decrement_ttl(), Some(1));
+        assert_eq!(h.decrement_ttl(), None);
+        assert_eq!(h.ttl, 0);
+        let mut h0 = header();
+        h0.ttl = 0;
+        assert_eq!(h0.decrement_ttl(), None);
+    }
+
+    #[test]
+    fn packet_round_trips() {
+        let pkt = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            IpProtocol::Tcp,
+            33,
+            7,
+            b"payload bytes".to_vec(),
+        );
+        let bytes = pkt.encode();
+        assert_eq!(Ipv4Packet::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let pkt = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            IpProtocol::Udp,
+            10,
+            9,
+            vec![0u8; 32],
+        );
+        let bytes = pkt.encode();
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes[..bytes.len() - 5]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ipv6_version() {
+        let h = header();
+        let mut bytes = h.encode();
+        bytes[0] = 0x65;
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            Ipv4Header::decode(&mut r),
+            Err(DecodeError::Unsupported { what: "IP version", .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Verifying a buffer that includes a correct checksum yields zero.
+        let h = header().encode();
+        assert_eq!(internet_checksum(&h), 0);
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let a = internet_checksum(&[0x01, 0x02, 0x03]);
+        let b = internet_checksum(&[0x01, 0x02, 0x03, 0x00]);
+        assert_eq!(a, b, "odd tail must be zero-padded");
+    }
+}

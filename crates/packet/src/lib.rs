@@ -1,0 +1,44 @@
+//! # shadow-packet
+//!
+//! From-scratch, byte-accurate wire-format codecs for every protocol the
+//! paper's decoys and unsolicited requests travel over:
+//!
+//! * [`ipv4`] — IPv4 header with Internet checksum, TTL semantics;
+//! * [`udp`] — UDP datagrams;
+//! * [`tcp`] — TCP segments (flag/sequence level, enough for handshakes and
+//!   payload delivery in the simulator);
+//! * [`icmp`] — ICMP Echo and Time Exceeded (the Phase-II traceroute signal);
+//! * [`dns`] — full DNS message codec with name-compression decoding;
+//! * [`doq`] — a model of encrypted DNS transport (the §6 mitigation
+//!   ablation);
+//! * [`http`] — HTTP/1.1 request/response parsing and serialization;
+//! * [`tls`] — TLS record layer + ClientHello with the Server Name
+//!   Indication extension (the clear-text field decoys embed).
+//!
+//! Every codec is a pure function of bytes: no I/O, no globals. Decoders
+//! return structured [`DecodeError`]s rather than panicking on hostile
+//! input, and every encoder/decoder pair round-trips (enforced by unit and
+//! property tests).
+
+pub mod cursor;
+pub mod dns;
+pub mod doq;
+pub mod error;
+pub mod http;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod tls;
+pub mod udp;
+
+pub use cursor::Reader;
+pub use dns::{
+    DnsClass, DnsFlags, DnsMessage, DnsName, DnsQuestion, DnsRecord, RecordData, RecordType,
+};
+pub use error::DecodeError;
+pub use http::{HttpMethod, HttpRequest, HttpResponse};
+pub use icmp::IcmpMessage;
+pub use ipv4::{IpProtocol, Ipv4Header, Ipv4Packet};
+pub use tcp::{TcpFlags, TcpSegment};
+pub use tls::{ClientHello, TlsExtension, TlsRecord};
+pub use udp::UdpDatagram;

@@ -1,0 +1,223 @@
+//! TCP segment codec (RFC 9293 framing; no options beyond MSS on SYN).
+//!
+//! The simulator models TCP at segment level: three-way handshakes before
+//! HTTP/TLS decoys (Phase I requires them; Phase II deliberately skips them),
+//! sequence-number accounting, FIN/RST teardown. Congestion control and
+//! retransmission are out of scope — simulated links are reliable and
+//! in-order, which the paper's methodology does not depend on.
+
+use crate::cursor::Reader;
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+    pub const PSH_ACK: TcpFlags = TcpFlags(0x18);
+    pub const FIN_ACK: TcpFlags = TcpFlags(0x11);
+
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    pub fn is_syn(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+
+    pub fn is_syn_ack(self) -> bool {
+        self.contains(TcpFlags::SYN) && self.contains(TcpFlags::ACK)
+    }
+}
+
+/// A TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpSegment {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: TcpFlags,
+    pub window: u16,
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    pub fn new(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: Vec<u8>,
+    ) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65_535,
+            payload,
+        }
+    }
+
+    /// A bare SYN opening a connection.
+    pub fn syn(src_port: u16, dst_port: u16, isn: u32) -> Self {
+        Self::new(src_port, dst_port, isn, 0, TcpFlags::SYN, Vec::new())
+    }
+
+    /// The SYN-ACK answering `syn`.
+    pub fn syn_ack(syn: &TcpSegment, server_isn: u32) -> Self {
+        Self::new(
+            syn.dst_port,
+            syn.src_port,
+            server_isn,
+            syn.seq.wrapping_add(1),
+            TcpFlags::SYN_ACK,
+            Vec::new(),
+        )
+    }
+
+    /// An RST answering an unwanted segment.
+    pub fn rst(seg: &TcpSegment) -> Self {
+        Self::new(
+            seg.dst_port,
+            seg.src_port,
+            seg.ack,
+            seg.seq.wrapping_add(seg.seq_len()),
+            TcpFlags::RST.union(TcpFlags::ACK),
+            Vec::new(),
+        )
+    }
+
+    /// Sequence space consumed by this segment (payload + SYN/FIN).
+    pub fn seq_len(&self) -> u32 {
+        let mut n = self.payload.len() as u32;
+        if self.flags.contains(TcpFlags::SYN) {
+            n = n.wrapping_add(1);
+        }
+        if self.flags.contains(TcpFlags::FIN) {
+            n = n.wrapping_add(1);
+        }
+        n
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TCP_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset 5 words, no options
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // checksum (pseudo-header elided)
+        out.extend_from_slice(&0u16.to_be_bytes()); // urgent pointer
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let src_port = r.u16("TCP source port")?;
+        let dst_port = r.u16("TCP destination port")?;
+        let seq = r.u32("TCP sequence")?;
+        let ack = r.u32("TCP ack")?;
+        let offset_byte = r.u8("TCP data offset")?;
+        let data_offset = (offset_byte >> 4) as usize * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(DecodeError::malformed(
+                "TCP data offset",
+                format!("{data_offset} < {TCP_HEADER_LEN}"),
+            ));
+        }
+        let flags = TcpFlags(r.u8("TCP flags")?);
+        let window = r.u16("TCP window")?;
+        let _checksum = r.u16("TCP checksum")?;
+        let _urgent = r.u16("TCP urgent pointer")?;
+        r.skip("TCP options", data_offset - TCP_HEADER_LEN)?;
+        let payload = r.rest().to_vec();
+        Ok(Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let seg = TcpSegment::new(40000, 443, 1000, 2000, TcpFlags::PSH_ACK, b"hello".to_vec());
+        assert_eq!(TcpSegment::decode(&seg.encode()).unwrap(), seg);
+    }
+
+    #[test]
+    fn handshake_constructors() {
+        let syn = TcpSegment::syn(1234, 80, 999);
+        assert!(syn.flags.is_syn());
+        assert_eq!(syn.seq_len(), 1);
+        let synack = TcpSegment::syn_ack(&syn, 5555);
+        assert!(synack.flags.is_syn_ack());
+        assert_eq!(synack.ack, 1000);
+        assert_eq!(synack.src_port, 80);
+        assert_eq!(synack.dst_port, 1234);
+    }
+
+    #[test]
+    fn rst_acks_consumed_sequence() {
+        let seg = TcpSegment::new(1, 2, 10, 0, TcpFlags::PSH_ACK, vec![0u8; 5]);
+        let rst = TcpSegment::rst(&seg);
+        assert!(rst.flags.contains(TcpFlags::RST));
+        assert_eq!(rst.ack, 15);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        let mut seg = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN.union(TcpFlags::FIN), vec![0; 3]);
+        assert_eq!(seg.seq_len(), 5);
+        seg.flags = TcpFlags::ACK;
+        assert_eq!(seg.seq_len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let seg = TcpSegment::new(1, 2, 3, 4, TcpFlags::ACK, Vec::new());
+        let mut bytes = seg.encode();
+        bytes[12] = 2 << 4;
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn flag_predicates() {
+        assert!(TcpFlags::SYN.is_syn());
+        assert!(!TcpFlags::SYN_ACK.is_syn());
+        assert!(TcpFlags::SYN_ACK.is_syn_ack());
+        assert!(TcpFlags::PSH_ACK.contains(TcpFlags::ACK));
+    }
+}

@@ -1,0 +1,398 @@
+//! TLS record layer and ClientHello codec.
+//!
+//! The decoy we care about is a ClientHello whose Server Name Indication
+//! extension (RFC 6066) carries the experiment domain in clear text — the
+//! exact field the paper shows on-path observers extracting. Handshake
+//! completion/encryption is out of scope: the honeypot answers with a fatal
+//! alert after logging the SNI, mirroring a sensor more than a real server.
+
+use crate::cursor::Reader;
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+
+/// TLS record content types used here.
+pub const CONTENT_TYPE_HANDSHAKE: u8 = 22;
+pub const CONTENT_TYPE_ALERT: u8 = 21;
+
+/// Handshake message type for ClientHello.
+pub const HANDSHAKE_CLIENT_HELLO: u8 = 1;
+
+/// The legacy record version emitted (TLS 1.0 in record layer, as real
+/// clients do) and the ClientHello's legacy_version (TLS 1.2).
+pub const RECORD_VERSION: u16 = 0x0301;
+pub const HELLO_VERSION: u16 = 0x0303;
+
+/// Extension type codes.
+pub const EXT_SERVER_NAME: u16 = 0;
+pub const EXT_SUPPORTED_VERSIONS: u16 = 43;
+pub const EXT_SUPPORTED_GROUPS: u16 = 10;
+pub const EXT_SIGNATURE_ALGORITHMS: u16 = 13;
+/// `encrypted_client_hello` (draft-ietf-tls-esni): the §6 mitigation that
+/// hides the server name even from destination-side port mirrors.
+pub const EXT_ECH: u16 = 0xfe0d;
+
+/// A TLS record (one message per record; fragmentation unsupported).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsRecord {
+    pub content_type: u8,
+    pub version: u16,
+    pub payload: Vec<u8>,
+}
+
+impl TlsRecord {
+    pub fn handshake(payload: Vec<u8>) -> Self {
+        Self {
+            content_type: CONTENT_TYPE_HANDSHAKE,
+            version: RECORD_VERSION,
+            payload,
+        }
+    }
+
+    /// A fatal alert record (e.g. what the honeypot answers after logging).
+    pub fn fatal_alert(description: u8) -> Self {
+        Self {
+            content_type: CONTENT_TYPE_ALERT,
+            version: RECORD_VERSION,
+            payload: vec![2, description],
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.content_type);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len().min(u16::MAX as usize) as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let content_type = r.u8("TLS content type")?;
+        let version = r.u16("TLS record version")?;
+        if version >> 8 != 0x03 {
+            return Err(DecodeError::Unsupported {
+                what: "TLS record version",
+                value: u32::from(version),
+            });
+        }
+        let len = r.u16("TLS record length")? as usize;
+        let payload = r.bytes("TLS record payload", len)?.to_vec();
+        Ok(Self {
+            content_type,
+            version,
+            payload,
+        })
+    }
+}
+
+/// A parsed extension: type plus raw body (SNI gets dedicated accessors).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlsExtension {
+    pub ext_type: u16,
+    pub body: Vec<u8>,
+}
+
+impl TlsExtension {
+    /// Build a server_name extension for `host` (host_name type 0).
+    pub fn server_name(host: &str) -> Self {
+        let name = host.as_bytes();
+        let mut body = Vec::with_capacity(5 + name.len());
+        body.extend_from_slice(&((name.len() + 3).min(u16::MAX as usize) as u16).to_be_bytes());
+        body.push(0); // name_type: host_name
+        body.extend_from_slice(&(name.len().min(u16::MAX as usize) as u16).to_be_bytes());
+        body.extend_from_slice(name);
+        Self {
+            ext_type: EXT_SERVER_NAME,
+            body,
+        }
+    }
+
+    /// Extract the host_name if this is a well-formed SNI extension.
+    pub fn sni_host(&self) -> Option<String> {
+        if self.ext_type != EXT_SERVER_NAME {
+            return None;
+        }
+        let mut r = Reader::new(&self.body);
+        let list_len = r.u16("SNI list length").ok()? as usize;
+        if list_len != r.remaining() {
+            return None;
+        }
+        let name_type = r.u8("SNI name type").ok()?;
+        if name_type != 0 {
+            return None;
+        }
+        let name_len = r.u16("SNI name length").ok()? as usize;
+        let raw = r.bytes("SNI host name", name_len).ok()?;
+        std::str::from_utf8(raw).ok().map(str::to_string)
+    }
+}
+
+/// A ClientHello handshake message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientHello {
+    pub version: u16,
+    pub random: [u8; 32],
+    pub session_id: Vec<u8>,
+    pub cipher_suites: Vec<u16>,
+    pub extensions: Vec<TlsExtension>,
+}
+
+impl ClientHello {
+    /// Build a ClientHello with Encrypted Client Hello: no clear-text SNI
+    /// at all; the inner hello (carrying the real name) is opaque bytes.
+    /// On-path observers — and passive destination-side sensors — see
+    /// nothing to extract (the paper's §6 recommendation: "TLS 1.3 with
+    /// ECH").
+    pub fn with_ech(random: [u8; 32], ech_payload: Vec<u8>) -> Self {
+        let mut hello = Self::with_sni("public.cover.example", random);
+        // ECH replaces the real SNI with a cover name plus the encrypted
+        // inner hello.
+        for ext in &mut hello.extensions {
+            if ext.ext_type == EXT_SERVER_NAME {
+                *ext = TlsExtension::server_name("public.cover.example");
+            }
+        }
+        hello.extensions.push(TlsExtension {
+            ext_type: EXT_ECH,
+            body: ech_payload,
+        });
+        hello
+    }
+
+    /// Whether this hello carries an ECH extension.
+    pub fn has_ech(&self) -> bool {
+        self.extensions.iter().any(|e| e.ext_type == EXT_ECH)
+    }
+
+    /// Build a realistic-looking ClientHello carrying `sni` — the TLS decoy.
+    pub fn with_sni(sni: &str, random: [u8; 32]) -> Self {
+        Self {
+            version: HELLO_VERSION,
+            random,
+            session_id: Vec::new(),
+            cipher_suites: vec![
+                0x1301, // TLS_AES_128_GCM_SHA256
+                0x1302, // TLS_AES_256_GCM_SHA384
+                0x1303, // TLS_CHACHA20_POLY1305_SHA256
+                0xc02f, // ECDHE-RSA-AES128-GCM-SHA256
+                0xc030, // ECDHE-RSA-AES256-GCM-SHA384
+            ],
+            extensions: vec![
+                TlsExtension::server_name(sni),
+                TlsExtension {
+                    ext_type: EXT_SUPPORTED_VERSIONS,
+                    body: vec![2, 0x03, 0x04],
+                },
+                TlsExtension {
+                    ext_type: EXT_SUPPORTED_GROUPS,
+                    body: vec![0, 4, 0, 0x1d, 0, 0x17],
+                },
+            ],
+        }
+    }
+
+    /// The SNI host, if present — what on-path observers extract.
+    pub fn sni(&self) -> Option<String> {
+        self.extensions.iter().find_map(TlsExtension::sni_host)
+    }
+
+    /// Encode as a handshake message body (without record framing).
+    pub fn encode_handshake(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(128);
+        body.extend_from_slice(&self.version.to_be_bytes());
+        body.extend_from_slice(&self.random);
+        body.push(self.session_id.len().min(32) as u8);
+        body.extend_from_slice(&self.session_id[..self.session_id.len().min(32)]);
+        body.extend_from_slice(
+            &((self.cipher_suites.len() * 2).min(u16::MAX as usize) as u16).to_be_bytes(),
+        );
+        for cs in &self.cipher_suites {
+            body.extend_from_slice(&cs.to_be_bytes());
+        }
+        body.push(1); // compression methods length
+        body.push(0); // null compression
+        let mut exts = Vec::new();
+        for ext in &self.extensions {
+            exts.extend_from_slice(&ext.ext_type.to_be_bytes());
+            exts.extend_from_slice(&(ext.body.len().min(u16::MAX as usize) as u16).to_be_bytes());
+            exts.extend_from_slice(&ext.body);
+        }
+        body.extend_from_slice(&(exts.len().min(u16::MAX as usize) as u16).to_be_bytes());
+        body.extend_from_slice(&exts);
+
+        let mut msg = Vec::with_capacity(4 + body.len());
+        msg.push(HANDSHAKE_CLIENT_HELLO);
+        let len = body.len().min(0xff_ffff) as u32;
+        msg.extend_from_slice(&len.to_be_bytes()[1..]);
+        msg.extend_from_slice(&body);
+        msg
+    }
+
+    /// Encode as a complete TLS record ready for a TCP payload.
+    pub fn encode_record(&self) -> Vec<u8> {
+        TlsRecord::handshake(self.encode_handshake()).encode()
+    }
+
+    /// Decode a handshake message body (as produced by `encode_handshake`).
+    pub fn decode_handshake(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let msg_type = r.u8("TLS handshake type")?;
+        if msg_type != HANDSHAKE_CLIENT_HELLO {
+            return Err(DecodeError::Unsupported {
+                what: "TLS handshake type",
+                value: u32::from(msg_type),
+            });
+        }
+        let len_bytes = r.bytes("TLS handshake length", 3)?;
+        let declared = (usize::from(len_bytes[0]) << 16)
+            | (usize::from(len_bytes[1]) << 8)
+            | usize::from(len_bytes[2]);
+        if declared != r.remaining() {
+            return Err(DecodeError::malformed(
+                "TLS handshake length",
+                format!("declared {declared}, have {}", r.remaining()),
+            ));
+        }
+        let version = r.u16("ClientHello version")?;
+        let mut random = [0u8; 32];
+        random.copy_from_slice(r.bytes("ClientHello random", 32)?);
+        let sid_len = usize::from(r.u8("session id length")?);
+        if sid_len > 32 {
+            return Err(DecodeError::malformed(
+                "session id",
+                format!("length {sid_len} > 32"),
+            ));
+        }
+        let session_id = r.bytes("session id", sid_len)?.to_vec();
+        let cs_len = r.u16("cipher suites length")? as usize;
+        if cs_len % 2 != 0 {
+            return Err(DecodeError::malformed("cipher suites", "odd length"));
+        }
+        let mut cipher_suites = Vec::with_capacity(cs_len / 2);
+        for _ in 0..cs_len / 2 {
+            cipher_suites.push(r.u16("cipher suite")?);
+        }
+        let comp_len = usize::from(r.u8("compression methods length")?);
+        r.skip("compression methods", comp_len)?;
+        let mut extensions = Vec::new();
+        if r.remaining() > 0 {
+            let ext_total = r.u16("extensions length")? as usize;
+            if ext_total != r.remaining() {
+                return Err(DecodeError::malformed(
+                    "extensions length",
+                    format!("declared {ext_total}, have {}", r.remaining()),
+                ));
+            }
+            while r.remaining() > 0 {
+                let ext_type = r.u16("extension type")?;
+                let ext_len = r.u16("extension length")? as usize;
+                let body = r.bytes("extension body", ext_len)?.to_vec();
+                extensions.push(TlsExtension { ext_type, body });
+            }
+        }
+        Ok(Self {
+            version,
+            random,
+            session_id,
+            cipher_suites,
+            extensions,
+        })
+    }
+
+    /// Decode from a full TLS record.
+    pub fn decode_record(buf: &[u8]) -> Result<Self, DecodeError> {
+        let record = TlsRecord::decode(buf)?;
+        if record.content_type != CONTENT_TYPE_HANDSHAKE {
+            return Err(DecodeError::Unsupported {
+                what: "TLS content type",
+                value: u32::from(record.content_type),
+            });
+        }
+        Self::decode_handshake(&record.payload)
+    }
+}
+
+/// Extract the SNI from raw bytes if they are a ClientHello record — the
+/// operation an on-path DPI observer performs on every TCP/443 payload.
+pub fn sniff_sni(buf: &[u8]) -> Option<String> {
+    ClientHello::decode_record(buf).ok()?.sni()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello() -> ClientHello {
+        ClientHello::with_sni("decoy1234.www.experiment.example", [7u8; 32])
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = TlsRecord::handshake(vec![1, 2, 3]);
+        assert_eq!(TlsRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn client_hello_round_trips() {
+        let ch = hello();
+        let back = ClientHello::decode_record(&ch.encode_record()).unwrap();
+        assert_eq!(back, ch);
+    }
+
+    #[test]
+    fn sni_extraction() {
+        let ch = hello();
+        assert_eq!(ch.sni().as_deref(), Some("decoy1234.www.experiment.example"));
+        assert_eq!(
+            sniff_sni(&ch.encode_record()).as_deref(),
+            Some("decoy1234.www.experiment.example")
+        );
+    }
+
+    #[test]
+    fn sniff_rejects_non_tls() {
+        assert_eq!(sniff_sni(b"GET / HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(sniff_sni(&[]), None);
+    }
+
+    #[test]
+    fn no_sni_yields_none() {
+        let mut ch = hello();
+        ch.extensions.retain(|e| e.ext_type != EXT_SERVER_NAME);
+        assert_eq!(ch.sni(), None);
+    }
+
+    #[test]
+    fn alert_record_shape() {
+        let alert = TlsRecord::fatal_alert(40); // handshake_failure
+        let back = TlsRecord::decode(&alert.encode()).unwrap();
+        assert_eq!(back.content_type, CONTENT_TYPE_ALERT);
+        assert_eq!(back.payload, vec![2, 40]);
+    }
+
+    #[test]
+    fn handshake_length_mismatch_rejected() {
+        let ch = hello();
+        let mut msg = ch.encode_handshake();
+        msg[3] = msg[3].wrapping_add(1); // corrupt the 24-bit length
+        assert!(ClientHello::decode_handshake(&msg).is_err());
+    }
+
+    #[test]
+    fn session_id_preserved() {
+        let mut ch = hello();
+        ch.session_id = vec![9; 16];
+        let back = ClientHello::decode_record(&ch.encode_record()).unwrap();
+        assert_eq!(back.session_id, vec![9; 16]);
+    }
+
+    #[test]
+    fn malformed_sni_body_tolerated() {
+        let ext = TlsExtension {
+            ext_type: EXT_SERVER_NAME,
+            body: vec![0xff, 0xff, 0x00],
+        };
+        assert_eq!(ext.sni_host(), None);
+    }
+}

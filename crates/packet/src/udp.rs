@@ -1,0 +1,98 @@
+//! UDP datagram codec (RFC 768). DNS decoys travel over UDP/53.
+
+use crate::cursor::Reader;
+use crate::error::DecodeError;
+use serde::{Deserialize, Serialize};
+
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram. The checksum is carried but, as permitted for IPv4,
+/// encoded as zero ("no checksum") — the simulator's links are loss-free and
+/// integrity is enforced at the IPv4 layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpDatagram {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (UDP_HEADER_LEN + self.payload.len()).min(u16::MAX as usize) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // checksum: none
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let src_port = r.u16("UDP source port")?;
+        let dst_port = r.u16("UDP destination port")?;
+        let length = r.u16("UDP length")? as usize;
+        let _checksum = r.u16("UDP checksum")?;
+        if length < UDP_HEADER_LEN {
+            return Err(DecodeError::malformed(
+                "UDP length",
+                format!("{length} < {UDP_HEADER_LEN}"),
+            ));
+        }
+        let payload = r.bytes("UDP payload", length - UDP_HEADER_LEN)?.to_vec();
+        Ok(Self {
+            src_port,
+            dst_port,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let d = UdpDatagram::new(5353, 53, b"query bytes".to_vec());
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let d = UdpDatagram::new(1, 2, Vec::new());
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), UDP_HEADER_LEN);
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn bad_length_field_rejected() {
+        let d = UdpDatagram::new(1, 2, b"abc".to_vec());
+        let mut bytes = d.encode();
+        bytes[4..6].copy_from_slice(&3u16.to_be_bytes()); // < header size
+        assert!(matches!(
+            UdpDatagram::decode(&bytes),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let d = UdpDatagram::new(1, 2, b"abcdef".to_vec());
+        let bytes = d.encode();
+        assert!(matches!(
+            UdpDatagram::decode(&bytes[..bytes.len() - 2]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based round-trip tests: for every codec, `decode(encode(x)) == x`
+//! over randomized structured inputs, and decoders never panic on arbitrary
+//! byte soup.
+
+use proptest::prelude::*;
+use shadow_packet::dns::{DnsMessage, DnsName, DnsRecord, Rcode, RecordData, RecordType};
+use shadow_packet::{
+    ClientHello, DnsClass, HttpRequest, HttpResponse, IcmpMessage, IpProtocol, Ipv4Header,
+    Ipv4Packet, TcpFlags, TcpSegment, TlsRecord, UdpDatagram,
+};
+use std::net::Ipv4Addr;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9-]{0,20}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 1..6)
+        .prop_map(|labels| DnsName::parse(&labels.join(".")).expect("labels are valid"))
+}
+
+proptest! {
+    #[test]
+    fn ipv4_packet_round_trips(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        proto in prop_oneof![Just(IpProtocol::Udp), Just(IpProtocol::Tcp), Just(IpProtocol::Icmp)],
+        ttl in 1u8..=255,
+        ident in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let pkt = Ipv4Packet::new(src, dst, proto, ttl, ident, payload);
+        prop_assert_eq!(Ipv4Packet::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn ipv4_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Ipv4Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn udp_round_trips(
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let d = UdpDatagram::new(sp, dp, payload);
+        prop_assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn tcp_round_trips(
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let seg = TcpSegment::new(sp, dp, seq, ack, TcpFlags(flags), payload);
+        prop_assert_eq!(TcpSegment::decode(&seg.encode()).unwrap(), seg);
+    }
+
+    #[test]
+    fn icmp_time_exceeded_round_trips(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        ident in any::<u16>(),
+        quoted in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let header = Ipv4Header::new(src, dst, IpProtocol::Udp, 0, ident, quoted.len());
+        let msg = IcmpMessage::time_exceeded(header, &quoted);
+        let back = IcmpMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn icmp_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = IcmpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn dns_name_round_trips(name in arb_name()) {
+        let mut buf = Vec::new();
+        name.encode(&mut buf);
+        let mut r = shadow_packet::Reader::new(&buf);
+        prop_assert_eq!(DnsName::decode(&mut r).unwrap(), name);
+    }
+
+    #[test]
+    fn dns_query_round_trips(id in any::<u16>(), name in arb_name()) {
+        let q = DnsMessage::query(id, name);
+        prop_assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn dns_response_round_trips(
+        id in any::<u16>(),
+        name in arb_name(),
+        addr in arb_ipv4(),
+        ttl in 0u32..1_000_000,
+        txts in proptest::collection::vec(arb_label(), 0..4),
+    ) {
+        let q = DnsMessage::query(id, name.clone());
+        let mut resp = DnsMessage::response(&q, true, Rcode::NoError, vec![
+            DnsRecord::a(name.clone(), ttl, addr),
+        ]);
+        resp.additionals.push(DnsRecord {
+            name,
+            rtype: RecordType::Txt,
+            class: DnsClass::In,
+            ttl,
+            data: RecordData::Txt(txts),
+        });
+        prop_assert_eq!(DnsMessage::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn dns_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DnsMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn http_request_round_trips(
+        host in arb_label(),
+        path_seg in arb_label(),
+    ) {
+        let req = HttpRequest::get(&host, &format!("/{path_seg}"));
+        prop_assert_eq!(HttpRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn http_response_round_trips(
+        status in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let resp = HttpResponse::new(status, "Reason", body);
+        prop_assert_eq!(HttpResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn http_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = HttpRequest::decode(&bytes);
+        let _ = HttpResponse::decode(&bytes);
+    }
+
+    #[test]
+    fn tls_client_hello_round_trips(
+        host in proptest::string::string_regex("[a-z0-9]{1,20}(\\.[a-z0-9]{1,15}){0,4}").expect("valid regex"),
+        random in any::<[u8; 32]>(),
+    ) {
+        let ch = ClientHello::with_sni(&host, random);
+        let back = ClientHello::decode_record(&ch.encode_record()).unwrap();
+        let sni = back.sni();
+        prop_assert_eq!(sni.as_deref(), Some(host.as_str()));
+        prop_assert_eq!(back, ch);
+    }
+
+    #[test]
+    fn tls_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TlsRecord::decode(&bytes);
+        let _ = ClientHello::decode_record(&bytes);
+        let _ = shadow_packet::tls::sniff_sni(&bytes);
+    }
+
+    #[test]
+    fn ttl_decrement_is_monotone(initial in 0u8..=255) {
+        let mut h = Ipv4Header::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            IpProtocol::Udp,
+            initial,
+            0,
+            0,
+        );
+        let before = h.ttl;
+        let res = h.decrement_ttl();
+        match res {
+            Some(new) => {
+                prop_assert_eq!(new, before - 1);
+                prop_assert!(before > 1);
+            }
+            None => {
+                prop_assert!(before <= 1);
+                prop_assert_eq!(h.ttl, 0);
+            }
+        }
+    }
+}

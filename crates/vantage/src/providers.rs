@@ -1,0 +1,123 @@
+//! The VPN providers of Table 5, with ground-truth properties the
+//! platform's vetting pipeline (Appendix C / Appendix E) must discover:
+//! whether a provider's egress rewrites IP TTLs (breaks Phase II, must be
+//! excluded) and whether nodes are covertly residential (ethical exclusion).
+
+use serde::{Deserialize, Serialize};
+
+/// Which market a provider serves (Table 1 splits counts by this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Market {
+    Global,
+    China,
+}
+
+/// One commercial VPN provider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VpnProvider {
+    pub name: &'static str,
+    pub market: Market,
+    /// Relative share of VPs this provider contributes.
+    pub vp_weight: u32,
+    /// Ground truth: egress rewrites the TTL of outgoing packets to a fixed
+    /// value. The paper tests for this before integration and excludes such
+    /// providers (Appendix E, "Bias caused by VPN nodes").
+    pub rewrites_ttl: Option<u8>,
+    /// Ground truth: despite datacenter claims, some egress nodes are
+    /// residential. Appendix C's IPinfo check catches most of these.
+    pub covertly_residential: bool,
+}
+
+const fn provider(
+    name: &'static str,
+    market: Market,
+    vp_weight: u32,
+    rewrites_ttl: Option<u8>,
+    covertly_residential: bool,
+) -> VpnProvider {
+    VpnProvider {
+        name,
+        market,
+        vp_weight,
+        rewrites_ttl,
+        covertly_residential,
+    }
+}
+
+/// Table 5: 6 global providers and 13 providers dedicated to the Chinese
+/// market. Two extra candidate providers carry ground-truth defects so the
+/// vetting pipeline has something to catch; the paper likewise reports
+/// testing providers "beforehand" and not integrating TTL-resetting ones.
+pub const VPN_PROVIDERS: &[VpnProvider] = &[
+    provider("Anonine", Market::Global, 10, None, false),
+    provider("AzireVPN", Market::Global, 9, None, false),
+    provider("Cryptostorm", Market::Global, 8, None, false),
+    provider("HideMe", Market::Global, 11, None, false),
+    provider("PrivateInt", Market::Global, 14, None, false),
+    provider("PureVPN", Market::Global, 13, None, false),
+    provider("QiXun", Market::China, 9, None, false),
+    provider("XunYou", Market::China, 8, None, false),
+    provider("YOYO", Market::China, 8, None, false),
+    provider("BeiKe", Market::China, 7, None, false),
+    provider("SunYunD", Market::China, 7, None, false),
+    provider("HuoJian", Market::China, 8, None, false),
+    provider("DuoDuo", Market::China, 7, None, false),
+    provider("MoGu", Market::China, 8, None, false),
+    provider("QiangZi", Market::China, 7, None, false),
+    provider("XunLian", Market::China, 7, None, false),
+    provider("TianTian", Market::China, 8, None, false),
+    provider("JiKe", Market::China, 7, None, false),
+    provider("XiGua", Market::China, 8, None, false),
+];
+
+/// Candidate providers that fail vetting — tested before integration and
+/// rejected, so they never appear in Table 1's counts.
+pub const REJECTED_CANDIDATES: &[VpnProvider] = &[
+    provider("TtlMangler", Market::Global, 6, Some(64), false),
+    provider("HomeNodes", Market::China, 5, None, true),
+];
+
+/// Providers serving one market.
+pub fn providers_in(market: Market) -> impl Iterator<Item = &'static VpnProvider> {
+    VPN_PROVIDERS.iter().filter(move |p| p.market == market)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_counts() {
+        assert_eq!(VPN_PROVIDERS.len(), 19, "19 providers integrated");
+        assert_eq!(providers_in(Market::Global).count(), 6);
+        assert_eq!(providers_in(Market::China).count(), 13);
+    }
+
+    #[test]
+    fn integrated_providers_are_clean() {
+        for p in VPN_PROVIDERS {
+            assert!(p.rewrites_ttl.is_none(), "{} rewrites TTL", p.name);
+            assert!(!p.covertly_residential, "{} residential", p.name);
+        }
+    }
+
+    #[test]
+    fn rejected_candidates_have_defects() {
+        assert!(REJECTED_CANDIDATES
+            .iter()
+            .all(|p| p.rewrites_ttl.is_some() || p.covertly_residential));
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = VPN_PROVIDERS
+            .iter()
+            .chain(REJECTED_CANDIDATES)
+            .map(|p| p.name)
+            .collect();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

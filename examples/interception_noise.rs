@@ -1,0 +1,86 @@
+//! Appendix E in action: the pair-resolver test detecting on-path DNS
+//! interception, and the TTL pre-flight catching a VPN that rewrites TTLs.
+//!
+//! Run with `cargo run --release --example interception_noise [seed]`.
+
+use traffic_shadowing::shadow_core::noise::NoiseFilter;
+use traffic_shadowing::shadow_core::world::{World, WorldConfig};
+use traffic_shadowing::shadow_vantage::vp::VantagePointHost;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut world = World::build(WorldConfig {
+        interceptors: 2,
+        ..WorldConfig::standard(seed)
+    });
+    let before = world.platform.vps.len();
+    println!("platform before pre-flight: {before} VPs");
+    println!(
+        "ground truth: {} interception middleboxes planted on CN cloud edges\n",
+        world.ground_truth.interceptor_nodes.len()
+    );
+
+    // Sabotage one VP to demonstrate the TTL pre-flight: its VPN egress
+    // rewrites every outgoing TTL to 64 (the defect the paper tests for
+    // before integrating providers).
+    let victim = world.platform.vps[0].clone();
+    world.engine.add_host(
+        victim.node,
+        Box::new(VantagePointHost::new(victim.addr, 1, Some(64))),
+    );
+    println!(
+        "sabotaged VP{} ({}, {}) with a TTL-rewriting egress",
+        victim.id.0, victim.provider, victim.country
+    );
+
+    // --- TTL pre-flight -------------------------------------------------
+    let deltas = NoiseFilter::ttl_preflight(&mut world);
+    let expected = NoiseFilter::expected_delta();
+    let flagged: Vec<_> = deltas.iter().filter(|&&(_, d)| d != expected).collect();
+    println!(
+        "\nTTL pre-flight: {} VPs measured, expected Δ={expected}, {} flagged:",
+        deltas.len(),
+        flagged.len()
+    );
+    for (id, delta) in &flagged {
+        println!("  VP{}: observed Δ={delta} → excluded (TTL rewrite)", id.0);
+    }
+
+    // --- pair-resolver test ---------------------------------------------
+    let intercepted = NoiseFilter::pair_resolver_test(&mut world);
+    println!(
+        "\npair-resolver test: {} VPs answered on pair addresses (DNS interception on path)",
+        intercepted.len()
+    );
+    let mut by_country: std::collections::BTreeMap<String, usize> = Default::default();
+    for id in &intercepted {
+        if let Some(vp) = world.platform.get(*id) {
+            *by_country.entry(vp.country.to_string()).or_default() += 1;
+        }
+    }
+    for (country, count) in &by_country {
+        println!("  {country}: {count} VPs");
+    }
+
+    // --- apply -----------------------------------------------------------
+    let mut platform = std::mem::take(&mut world.platform);
+    platform.vet_ttl_rewrite(&deltas, expected);
+    platform.exclude_intercepted(&intercepted);
+    world.platform = platform;
+    println!(
+        "\nplatform after pre-flight: {} VPs ({} excluded)",
+        world.platform.vps.len(),
+        world.platform.excluded.len()
+    );
+    println!("exclusion reasons:");
+    let mut reasons: std::collections::BTreeMap<String, usize> = Default::default();
+    for (_, reason) in &world.platform.excluded {
+        *reasons.entry(format!("{reason:?}")).or_default() += 1;
+    }
+    for (reason, count) in reasons {
+        println!("  {reason}: {count}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Quickstart: run a miniature end-to-end study and print the headline
+//! numbers. See `full_campaign.rs` for the paper-scale reproduction.
+
+use traffic_shadowing::study::{Study, StudyConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let started = std::time::Instant::now();
+    let outcome = Study::run(StudyConfig::tiny(seed));
+    println!("=== traffic-shadowing quickstart (seed {seed}) ===\n");
+    println!("{}", outcome.summary());
+    println!("\nYandex case study:");
+    if let Some(case) = outcome.resolver_case("Yandex") {
+        println!(
+            "  decoys {} | shadowed {:.1}% | HTTP(S)-probed {:.1}% | ≥10d tail {:.1}%",
+            case.decoys,
+            case.shadowed_fraction() * 100.0,
+            case.http_probed_fraction() * 100.0,
+            case.ten_day_tail * 100.0
+        );
+    }
+    println!("\n(elapsed: {:?})", started.elapsed());
+}

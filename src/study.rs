@@ -1,0 +1,330 @@
+//! One-call orchestration of the full study: world construction, Appendix-E
+//! pre-flight, Phase I, correlation, Phase II, and the analysis inputs —
+//! everything the examples and benches build on.
+
+use shadow_analysis::breakdown::{self, DestinationBreakdown};
+use shadow_analysis::cases::{AnycastCase, CnObserverCase, ResolverCase};
+use shadow_analysis::landscape::LandscapeReport;
+use shadow_analysis::location::{ObserverHopTable, ObserverIpSummary};
+use shadow_analysis::origins::OriginAsReport;
+use shadow_analysis::probing::ProbingReport;
+use shadow_analysis::reuse::ReuseReport;
+use shadow_analysis::temporal::{interval_cdf, Cdf};
+use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
+use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
+use shadow_core::decoy::DecoyProtocol;
+use shadow_core::noise::{NoiseFilter, PreflightOutcome};
+use shadow_core::phase2::{paths_to_trace, Phase2Config, Phase2Runner, TracerouteResult};
+use shadow_core::world::{World, WorldConfig};
+use shadow_dns::catalog::resolver_h;
+use shadow_geo::country::cc;
+use shadow_intel::{Blocklist, PortScanner};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Study-wide configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    pub world: WorldConfig,
+    pub phase1: Phase1Config,
+    pub phase2: Phase2Config,
+    /// Cap on traced paths per decoy protocol (Phase II cost control).
+    pub trace_cap_per_protocol: usize,
+    /// Skip Phase II entirely (landscape-only runs).
+    pub run_phase2: bool,
+}
+
+impl StudyConfig {
+    /// A laptop-milliseconds configuration for tests and the quickstart.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::tiny(seed),
+            phase1: Phase1Config::default(),
+            phase2: Phase2Config {
+                max_ttl: 24,
+                ..Phase2Config::default()
+            },
+            trace_cap_per_protocol: 12,
+            run_phase2: true,
+        }
+    }
+
+    /// The default full-scale (simulated) campaign.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::standard(seed),
+            phase1: Phase1Config::default(),
+            phase2: Phase2Config::default(),
+            trace_cap_per_protocol: 60,
+            run_phase2: true,
+        }
+    }
+}
+
+/// Everything the study produced.
+pub struct StudyOutcome {
+    pub world: World,
+    pub preflight: PreflightOutcome,
+    /// Phase I data (the landscape inputs — one decoy per path/protocol).
+    pub phase1: CampaignData,
+    /// Phase II data (the TTL sweeps), if Phase II ran.
+    pub phase2: Option<CampaignData>,
+    /// Correlation of Phase I arrivals.
+    pub correlated: Vec<CorrelatedRequest>,
+    pub traced_paths: Vec<PathKey>,
+    pub traceroutes: Vec<TracerouteResult>,
+    /// Destination address → display name.
+    pub dest_names: BTreeMap<Ipv4Addr, String>,
+    /// The Spamhaus stand-in, populated from world ground truth
+    /// (DESIGN.md documents the substitution).
+    pub blocklist: Blocklist,
+    /// The port-scan substrate for §5.2's observer fingerprinting.
+    pub port_scanner: PortScanner,
+}
+
+/// The runner.
+pub struct Study;
+
+impl Study {
+    pub fn run(config: StudyConfig) -> StudyOutcome {
+        let mut world = World::build(config.world.clone());
+        let preflight = NoiseFilter::run_and_apply(&mut world);
+
+        let phase1 = CampaignRunner::run_phase1(&mut world, &config.phase1);
+        let correlator = Correlator::new(&phase1.registry);
+        let correlated = correlator.correlate(&phase1.arrivals);
+
+        let (traced_paths, traceroutes, phase2_data) = if config.run_phase2 {
+            let traced = paths_to_trace(
+                &correlated,
+                &phase1.registry,
+                config.trace_cap_per_protocol,
+            );
+            let (results, data) = Phase2Runner::run(&mut world, &traced, &config.phase2);
+            (traced, results, Some(data))
+        } else {
+            (Vec::new(), Vec::new(), None)
+        };
+
+        let mut dest_names: BTreeMap<Ipv4Addr, String> = BTreeMap::new();
+        for dest in &world.dns_destinations {
+            dest_names.insert(dest.addr, dest.dest.name.to_string());
+        }
+        for site in &world.tranco {
+            dest_names.insert(site.addr, format!("site:{}", site.country));
+        }
+
+        let blocklist =
+            Blocklist::from_addrs(world.ground_truth.blocklisted_addrs.iter().copied());
+        let mut port_scanner = PortScanner::new();
+        for addr in &world.ground_truth.bgp_speaking_observers {
+            port_scanner.set_open(*addr, 179);
+        }
+
+        StudyOutcome {
+            world,
+            preflight,
+            phase1,
+            phase2: phase2_data,
+            correlated,
+            traced_paths,
+            traceroutes,
+            dest_names,
+            blocklist,
+            port_scanner,
+        }
+    }
+}
+
+impl StudyOutcome {
+    /// Figure 3.
+    pub fn landscape(&self) -> LandscapeReport {
+        LandscapeReport::compute(
+            &self.phase1.registry,
+            &self.correlated,
+            &self.world.platform,
+            &self.dest_names,
+        )
+    }
+
+    /// Table 2.
+    pub fn hop_table(&self) -> ObserverHopTable {
+        ObserverHopTable::compute(&self.traceroutes)
+    }
+
+    /// Table 3 + the observer-IP country split.
+    pub fn observer_ips(&self) -> ObserverIpSummary {
+        ObserverIpSummary::compute(&self.traceroutes, &self.world.geo, &self.world.catalog)
+    }
+
+    /// Figure 4: interval CDF for DNS decoys to Resolver_h.
+    pub fn fig4_cdf(&self) -> Cdf {
+        let dsts: Vec<Ipv4Addr> = resolver_h().iter().map(|d| d.addr).collect();
+        interval_cdf(&self.correlated, DecoyProtocol::Dns, Some(&dsts))
+    }
+
+    /// Figure 4's control: the other 15 public resolvers.
+    pub fn fig4_other_resolvers_cdf(&self) -> Cdf {
+        let heavy: Vec<Ipv4Addr> = resolver_h().iter().map(|d| d.addr).collect();
+        let others: Vec<Ipv4Addr> = self
+            .world
+            .dns_destinations
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.dest.kind,
+                    shadow_dns::catalog::DnsDestinationKind::PublicResolver
+                ) && !heavy.contains(&d.addr)
+            })
+            .map(|d| d.addr)
+            .collect();
+        interval_cdf(&self.correlated, DecoyProtocol::Dns, Some(&others))
+    }
+
+    /// Figure 5.
+    pub fn fig5_breakdown(&self) -> Vec<DestinationBreakdown> {
+        breakdown::compute(&self.phase1.registry, &self.correlated, &self.dest_names)
+    }
+
+    /// Figure 6.
+    pub fn fig6_origins(&self) -> OriginAsReport {
+        let dests: BTreeMap<Ipv4Addr, String> = resolver_h()
+            .iter()
+            .map(|d| (d.addr, d.name.to_string()))
+            .collect();
+        OriginAsReport::compute(&self.correlated, &dests, &self.world.geo, &self.blocklist)
+    }
+
+    /// Figure 7: interval CDFs for HTTP and TLS decoys.
+    pub fn fig7_cdfs(&self) -> (Cdf, Cdf) {
+        (
+            interval_cdf(&self.correlated, DecoyProtocol::Http, None),
+            interval_cdf(&self.correlated, DecoyProtocol::Tls, None),
+        )
+    }
+
+    /// §5.1 reuse counts.
+    pub fn reuse(&self) -> ReuseReport {
+        ReuseReport::compute(
+            &self.correlated,
+            DecoyProtocol::Dns,
+            shadow_netsim::time::SimDuration::from_hours(1),
+        )
+    }
+
+    /// §5 probing incentives for decoys of one protocol.
+    pub fn probing(&self, protocol: DecoyProtocol) -> ProbingReport {
+        ProbingReport::compute(&self.correlated, protocol, &self.blocklist)
+    }
+
+    /// Case I (any resolver by catalog name).
+    pub fn resolver_case(&self, name: &str) -> Option<ResolverCase> {
+        let dest = self.world.dns_destination(name)?;
+        Some(ResolverCase::compute(
+            &self.phase1.registry,
+            &self.correlated,
+            dest.addr,
+            name,
+        ))
+    }
+
+    /// Case II (the 114DNS anycast split).
+    pub fn anycast_case(&self) -> Option<AnycastCase> {
+        let dest = self.world.dns_destination("114DNS")?;
+        Some(AnycastCase::compute(
+            &self.phase1.registry,
+            &self.correlated,
+            &self.world.platform,
+            dest.addr,
+            "114DNS",
+            cc("CN"),
+        ))
+    }
+
+    /// Case III (CN observer concentration).
+    pub fn cn_observer_case(&self) -> CnObserverCase {
+        CnObserverCase::compute(&self.traceroutes, &self.correlated, &self.world.geo)
+    }
+
+    /// §5.2 protocol combinations per observer network.
+    pub fn observer_combos(&self) -> shadow_analysis::combos::ObserverCombos {
+        shadow_analysis::combos::ObserverCombos::compute(
+            &self.correlated,
+            &self.traceroutes,
+            &self.world.geo,
+        )
+    }
+
+    /// Overall Decoy-Request combination counts.
+    pub fn combo_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        shadow_analysis::combos::combo_counts(&self.correlated)
+    }
+
+    /// §5.2 open-port scan of ICMP-revealed observers.
+    pub fn observer_port_scan(&self) -> shadow_intel::PortScanReport {
+        let observer_addrs: Vec<Ipv4Addr> = self
+            .traceroutes
+            .iter()
+            .filter(|r| r.normalized_hop.is_some() && r.normalized_hop != Some(10))
+            .filter_map(|r| r.observer_addr)
+            .collect();
+        self.port_scanner.scan_all(observer_addrs.iter())
+    }
+
+    /// Total decoys sent across both phases.
+    pub fn total_decoys(&self) -> usize {
+        self.phase1.registry.len()
+            + self.phase2.as_ref().map(|p| p.registry.len()).unwrap_or(0)
+    }
+
+    /// Bundle every analysis artifact for JSON export (diffing runs).
+    pub fn export_bundle(&self) -> shadow_analysis::export::AnalysisBundle {
+        use shadow_analysis::export::{grid_points, AnalysisBundle, SerializableHopTable};
+        let (http_cdf, tls_cdf) = self.fig7_cdfs();
+        AnalysisBundle {
+            landscape: Some(self.landscape()),
+            hop_table: Some(SerializableHopTable::from_table(&self.hop_table())),
+            observer_ips: Some(self.observer_ips()),
+            fig4_grid: Some(grid_points(&self.fig4_cdf())),
+            fig5: Some(self.fig5_breakdown()),
+            origins: Some(self.fig6_origins()),
+            fig7_http_grid: Some(grid_points(&http_cdf)),
+            fig7_tls_grid: Some(grid_points(&tls_cdf)),
+            reuse: Some(self.reuse()),
+            probing_dns: Some(self.probing(DecoyProtocol::Dns)),
+        }
+    }
+
+    /// A human-readable executive summary.
+    pub fn summary(&self) -> String {
+        let counts = self.phase1.registry.counts();
+        let landscape = self.landscape();
+        let unsolicited = self
+            .correlated
+            .iter()
+            .filter(|r| r.label.is_unsolicited())
+            .count();
+        format!(
+            "platform: {} VPs after vetting ({} excluded)\n\
+             decoys: {} DNS / {} HTTP / {} TLS\n\
+             arrivals: {} captured, {} unsolicited\n\
+             path ratios: DNS {:.1}% | HTTP {:.1}% | TLS {:.1}%\n\
+             phase II: {} paths traced, {} observers localized",
+            self.world.platform.vps.len(),
+            self.world.platform.excluded.len(),
+            counts.get(&DecoyProtocol::Dns).unwrap_or(&0),
+            counts.get(&DecoyProtocol::Http).unwrap_or(&0),
+            counts.get(&DecoyProtocol::Tls).unwrap_or(&0),
+            self.phase1.arrivals.len(),
+            unsolicited,
+            landscape.protocol_ratio(DecoyProtocol::Dns) * 100.0,
+            landscape.protocol_ratio(DecoyProtocol::Http) * 100.0,
+            landscape.protocol_ratio(DecoyProtocol::Tls) * 100.0,
+            self.traced_paths.len(),
+            self.traceroutes
+                .iter()
+                .filter(|r| r.normalized_hop.is_some())
+                .count(),
+        )
+    }
+}
