@@ -171,9 +171,9 @@ mod tests {
             honeypot: "AUTH".into(),
         };
         let arrivals = vec![
-            mk(&rec.domain, 2_000, ArrivalProtocol::Dns),   // solicited
+            mk(&rec.domain, 2_000, ArrivalProtocol::Dns), // solicited
             mk(&quiet.domain, 3_000, ArrivalProtocol::Dns), // solicited
-            mk(&rec.domain, 30_000, ArrivalProtocol::Dns),  // DNS<1h
+            mk(&rec.domain, 30_000, ArrivalProtocol::Dns), // DNS<1h
             mk(&rec.domain, 90_000_000, ArrivalProtocol::Https), // HTTP>1h (25h)
         ];
         let correlator = Correlator::new(&registry);

@@ -120,11 +120,8 @@ impl AnycastCase {
         destination: &str,
         split: CountryCode,
     ) -> Self {
-        let country_of: BTreeMap<VpId, CountryCode> = platform
-            .vps
-            .iter()
-            .map(|vp| (vp.id, vp.country))
-            .collect();
+        let country_of: BTreeMap<VpId, CountryCode> =
+            platform.vps.iter().map(|vp| (vp.id, vp.country)).collect();
         let mut problematic: BTreeSet<VpId> = BTreeSet::new();
         for req in correlated {
             if req.decoy.protocol == DecoyProtocol::Dns
@@ -209,7 +206,11 @@ impl CnObserverCase {
         }
         let observers_cn = observers
             .iter()
-            .filter(|a| geo.country_of(**a).map(|c| c.as_str() == "CN").unwrap_or(false))
+            .filter(|a| {
+                geo.country_of(**a)
+                    .map(|c| c.as_str() == "CN")
+                    .unwrap_or(false)
+            })
             .count();
         let mut cn_orig = 0usize;
         let mut total_orig = 0usize;
@@ -316,14 +317,8 @@ mod tests {
         ];
         let correlator = Correlator::new(&registry);
         let correlated = correlator.correlate(&arrivals);
-        let case = AnycastCase::compute(
-            &registry,
-            &correlated,
-            &platform(),
-            dst,
-            "114DNS",
-            cc("CN"),
-        );
+        let case =
+            AnycastCase::compute(&registry, &correlated, &platform(), dst, "114DNS", cc("CN"));
         assert_eq!(case.in_country, (1, 1));
         assert_eq!(case.elsewhere, (0, 1));
         assert_eq!(case.in_country_ratio(), 1.0);
@@ -359,7 +354,11 @@ mod tests {
         let day = 86_400_000u64;
         let mut arrivals = Vec::new();
         for rec in &recs {
-            arrivals.push(mk(&rec.domain, rec.planned_at.millis() + 500, ArrivalProtocol::Dns));
+            arrivals.push(mk(
+                &rec.domain,
+                rec.planned_at.millis() + 500,
+                ArrivalProtocol::Dns,
+            ));
         }
         // 3 of 4 shadowed; 2 of 4 HTTP-probed; one ≥10 days.
         arrivals.push(mk(&recs[0].domain, 2 * day, ArrivalProtocol::Dns));

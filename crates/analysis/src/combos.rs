@@ -97,8 +97,8 @@ impl ObserverCombos {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shadow_core::decoy::{DecoyProtocol, DecoyRegistry};
     use shadow_core::correlate::Correlator;
+    use shadow_core::decoy::{DecoyProtocol, DecoyRegistry};
     use shadow_geo::country::cc;
     use shadow_geo::{AsKind, Asn, GeoDb, Ipv4Prefix};
     use shadow_honeypot::capture::Arrival;
@@ -176,10 +176,7 @@ mod tests {
             .or_default()
             .insert("DNS".to_string(), 7);
         assert!(combos.dns_only(29988));
-        assert_eq!(
-            combos.protocol_fraction(29988, ArrivalProtocol::Dns),
-            1.0
-        );
+        assert_eq!(combos.protocol_fraction(29988, ArrivalProtocol::Dns), 1.0);
         assert!(!combos.dns_only(12345), "unknown AS is not DNS-only");
     }
 }

@@ -44,11 +44,8 @@ impl LandscapeReport {
         platform: &Platform,
         dest_names: &BTreeMap<Ipv4Addr, String>,
     ) -> Self {
-        let country_of: BTreeMap<VpId, CountryCode> = platform
-            .vps
-            .iter()
-            .map(|vp| (vp.id, vp.country))
-            .collect();
+        let country_of: BTreeMap<VpId, CountryCode> =
+            platform.vps.iter().map(|vp| (vp.id, vp.country)).collect();
         let correlator = Correlator::new(registry);
         let problematic: BTreeSet<PathKey> = correlator
             .problematic_paths(correlated)
@@ -56,8 +53,7 @@ impl LandscapeReport {
             .collect();
 
         // Denominator: every (vp, dst, protocol) a decoy was sent on.
-        let mut totals: BTreeMap<(String, String, DecoyProtocol), (usize, usize)> =
-            BTreeMap::new();
+        let mut totals: BTreeMap<(String, String, DecoyProtocol), (usize, usize)> = BTreeMap::new();
         let mut seen_paths: BTreeSet<PathKey> = BTreeSet::new();
         for decoy in registry.iter() {
             let key = PathKey {

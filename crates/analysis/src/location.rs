@@ -126,9 +126,7 @@ impl ObserverIpSummary {
                     ObserverAsRow {
                         asn,
                         name: info.map(|i| i.name.clone()).unwrap_or_default(),
-                        country: info
-                            .map(|i| i.country.to_string())
-                            .unwrap_or_default(),
+                        country: info.map(|i| i.country.to_string()).unwrap_or_default(),
                         paths,
                         share: paths as f64 / total as f64,
                     }
@@ -232,7 +230,13 @@ mod tests {
             result(DecoyProtocol::Http, Some(4), Some(9), Some(5), Some(cn2)),
             result(DecoyProtocol::Http, Some(6), Some(9), Some(7), Some(ca)),
             // At-destination result: excluded from observer-IP accounting.
-            result(DecoyProtocol::Tls, Some(9), Some(9), Some(10), Some(Ipv4Addr::new(8, 8, 8, 8))),
+            result(
+                DecoyProtocol::Tls,
+                Some(9),
+                Some(9),
+                Some(10),
+                Some(Ipv4Addr::new(8, 8, 8, 8)),
+            ),
         ];
         let summary = ObserverIpSummary::compute(&results, &geo, &catalog);
         assert_eq!(summary.total_ips, 3);

@@ -167,7 +167,11 @@ mod tests {
             honeypot: "AUTH".into(),
         };
         let arrivals = vec![
-            mk(2_000, Ipv4Addr::new(114, 114, 114, 115), ArrivalProtocol::Dns), // solicited
+            mk(
+                2_000,
+                Ipv4Addr::new(114, 114, 114, 115),
+                ArrivalProtocol::Dns,
+            ), // solicited
             mk(8_000_000, google_egress, ArrivalProtocol::Dns),
             mk(9_000_000, google_egress, ArrivalProtocol::Dns),
             mk(9_500_000, dirty_origin, ArrivalProtocol::Http),

@@ -120,7 +120,7 @@ mod tests {
         };
         let hour = 3_600_000u64;
         let mut arrivals = vec![mk(&busy.domain, 1_000), mk(&lazy.domain, 1_100)]; // solicited
-        // busy: 4 late unsolicited; lazy: 1 early unsolicited.
+                                                                                   // busy: 4 late unsolicited; lazy: 1 early unsolicited.
         for k in 0..4 {
             arrivals.push(mk(&busy.domain, 2 * hour + k * 1_000_000));
         }
@@ -128,13 +128,14 @@ mod tests {
         arrivals.sort_by_key(|a| a.at);
         let correlator = Correlator::new(&registry);
         let correlated = correlator.correlate(&arrivals);
-        let report = ReuseReport::compute(
-            &correlated,
-            DecoyProtocol::Dns,
-            SimDuration::from_hours(1),
-        );
+        let report =
+            ReuseReport::compute(&correlated, DecoyProtocol::Dns, SimDuration::from_hours(1));
         assert_eq!(report.triggered_decoys, 2);
-        assert_eq!(report.late_active_decoys(), 1, "only the busy decoy stays active");
+        assert_eq!(
+            report.late_active_decoys(),
+            1,
+            "only the busy decoy stays active"
+        );
         assert_eq!(report.max_reuse(), 4);
         // Of the late-active decoys, all exceed 3...
         assert!((report.fraction_exceeding(3) - 1.0).abs() < 1e-9);

@@ -71,11 +71,7 @@ impl Cdf {
         }
         let lo = mark.millis().saturating_sub(window.millis());
         let hi = mark.millis().saturating_add(window.millis());
-        let count = self
-            .samples
-            .iter()
-            .filter(|&&s| s >= lo && s <= hi)
-            .count();
+        let count = self.samples.iter().filter(|&&s| s >= lo && s <= hi).count();
         count as f64 / self.samples.len() as f64
     }
 }
@@ -145,6 +141,9 @@ mod tests {
         let c = Cdf::from_durations(vec![]);
         assert!(c.is_empty());
         assert_eq!(c.fraction_at(SimDuration::from_days(1)), 0.0);
-        assert_eq!(c.mass_near(SimDuration::from_hours(1), SimDuration::from_mins(5)), 0.0);
+        assert_eq!(
+            c.mass_near(SimDuration::from_hours(1), SimDuration::from_mins(5)),
+            0.0
+        );
     }
 }

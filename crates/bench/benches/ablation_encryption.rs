@@ -56,9 +56,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_encryption");
     group.sample_size(10);
-    group.bench_function("tiny_encrypted_campaign", |b| {
-        b.iter(|| run(41, true))
-    });
+    group.bench_function("tiny_encrypted_campaign", |b| b.iter(|| run(41, true)));
     group.finish();
 }
 

@@ -44,8 +44,16 @@ fn bench(c: &mut Criterion) {
             "{:>13}% {:>8} {:>11} {:>14}",
             percent,
             traced,
-            format!("{} ({})", localized, pct(localized as f64 / traced.max(1) as f64)),
-            format!("{} ({})", with_addr, pct(with_addr as f64 / traced.max(1) as f64)),
+            format!(
+                "{} ({})",
+                localized,
+                pct(localized as f64 / traced.max(1) as f64)
+            ),
+            format!(
+                "{} ({})",
+                with_addr,
+                pct(with_addr as f64 / traced.max(1) as f64)
+            ),
         );
     }
     println!("expected: localization survives silent hops (the triggering TTL is");
@@ -53,9 +61,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_icmp");
     group.sample_size(10);
-    group.bench_function("tiny_campaign_icmp_50", |b| {
-        b.iter(|| localization_at(50))
-    });
+    group.bench_function("tiny_campaign_icmp_50", |b| b.iter(|| localization_at(50)));
     group.finish();
 }
 

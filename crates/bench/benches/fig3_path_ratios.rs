@@ -16,8 +16,18 @@ fn bench(c: &mut Criterion) {
     println!("\n=== Figure 3 (reproduced): problematic-path ratios ===");
     let mut rows = Vec::new();
     for dest in [
-        "Yandex", "114DNS", "One DNS", "DNS PAI", "VERCARA", "Google", "Cloudflare", "Quad9",
-        "OpenDNS", "self-built", "a.root", ".com",
+        "Yandex",
+        "114DNS",
+        "One DNS",
+        "DNS PAI",
+        "VERCARA",
+        "Google",
+        "Cloudflare",
+        "Quad9",
+        "OpenDNS",
+        "self-built",
+        "a.root",
+        ".com",
     ] {
         rows.push(vec![
             dest.to_string(),

@@ -15,7 +15,10 @@ use traffic_shadowing::shadow_netsim::time::SimDuration;
 fn bench(c: &mut Criterion) {
     let outcome = study();
     let cdf = outcome.fig4_cdf();
-    println!("\n=== Figure 4 (reproduced): Resolver_h interval CDF (n={}) ===", cdf.len());
+    println!(
+        "\n=== Figure 4 (reproduced): Resolver_h interval CDF (n={}) ===",
+        cdf.len()
+    );
     println!("{}", render_series("CDF", &cdf.paper_grid()));
     println!(
         "mass within ±5min of the 1h mark: {} (cache-refresh check: no spike)",

@@ -17,7 +17,14 @@ fn bench(c: &mut Criterion) {
     println!("\n=== Figure 5 (reproduced): DNS decoy outcomes per destination ===");
     let mut rows = Vec::new();
     for dest in [
-        "Yandex", "114DNS", "One DNS", "DNS PAI", "VERCARA", "Google", "OpenDNS", "self-built",
+        "Yandex",
+        "114DNS",
+        "One DNS",
+        "DNS PAI",
+        "VERCARA",
+        "Google",
+        "OpenDNS",
+        "self-built",
     ] {
         if let Some(b) = breakdown.iter().find(|b| b.destination == dest) {
             rows.push(vec![
@@ -34,13 +41,23 @@ fn bench(c: &mut Criterion) {
     println!(
         "{}",
         render_table(
-            &["Destination", "decoys", "silent", "DNS<1h", "DNS>1h", "HTTP(S)<1h", "HTTP(S)>1h"],
+            &[
+                "Destination",
+                "decoys",
+                "silent",
+                "DNS<1h",
+                "DNS>1h",
+                "HTTP(S)<1h",
+                "HTTP(S)>1h"
+            ],
             &rows
         )
     );
     println!("paper: Yandex >99% shadowed, ~50% → HTTP(S) after hours/days\n");
 
-    c.bench_function("fig5/breakdown_compute", |b| b.iter(|| outcome.fig5_breakdown()));
+    c.bench_function("fig5/breakdown_compute", |b| {
+        b.iter(|| outcome.fig5_breakdown())
+    });
 }
 
 criterion_group!(benches, bench);

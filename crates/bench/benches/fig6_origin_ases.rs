@@ -24,10 +24,7 @@ fn bench(c: &mut Criterion) {
             .take(4)
             .map(|(name, count)| vec![name, count.to_string()])
             .collect();
-        println!(
-            "\n{dest} (fan-out {} ASes):",
-            origins.origin_as_count(dest)
-        );
+        println!("\n{dest} (fan-out {} ASes):", origins.origin_as_count(dest));
         println!("{}", render_table(&["Origin AS", "requests"], &rows));
     }
     println!(
@@ -41,7 +38,9 @@ fn bench(c: &mut Criterion) {
     );
     println!("paper: DNS 5.2% blocklisted; 114DNS → 4 origin ASes\n");
 
-    c.bench_function("fig6/origins_compute", |b| b.iter(|| outcome.fig6_origins()));
+    c.bench_function("fig6/origins_compute", |b| {
+        b.iter(|| outcome.fig6_origins())
+    });
 }
 
 criterion_group!(benches, bench);

@@ -19,8 +19,17 @@ fn bench(c: &mut Criterion) {
     let dns = outcome.fig4_cdf();
 
     println!("\n=== Figure 7 (reproduced): HTTP/TLS interval CDFs ===");
-    println!("{}", render_series(&format!("HTTP decoys (n={})", http.len()), &http.paper_grid()));
-    println!("{}", render_series(&format!("TLS decoys (n={})", tls.len()), &tls.paper_grid()));
+    println!(
+        "{}",
+        render_series(
+            &format!("HTTP decoys (n={})", http.len()),
+            &http.paper_grid()
+        )
+    );
+    println!(
+        "{}",
+        render_series(&format!("TLS decoys (n={})", tls.len()), &tls.paper_grid())
+    );
     let day10 = SimDuration::from_days(10);
     println!(
         "≥10-day tail: HTTP {} | TLS {} | DNS (Resolver_h) {}",

@@ -30,7 +30,15 @@ fn bench(c: &mut Criterion) {
     println!(
         "{}",
         render_table(
-            &["decoy", "HTTP reqs", "enum", "exploits", "BL HTTP", "BL HTTPS", "BL DNS"],
+            &[
+                "decoy",
+                "HTTP reqs",
+                "enum",
+                "exploits",
+                "BL HTTP",
+                "BL HTTPS",
+                "BL DNS"
+            ],
             &rows
         )
     );
@@ -46,11 +54,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("s5/probing_compute", |b| {
         b.iter(|| {
-            ProbingReport::compute(
-                &outcome.correlated,
-                DecoyProtocol::Dns,
-                &outcome.blocklist,
-            )
+            ProbingReport::compute(&outcome.correlated, DecoyProtocol::Dns, &outcome.blocklist)
         })
     });
 }

@@ -1,0 +1,75 @@
+//! Shard-scaling benchmark: Phase I cost as the campaign is split across
+//! 1/2/4/8 shards (one private world per shard, merged with the
+//! order-stable absorb). The output is byte-identical for every shard
+//! count — see `tests/sharded_equivalence.rs` — so this axis measures pure
+//! speedup.
+//!
+//! Two metrics per thread count:
+//!
+//! * `BENCH shard_scaling/phase1_threads_K` — wall-clock of the threaded
+//!   executor on *this* host. On a single-core box (most CI runners) this
+//!   cannot improve with K: the shards time-slice one core and each one
+//!   replays the pre-flight, so wall-clock *grows* with K.
+//! * `SHARD_SPEEDUP {"threads":K,...}` — the critical path: the slowest
+//!   single shard's full pipeline (instantiate + pre-flight + owned Phase
+//!   I slice), measured with shards run one at a time so they never
+//!   contend. This is the wall-clock a host with >= K idle cores gets, and
+//!   the number the >=2x-at-4-threads acceptance point reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use traffic_shadowing::shadow_core::campaign::{CampaignRunner, Phase1Config};
+use traffic_shadowing::shadow_core::executor::{run_phase1_sharded, shard_vps};
+use traffic_shadowing::shadow_core::noise::NoiseFilter;
+use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
+use traffic_shadowing::shadow_vantage::platform::VpId;
+
+fn bench(c: &mut Criterion) {
+    let spec = generate_spec(WorldConfig::standard(7));
+    let config = Phase1Config::default();
+    println!(
+        "\nsharding {} VPs across worker threads (standard world)",
+        spec.platform.vps.len()
+    );
+
+    // Critical-path measurement: run each shard's pipeline alone and take
+    // the slowest — the ideal-parallel wall-clock.
+    let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
+    let mut sequential_ns: Option<u128> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let assignment = shard_vps(&vp_ids, threads);
+        let mut critical_ns: u128 = 0;
+        for owned in &assignment {
+            let start = Instant::now();
+            let mut world = spec.instantiate();
+            NoiseFilter::run_and_apply(&mut world);
+            let plan = CampaignRunner::plan_phase1(&world, &config);
+            let data = CampaignRunner::execute_phase1(&mut world, &plan, &config, |vp| {
+                owned.contains(&vp)
+            });
+            criterion::black_box(data);
+            critical_ns = critical_ns.max(start.elapsed().as_nanos());
+        }
+        let baseline = *sequential_ns.get_or_insert(critical_ns);
+        println!(
+            "SHARD_SPEEDUP {{\"threads\":{},\"sequential_ns\":{},\"critical_path_ns\":{},\"speedup\":{:.2}}}",
+            threads,
+            baseline,
+            critical_ns,
+            baseline as f64 / critical_ns as f64
+        );
+    }
+
+    // Wall-clock of the real threaded executor on this host.
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("phase1_threads_{threads}"), |b| {
+            b.iter(|| run_phase1_sharded(&spec, &config, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! every packet of the campaign passes through.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
 use traffic_shadowing::shadow_core::ident::DecoyIdent;
 use traffic_shadowing::shadow_packet::dns::{DnsMessage, DnsName};
 use traffic_shadowing::shadow_packet::http::HttpRequest;
 use traffic_shadowing::shadow_packet::ipv4::{IpProtocol, Ipv4Packet};
 use traffic_shadowing::shadow_packet::tls::{sniff_sni, ClientHello};
-use std::net::Ipv4Addr;
 
 fn bench(c: &mut Criterion) {
     let name = DnsName::parse("g6d8jjkut5obc4ags2bkdi-9982.www.experiment.example").unwrap();
@@ -50,7 +50,12 @@ fn bench(c: &mut Criterion) {
     });
     group.finish();
 
-    let ident = DecoyIdent::new(1_234_567, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(8, 8, 8, 8), 64);
+    let ident = DecoyIdent::new(
+        1_234_567,
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(8, 8, 8, 8),
+        64,
+    );
     let label = ident.encode();
     let mut group = c.benchmark_group("ident");
     group.bench_function("encode", |b| b.iter(|| black_box(&ident).encode()));

@@ -27,7 +27,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .filter(|d| d.kind == DnsDestinationKind::PublicResolver)
         .count();
-    println!("counts: {publics} public + 1 self-built + 13 roots + 2 TLDs = {}\n", DNS_DESTINATIONS.len());
+    println!(
+        "counts: {publics} public + 1 self-built + 13 roots + 2 TLDs = {}\n",
+        DNS_DESTINATIONS.len()
+    );
 
     c.bench_function("table4/pair_address_derivation", |b| {
         b.iter(|| {

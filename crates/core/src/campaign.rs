@@ -8,6 +8,7 @@ use shadow_honeypot::authority::ExperimentAuthorityHost;
 use shadow_honeypot::capture::{Arrival, CaptureLog};
 use shadow_honeypot::web::WebHost;
 use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_netsim::topology::NodeId;
 use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
 use shadow_vantage::vp::{VantagePointHost, VpCommand, VpReport};
@@ -53,7 +54,7 @@ impl Default for Phase1Config {
 
 /// Everything Phase I produced: the decoy registry, every capture, and the
 /// per-VP reports.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignData {
     pub registry: DecoyRegistry,
     pub arrivals: Vec<Arrival>,
@@ -63,15 +64,43 @@ pub struct CampaignData {
 }
 
 impl CampaignData {
-    /// Absorb another phase's data (registry + arrivals).
+    /// Absorb another phase's (or shard's) data. Commutative up to the
+    /// canonical orders the consumers see: arrivals are re-sorted into the
+    /// total [`Arrival::sort_key`] order after every merge, so the result
+    /// is independent of absorb order (e.g. worker-thread completion
+    /// order). Registries must be disjoint or identical per domain.
     pub fn absorb(&mut self, other: CampaignData) {
         self.registry.absorb(other.registry);
         self.arrivals.extend(other.arrivals);
+        self.arrivals
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         for (vp, report) in other.vp_reports {
             self.vp_reports.insert(vp, report);
         }
         self.last_send = self.last_send.max(other.last_send);
     }
+}
+
+/// One scheduled decoy send: post `command` to `node` (VP `vp`) at `at`.
+#[derive(Debug, Clone)]
+pub struct PlannedSend {
+    pub at: SimTime,
+    pub vp: VpId,
+    pub node: NodeId,
+    pub command: VpCommand,
+}
+
+/// The complete Phase I send schedule, computed without touching the
+/// engine. Planning is a pure function of the world's ground truth
+/// (VP roster, destination lists, clock), so every shard of a sharded run
+/// can reproduce the identical global plan and then execute only the
+/// slice it owns.
+#[derive(Debug)]
+pub struct Phase1Plan {
+    pub registry: DecoyRegistry,
+    pub sends: Vec<PlannedSend>,
+    /// When the last decoy leaves a VP — global across all shards.
+    pub last_send: SimTime,
 }
 
 /// The campaign runner.
@@ -80,9 +109,16 @@ pub struct CampaignRunner;
 impl CampaignRunner {
     /// Run Phase I on `world` and harvest captures.
     pub fn run_phase1(world: &mut World, config: &Phase1Config) -> CampaignData {
+        let plan = Self::plan_phase1(world, config);
+        Self::execute_phase1(world, &plan, config, |_| true)
+    }
+
+    /// Compute the full Phase I schedule without posting anything.
+    pub fn plan_phase1(world: &World, config: &Phase1Config) -> Phase1Plan {
         let zone = world.zone.clone();
         let mut registry = DecoyRegistry::new(zone);
         let mut scheduler = RateLimitedScheduler::paper_defaults();
+        let mut sends = Vec::new();
         let mut last_send = world.engine.now();
         let start0 = world.engine.now() + SimDuration::from_secs(5);
 
@@ -123,7 +159,12 @@ impl CampaignRunner {
                                 ttl: 64,
                             }
                         };
-                        world.engine.post(at, vp_node, Box::new(command));
+                        sends.push(PlannedSend {
+                            at,
+                            vp: vp_id,
+                            node: vp_node,
+                            command,
+                        });
                         last_send = last_send.max(at);
                     }
                 }
@@ -139,15 +180,16 @@ impl CampaignRunner {
                             at,
                             None,
                         );
-                        world.engine.post(
+                        sends.push(PlannedSend {
                             at,
-                            vp_node,
-                            Box::new(VpCommand::HttpDecoy {
+                            vp: vp_id,
+                            node: vp_node,
+                            command: VpCommand::HttpDecoy {
                                 domain: record.domain.clone(),
                                 dst,
                                 ttl: 64,
-                            }),
-                        );
+                            },
+                        });
                         last_send = last_send.max(at);
                     }
                     if config.send_tls {
@@ -174,20 +216,50 @@ impl CampaignRunner {
                                 ttl: 64,
                             }
                         };
-                        world.engine.post(at, vp_node, Box::new(command));
+                        sends.push(PlannedSend {
+                            at,
+                            vp: vp_id,
+                            node: vp_node,
+                            command,
+                        });
                         last_send = last_send.max(at);
                     }
                 }
             }
         }
 
-        world.engine.run_until(last_send + config.grace);
-        let (arrivals, vp_reports) = Self::harvest(world);
-        CampaignData {
+        Phase1Plan {
             registry,
+            sends,
+            last_send,
+        }
+    }
+
+    /// Execute the slice of `plan` whose VPs satisfy `owns`, run the clock
+    /// through the *global* grace window, and harvest. With `owns = |_|
+    /// true` this is exactly the sequential Phase I; a sharded run calls
+    /// it once per shard with disjoint ownership predicates and absorbs
+    /// the results.
+    pub fn execute_phase1(
+        world: &mut World,
+        plan: &Phase1Plan,
+        config: &Phase1Config,
+        owns: impl Fn(VpId) -> bool,
+    ) -> CampaignData {
+        for send in &plan.sends {
+            if owns(send.vp) {
+                world
+                    .engine
+                    .post(send.at, send.node, Box::new(send.command.clone()));
+            }
+        }
+        world.engine.run_until(plan.last_send + config.grace);
+        let (arrivals, vp_reports) = Self::harvest_filtered(world, &owns);
+        CampaignData {
+            registry: plan.registry.filter_vps(&owns),
             arrivals,
             vp_reports,
-            last_send,
+            last_send: plan.last_send,
         }
     }
 
@@ -195,6 +267,16 @@ impl CampaignRunner {
     /// web servers, and snapshot VP reports. Draining means each phase
     /// sees only its own captures.
     pub fn harvest(world: &mut World) -> (Vec<Arrival>, HashMap<VpId, VpReport>) {
+        Self::harvest_filtered(world, |_| true)
+    }
+
+    /// Like [`CampaignRunner::harvest`], but only snapshot reports for VPs
+    /// satisfying `owns` (a shard reports only the VPs it drove; the
+    /// others sat idle in its copy of the world).
+    pub fn harvest_filtered(
+        world: &mut World,
+        owns: impl Fn(VpId) -> bool,
+    ) -> (Vec<Arrival>, HashMap<VpId, VpReport>) {
         let mut logs: Vec<CaptureLog> = Vec::new();
         let auth_node = world.auth_node;
         if let Some(auth) = world
@@ -212,6 +294,9 @@ impl CampaignRunner {
         let arrivals = CaptureLog::merged(logs);
         let mut vp_reports = HashMap::new();
         for vp in &world.platform.vps {
+            if !owns(vp.id) {
+                continue;
+            }
             if let Some(host) = world.engine.host_as::<VantagePointHost>(vp.node) {
                 vp_reports.insert(vp.id, host.report.clone());
             }

@@ -148,8 +148,10 @@ impl<'a> Correlator<'a> {
         correlated: &[CorrelatedRequest],
     ) -> BTreeMap<PathKey, ProblematicPath> {
         let mut paths: BTreeMap<PathKey, ProblematicPath> = BTreeMap::new();
-        let mut triggering: BTreeMap<PathKey, std::collections::BTreeSet<&shadow_packet::dns::DnsName>> =
-            BTreeMap::new();
+        let mut triggering: BTreeMap<
+            PathKey,
+            std::collections::BTreeSet<&shadow_packet::dns::DnsName>,
+        > = BTreeMap::new();
         for req in correlated {
             if !req.label.is_unsolicited() {
                 continue;
@@ -252,7 +254,9 @@ mod tests {
             arrival(&rec.domain, 5_000, ArrivalProtocol::Http),
             arrival(&rec.domain, 6_000, ArrivalProtocol::Https),
         ]);
-        assert!(out.iter().all(|r| r.label == UnsolicitedLabel::HttpTlsArrival));
+        assert!(out
+            .iter()
+            .all(|r| r.label == UnsolicitedLabel::HttpTlsArrival));
         assert_eq!(out[0].combo(), "DNS-HTTP");
         assert_eq!(out[1].combo(), "DNS-HTTPS");
     }

@@ -75,6 +75,7 @@ impl DecoyRegistry {
 
     /// Build and register a decoy for `(vp, dst, protocol, ttl)` planned at
     /// `planned_at`. Returns the record (domain included).
+    #[allow(clippy::too_many_arguments)]
     pub fn register(
         &mut self,
         vp: VpId,
@@ -132,6 +133,25 @@ impl DecoyRegistry {
             *counts.entry(record.protocol).or_insert(0) += 1;
         }
         counts
+    }
+
+    /// A copy keeping only decoys whose sending VP satisfies `owns`,
+    /// preserving registration order. Sharded runs slice the global plan's
+    /// registry this way so shard registries are disjoint and their union
+    /// (via [`DecoyRegistry::absorb`]) recovers the global one.
+    pub fn filter_vps(&self, owns: impl Fn(VpId) -> bool) -> DecoyRegistry {
+        let mut out = DecoyRegistry {
+            zone: self.zone.clone(),
+            by_domain: HashMap::new(),
+            order: Vec::new(),
+        };
+        for record in self.iter() {
+            if owns(record.vp) {
+                out.by_domain.insert(record.domain.clone(), record.clone());
+                out.order.push(record.domain.clone());
+            }
+        }
+        out
     }
 
     /// Merge another registry (e.g. Phase II sweeps) into this one.

@@ -1,0 +1,207 @@
+//! Deterministic sharded campaign execution.
+//!
+//! The campaign is embarrassingly parallel across vantage points: every
+//! decoy is sent by exactly one VP, and the global send schedule is a pure
+//! function of the (deterministic) world. A sharded run therefore:
+//!
+//! 1. generates the [`WorldSpec`] once (all randomness lives there);
+//! 2. partitions the VP set round-robin into `K` shards;
+//! 3. instantiates one private [`World`] per shard from the shared spec —
+//!    identical topology, identical exhibitor seeds, identical honeypots;
+//! 4. replays the Appendix-E pre-flight in every shard (cheap, and it keeps
+//!    each shard's platform vetting — and thus the global plan — identical);
+//! 5. computes the *global* plan in every shard and posts only the sends
+//!    owned by that shard, running the clock through the global grace
+//!    window so retention-store timing matches the sequential run;
+//! 6. merges shard outputs with the commutative, order-stable
+//!    [`CampaignData::absorb`].
+//!
+//! Because exhibitor randomness is value-derived (seeded per observation
+//! from the decoy domain and time, never from a shared RNG stream), a
+//! shard observing only its own VPs' decoys makes the same probing
+//! decisions the sequential run makes for those decoys. The one documented
+//! divergence risk is retention-store *capacity* eviction (FIFO): a shard
+//! sees fewer identifiers than the sequential run, so a sequential run
+//! that overflows a retention store could replay a different (older)
+//! subset. The shipped worlds size retention well above per-store load;
+//! `tests/sharded_equivalence.rs` enforces byte-identical output.
+
+use crate::campaign::{CampaignData, CampaignRunner, Phase1Config};
+use crate::correlate::PathKey;
+use crate::noise::{NoiseFilter, PreflightOutcome};
+use crate::phase2::{Phase2Config, Phase2Runner, TracerouteResult};
+use crate::world::{World, WorldSpec};
+use shadow_netsim::engine::EngineStats;
+use shadow_vantage::platform::VpId;
+use std::collections::BTreeSet;
+
+/// Partition `vps` into `shards` round-robin sets (VP *i* goes to shard
+/// `i % shards`). Deterministic in the input order; every VP lands in
+/// exactly one shard. `shards` is clamped to at least 1 and at most the
+/// number of VPs (empty shards are pointless but harmless — they still
+/// replay the pre-flight — so we avoid creating them).
+pub fn shard_vps(vps: &[VpId], shards: usize) -> Vec<BTreeSet<VpId>> {
+    let k = shards.clamp(1, vps.len().max(1));
+    let mut out = vec![BTreeSet::new(); k];
+    for (i, vp) in vps.iter().enumerate() {
+        out[i % k].insert(*vp);
+    }
+    out
+}
+
+/// Everything a sharded Phase I produces: the merged campaign data plus
+/// the per-shard worlds kept alive for Phase II continuation.
+pub struct ShardedPhase1 {
+    /// Pre-flight outcome (identical in every shard; shard 0's copy).
+    pub preflight: PreflightOutcome,
+    /// Merged Phase I data, absorbed in shard order.
+    pub data: CampaignData,
+    /// Per-shard worlds, post Phase I. Shard 0's world doubles as the
+    /// analysis world (its platform vetting matches the sequential run).
+    pub worlds: Vec<World>,
+    /// The VP partition, by shard index.
+    pub assignment: Vec<BTreeSet<VpId>>,
+    /// Engine statistics summed across shards.
+    pub stats: EngineStats,
+}
+
+/// Run Phase I across `shards` worker threads, one private world per
+/// shard, and merge the results. With `shards == 1` this is the
+/// sequential pipeline modulo thread spawn.
+pub fn run_phase1_sharded(spec: &WorldSpec, config: &Phase1Config, shards: usize) -> ShardedPhase1 {
+    let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
+    let assignment = shard_vps(&vp_ids, shards);
+
+    // Scoped threads: every shard borrows the shared spec; all joins
+    // happen before `scope` returns, in shard order, so the merge below
+    // is deterministic regardless of completion order.
+    let shard_outputs: Vec<(World, PreflightOutcome, CampaignData)> =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = assignment
+                .iter()
+                .map(|owned| {
+                    s.spawn(move || {
+                        let mut world = spec.instantiate();
+                        let preflight = NoiseFilter::run_and_apply(&mut world);
+                        let plan = CampaignRunner::plan_phase1(&world, config);
+                        let data =
+                            CampaignRunner::execute_phase1(&mut world, &plan, config, |vp| {
+                                owned.contains(&vp)
+                            });
+                        (world, preflight, data)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+    merge_shards(shard_outputs, assignment)
+}
+
+fn merge_shards(
+    shard_outputs: Vec<(World, PreflightOutcome, CampaignData)>,
+    assignment: Vec<BTreeSet<VpId>>,
+) -> ShardedPhase1 {
+    let mut worlds = Vec::with_capacity(shard_outputs.len());
+    let mut preflight = None;
+    let mut data: Option<CampaignData> = None;
+    let mut stats = EngineStats::default();
+    for (world, shard_preflight, shard_data) in shard_outputs {
+        stats.absorb(world.engine.stats());
+        if preflight.is_none() {
+            preflight = Some(shard_preflight);
+        }
+        match &mut data {
+            None => data = Some(shard_data),
+            Some(merged) => merged.absorb(shard_data),
+        }
+        worlds.push(world);
+    }
+    ShardedPhase1 {
+        preflight: preflight.expect("at least one shard"),
+        data: data.expect("at least one shard"),
+        worlds,
+        assignment,
+        stats,
+    }
+}
+
+/// Run Phase II across the shard worlds kept from Phase I: each shard
+/// sweeps the traced paths whose triggering VP it owns. Returns merged
+/// localization results and the merged Phase II campaign data.
+pub fn run_phase2_sharded(
+    worlds: &mut [World],
+    assignment: &[BTreeSet<VpId>],
+    paths: &[PathKey],
+    config: &Phase2Config,
+) -> (Vec<TracerouteResult>, CampaignData) {
+    assert_eq!(
+        worlds.len(),
+        assignment.len(),
+        "one world per shard, in shard order"
+    );
+    let mut shard_outputs: Vec<(Vec<PathKey>, CampaignData)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = worlds
+            .iter_mut()
+            .zip(assignment.iter())
+            .map(|(world, owned)| {
+                s.spawn(move || {
+                    let plan = Phase2Runner::plan(world, paths, config);
+                    let data =
+                        Phase2Runner::execute(world, &plan, config, |vp| owned.contains(&vp));
+                    (plan.traced, data)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Every shard computed the same plan; shard 0's traced list is the
+    // global sweep order for localization.
+    let (traced, mut merged) = shard_outputs.remove(0);
+    for (_, data) in shard_outputs {
+        merged.absorb(data);
+    }
+    let results = Phase2Runner::localize(&merged, &traced, config.max_ttl);
+    (results, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<VpId> {
+        raw.iter().map(|&i| VpId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_covers_every_vp_exactly_once() {
+        let vps = ids(&[0, 1, 2, 3, 4, 5, 6]);
+        let shards = shard_vps(&vps, 3);
+        assert_eq!(shards.len(), 3);
+        let mut seen = BTreeSet::new();
+        for shard in &shards {
+            for vp in shard {
+                assert!(seen.insert(*vp), "{vp:?} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), vps.len());
+        // Round-robin balance: sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let vps = ids(&[0, 1]);
+        assert_eq!(shard_vps(&vps, 0).len(), 1);
+        assert_eq!(shard_vps(&vps, 100).len(), 2);
+        assert_eq!(shard_vps(&[], 5).len(), 1);
+    }
+}

@@ -55,7 +55,10 @@ impl fmt::Display for IdentError {
             IdentError::BadLength(n) => write!(f, "identifier has bad length {n}"),
             IdentError::MissingSeparator => write!(f, "identifier missing '-' separator"),
             IdentError::BadChecksum { expected, found } => {
-                write!(f, "identifier checksum mismatch: expected {expected:04}, found {found:04}")
+                write!(
+                    f,
+                    "identifier checksum mismatch: expected {expected:04}, found {found:04}"
+                )
             }
             IdentError::BadCharacter(c) => write!(f, "invalid identifier character {c:?}"),
         }
@@ -253,7 +256,13 @@ mod tests {
         // And each decodes back to its TTL.
         for label in &labels {
             let id = DecoyIdent::decode(label).unwrap();
-            assert_eq!(DecoyIdent { ttl: id.ttl, ..base }, id);
+            assert_eq!(
+                DecoyIdent {
+                    ttl: id.ttl,
+                    ..base
+                },
+                id
+            );
         }
     }
 
@@ -292,8 +301,7 @@ mod tests {
     #[test]
     fn from_domain_extracts_leftmost_label() {
         let id = ident();
-        let domain =
-            DnsName::parse(&format!("{}.www.experiment.example", id.encode())).unwrap();
+        let domain = DnsName::parse(&format!("{}.www.experiment.example", id.encode())).unwrap();
         assert_eq!(DecoyIdent::from_domain(&domain), Some(id));
         let not_decoy = DnsName::parse("www.experiment.example").unwrap();
         assert_eq!(DecoyIdent::from_domain(&not_decoy), None);
@@ -303,9 +311,18 @@ mod tests {
     fn distinct_fields_distinct_labels() {
         let a = ident();
         let variants = [
-            DecoyIdent { sent_ds: a.sent_ds + 1, ..a },
-            DecoyIdent { vp: Ipv4Addr::new(203, 0, 113, 8), ..a },
-            DecoyIdent { dst: Ipv4Addr::new(8, 8, 8, 8), ..a },
+            DecoyIdent {
+                sent_ds: a.sent_ds + 1,
+                ..a
+            },
+            DecoyIdent {
+                vp: Ipv4Addr::new(203, 0, 113, 8),
+                ..a
+            },
+            DecoyIdent {
+                dst: Ipv4Addr::new(8, 8, 8, 8),
+                ..a
+            },
             DecoyIdent { ttl: 63, ..a },
         ];
         let base_label = a.encode();

@@ -25,6 +25,7 @@
 pub mod campaign;
 pub mod correlate;
 pub mod decoy;
+pub mod executor;
 pub mod ident;
 pub mod noise;
 pub mod phase2;
@@ -33,6 +34,7 @@ pub mod world;
 pub use campaign::{CampaignData, CampaignRunner, Phase1Config};
 pub use correlate::{CorrelatedRequest, Correlator, PathKey, ProblematicPath, UnsolicitedLabel};
 pub use decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+pub use executor::{run_phase1_sharded, run_phase2_sharded, shard_vps, ShardedPhase1};
 pub use ident::{DecoyIdent, IdentError};
 pub use noise::{NoiseFilter, PreflightOutcome};
 pub use phase2::{ObserverLocation, Phase2Config, Phase2Runner, TracerouteResult};

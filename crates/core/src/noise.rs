@@ -7,6 +7,8 @@
 //! addresses that should never answer).
 
 use crate::world::World;
+use shadow_honeypot::authority::ExperimentAuthorityHost;
+use shadow_honeypot::web::WebHost;
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::time::SimDuration;
 use shadow_netsim::transport::Transport;
@@ -147,7 +149,7 @@ impl NoiseFilter {
             for (i, &pair) in pairs.iter().enumerate() {
                 let label = format!("pairtest{}-{}", vp.id.0, i);
                 let domain = zone.prepend(&label).expect("label is DNS-safe");
-                sent_at = sent_at + SimDuration::from_millis(15);
+                sent_at += SimDuration::from_millis(15);
                 world.engine.post(
                     sent_at,
                     vp.node,
@@ -195,6 +197,24 @@ impl NoiseFilter {
         platform.vet_ttl_rewrite(&deltas, Self::expected_delta());
         platform.exclude_intercepted(&intercepted);
         world.platform = platform;
+        // Discard any honeypot captures the pre-flight probes left behind,
+        // so the campaign harvest starts from a clean slate. A sharded run
+        // replays the pre-flight once per shard; without this drain the
+        // (identical) pre-flight arrivals would be counted once per shard
+        // at merge time.
+        let auth_node = world.auth_node;
+        if let Some(auth) = world
+            .engine
+            .host_as_mut::<ExperimentAuthorityHost>(auth_node)
+        {
+            let _ = std::mem::take(&mut auth.captures);
+        }
+        let web_nodes: Vec<_> = world.honey_web.iter().map(|&(node, _, _)| node).collect();
+        for node in web_nodes {
+            if let Some(web) = world.engine.host_as_mut::<WebHost>(node) {
+                let _ = web.take_captures();
+            }
+        }
         PreflightOutcome {
             ttl_deltas,
             intercepted,

@@ -7,12 +7,13 @@
 //! Time Exceeded stream exposes router addresses along the way; the
 //! deepest ICMP hop bounds the destination distance.
 
-use crate::campaign::{CampaignData, CampaignRunner};
+use crate::campaign::{CampaignData, CampaignRunner, PlannedSend};
 use crate::correlate::{Correlator, PathKey};
 use crate::decoy::{DecoyProtocol, DecoyRegistry};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
-use shadow_netsim::time::SimDuration;
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
 use shadow_vantage::vp::VpCommand;
 use std::collections::{BTreeMap, HashMap};
@@ -65,6 +66,18 @@ pub struct ObserverLocation {
     pub by_protocol: BTreeMap<(DecoyProtocol, u8), usize>,
 }
 
+/// The complete Phase II sweep schedule (see [`crate::campaign::Phase1Plan`]
+/// for the plan/execute rationale — a sharded run executes one plan slice
+/// per shard, keyed by the traced path's VP).
+#[derive(Debug)]
+pub struct Phase2Plan {
+    pub registry: DecoyRegistry,
+    pub sends: Vec<PlannedSend>,
+    /// The paths actually swept (post-cap), in sweep order.
+    pub traced: Vec<PathKey>,
+    pub last_send: SimTime,
+}
+
 /// The Phase II runner.
 pub struct Phase2Runner;
 
@@ -77,9 +90,18 @@ impl Phase2Runner {
         paths: &[PathKey],
         config: &Phase2Config,
     ) -> (Vec<TracerouteResult>, CampaignData) {
+        let plan = Self::plan(world, paths, config);
+        let data = Self::execute(world, &plan, config, |_| true);
+        let results = Self::localize(&data, &plan.traced, config.max_ttl);
+        (results, data)
+    }
+
+    /// Compute the full sweep schedule without posting anything.
+    pub fn plan(world: &World, paths: &[PathKey], config: &Phase2Config) -> Phase2Plan {
         let zone = world.zone.clone();
         let mut registry = DecoyRegistry::new(zone);
         let mut scheduler = RateLimitedScheduler::paper_defaults();
+        let mut sends = Vec::new();
         let start = world.engine.now() + SimDuration::from_secs(5);
         let mut last_send = start;
 
@@ -125,30 +147,51 @@ impl Phase2Runner {
                         ttl,
                     },
                 };
-                world.engine.post(at, vp_node, Box::new(command));
+                sends.push(PlannedSend {
+                    at,
+                    vp: key.vp,
+                    node: vp_node,
+                    command,
+                });
                 last_send = last_send.max(at);
             }
         }
 
-        world.engine.run_until(last_send + config.grace);
-        let (arrivals, vp_reports) = CampaignRunner::harvest(world);
-        let data = CampaignData {
+        Phase2Plan {
             registry,
+            sends,
+            traced,
+            last_send,
+        }
+    }
+
+    /// Execute the slice of `plan` whose sweeping VPs satisfy `owns`, run
+    /// the clock through the *global* grace window, and harvest.
+    pub fn execute(
+        world: &mut World,
+        plan: &Phase2Plan,
+        config: &Phase2Config,
+        owns: impl Fn(VpId) -> bool,
+    ) -> CampaignData {
+        for send in &plan.sends {
+            if owns(send.vp) {
+                world
+                    .engine
+                    .post(send.at, send.node, Box::new(send.command.clone()));
+            }
+        }
+        world.engine.run_until(plan.last_send + config.grace);
+        let (arrivals, vp_reports) = CampaignRunner::harvest_filtered(world, &owns);
+        CampaignData {
+            registry: plan.registry.filter_vps(&owns),
             arrivals,
             vp_reports,
-            last_send,
-        };
-
-        let results = Self::localize(&data, &traced, config.max_ttl);
-        (results, data)
+            last_send: plan.last_send,
+        }
     }
 
     /// Pure localization from Phase II data (separated for testing).
-    pub fn localize(
-        data: &CampaignData,
-        traced: &[PathKey],
-        max_ttl: u8,
-    ) -> Vec<TracerouteResult> {
+    pub fn localize(data: &CampaignData, traced: &[PathKey], max_ttl: u8) -> Vec<TracerouteResult> {
         let correlator = Correlator::new(&data.registry);
         let correlated = correlator.correlate(&data.arrivals);
 
@@ -184,9 +227,7 @@ impl Phase2Runner {
                     }
                     // The identification field maps the expired probe back
                     // to its decoy — and therefore to its initial TTL.
-                    if let Some(&(ref domain, ttl, dst)) =
-                        report.ident_map.get(&obs.orig_ident)
-                    {
+                    if let Some(&(ref domain, ttl, dst)) = report.ident_map.get(&obs.orig_ident) {
                         if dst == key.dst && data.registry.lookup(domain).is_some() {
                             revealed.entry(ttl).or_insert(obs.router);
                         }
@@ -199,8 +240,7 @@ impl Phase2Runner {
                             && decoy.protocol == key.protocol
                         {
                             min_answer_ttl = Some(
-                                min_answer_ttl
-                                    .map_or(decoy.ttl(), |t: u8| t.min(decoy.ttl())),
+                                min_answer_ttl.map_or(decoy.ttl(), |t: u8| t.min(decoy.ttl())),
                             );
                         }
                     }
@@ -243,9 +283,7 @@ impl Phase2Runner {
         let mut by_protocol = BTreeMap::new();
         for result in results {
             if let Some(hop) = result.normalized_hop {
-                *by_protocol
-                    .entry((result.path.protocol, hop))
-                    .or_insert(0) += 1;
+                *by_protocol.entry((result.path.protocol, hop)).or_insert(0) += 1;
             }
         }
         ObserverLocation { by_protocol }

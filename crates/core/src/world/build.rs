@@ -7,33 +7,29 @@
 //! would flag. The measurement pipeline must recover all of it from
 //! packets alone.
 
-use super::{DeployedDnsDestination, GroundTruth, TrancoSite, World, WorldConfig};
+use super::spec::{HostSpec, SiteShadowSpec, TapSpec, WorldSpec};
+use super::DeployedDnsDestination;
+use super::{GroundTruth, TrancoSite, World, WorldConfig};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use shadow_dns::authoritative::{AuthorityMode, StaticAuthorityHost};
+use shadow_dns::authoritative::AuthorityMode;
 use shadow_dns::catalog::{pair_address, DnsDestinationKind, ShadowClass, DNS_DESTINATIONS};
 use shadow_dns::profile::{ResolverProfile, ShadowingConfig};
-use shadow_dns::resolver::RecursiveResolverHost;
 use shadow_geo::country::{cc, country_info, COUNTRIES};
 use shadow_geo::{
     AsCatalog, AsInfo, AsKind, Asn, CountryCode, GeoDb, GeoRecord, HostingLabel, Ipv4Prefix,
     PrefixAllocator, Region,
 };
-use shadow_honeypot::authority::ExperimentAuthorityHost;
-use shadow_honeypot::web::{SiteShadow, WebHost};
-use shadow_netsim::engine::{Engine, Host, WireTap};
 use shadow_netsim::time::SimDuration;
 use shadow_netsim::topology::{NodeId, TopologyBuilder};
-use shadow_observer::dpi::{DpiConfig, DpiTap};
-use shadow_observer::intercept::InterceptorTap;
+use shadow_observer::dpi::DpiConfig;
 use shadow_observer::policy::{DelayBucket, ProbeKind, ReplayPolicy, WeightedChoice};
-use shadow_observer::probe::{DnsVia, ProbeOriginHost};
+use shadow_observer::probe::DnsVia;
 use shadow_packet::dns::DnsName;
 use shadow_vantage::platform::{Platform, VantagePoint, VpId};
 use shadow_vantage::providers::{providers_in, Market};
-use shadow_vantage::vp::VantagePointHost;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -52,8 +48,8 @@ struct Builder {
     tb: TopologyBuilder,
     as_prefix: HashMap<Asn, Ipv4Prefix>,
     next_host_index: HashMap<Asn, u32>,
-    hosts: Vec<(NodeId, Box<dyn Host>)>,
-    taps: Vec<(NodeId, Box<dyn WireTap>)>,
+    hosts: Vec<(NodeId, HostSpec)>,
+    taps: Vec<(NodeId, TapSpec)>,
     ground_truth: GroundTruth,
     zone: DnsName,
     /// Origin pools per exhibitor label.
@@ -130,7 +126,7 @@ impl Builder {
     fn add_origin(&mut self, asn: Asn, via: DnsVia, dirty: bool, seed: u64) -> NodeId {
         let (node, addr) = self.add_host_in(asn);
         self.hosts
-            .push((node, Box::new(ProbeOriginHost::new(addr, via, seed))));
+            .push((node, HostSpec::Origin { addr, via, seed }));
         self.ground_truth.origin_addrs.push(addr);
         if dirty {
             self.ground_truth.blocklisted_addrs.insert(addr);
@@ -141,6 +137,13 @@ impl Builder {
 
 /// Assemble a [`World`] from `config`. Deterministic in `config.seed`.
 pub fn build_world(config: WorldConfig) -> World {
+    generate_spec(config).instantiate()
+}
+
+/// Run the full ground-truth generation pass and record the outcome as an
+/// immutable [`WorldSpec`]. All randomness happens here; instantiation is
+/// a pure function of the spec, so shards share one spec safely.
+pub fn generate_spec(config: WorldConfig) -> WorldSpec {
     let zone = DnsName::parse(&config.experiment_zone).expect("valid experiment zone");
     let mut catalog = AsCatalog::generate(config.seed, config.synthetic_as_density);
 
@@ -288,17 +291,9 @@ pub fn build_world(config: WorldConfig) -> World {
             }
         }
     }
-    let mut engine = Engine::new(topo);
-    for (node, host) in hosts {
-        engine.add_host(node, host);
-    }
-    for (node, tap) in taps {
-        engine.add_tap(node, tap);
-    }
-
-    World {
+    WorldSpec {
         config,
-        engine,
+        topology: topo,
         catalog,
         geo,
         platform,
@@ -311,6 +306,8 @@ pub fn build_world(config: WorldConfig) -> World {
         dns_destinations,
         tranco,
         ground_truth,
+        hosts,
+        taps,
     }
 }
 
@@ -452,8 +449,14 @@ fn place_honeypots(b: &mut Builder) -> Honeypots {
     let mut web_addrs = Vec::new();
     for (asn, region, seed) in [(us, "US", 11u32), (de, "DE", 12), (sg, "SG", 13)] {
         let (node, addr) = b.add_host_in(asn);
-        b.hosts
-            .push((node, Box::new(WebHost::honeypot(addr, region, seed))));
+        b.hosts.push((
+            node,
+            HostSpec::HoneypotWeb {
+                addr,
+                region: region.to_string(),
+                seed,
+            },
+        ));
         web.push((node, addr, region.to_string()));
         web_addrs.push(addr);
     }
@@ -461,18 +464,16 @@ fn place_honeypots(b: &mut Builder) -> Honeypots {
     let (auth_node, auth_addr) = b.add_host_in(us);
     b.hosts.push((
         auth_node,
-        Box::new(ExperimentAuthorityHost::new(
-            auth_addr,
-            b.zone.clone(),
+        HostSpec::Authority {
+            addr: auth_addr,
+            zone: b.zone.clone(),
             web_addrs,
-        )),
+        },
     ));
 
     let (control_node, control_addr) = b.add_host_in(us);
-    b.hosts.push((
-        control_node,
-        Box::new(crate::noise::ControlServerHost::new(control_addr)),
-    ));
+    b.hosts
+        .push((control_node, HostSpec::Control { addr: control_addr }));
 
     Honeypots {
         auth_node,
@@ -497,59 +498,85 @@ fn place_origin_pools(b: &mut Builder, honeypots: &Honeypots) {
     let ru_cloud = b.as_in(cc("RU"), AsKind::Cloud);
     let us_cloud = b.as_in(cc("US"), AsKind::Cloud);
 
-    let pool = |b: &mut Builder,
-                    label: &str,
-                    specs: &[(Asn, DnsVia, bool, u32)]| {
+    let pool = |b: &mut Builder, label: &str, specs: &[(Asn, DnsVia, bool, u32)]| {
         let choices: Vec<WeightedChoice<NodeId>> = specs
             .iter()
             .enumerate()
             .map(|(i, &(asn, via, dirty, weight))| {
-                let node = b.add_origin(asn, via, dirty, seed ^ ((i as u64) << 32) ^ hash_label(label));
+                let node = b.add_origin(
+                    asn,
+                    via,
+                    dirty,
+                    seed ^ ((i as u64) << 32) ^ hash_label(label),
+                );
                 WeightedChoice::new(node, weight)
             })
             .collect();
         b.origin_pools.insert(label.to_string(), choices);
     };
 
-    pool(b, "Yandex", &[
-        (Asn(13238), google, false, 40),
-        (ru_cloud, google, true, 45),
-        (us_cloud, direct, true, 15),
-    ]);
+    pool(
+        b,
+        "Yandex",
+        &[
+            (Asn(13238), google, false, 40),
+            (ru_cloud, google, true, 45),
+            (us_cloud, direct, true, 15),
+        ],
+    );
     // Figure 6: 114DNS fans out to 4 ASes (ISPs and cloud platforms).
-    pool(b, "114DNS", &[
-        (Asn(4134), google, true, 30),
-        (Asn(4837), direct, false, 25),
-        (cn_cloud, google, true, 25),
-        (Asn(45090), direct, false, 20),
-    ]);
-    pool(b, "One DNS", &[
-        (cn_cloud, google, true, 60),
-        (Asn(4837), google, false, 40),
-    ]);
-    pool(b, "DNS PAI", &[
-        (cn_cloud, google, true, 55),
-        (Asn(4134), google, false, 45),
-    ]);
-    pool(b, "VERCARA", &[
-        (us_cloud, google, true, 50),
-        (Asn(12222), google, false, 50),
-    ]);
+    pool(
+        b,
+        "114DNS",
+        &[
+            (Asn(4134), google, true, 30),
+            (Asn(4837), direct, false, 25),
+            (cn_cloud, google, true, 25),
+            (Asn(45090), direct, false, 20),
+        ],
+    );
+    pool(
+        b,
+        "One DNS",
+        &[(cn_cloud, google, true, 60), (Asn(4837), google, false, 40)],
+    );
+    pool(
+        b,
+        "DNS PAI",
+        &[(cn_cloud, google, true, 55), (Asn(4134), google, false, 45)],
+    );
+    pool(
+        b,
+        "VERCARA",
+        &[
+            (us_cloud, google, true, 50),
+            (Asn(12222), google, false, 50),
+        ],
+    );
     // On-wire HTTP/TLS exhibitors (§5.2).
-    pool(b, "AS4134", &[
-        (Asn(4134), google, true, 45),
-        (Asn(140292), google, true, 35),
-        (cn_cloud, google, false, 20),
-    ]);
-    pool(b, "AS58563", &[
-        (Asn(58563), google, true, 60),
-        (Asn(4134), google, false, 40),
-    ]);
+    pool(
+        b,
+        "AS4134",
+        &[
+            (Asn(4134), google, true, 45),
+            (Asn(140292), google, true, 35),
+            (cn_cloud, google, false, 20),
+        ],
+    );
+    pool(
+        b,
+        "AS58563",
+        &[
+            (Asn(58563), google, true, 60),
+            (Asn(4134), google, false, 40),
+        ],
+    );
     pool(b, "AS137697", &[(Asn(137697), google, true, 100)]);
-    pool(b, "AS4812", &[
-        (Asn(4812), google, true, 55),
-        (cn_cloud, google, false, 45),
-    ]);
+    pool(
+        b,
+        "AS4812",
+        &[(Asn(4812), google, true, 55), (cn_cloud, google, false, 45)],
+    );
     pool(b, "AS23650", &[(Asn(23650), google, true, 100)]);
     // §5.2: all probes from AS40444 / AS29988 are DNS, from the same AS.
     pool(b, "AS40444", &[(Asn(40444), direct, false, 100)]);
@@ -559,10 +586,11 @@ fn place_origin_pools(b: &mut Builder, honeypots: &Honeypots) {
     pool(b, "AS4808", &[(Asn(4808), google, false, 100)]);
     pool(b, "AS21859", &[(Asn(21859), google, true, 100)]);
     // Destination-side TLS shadowing (Table 2's 65%-at-destination).
-    pool(b, "tls-dst", &[
-        (cn_cloud, google, true, 50),
-        (Asn(4134), google, true, 50),
-    ]);
+    pool(
+        b,
+        "tls-dst",
+        &[(cn_cloud, google, true, 50), (Asn(4134), google, true, 50)],
+    );
 }
 
 fn origin_pool(b: &Builder, label: &str) -> Vec<WeightedChoice<NodeId>> {
@@ -606,7 +634,11 @@ fn policy_for(class: ShadowClass, name: &str) -> Option<ReplayPolicy> {
             ],
         }),
         ShadowClass::Heavy | ShadowClass::HeavyCnAnycast => Some(ReplayPolicy {
-            trigger_percent: if class == ShadowClass::HeavyCnAnycast { 92 } else { 88 },
+            trigger_percent: if class == ShadowClass::HeavyCnAnycast {
+                92
+            } else {
+                88
+            },
             delays: vec![
                 WeightedChoice::new(DelayBucket::Seconds(2, 50), 10),
                 WeightedChoice::new(DelayBucket::Hours(1, 20), 40),
@@ -654,36 +686,34 @@ fn place_dns_destinations(b: &mut Builder, honeypots: &Honeypots) -> Vec<Deploye
         let mut nodes = Vec::new();
         match dest.kind {
             DnsDestinationKind::Root | DnsDestinationKind::Tld => {
-                let node = b
-                    .tb
-                    .add_host(operator, dest.addr)
-                    .expect("operator AS registered");
+                let node =
+                    b.tb.add_host(operator, dest.addr)
+                        .expect("operator AS registered");
                 nodes.push(node);
                 b.hosts.push((
                     node,
-                    Box::new(StaticAuthorityHost::new(
-                        dest.addr,
-                        &format!("ns.{}.example", dest.name.replace('.', "-")),
-                        AuthorityMode::Referral,
-                    )),
+                    HostSpec::StaticAuthority {
+                        addr: dest.addr,
+                        ns_name: format!("ns.{}.example", dest.name.replace('.', "-")),
+                        mode: AuthorityMode::Referral,
+                    },
                 ));
             }
             DnsDestinationKind::SelfBuiltResolver => {
-                let node = b
-                    .tb
-                    .add_host(operator, dest.addr)
-                    .expect("operator AS registered");
+                let node =
+                    b.tb.add_host(operator, dest.addr)
+                        .expect("operator AS registered");
                 let egress = bump_last_octet(dest.addr, 1);
                 b.tb.add_alias(node, egress).expect("node just added");
                 nodes.push(node);
                 b.hosts.push((
                     node,
-                    Box::new(RecursiveResolverHost::new(
-                        dest.addr,
+                    HostSpec::Resolver {
+                        addr: dest.addr,
                         egress,
-                        ResolverProfile::well_behaved(dest.name, b.config.seed ^ 0xce11),
-                        zone_table.clone(),
-                    )),
+                        profile: ResolverProfile::well_behaved(dest.name, b.config.seed ^ 0xce11),
+                        zones: zone_table.clone(),
+                    },
                 ));
             }
             DnsDestinationKind::PublicResolver => {
@@ -691,28 +721,26 @@ fn place_dns_destinations(b: &mut Builder, honeypots: &Honeypots) -> Vec<Deploye
                     // 114DNS: a clean US instance (registered first, so
                     // distance ties resolve to it) and a shadowing CN one.
                     let us_as = b.as_in(cc("US"), AsKind::Cloud);
-                    let us_node = b
-                        .tb
-                        .add_host(us_as, dest.addr)
-                        .expect("US cloud registered");
+                    let us_node =
+                        b.tb.add_host(us_as, dest.addr)
+                            .expect("US cloud registered");
                     let us_egress = bump_last_octet(dest.addr, 2);
                     b.tb.add_alias(us_node, us_egress).expect("node just added");
                     b.hosts.push((
                         us_node,
-                        Box::new(RecursiveResolverHost::new(
-                            dest.addr,
-                            us_egress,
-                            ResolverProfile::with_retries(
+                        HostSpec::Resolver {
+                            addr: dest.addr,
+                            egress: us_egress,
+                            profile: ResolverProfile::with_retries(
                                 &format!("{} (US)", dest.name),
-                                b.config.seed ^ 0x115d_05,
+                                b.config.seed ^ 0x0011_5d05,
                             ),
-                            zone_table.clone(),
-                        )),
+                            zones: zone_table.clone(),
+                        },
                     ));
-                    let cn_node = b
-                        .tb
-                        .add_host(operator, dest.addr)
-                        .expect("operator AS registered");
+                    let cn_node =
+                        b.tb.add_host(operator, dest.addr)
+                            .expect("operator AS registered");
                     let cn_egress = bump_last_octet(dest.addr, 1);
                     b.tb.add_alias(cn_node, cn_egress).expect("node just added");
                     let profile = ResolverProfile::shadowing(
@@ -731,20 +759,19 @@ fn place_dns_destinations(b: &mut Builder, honeypots: &Honeypots) -> Vec<Deploye
                         .push(format!("{} (CN)", dest.name));
                     b.hosts.push((
                         cn_node,
-                        Box::new(RecursiveResolverHost::new(
-                            dest.addr,
-                            cn_egress,
+                        HostSpec::Resolver {
+                            addr: dest.addr,
+                            egress: cn_egress,
                             profile,
-                            zone_table.clone(),
-                        )),
+                            zones: zone_table.clone(),
+                        },
                     ));
                     nodes.push(us_node);
                     nodes.push(cn_node);
                 } else {
-                    let node = b
-                        .tb
-                        .add_host(operator, dest.addr)
-                        .expect("operator AS registered");
+                    let node =
+                        b.tb.add_host(operator, dest.addr)
+                            .expect("operator AS registered");
                     let egress = bump_last_octet(dest.addr, 1);
                     b.tb.add_alias(node, egress).expect("node just added");
                     nodes.push(node);
@@ -771,12 +798,12 @@ fn place_dns_destinations(b: &mut Builder, honeypots: &Honeypots) -> Vec<Deploye
                     };
                     b.hosts.push((
                         node,
-                        Box::new(RecursiveResolverHost::new(
-                            dest.addr,
+                        HostSpec::Resolver {
+                            addr: dest.addr,
                             egress,
                             profile,
-                            zone_table.clone(),
-                        )),
+                            zones: zone_table.clone(),
+                        },
                     ));
                 }
             }
@@ -848,10 +875,10 @@ fn place_tranco_sites(b: &mut Builder, _honeypots: &Honeypots) -> Vec<TrancoSite
         let (node, addr) = b.add_host_in(asn);
         // A slice of CN-hosted sites shadow SNI at the destination — the
         // source of Table 2's TLS-at-destination mass.
-        let site = if country == cc("CN") && b.rng.gen_range(0..100) < 30 {
-            WebHost::plain(addr, i as u32).with_shadow(SiteShadow::new_tls_only(
-                "tls-dst",
-                ReplayPolicy {
+        let shadow = if country == cc("CN") && b.rng.gen_range(0..100) < 30 {
+            Some(SiteShadowSpec {
+                label: "tls-dst".to_string(),
+                policy: ReplayPolicy {
                     trigger_percent: 75,
                     delays: vec![
                         WeightedChoice::new(DelayBucket::Minutes(2, 50), 20),
@@ -865,16 +892,24 @@ fn place_tranco_sites(b: &mut Builder, _honeypots: &Honeypots) -> Vec<TrancoSite
                     ],
                     reuse: vec![WeightedChoice::new(1, 50), WeightedChoice::new(2, 50)],
                 },
-                origin_pool(b, "tls-dst"),
-                Some(b.zone.clone()),
-                100_000,
-                SimDuration::from_days(8),
-                b.config.seed ^ (i as u64) << 17,
-            ))
+                origins: origin_pool(b, "tls-dst"),
+                zone_filter: Some(b.zone.clone()),
+                retention_capacity: 100_000,
+                retention_ttl: SimDuration::from_days(8),
+                seed: b.config.seed ^ (i as u64) << 17,
+                tls_only: true,
+            })
         } else {
-            WebHost::plain(addr, i as u32)
+            None
         };
-        b.hosts.push((node, Box::new(site)));
+        b.hosts.push((
+            node,
+            HostSpec::PlainWeb {
+                addr,
+                seed: i as u32,
+                shadow,
+            },
+        ));
         sites.push(TrancoSite {
             node,
             addr,
@@ -912,7 +947,11 @@ fn recruit_vps(b: &mut Builder) -> Platform {
         let (node, addr) = b.add_host_in(asn);
         b.hosts.push((
             node,
-            Box::new(VantagePointHost::new(addr, next_id.wrapping_mul(97) | 1, None)),
+            HostSpec::Vp {
+                addr,
+                seed: next_id.wrapping_mul(97) | 1,
+                ttl_rewrite: None,
+            },
         ));
         let advertised = if b.rng.gen_range(0..100) < 7 {
             // Skewed marketing location.
@@ -953,7 +992,11 @@ fn recruit_vps(b: &mut Builder) -> Platform {
         let (node, addr) = b.add_host_in(asn);
         b.hosts.push((
             node,
-            Box::new(VantagePointHost::new(addr, next_id.wrapping_mul(97) | 1, None)),
+            HostSpec::Vp {
+                addr,
+                seed: next_id.wrapping_mul(97) | 1,
+                ttl_rewrite: None,
+            },
         ));
         vps.push(VantagePoint {
             id: VpId(next_id),
@@ -979,7 +1022,7 @@ fn recruit_vps(b: &mut Builder) -> Platform {
 /// router each, so only a fraction of paths through them are observed —
 /// reproducing the <10% HTTP/TLS path ratios of Figure 3.
 fn place_dpi_taps(b: &mut Builder) {
-    struct TapSpec {
+    struct DpiPlacement {
         asn: u32,
         label: &'static str,
         dns: bool,
@@ -1012,20 +1055,130 @@ fn place_dpi_taps(b: &mut Builder) {
     let specs = vec![
         // Chinanet backbone: the dominant HTTP observer (Table 3) plus a
         // lighter TLS tap (Table 2's on-wire TLS minority).
-        TapSpec { asn: 4134, label: "AS4134", dns: false, http: true, tls: false, routers_tapped: 2, protocols: as4134_mix.clone(), retention: SimDuration::from_days(2), trigger: 85 },
-        TapSpec { asn: 4134, label: "AS4134", dns: false, http: false, tls: true, routers_tapped: 1, protocols: as4134_mix, retention: SimDuration::from_days(2), trigger: 70 },
-        TapSpec { asn: 58563, label: "AS58563", dns: false, http: true, tls: false, routers_tapped: 1, protocols: generic_mix.clone(), retention: SimDuration::from_days(1), trigger: 85 },
-        TapSpec { asn: 137697, label: "AS137697", dns: false, http: true, tls: false, routers_tapped: 1, protocols: generic_mix.clone(), retention: SimDuration::from_days(1), trigger: 85 },
-        TapSpec { asn: 4812, label: "AS4812", dns: false, http: false, tls: true, routers_tapped: 1, protocols: generic_mix.clone(), retention: SimDuration::from_days(2), trigger: 60 },
-        TapSpec { asn: 23650, label: "AS23650", dns: false, http: false, tls: true, routers_tapped: 1, protocols: generic_mix, retention: SimDuration::from_days(2), trigger: 60 },
-        TapSpec { asn: 40444, label: "AS40444", dns: false, http: true, tls: false, routers_tapped: 1, protocols: dns_only.clone(), retention: SimDuration::from_hours(18), trigger: 95 },
-        TapSpec { asn: 29988, label: "AS29988", dns: false, http: true, tls: false, routers_tapped: 1, protocols: dns_only.clone(), retention: SimDuration::from_hours(18), trigger: 95 },
+        DpiPlacement {
+            asn: 4134,
+            label: "AS4134",
+            dns: false,
+            http: true,
+            tls: false,
+            routers_tapped: 2,
+            protocols: as4134_mix.clone(),
+            retention: SimDuration::from_days(2),
+            trigger: 85,
+        },
+        DpiPlacement {
+            asn: 4134,
+            label: "AS4134",
+            dns: false,
+            http: false,
+            tls: true,
+            routers_tapped: 1,
+            protocols: as4134_mix,
+            retention: SimDuration::from_days(2),
+            trigger: 70,
+        },
+        DpiPlacement {
+            asn: 58563,
+            label: "AS58563",
+            dns: false,
+            http: true,
+            tls: false,
+            routers_tapped: 1,
+            protocols: generic_mix.clone(),
+            retention: SimDuration::from_days(1),
+            trigger: 85,
+        },
+        DpiPlacement {
+            asn: 137697,
+            label: "AS137697",
+            dns: false,
+            http: true,
+            tls: false,
+            routers_tapped: 1,
+            protocols: generic_mix.clone(),
+            retention: SimDuration::from_days(1),
+            trigger: 85,
+        },
+        DpiPlacement {
+            asn: 4812,
+            label: "AS4812",
+            dns: false,
+            http: false,
+            tls: true,
+            routers_tapped: 1,
+            protocols: generic_mix.clone(),
+            retention: SimDuration::from_days(2),
+            trigger: 60,
+        },
+        DpiPlacement {
+            asn: 23650,
+            label: "AS23650",
+            dns: false,
+            http: false,
+            tls: true,
+            routers_tapped: 1,
+            protocols: generic_mix,
+            retention: SimDuration::from_days(2),
+            trigger: 60,
+        },
+        DpiPlacement {
+            asn: 40444,
+            label: "AS40444",
+            dns: false,
+            http: true,
+            tls: false,
+            routers_tapped: 1,
+            protocols: dns_only.clone(),
+            retention: SimDuration::from_hours(18),
+            trigger: 95,
+        },
+        DpiPlacement {
+            asn: 29988,
+            label: "AS29988",
+            dns: false,
+            http: true,
+            tls: false,
+            routers_tapped: 1,
+            protocols: dns_only.clone(),
+            retention: SimDuration::from_hours(18),
+            trigger: 95,
+        },
         // The on-wire *DNS* observers of Table 3: real but rare (Table 2
         // puts 99.7% of DNS shadowing at the destination), so their taps
         // fire sparsely and replay briefly.
-        TapSpec { asn: 203020, label: "AS203020", dns: true, http: false, tls: false, routers_tapped: 1, protocols: dns_only.clone(), retention: SimDuration::from_hours(12), trigger: 20 },
-        TapSpec { asn: 4808, label: "AS4808", dns: true, http: false, tls: false, routers_tapped: 1, protocols: dns_only.clone(), retention: SimDuration::from_hours(12), trigger: 15 },
-        TapSpec { asn: 21859, label: "AS21859", dns: true, http: false, tls: false, routers_tapped: 1, protocols: dns_only, retention: SimDuration::from_hours(12), trigger: 15 },
+        DpiPlacement {
+            asn: 203020,
+            label: "AS203020",
+            dns: true,
+            http: false,
+            tls: false,
+            routers_tapped: 1,
+            protocols: dns_only.clone(),
+            retention: SimDuration::from_hours(12),
+            trigger: 20,
+        },
+        DpiPlacement {
+            asn: 4808,
+            label: "AS4808",
+            dns: true,
+            http: false,
+            tls: false,
+            routers_tapped: 1,
+            protocols: dns_only.clone(),
+            retention: SimDuration::from_hours(12),
+            trigger: 15,
+        },
+        DpiPlacement {
+            asn: 21859,
+            label: "AS21859",
+            dns: true,
+            http: false,
+            tls: false,
+            routers_tapped: 1,
+            protocols: dns_only,
+            retention: SimDuration::from_hours(12),
+            trigger: 15,
+        },
     ];
 
     for (i, spec) in specs.into_iter().enumerate() {
@@ -1063,7 +1216,7 @@ fn place_dpi_taps(b: &mut Builder) {
                 origins: origins.clone(),
                 seed: b.config.seed ^ ((i as u64) << 24) ^ ((j as u64) << 8),
             };
-            b.taps.push((*router, Box::new(DpiTap::new(config))));
+            b.taps.push((*router, TapSpec::Dpi(config)));
             b.ground_truth
                 .dpi_taps
                 .push((*router, spec.label.to_string()));
@@ -1102,7 +1255,9 @@ fn place_interceptors(b: &mut Builder) {
         }
         b.taps.push((
             router,
-            Box::new(InterceptorTap::redirect(Ipv4Addr::new(127, 66, 66, 66))),
+            TapSpec::Intercept {
+                redirect_to: Ipv4Addr::new(127, 66, 66, 66),
+            },
         ));
         b.ground_truth.interceptor_nodes.push(router);
     }

@@ -8,8 +8,10 @@
 //! reads it.
 
 mod build;
+mod spec;
 
-pub use build::build_world;
+pub use build::{build_world, generate_spec};
+pub use spec::{HostSpec, SiteShadowSpec, TapSpec, WorldSpec};
 
 use serde::{Deserialize, Serialize};
 use shadow_dns::catalog::DnsDestination;

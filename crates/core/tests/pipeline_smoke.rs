@@ -56,7 +56,10 @@ fn world_build_is_deterministic() {
         a.ground_truth.blocklisted_addrs,
         b.ground_truth.blocklisted_addrs
     );
-    assert_eq!(a.engine.topology().node_count(), b.engine.topology().node_count());
+    assert_eq!(
+        a.engine.topology().node_count(),
+        b.engine.topology().node_count()
+    );
 }
 
 #[test]
@@ -78,10 +81,7 @@ fn preflight_filters_run_clean_platform() {
             "intercepted VPs are removed from the platform"
         );
     }
-    assert_eq!(
-        world.platform.vps.len() + outcome.intercepted.len(),
-        before
-    );
+    assert_eq!(world.platform.vps.len() + outcome.intercepted.len(), before);
 }
 
 #[test]

@@ -46,9 +46,8 @@ proptest! {
         // Either the checksum catches it, or (vanishingly unlikely with a
         // 1-in-10,000 checksum) it decodes to a *different* identity — but
         // never silently to the original.
-        match DecoyIdent::decode(&corrupted) {
-            Ok(decoded) => prop_assert_ne!(decoded, ident),
-            Err(_) => {}
+        if let Ok(decoded) = DecoyIdent::decode(&corrupted) {
+            prop_assert_ne!(decoded, ident);
         }
     }
 

@@ -40,20 +40,32 @@ fn every_table4_destination_is_deployed_and_routed() {
     let world = world();
     assert_eq!(world.dns_destinations.len(), DNS_DESTINATIONS.len());
     for deployed in &world.dns_destinations {
-        assert!(!deployed.nodes.is_empty(), "{} has no nodes", deployed.dest.name);
+        assert!(
+            !deployed.nodes.is_empty(),
+            "{} has no nodes",
+            deployed.dest.name
+        );
         // The destination address resolves to at least one host node.
         let nodes = world.engine.topology().nodes_at(deployed.addr);
         assert!(!nodes.is_empty(), "{} unrouted", deployed.dest.name);
         // The pair address is registered too, in the same /24.
         let pair_nodes = world.engine.topology().nodes_at(deployed.pair_addr);
-        assert!(!pair_nodes.is_empty(), "{} pair unrouted", deployed.dest.name);
+        assert!(
+            !pair_nodes.is_empty(),
+            "{} pair unrouted",
+            deployed.dest.name
+        );
         let a = deployed.addr.octets();
         let p = deployed.pair_addr.octets();
         assert_eq!(&a[..3], &p[..3]);
         // Geo lookup puts the address in the operator's network.
         let record = world.geo.lookup(deployed.addr).expect("dest geolocates");
         if deployed.dest.operator_asn != 0 {
-            assert_eq!(record.asn.0, deployed.dest.operator_asn, "{}", deployed.dest.name);
+            assert_eq!(
+                record.asn.0, deployed.dest.operator_asn,
+                "{}",
+                deployed.dest.name
+            );
         }
     }
 }
@@ -123,11 +135,7 @@ fn honeypots_span_three_regions_and_control_server_exists() {
     let world = world();
     let regions: Vec<_> = world.honey_web.iter().map(|(_, _, r)| r.clone()).collect();
     assert_eq!(regions, vec!["US", "DE", "SG"]);
-    assert!(!world
-        .engine
-        .topology()
-        .nodes_at(world.auth_addr)
-        .is_empty());
+    assert!(!world.engine.topology().nodes_at(world.auth_addr).is_empty());
     assert!(!world
         .engine
         .topology()
@@ -144,8 +152,7 @@ fn tranco_sites_cover_the_headline_countries() {
         tranco_sites: 60,
         ..WorldConfig::tiny(322)
     });
-    let countries: std::collections::BTreeSet<_> =
-        world.tranco.iter().map(|s| s.country).collect();
+    let countries: std::collections::BTreeSet<_> = world.tranco.iter().map(|s| s.country).collect();
     assert!(countries.contains(&cc("CN")));
     assert!(countries.contains(&cc("US")));
     assert!(countries.contains(&cc("CA")));

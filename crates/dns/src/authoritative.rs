@@ -158,15 +158,28 @@ mod tests {
         }
     }
 
-    fn world() -> (Engine, shadow_netsim::NodeId, shadow_netsim::NodeId, Ipv4Addr, Ipv4Addr) {
+    fn world() -> (
+        Engine,
+        shadow_netsim::NodeId,
+        shadow_netsim::NodeId,
+        Ipv4Addr,
+        Ipv4Addr,
+    ) {
         let mut tb = TopologyBuilder::new(2);
         tb.add_as(Asn(1), Region::Europe);
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let auth_addr = Ipv4Addr::new(1, 1, 0, 53);
         let client = tb.add_host(Asn(1), client_addr).unwrap();
         let auth = tb.add_host(Asn(1), auth_addr).unwrap();
-        (Engine::new(tb.build().unwrap()), client, auth, client_addr, auth_addr)
+        (
+            Engine::new(tb.build().unwrap()),
+            client,
+            auth,
+            client_addr,
+            auth_addr,
+        )
     }
 
     fn query(src: Ipv4Addr, dst: Ipv4Addr, name: &str) -> Ipv4Packet {
@@ -191,8 +204,17 @@ mod tests {
                     .with_record("www.example", Ipv4Addr::new(93, 184, 216, 34)),
             ),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
-        engine.inject(SimTime::ZERO, client, query(client_addr, auth_addr, "www.example"));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        engine.inject(
+            SimTime::ZERO,
+            client,
+            query(client_addr, auth_addr, "www.example"),
+        );
         engine.run_to_completion();
         let sink = engine.host_as::<Sink>(client).unwrap();
         let dg = UdpDatagram::decode(&sink.packets[0].payload).unwrap();
@@ -210,10 +232,23 @@ mod tests {
         let (mut engine, client, auth, client_addr, auth_addr) = world();
         engine.add_host(
             auth,
-            Box::new(StaticAuthorityHost::new(auth_addr, "a.gtld-servers.net", AuthorityMode::Referral)),
+            Box::new(StaticAuthorityHost::new(
+                auth_addr,
+                "a.gtld-servers.net",
+                AuthorityMode::Referral,
+            )),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
-        engine.inject(SimTime::ZERO, client, query(client_addr, auth_addr, "decoy.www.experiment.example"));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        engine.inject(
+            SimTime::ZERO,
+            client,
+            query(client_addr, auth_addr, "decoy.www.experiment.example"),
+        );
         engine.run_to_completion();
         let sink = engine.host_as::<Sink>(client).unwrap();
         let dg = UdpDatagram::decode(&sink.packets[0].payload).unwrap();
@@ -230,10 +265,23 @@ mod tests {
         let (mut engine, client, auth, client_addr, auth_addr) = world();
         engine.add_host(
             auth,
-            Box::new(StaticAuthorityHost::new(auth_addr, "ns.example", AuthorityMode::Nxdomain)),
+            Box::new(StaticAuthorityHost::new(
+                auth_addr,
+                "ns.example",
+                AuthorityMode::Nxdomain,
+            )),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
-        engine.inject(SimTime::ZERO, client, query(client_addr, auth_addr, "missing.example"));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        engine.inject(
+            SimTime::ZERO,
+            client,
+            query(client_addr, auth_addr, "missing.example"),
+        );
         engine.run_to_completion();
         let sink = engine.host_as::<Sink>(client).unwrap();
         let dg = UdpDatagram::decode(&sink.packets[0].payload).unwrap();
@@ -248,14 +296,27 @@ mod tests {
         let (mut engine, client, auth, client_addr, auth_addr) = world();
         engine.add_host(
             auth,
-            Box::new(StaticAuthorityHost::new(auth_addr, "ns.example", AuthorityMode::Referral)),
+            Box::new(StaticAuthorityHost::new(
+                auth_addr,
+                "ns.example",
+                AuthorityMode::Referral,
+            )),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         for i in 0..5 {
             engine.inject(
                 SimTime(i * 1_000),
                 client,
-                query(client_addr, auth_addr, &format!("d{i}.www.experiment.example")),
+                query(
+                    client_addr,
+                    auth_addr,
+                    &format!("d{i}.www.experiment.example"),
+                ),
             );
         }
         let events = engine.run_to_completion();

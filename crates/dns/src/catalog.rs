@@ -73,42 +73,294 @@ use DnsDestinationKind::{PublicResolver, Root, SelfBuiltResolver, Tld};
 /// All 36 destinations of Table 4. The self-built resolver's address is a
 /// placeholder the world builder replaces ("–" in the paper).
 pub const DNS_DESTINATIONS: &[DnsDestination] = &[
-    dest("Cloudflare", [1, 1, 1, 1], PublicResolver, 13335, "US", ShadowClass::Benign),
-    dest("CNNIC", [1, 2, 4, 8], PublicResolver, 24151, "CN", ShadowClass::Benign),
-    dest("DNS PAI", [101, 226, 4, 6], PublicResolver, 17964, "CN", ShadowClass::Heavy),
-    dest("DNSPod", [119, 29, 29, 29], PublicResolver, 45090, "CN", ShadowClass::Benign),
-    dest("DNS.Watch", [84, 200, 69, 80], PublicResolver, 8972, "DE", ShadowClass::Benign),
-    dest("Oracle Dyn", [216, 146, 35, 35], PublicResolver, 33517, "US", ShadowClass::Benign),
-    dest("Google", [8, 8, 8, 8], PublicResolver, 15169, "US", ShadowClass::Benign),
-    dest("Hurricane", [74, 82, 42, 42], PublicResolver, 6939, "US", ShadowClass::Benign),
-    dest("Level3", [209, 244, 0, 3], PublicResolver, 3356, "US", ShadowClass::Benign),
-    dest("VERCARA", [156, 154, 70, 1], PublicResolver, 12222, "US", ShadowClass::Moderate),
-    dest("One DNS", [117, 50, 10, 10], PublicResolver, 4788, "CN", ShadowClass::Heavy),
-    dest("OpenDNS", [208, 67, 222, 222], PublicResolver, 36692, "US", ShadowClass::Benign),
-    dest("Open NIC", [217, 160, 166, 161], PublicResolver, 51559, "TR", ShadowClass::Benign),
-    dest("Quad9", [9, 9, 9, 9], PublicResolver, 19281, "US", ShadowClass::Benign),
-    dest("Yandex", [77, 88, 8, 8], PublicResolver, 13238, "RU", ShadowClass::Heavy),
-    dest("SafeDNS", [195, 46, 39, 39], PublicResolver, 197988, "RU", ShadowClass::Benign),
-    dest("Freenom", [80, 80, 80, 80], PublicResolver, 42473, "NL", ShadowClass::Benign),
-    dest("Baidu", [180, 76, 76, 76], PublicResolver, 38365, "CN", ShadowClass::Benign),
-    dest("114DNS", [114, 114, 114, 114], PublicResolver, 23724, "CN", ShadowClass::HeavyCnAnycast),
-    dest("Quad101", [101, 101, 101, 101], PublicResolver, 131657, "TW", ShadowClass::Benign),
-    dest("self-built", [203, 0, 113, 53], SelfBuiltResolver, 0, "US", ShadowClass::None),
-    dest("a.root", [198, 41, 0, 4], Root, 397197, "US", ShadowClass::None),
-    dest("b.root", [170, 247, 170, 2], Root, 394353, "US", ShadowClass::None),
-    dest("c.root", [192, 33, 4, 12], Root, 2149, "US", ShadowClass::None),
-    dest("d.root", [199, 7, 91, 13], Root, 10886, "US", ShadowClass::None),
-    dest("e.root", [192, 203, 230, 10], Root, 21556, "US", ShadowClass::None),
-    dest("f.root", [192, 5, 5, 241], Root, 3557, "US", ShadowClass::None),
-    dest("g.root", [192, 112, 36, 4], Root, 5927, "US", ShadowClass::None),
-    dest("h.root", [198, 97, 190, 53], Root, 1508, "US", ShadowClass::None),
-    dest("i.root", [192, 36, 148, 17], Root, 29216, "SE", ShadowClass::None),
-    dest("j.root", [192, 58, 128, 30], Root, 26415, "US", ShadowClass::None),
-    dest("k.root", [193, 0, 14, 129], Root, 25152, "NL", ShadowClass::None),
-    dest("l.root", [199, 7, 83, 42], Root, 20144, "US", ShadowClass::None),
-    dest("m.root", [202, 12, 27, 33], Root, 7500, "JP", ShadowClass::None),
-    dest(".com", [192, 12, 94, 30], Tld, 36622, "US", ShadowClass::None),
-    dest(".org", [199, 19, 57, 1], Tld, 26415, "US", ShadowClass::None),
+    dest(
+        "Cloudflare",
+        [1, 1, 1, 1],
+        PublicResolver,
+        13335,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "CNNIC",
+        [1, 2, 4, 8],
+        PublicResolver,
+        24151,
+        "CN",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "DNS PAI",
+        [101, 226, 4, 6],
+        PublicResolver,
+        17964,
+        "CN",
+        ShadowClass::Heavy,
+    ),
+    dest(
+        "DNSPod",
+        [119, 29, 29, 29],
+        PublicResolver,
+        45090,
+        "CN",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "DNS.Watch",
+        [84, 200, 69, 80],
+        PublicResolver,
+        8972,
+        "DE",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Oracle Dyn",
+        [216, 146, 35, 35],
+        PublicResolver,
+        33517,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Google",
+        [8, 8, 8, 8],
+        PublicResolver,
+        15169,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Hurricane",
+        [74, 82, 42, 42],
+        PublicResolver,
+        6939,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Level3",
+        [209, 244, 0, 3],
+        PublicResolver,
+        3356,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "VERCARA",
+        [156, 154, 70, 1],
+        PublicResolver,
+        12222,
+        "US",
+        ShadowClass::Moderate,
+    ),
+    dest(
+        "One DNS",
+        [117, 50, 10, 10],
+        PublicResolver,
+        4788,
+        "CN",
+        ShadowClass::Heavy,
+    ),
+    dest(
+        "OpenDNS",
+        [208, 67, 222, 222],
+        PublicResolver,
+        36692,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Open NIC",
+        [217, 160, 166, 161],
+        PublicResolver,
+        51559,
+        "TR",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Quad9",
+        [9, 9, 9, 9],
+        PublicResolver,
+        19281,
+        "US",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Yandex",
+        [77, 88, 8, 8],
+        PublicResolver,
+        13238,
+        "RU",
+        ShadowClass::Heavy,
+    ),
+    dest(
+        "SafeDNS",
+        [195, 46, 39, 39],
+        PublicResolver,
+        197988,
+        "RU",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Freenom",
+        [80, 80, 80, 80],
+        PublicResolver,
+        42473,
+        "NL",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "Baidu",
+        [180, 76, 76, 76],
+        PublicResolver,
+        38365,
+        "CN",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "114DNS",
+        [114, 114, 114, 114],
+        PublicResolver,
+        23724,
+        "CN",
+        ShadowClass::HeavyCnAnycast,
+    ),
+    dest(
+        "Quad101",
+        [101, 101, 101, 101],
+        PublicResolver,
+        131657,
+        "TW",
+        ShadowClass::Benign,
+    ),
+    dest(
+        "self-built",
+        [203, 0, 113, 53],
+        SelfBuiltResolver,
+        0,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "a.root",
+        [198, 41, 0, 4],
+        Root,
+        397197,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "b.root",
+        [170, 247, 170, 2],
+        Root,
+        394353,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "c.root",
+        [192, 33, 4, 12],
+        Root,
+        2149,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "d.root",
+        [199, 7, 91, 13],
+        Root,
+        10886,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "e.root",
+        [192, 203, 230, 10],
+        Root,
+        21556,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "f.root",
+        [192, 5, 5, 241],
+        Root,
+        3557,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "g.root",
+        [192, 112, 36, 4],
+        Root,
+        5927,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "h.root",
+        [198, 97, 190, 53],
+        Root,
+        1508,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "i.root",
+        [192, 36, 148, 17],
+        Root,
+        29216,
+        "SE",
+        ShadowClass::None,
+    ),
+    dest(
+        "j.root",
+        [192, 58, 128, 30],
+        Root,
+        26415,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "k.root",
+        [193, 0, 14, 129],
+        Root,
+        25152,
+        "NL",
+        ShadowClass::None,
+    ),
+    dest(
+        "l.root",
+        [199, 7, 83, 42],
+        Root,
+        20144,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        "m.root",
+        [202, 12, 27, 33],
+        Root,
+        7500,
+        "JP",
+        ShadowClass::None,
+    ),
+    dest(
+        ".com",
+        [192, 12, 94, 30],
+        Tld,
+        36622,
+        "US",
+        ShadowClass::None,
+    ),
+    dest(
+        ".org",
+        [199, 19, 57, 1],
+        Tld,
+        26415,
+        "US",
+        ShadowClass::None,
+    ),
 ];
 
 /// The five resolvers the paper groups as Resolver_h (most problematic
@@ -196,13 +448,18 @@ mod tests {
 
     #[test]
     fn known_addresses_present() {
-        assert_eq!(destination_by_name("Google").unwrap().addr, Ipv4Addr::new(8, 8, 8, 8));
+        assert_eq!(
+            destination_by_name("Google").unwrap().addr,
+            Ipv4Addr::new(8, 8, 8, 8)
+        );
         assert_eq!(
             destination_by_name("114DNS").unwrap().addr,
             Ipv4Addr::new(114, 114, 114, 114)
         );
         assert_eq!(
-            destination_by_addr(Ipv4Addr::new(77, 88, 8, 8)).unwrap().name,
+            destination_by_addr(Ipv4Addr::new(77, 88, 8, 8))
+                .unwrap()
+                .name,
             "Yandex"
         );
     }
@@ -222,18 +479,31 @@ mod tests {
             assert_ne!(b[3], 0);
             assert_ne!(b[3], 255);
             // The pair must not collide with another real destination.
-            assert!(destination_by_addr(pair).is_none(), "{} pair collides", d.name);
+            assert!(
+                destination_by_addr(pair).is_none(),
+                "{} pair collides",
+                d.name
+            );
         }
     }
 
     #[test]
     fn shadow_classes_match_findings() {
-        assert_eq!(destination_by_name("Yandex").unwrap().shadow_class, ShadowClass::Heavy);
+        assert_eq!(
+            destination_by_name("Yandex").unwrap().shadow_class,
+            ShadowClass::Heavy
+        );
         assert_eq!(
             destination_by_name("114DNS").unwrap().shadow_class,
             ShadowClass::HeavyCnAnycast
         );
-        assert_eq!(destination_by_name("Google").unwrap().shadow_class, ShadowClass::Benign);
-        assert_eq!(destination_by_name("a.root").unwrap().shadow_class, ShadowClass::None);
+        assert_eq!(
+            destination_by_name("Google").unwrap().shadow_class,
+            ShadowClass::Benign
+        );
+        assert_eq!(
+            destination_by_name("a.root").unwrap().shadow_class,
+            ShadowClass::None
+        );
     }
 }

@@ -19,6 +19,8 @@ pub mod profile;
 pub mod resolver;
 
 pub use authoritative::StaticAuthorityHost;
-pub use catalog::{pair_address, DnsDestination, DnsDestinationKind, ShadowClass, DNS_DESTINATIONS};
+pub use catalog::{
+    pair_address, DnsDestination, DnsDestinationKind, ShadowClass, DNS_DESTINATIONS,
+};
 pub use profile::{ResolverProfile, RetryHabit, ShadowingConfig};
 pub use resolver::RecursiveResolverHost;

@@ -9,8 +9,6 @@
 
 use crate::profile::ResolverProfile;
 use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_netsim::transport::Transport;
@@ -81,7 +79,6 @@ pub struct RecursiveResolverHost {
     refresh_tokens: HashMap<u64, DnsName>,
     next_token: u64,
     shadow_store: Option<RetentionStore>,
-    rng: ChaCha20Rng,
     next_upstream_id: u16,
     pub stats: ResolverStats,
 }
@@ -97,7 +94,6 @@ impl RecursiveResolverHost {
             .shadowing
             .as_ref()
             .map(|cfg| RetentionStore::new(cfg.retention_capacity, cfg.retention_ttl));
-        let rng = ChaCha20Rng::seed_from_u64(profile.seed ^ RESOLVER_SEED_SALT);
         Self {
             service_addr,
             egress_addr,
@@ -110,7 +106,6 @@ impl RecursiveResolverHost {
             refresh_tokens: HashMap::new(),
             next_token: 1,
             shadow_store,
-            rng,
             next_upstream_id: 1,
             stats: ResolverStats::default(),
         }
@@ -128,7 +123,14 @@ impl RecursiveResolverHost {
             .map(|&(_, addr)| addr)
     }
 
-    fn udp_to(&self, src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Ipv4Packet {
+    fn udp_to(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Ipv4Packet {
         Ipv4Packet::new(
             src,
             dst,
@@ -182,7 +184,7 @@ impl RecursiveResolverHost {
             &cfg.policy,
             store,
             &cfg.origins,
-            &mut self.rng,
+            self.profile.seed ^ RESOLVER_SEED_SALT,
             qname,
             "dns",
             ctx.now(),
@@ -251,11 +253,18 @@ impl RecursiveResolverHost {
         );
         self.in_flight.insert(qname.clone(), id);
 
-        // Benign duplicate-query habit (the "DNS zombies" shape).
+        // Benign duplicate-query habit (the "DNS zombies" shape). The
+        // decision is derived from (seed, qname, now) so it does not depend
+        // on which other names this instance resolved before.
         if let Some(retry) = self.profile.retry.clone() {
-            if self.rng.gen_range(0..100u32) < u32::from(retry.percent) {
+            let mut rng = shadow_observer::scheduler::observation_rng(
+                self.profile.seed ^ RETRY_SEED_SALT,
+                &qname,
+                ctx.now(),
+            );
+            if rng.gen_range(0..100u32) < u32::from(retry.percent) {
                 for _ in 0..retry.count {
-                    let delay = retry.delay.sample(&mut self.rng);
+                    let delay = retry.delay.sample(&mut rng);
                     let token = self.next_token;
                     self.next_token += 1;
                     self.retry_tokens.insert(token, qname.clone());
@@ -306,6 +315,9 @@ impl RecursiveResolverHost {
 /// Seed diversifier so resolver RNG streams never collide with other
 /// subsystems seeded from the same world seed.
 const RESOLVER_SEED_SALT: u64 = 0x4e50_1ae5;
+/// A second diversifier for the benign-retry stream, so retry decisions are
+/// independent of the shadowing pipeline's draws for the same name.
+const RETRY_SEED_SALT: u64 = 0x4e50_4e74;
 
 impl Host for RecursiveResolverHost {
     fn on_packet(&mut self, pkt: Ipv4Packet, ctx: &mut Ctx<'_>) {
@@ -337,7 +349,13 @@ impl Host for RecursiveResolverHost {
             return;
         };
         if !msg.flags.response && dg.dst_port == 53 {
-            self.on_client_query(pkt.header.src, dg.src_port, msg, ClientTransport::Plain, ctx);
+            self.on_client_query(
+                pkt.header.src,
+                dg.src_port,
+                msg,
+                ClientTransport::Plain,
+                ctx,
+            );
         } else if msg.flags.response && pkt.header.dst == self.egress_addr {
             self.on_upstream_response(msg, ctx);
         }

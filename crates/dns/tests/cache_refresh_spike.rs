@@ -41,7 +41,8 @@ const ZONE: &str = "www.experiment.example";
 fn run(refresh: bool) -> Vec<SimTime> {
     let mut tb = TopologyBuilder::new(33);
     tb.add_as(Asn(1), Region::Europe);
-    tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+    tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+        .unwrap();
     let client_addr = Ipv4Addr::new(1, 1, 0, 1);
     let service_addr = Ipv4Addr::new(1, 1, 0, 53);
     let egress_addr = Ipv4Addr::new(1, 1, 0, 54);

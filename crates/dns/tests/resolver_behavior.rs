@@ -159,7 +159,10 @@ fn full_resolution_round_trip() {
     let resp = &responses[0];
     assert_eq!(resp.id, 77, "response echoes the client's query id");
     assert_eq!(resp.flags.rcode, Rcode::NoError);
-    assert_eq!(resp.answers[0].data, RecordData::A(Ipv4Addr::new(198, 51, 100, 1)));
+    assert_eq!(
+        resp.answers[0].data,
+        RecordData::A(Ipv4Addr::new(198, 51, 100, 1))
+    );
     // The resolver recursed exactly once.
     let auth = w.engine.host_as::<StaticAuthorityHost>(w.auth).unwrap();
     assert_eq!(auth.queries_seen(), 1);
@@ -182,7 +185,10 @@ fn cache_answers_second_query_without_recursion() {
     w.engine.run_to_completion();
     let auth = w.engine.host_as::<StaticAuthorityHost>(w.auth).unwrap();
     assert_eq!(auth.queries_seen(), 1, "second answer came from cache");
-    let resolver = w.engine.host_as::<RecursiveResolverHost>(w.resolver).unwrap();
+    let resolver = w
+        .engine
+        .host_as::<RecursiveResolverHost>(w.resolver)
+        .unwrap();
     assert_eq!(resolver.stats.cache_hits, 1);
     let sink = w.engine.host_as::<Sink>(w.client).unwrap();
     assert_eq!(sink.responses().len(), 2);
@@ -310,7 +316,10 @@ fn shadowing_resolver_schedules_probes() {
         assert_eq!(order.exhibitor, "yandex-sim");
         assert_eq!(order.domain.as_str(), format!("decoy1.{ZONE}"));
     }
-    let resolver = w.engine.host_as::<RecursiveResolverHost>(w.resolver).unwrap();
+    let resolver = w
+        .engine
+        .host_as::<RecursiveResolverHost>(w.resolver)
+        .unwrap();
     assert_eq!(resolver.stats.shadow_probes_scheduled, 3);
     // Communication with the client was not tampered with.
     let sink = w.engine.host_as::<Sink>(w.client).unwrap();
@@ -366,7 +375,8 @@ fn anycast_instances_diverge_like_114dns() {
     tb.link(Asn(40), Asn(50)).unwrap();
     tb.link(Asn(20), Asn(40)).unwrap();
     for (asn, base) in [(10u32, 10u8), (20, 20), (30, 30), (40, 40), (50, 50)] {
-        tb.add_router(Asn(asn), Ipv4Addr::new(base, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(asn), Ipv4Addr::new(base, 0, 0, 1), true)
+            .unwrap();
     }
     let service = Ipv4Addr::new(114, 114, 114, 114);
     let cn_client_addr = Ipv4Addr::new(10, 1, 0, 1);
@@ -376,9 +386,11 @@ fn anycast_instances_diverge_like_114dns() {
     let cn_client = tb.add_host(Asn(10), cn_client_addr).unwrap();
     let us_client = tb.add_host(Asn(30), us_client_addr).unwrap();
     let cn_instance = tb.add_host(Asn(20), service).unwrap();
-    tb.add_alias(cn_instance, Ipv4Addr::new(20, 1, 0, 54)).unwrap();
+    tb.add_alias(cn_instance, Ipv4Addr::new(20, 1, 0, 54))
+        .unwrap();
     let us_instance = tb.add_host(Asn(40), service).unwrap();
-    tb.add_alias(us_instance, Ipv4Addr::new(40, 1, 0, 54)).unwrap();
+    tb.add_alias(us_instance, Ipv4Addr::new(40, 1, 0, 54))
+        .unwrap();
     let auth = tb.add_host(Asn(50), auth_addr).unwrap();
     let origin = tb.add_host(Asn(50), origin_addr).unwrap();
     let mut engine = Engine::new(tb.build().unwrap());
@@ -442,8 +454,14 @@ fn anycast_instances_diverge_like_114dns() {
     engine.run_to_completion();
 
     // Both clients got answers.
-    assert_eq!(engine.host_as::<Sink>(cn_client).unwrap().responses().len(), 1);
-    assert_eq!(engine.host_as::<Sink>(us_client).unwrap().responses().len(), 1);
+    assert_eq!(
+        engine.host_as::<Sink>(cn_client).unwrap().responses().len(),
+        1
+    );
+    assert_eq!(
+        engine.host_as::<Sink>(us_client).unwrap().responses().len(),
+        1
+    );
     // Only the CN-routed decoy was shadowed.
     let orders = &engine.host_as::<Sink>(origin).unwrap().orders;
     assert_eq!(orders.len(), 1);

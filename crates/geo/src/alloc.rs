@@ -106,16 +106,18 @@ impl PrefixAllocator {
         let step = 1u32 << (32 - len);
         loop {
             // Align cursor up to the prefix size.
-            let base = self.cursor.div_ceil(step).checked_mul(step).ok_or(AllocError::Exhausted)?;
+            let base = self
+                .cursor
+                .div_ceil(step)
+                .checked_mul(step)
+                .ok_or(AllocError::Exhausted)?;
             if base.checked_add(step - 1).is_none() {
                 return Err(AllocError::Exhausted);
             }
             if let Some((rbase, rlen)) = in_reserved(base) {
                 // Jump past the reserved block.
                 let rstep = 1u32 << (32 - rlen);
-                self.cursor = rbase
-                    .checked_add(rstep)
-                    .ok_or(AllocError::Exhausted)?;
+                self.cursor = rbase.checked_add(rstep).ok_or(AllocError::Exhausted)?;
                 continue;
             }
             // A larger allocation can *straddle into* a reserved block even
@@ -125,8 +127,9 @@ impl PrefixAllocator {
                 continue;
             }
             self.cursor = base + step;
-            return Ok(Ipv4Prefix::new(Ipv4Addr::from(base), len)
-                .expect("aligned base by construction"));
+            return Ok(
+                Ipv4Prefix::new(Ipv4Addr::from(base), len).expect("aligned base by construction")
+            );
         }
     }
 }
@@ -199,7 +202,9 @@ mod tests {
     fn deterministic() {
         let run = || {
             let mut alloc = PrefixAllocator::new();
-            (0..50).map(|_| alloc.alloc(18).unwrap()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| alloc.alloc(18).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

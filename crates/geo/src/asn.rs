@@ -79,42 +79,207 @@ pub struct WellKnownAs {
 /// plus the resolver operators behind Table 4.
 pub const WELL_KNOWN_ASES: &[WellKnownAs] = &[
     // Table 3 — on-path observers.
-    WellKnownAs { asn: 4134, name: "CHINANET-BACKBONE", country: "CN", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 58563, name: "CHINANET Hubei province network", country: "CN", kind: AsKind::IspRegional },
-    WellKnownAs { asn: 137697, name: "CHINATELECOM JiangSu", country: "CN", kind: AsKind::IspRegional },
-    WellKnownAs { asn: 4812, name: "China Telecom (Group)", country: "CN", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 23650, name: "CHINANET jiangsu backbone", country: "CN", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 4808, name: "China Unicom Beijing Province Network", country: "CN", kind: AsKind::IspRegional },
-    WellKnownAs { asn: 203020, name: "HostRoyale Technologies Pvt Ltd", country: "IN", kind: AsKind::Cloud },
-    WellKnownAs { asn: 21859, name: "Zenlayer Inc", country: "US", kind: AsKind::Cloud },
-    WellKnownAs { asn: 140292, name: "CHINATELECOM Jiangsu", country: "CN", kind: AsKind::IspRegional },
+    WellKnownAs {
+        asn: 4134,
+        name: "CHINANET-BACKBONE",
+        country: "CN",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 58563,
+        name: "CHINANET Hubei province network",
+        country: "CN",
+        kind: AsKind::IspRegional,
+    },
+    WellKnownAs {
+        asn: 137697,
+        name: "CHINATELECOM JiangSu",
+        country: "CN",
+        kind: AsKind::IspRegional,
+    },
+    WellKnownAs {
+        asn: 4812,
+        name: "China Telecom (Group)",
+        country: "CN",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 23650,
+        name: "CHINANET jiangsu backbone",
+        country: "CN",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 4808,
+        name: "China Unicom Beijing Province Network",
+        country: "CN",
+        kind: AsKind::IspRegional,
+    },
+    WellKnownAs {
+        asn: 203020,
+        name: "HostRoyale Technologies Pvt Ltd",
+        country: "IN",
+        kind: AsKind::Cloud,
+    },
+    WellKnownAs {
+        asn: 21859,
+        name: "Zenlayer Inc",
+        country: "US",
+        kind: AsKind::Cloud,
+    },
+    WellKnownAs {
+        asn: 140292,
+        name: "CHINATELECOM Jiangsu",
+        country: "CN",
+        kind: AsKind::IspRegional,
+    },
     // Section 5.2 — HTTP/TLS observer ASes outside CN.
-    WellKnownAs { asn: 40444, name: "Constant Contact", country: "US", kind: AsKind::Cloud },
-    WellKnownAs { asn: 29988, name: "Rogers Communications", country: "CA", kind: AsKind::IspBackbone },
+    WellKnownAs {
+        asn: 40444,
+        name: "Constant Contact",
+        country: "US",
+        kind: AsKind::Cloud,
+    },
+    WellKnownAs {
+        asn: 29988,
+        name: "Rogers Communications",
+        country: "CA",
+        kind: AsKind::IspBackbone,
+    },
     // Figure 6 — origins of unsolicited DNS re-queries.
-    WellKnownAs { asn: 15169, name: "Google LLC", country: "US", kind: AsKind::ResolverOperator },
+    WellKnownAs {
+        asn: 15169,
+        name: "Google LLC",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
     // Resolver operators behind Table 4 destinations.
-    WellKnownAs { asn: 13335, name: "Cloudflare, Inc.", country: "US", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 36692, name: "Cisco OpenDNS, LLC", country: "US", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 19281, name: "Quad9", country: "US", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 13238, name: "YANDEX LLC", country: "RU", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 23724, name: "IDC, China Telecommunications (114DNS)", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 4837, name: "CHINA UNICOM China169 Backbone", country: "CN", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 9808, name: "China Mobile Communications Group", country: "CN", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 3356, name: "Level 3 Parent, LLC", country: "US", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 6939, name: "Hurricane Electric LLC", country: "US", kind: AsKind::IspBackbone },
-    WellKnownAs { asn: 12222, name: "VERCARA (UltraDNS)", country: "US", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 24151, name: "CNNIC", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 45090, name: "Tencent (DNSPod)", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 38365, name: "Baidu, Inc.", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 51559, name: "Netinternet (OpenNIC host)", country: "TR", kind: AsKind::Cloud },
-    WellKnownAs { asn: 197988, name: "SafeDNS, Inc.", country: "RU", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 8972, name: "DNS.Watch (Host Europe)", country: "DE", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 33517, name: "Oracle Dyn", country: "US", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 4788, name: "ONE DNS operator network", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 17964, name: "DXTNET (DNS PAI)", country: "CN", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 131657, name: "Quad101 / TWNIC", country: "TW", kind: AsKind::ResolverOperator },
-    WellKnownAs { asn: 42473, name: "Freenom World", country: "NL", kind: AsKind::ResolverOperator },
+    WellKnownAs {
+        asn: 13335,
+        name: "Cloudflare, Inc.",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 36692,
+        name: "Cisco OpenDNS, LLC",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 19281,
+        name: "Quad9",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 13238,
+        name: "YANDEX LLC",
+        country: "RU",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 23724,
+        name: "IDC, China Telecommunications (114DNS)",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 4837,
+        name: "CHINA UNICOM China169 Backbone",
+        country: "CN",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 9808,
+        name: "China Mobile Communications Group",
+        country: "CN",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 3356,
+        name: "Level 3 Parent, LLC",
+        country: "US",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 6939,
+        name: "Hurricane Electric LLC",
+        country: "US",
+        kind: AsKind::IspBackbone,
+    },
+    WellKnownAs {
+        asn: 12222,
+        name: "VERCARA (UltraDNS)",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 24151,
+        name: "CNNIC",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 45090,
+        name: "Tencent (DNSPod)",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 38365,
+        name: "Baidu, Inc.",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 51559,
+        name: "Netinternet (OpenNIC host)",
+        country: "TR",
+        kind: AsKind::Cloud,
+    },
+    WellKnownAs {
+        asn: 197988,
+        name: "SafeDNS, Inc.",
+        country: "RU",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 8972,
+        name: "DNS.Watch (Host Europe)",
+        country: "DE",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 33517,
+        name: "Oracle Dyn",
+        country: "US",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 4788,
+        name: "ONE DNS operator network",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 17964,
+        name: "DXTNET (DNS PAI)",
+        country: "CN",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 131657,
+        name: "Quad101 / TWNIC",
+        country: "TW",
+        kind: AsKind::ResolverOperator,
+    },
+    WellKnownAs {
+        asn: 42473,
+        name: "Freenom World",
+        country: "NL",
+        kind: AsKind::ResolverOperator,
+    },
 ];
 
 /// First ASN handed to synthesized ASes; far above any real assignment we
@@ -133,7 +298,7 @@ impl AsCatalog {
     /// synthetic ASes per unit of country weight (so CN/US get many, Andorra
     /// few). Deterministic in `seed`.
     pub fn generate(seed: u64, synthetic_density: f64) -> Self {
-        let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0x5e0_a5_ca7a106);
+        let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 0x5e0a_5ca7_a106);
         let mut entries: Vec<AsInfo> = WELL_KNOWN_ASES
             .iter()
             .map(|w| AsInfo {

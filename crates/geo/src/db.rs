@@ -38,7 +38,10 @@ impl Ipv4Prefix {
         if len > 32 || base_u32 & !Self::mask_for(len) != 0 {
             return Err(InvalidPrefix { base, len });
         }
-        Ok(Self { base: base_u32, len })
+        Ok(Self {
+            base: base_u32,
+            len,
+        })
     }
 
     /// Build the covering prefix of `addr` at length `len` (host bits zeroed).
@@ -66,6 +69,9 @@ impl Ipv4Prefix {
         self.base
     }
 
+    /// The prefix length in bits (not a container length; a prefix is
+    /// never "empty").
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -183,9 +189,7 @@ impl GeoDb {
         // there keeping the longest match. Containment fails permanently once
         // base < addr & mask(0)=0, but prefixes can be nested, so we bound the
         // scan by the widest allocation (/8): stop when base + 2^24 <= addr.
-        let idx = self
-            .records
-            .partition_point(|r| r.prefix.base_u32() <= key);
+        let idx = self.records.partition_point(|r| r.prefix.base_u32() <= key);
         let mut best: Option<&GeoRecord> = None;
         for r in self.records[..idx].iter().rev() {
             if r.prefix.contains(addr) {
@@ -230,11 +234,7 @@ impl GeoDb {
 }
 
 /// Convenience: full AS info for an address, resolving through a catalog.
-pub fn as_info_of<'a>(
-    db: &GeoDb,
-    catalog: &'a AsCatalog,
-    addr: Ipv4Addr,
-) -> Option<&'a AsInfo> {
+pub fn as_info_of<'a>(db: &GeoDb, catalog: &'a AsCatalog, addr: Ipv4Addr) -> Option<&'a AsInfo> {
     db.asn_of(addr).and_then(|asn| catalog.get(asn))
 }
 
@@ -285,8 +285,18 @@ mod tests {
     #[test]
     fn longest_prefix_wins() {
         let mut db = GeoDb::new();
-        db.insert(record(p("8.0.0.0", 8), Asn(1), cc("US"), AsKind::IspBackbone));
-        db.insert(record(p("8.8.8.0", 24), Asn(15169), cc("US"), AsKind::ResolverOperator));
+        db.insert(record(
+            p("8.0.0.0", 8),
+            Asn(1),
+            cc("US"),
+            AsKind::IspBackbone,
+        ));
+        db.insert(record(
+            p("8.8.8.0", 24),
+            Asn(15169),
+            cc("US"),
+            AsKind::ResolverOperator,
+        ));
         db.build();
         assert_eq!(db.asn_of(Ipv4Addr::new(8, 8, 8, 8)), Some(Asn(15169)));
         assert_eq!(db.asn_of(Ipv4Addr::new(8, 9, 0, 1)), Some(Asn(1)));
@@ -304,10 +314,21 @@ mod tests {
     fn hosting_label_propagates() {
         let mut db = GeoDb::new();
         db.insert(record(p("5.0.0.0", 16), Asn(3), cc("NL"), AsKind::Cloud));
-        db.insert(record(p("5.1.0.0", 16), Asn(4), cc("NL"), AsKind::IspRegional));
+        db.insert(record(
+            p("5.1.0.0", 16),
+            Asn(4),
+            cc("NL"),
+            AsKind::IspRegional,
+        ));
         db.build();
-        assert_eq!(db.hosting_of(Ipv4Addr::new(5, 0, 3, 3)), Some(HostingLabel::Hosting));
-        assert_eq!(db.hosting_of(Ipv4Addr::new(5, 1, 3, 3)), Some(HostingLabel::Residential));
+        assert_eq!(
+            db.hosting_of(Ipv4Addr::new(5, 0, 3, 3)),
+            Some(HostingLabel::Hosting)
+        );
+        assert_eq!(
+            db.hosting_of(Ipv4Addr::new(5, 1, 3, 3)),
+            Some(HostingLabel::Residential)
+        );
     }
 
     #[test]

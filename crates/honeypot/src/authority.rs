@@ -143,15 +143,28 @@ mod tests {
         }
     }
 
-    fn world() -> (Engine, shadow_netsim::NodeId, shadow_netsim::NodeId, Ipv4Addr, Ipv4Addr) {
+    fn world() -> (
+        Engine,
+        shadow_netsim::NodeId,
+        shadow_netsim::NodeId,
+        Ipv4Addr,
+        Ipv4Addr,
+    ) {
         let mut tb = TopologyBuilder::new(4);
         tb.add_as(Asn(1), Region::Europe);
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let auth_addr = Ipv4Addr::new(1, 1, 0, 53);
         let client = tb.add_host(Asn(1), client_addr).unwrap();
         let auth = tb.add_host(Asn(1), auth_addr).unwrap();
-        (Engine::new(tb.build().unwrap()), client, auth, client_addr, auth_addr)
+        (
+            Engine::new(tb.build().unwrap()),
+            client,
+            auth,
+            client_addr,
+            auth_addr,
+        )
     }
 
     fn zone() -> DnsName {
@@ -185,11 +198,20 @@ mod tests {
             auth,
             Box::new(ExperimentAuthorityHost::new(auth_addr, zone(), web_addrs())),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         engine.inject(
             SimTime::ZERO,
             client,
-            query(client_addr, auth_addr, "g6d8jjkut5obc4-9982.www.experiment.example"),
+            query(
+                client_addr,
+                auth_addr,
+                "g6d8jjkut5obc4-9982.www.experiment.example",
+            ),
         );
         engine.run_to_completion();
         let sink = engine.host_as::<Sink>(client).unwrap();
@@ -235,8 +257,17 @@ mod tests {
             auth,
             Box::new(ExperimentAuthorityHost::new(auth_addr, zone(), web_addrs())),
         );
-        engine.add_host(client, Box::new(Sink { packets: Vec::new() }));
-        engine.inject(SimTime::ZERO, client, query(client_addr, auth_addr, "www.google.com"));
+        engine.add_host(
+            client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        engine.inject(
+            SimTime::ZERO,
+            client,
+            query(client_addr, auth_addr, "www.google.com"),
+        );
         engine.run_to_completion();
         let sink = engine.host_as::<Sink>(client).unwrap();
         let dg = UdpDatagram::decode(&sink.packets[0].payload).unwrap();

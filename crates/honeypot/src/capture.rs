@@ -39,6 +39,22 @@ pub struct Arrival {
     pub honeypot: String,
 }
 
+impl Arrival {
+    /// Total-order sort key. Merging must not depend on which log an
+    /// arrival came from (or which shard produced it), so the key covers
+    /// every field — two *distinct* arrivals never compare equal.
+    pub fn sort_key(&self) -> impl Ord + '_ {
+        (
+            self.at,
+            &self.domain,
+            self.src,
+            self.protocol,
+            &self.http_path,
+            &self.honeypot,
+        )
+    }
+}
+
 /// An append-only capture log.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CaptureLog {
@@ -66,11 +82,12 @@ impl CaptureLog {
         self.entries.iter()
     }
 
-    /// Merge several logs into one stream sorted by arrival time (the
-    /// cross-honeypot view the analysis runs on).
+    /// Merge several logs into one stream in the total [`Arrival::sort_key`]
+    /// order (the cross-honeypot view the analysis runs on). The order is
+    /// independent of how arrivals were distributed across input logs.
     pub fn merged(logs: impl IntoIterator<Item = CaptureLog>) -> Vec<Arrival> {
         let mut all: Vec<Arrival> = logs.into_iter().flat_map(|l| l.entries).collect();
-        all.sort_by_key(|a| (a.at, a.src, a.protocol));
+        all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         all
     }
 }

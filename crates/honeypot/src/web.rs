@@ -3,8 +3,6 @@
 //! the Tranco-top-1K sites HTTP/TLS decoys are sent to.
 
 use crate::capture::{Arrival, ArrivalProtocol, CaptureLog};
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::tcp::{ConnKey, TcpEvent, TcpStack};
 use shadow_netsim::time::SimDuration;
@@ -38,7 +36,7 @@ pub struct SiteShadow {
     pub watch_http: bool,
     pub watch_tls: bool,
     store: RetentionStore,
-    rng: ChaCha20Rng,
+    seed: u64,
     pub probes_scheduled: u64,
 }
 
@@ -62,7 +60,7 @@ impl SiteShadow {
             watch_http: true,
             watch_tls: true,
             store: RetentionStore::new(retention_capacity, retention_ttl),
-            rng: ChaCha20Rng::seed_from_u64(seed ^ 0x517e_5d0),
+            seed: seed ^ 0x0517_e5d0,
             probes_scheduled: 0,
         }
     }
@@ -102,7 +100,7 @@ impl SiteShadow {
             &self.policy,
             &mut self.store,
             &self.origins,
-            &mut self.rng,
+            self.seed,
             domain,
             via,
             ctx.now(),
@@ -430,12 +428,19 @@ mod tests {
     fn world() -> (Engine, NodeId, NodeId, Ipv4Addr, Ipv4Addr) {
         let mut tb = TopologyBuilder::new(6);
         tb.add_as(Asn(1), Region::Europe);
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let web_addr = Ipv4Addr::new(1, 1, 0, 80);
         let client = tb.add_host(Asn(1), client_addr).unwrap();
         let web = tb.add_host(Asn(1), web_addr).unwrap();
-        (Engine::new(tb.build().unwrap()), client, web, client_addr, web_addr)
+        (
+            Engine::new(tb.build().unwrap()),
+            client,
+            web,
+            client_addr,
+            web_addr,
+        )
     }
 
     #[test]
@@ -487,7 +492,12 @@ mod tests {
         let hello = ClientHello::with_sni("tls7.www.experiment.example", [5u8; 32]);
         engine.add_host(
             client,
-            Box::new(Client::new(client_addr, web_addr, 443, hello.encode_record())),
+            Box::new(Client::new(
+                client_addr,
+                web_addr,
+                443,
+                hello.encode_record(),
+            )),
         );
         engine.post(SimTime::ZERO, client, Box::new(()));
         engine.run_to_completion();

@@ -111,7 +111,13 @@ mod tests {
 
     #[test]
     fn scanner_paths_are_enumeration() {
-        for path in ["/admin/", "/.git/config", "/wp-login.php", "/backup/", "/robots.txt"] {
+        for path in [
+            "/admin/",
+            "/.git/config",
+            "/wp-login.php",
+            "/backup/",
+            "/robots.txt",
+        ] {
             assert_eq!(classify_path(path), PayloadClass::Enumeration, "{path}");
         }
     }

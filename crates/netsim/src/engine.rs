@@ -210,6 +210,21 @@ pub struct EngineStats {
     pub icmp_suppressed: u64,
 }
 
+impl EngineStats {
+    /// Sum another engine's counters into this one (a sharded campaign
+    /// reports the aggregate across its per-shard engines).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.events_processed += other.events_processed;
+        self.packets_sent += other.packets_sent;
+        self.packets_delivered += other.packets_delivered;
+        self.packets_dropped_unroutable += other.packets_dropped_unroutable;
+        self.packets_dropped_by_tap += other.packets_dropped_by_tap;
+        self.ttl_expirations += other.ttl_expirations;
+        self.icmp_time_exceeded_sent += other.icmp_time_exceeded_sent;
+        self.icmp_suppressed += other.icmp_suppressed;
+    }
+}
+
 /// The simulator.
 pub struct Engine {
     topo: Topology,
@@ -270,7 +285,11 @@ impl Engine {
 
     /// Borrow a tap downcast to its concrete type.
     pub fn tap_as<T: 'static>(&self, node: NodeId, index: usize) -> Option<&T> {
-        self.taps.get(&node)?.get(index)?.as_any().downcast_ref::<T>()
+        self.taps
+            .get(&node)?
+            .get(index)?
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Fresh IP identification value (per-engine counter).
@@ -291,7 +310,11 @@ impl Engine {
         self.seq += 1;
         let seq = self.seq;
         if let Some(ev) = self.launch(at, from, pkt) {
-            self.queue.push(Event { at: ev.0, seq, kind: ev.1 });
+            self.queue.push(Event {
+                at: ev.0,
+                seq,
+                kind: ev.1,
+            });
         }
     }
 
@@ -321,14 +344,7 @@ impl Engine {
             return Some((at, EventKind::Hop { pkt, path, idx: 0 }));
         }
         let delay = SimDuration::from_millis(self.topo.latency_ms(path[0], path[1]));
-        Some((
-            at + delay,
-            EventKind::Hop {
-                pkt,
-                path,
-                idx: 1,
-            },
-        ))
+        Some((at + delay, EventKind::Hop { pkt, path, idx: 1 }))
     }
 
     /// Run until the queue drains or the clock passes `deadline`.
@@ -345,12 +361,9 @@ impl Engine {
             processed += 1;
             self.stats.events_processed += 1;
         }
-        self.now = self.now.max(deadline.min(
-            self.queue
-                .peek()
-                .map(|e| e.at)
-                .unwrap_or(deadline),
-        ));
+        self.now = self
+            .now
+            .max(deadline.min(self.queue.peek().map(|e| e.at).unwrap_or(deadline)));
         processed
     }
 
@@ -394,7 +407,11 @@ impl Engine {
                     self.hosts.insert(node, host);
                 }
             }
-            EventKind::TapTimer { node, tap_index, token } => {
+            EventKind::TapTimer {
+                node,
+                tap_index,
+                token,
+            } => {
                 if let Some(mut taps) = self.taps.remove(&node) {
                     if let Some(tap) = taps.get_mut(tap_index) {
                         let mut ctx = Ctx {
@@ -424,7 +441,13 @@ impl Engine {
         self.apply(actions);
     }
 
-    fn hop(&mut self, mut pkt: Ipv4Packet, path: Arc<[NodeId]>, idx: usize, actions: &mut Vec<Action>) {
+    fn hop(
+        &mut self,
+        mut pkt: Ipv4Packet,
+        path: Arc<[NodeId]>,
+        idx: usize,
+        actions: &mut Vec<Action>,
+    ) {
         let node_id = path[idx];
         let node = *self.topo.node(node_id);
         let is_final = idx == path.len() - 1;
@@ -791,8 +814,10 @@ mod tests {
         tb.add_as(Asn(1), Region::Europe);
         tb.add_as(Asn(2), Region::Europe);
         tb.link(Asn(1), Asn(2)).unwrap();
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), false).unwrap();
-        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), false).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), false)
+            .unwrap();
+        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), false)
+            .unwrap();
         let client = tb.add_host(Asn(1), Ipv4Addr::new(1, 1, 1, 1)).unwrap();
         let _server = tb.add_host(Asn(2), Ipv4Addr::new(2, 1, 1, 1)).unwrap();
         let mut engine = Engine::new(tb.build().unwrap());
@@ -800,7 +825,12 @@ mod tests {
         engine.inject(
             SimTime::ZERO,
             client,
-            udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 1, 1, 1), 1, b"x"),
+            udp_packet(
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 1, 1, 1),
+                1,
+                b"x",
+            ),
         );
         engine.run_to_completion();
         assert_eq!(engine.stats().ttl_expirations, 1);
@@ -839,7 +869,8 @@ mod tests {
     fn timers_chain_and_messages_deliver() {
         let mut w = world();
         w.engine.add_host(w.client, Box::new(Sink::new()));
-        w.engine.post(SimTime(500), w.client, Box::new("kick".to_string()));
+        w.engine
+            .post(SimTime(500), w.client, Box::new("kick".to_string()));
         // Kick off a timer chain via a packet-free path: arm via message is
         // not exposed, so drive a timer through a self-posted message first.
         struct Kicker;
@@ -851,7 +882,13 @@ mod tests {
             assert_eq!(sink.messages, vec![SimTime(500)]);
         }
         // Arm a timer chain: token increments until 3 (see Sink::on_timer).
-        w.engine.push(SimTime(1_000), EventKind::HostTimer { node: w.client, token: 0 });
+        w.engine.push(
+            SimTime(1_000),
+            EventKind::HostTimer {
+                node: w.client,
+                token: 0,
+            },
+        );
         w.engine.run_to_completion();
         let sink = w.engine.host_as::<Sink>(w.client).unwrap();
         assert_eq!(
@@ -931,7 +968,8 @@ mod budget_tests {
     fn tiny() -> (Engine, NodeId, Ipv4Addr, Ipv4Addr) {
         let mut tb = TopologyBuilder::new(1);
         tb.add_as(Asn(1), Region::Europe);
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
         let a = Ipv4Addr::new(1, 1, 0, 1);
         let b = Ipv4Addr::new(1, 1, 0, 2);
         let client = tb.add_host(Asn(1), a).unwrap();

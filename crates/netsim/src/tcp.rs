@@ -103,7 +103,10 @@ impl TcpStack {
     }
 
     fn next_isn(&mut self) -> u32 {
-        self.isn_counter = self.isn_counter.wrapping_mul(0x0019_660d).wrapping_add(0x3c6e_f35f);
+        self.isn_counter = self
+            .isn_counter
+            .wrapping_mul(0x0019_660d)
+            .wrapping_add(0x3c6e_f35f);
         self.isn_counter
     }
 
@@ -123,7 +126,12 @@ impl TcpStack {
     }
 
     /// Open a connection; returns the key and pushes the SYN to `out`.
-    pub fn connect(&mut self, peer: Ipv4Addr, peer_port: u16, out: &mut Vec<TcpSegment>) -> ConnKey {
+    pub fn connect(
+        &mut self,
+        peer: Ipv4Addr,
+        peer_port: u16,
+        out: &mut Vec<TcpSegment>,
+    ) -> ConnKey {
         let local_port = self.alloc_port();
         let key = ConnKey {
             peer,
@@ -459,7 +467,11 @@ mod tests {
         let key = vp.connect(SERVER, 80, &mut out);
         pump(&mut vp, &mut site, out, Vec::new());
         let mut out = Vec::new();
-        vp.send(key, b"GET / HTTP/1.1\r\nhost: decoy\r\n\r\n".to_vec(), &mut out);
+        vp.send(
+            key,
+            b"GET / HTTP/1.1\r\nhost: decoy\r\n\r\n".to_vec(),
+            &mut out,
+        );
         vp.close(key, &mut out);
         let (_, s_ev) = pump(&mut vp, &mut site, out, Vec::new());
         let data: Vec<_> = s_ev

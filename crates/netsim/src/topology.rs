@@ -11,9 +11,9 @@
 //! study II) register several host nodes under one address; routing delivers
 //! to the instance closest in AS hops, as BGP anycast does.
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use shadow_geo::{Asn, Region};
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -54,7 +54,12 @@ impl Node {
     }
 
     pub fn responds_icmp(&self) -> bool {
-        matches!(self.kind, NodeKind::Router { responds_icmp: true })
+        matches!(
+            self.kind,
+            NodeKind::Router {
+                responds_icmp: true
+            }
+        )
     }
 }
 
@@ -154,12 +159,22 @@ impl TopologyBuilder {
         self.links.contains(&key)
     }
 
-    fn push_node(&mut self, addr: Ipv4Addr, asn: Asn, kind: NodeKind) -> Result<NodeId, TopologyError> {
+    fn push_node(
+        &mut self,
+        addr: Ipv4Addr,
+        asn: Asn,
+        kind: NodeKind,
+    ) -> Result<NodeId, TopologyError> {
         if !self.ases.contains_key(&asn) {
             return Err(TopologyError::UnknownAs(asn));
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { id, addr, asn, kind });
+        self.nodes.push(Node {
+            id,
+            addr,
+            asn,
+            kind,
+        });
         self.addr_map.entry(addr).or_default().push(id);
         Ok(id)
     }
@@ -257,7 +272,26 @@ pub struct Topology {
     adj: HashMap<Asn, Vec<Asn>>,
     addr_map: HashMap<Ipv4Addr, Vec<NodeId>>,
     bfs_cache: Mutex<HashMap<Asn, Arc<BfsTree>>>,
-    route_cache: Mutex<HashMap<(NodeId, NodeId), Arc<[NodeId]>>>,
+    route_cache: Mutex<RouteCache>,
+}
+
+/// Memoized hop sequences, keyed by (src node, dst node).
+type RouteCache = HashMap<(NodeId, NodeId), Arc<[NodeId]>>;
+
+impl Clone for Topology {
+    /// Clone the graph data; the route/BFS caches are pure memoization and
+    /// restart empty (each shard's engine warms its own).
+    fn clone(&self) -> Self {
+        Self {
+            seed: self.seed,
+            nodes: self.nodes.clone(),
+            ases: self.ases.clone(),
+            adj: self.adj.clone(),
+            addr_map: self.addr_map.clone(),
+            bfs_cache: Mutex::new(HashMap::new()),
+            route_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Topology {
@@ -307,8 +341,8 @@ impl Topology {
             let d = dist[&cur];
             if let Some(neighbors) = self.adj.get(&cur) {
                 for &next in neighbors {
-                    if !dist.contains_key(&next) {
-                        dist.insert(next, d + 1);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(next) {
+                        slot.insert(d + 1);
                         parent.insert(next, cur);
                         queue.push_back(next);
                     }
@@ -444,9 +478,9 @@ impl Topology {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let h = mix3(self.seed ^ 0x1a7e_c0de, lo.0 as u64, hi.0 as u64);
         match self.link_class(a, b) {
-            LinkClass::IntraAs => 1 + h % 4,             // 1-4 ms
-            LinkClass::InterAsSameRegion => 5 + h % 20,  // 5-24 ms
-            LinkClass::InterRegion => 40 + h % 80,       // 40-119 ms
+            LinkClass::IntraAs => 1 + h % 4,            // 1-4 ms
+            LinkClass::InterAsSameRegion => 5 + h % 20, // 5-24 ms
+            LinkClass::InterRegion => 40 + h % 80,      // 40-119 ms
         }
     }
 }
@@ -484,7 +518,8 @@ mod tests {
         tb.link(Asn(200), Asn(300)).unwrap();
         for (asn, base) in [(100u32, 10u8), (200, 20), (300, 30)] {
             for r in 0..3u8 {
-                tb.add_router(Asn(asn), addr(base, 0, 0, r + 1), true).unwrap();
+                tb.add_router(Asn(asn), addr(base, 0, 0, r + 1), true)
+                    .unwrap();
             }
         }
         let client = tb.add_host(Asn(100), addr(10, 1, 0, 1)).unwrap();
@@ -573,8 +608,14 @@ mod tests {
     fn builder_rejects_bad_input() {
         let mut tb = TopologyBuilder::new(0);
         tb.add_as(Asn(1), Region::Europe);
-        assert_eq!(tb.link(Asn(1), Asn(1)), Err(TopologyError::SelfLink(Asn(1))));
-        assert_eq!(tb.link(Asn(1), Asn(2)), Err(TopologyError::UnknownAs(Asn(2))));
+        assert_eq!(
+            tb.link(Asn(1), Asn(1)),
+            Err(TopologyError::SelfLink(Asn(1)))
+        );
+        assert_eq!(
+            tb.link(Asn(1), Asn(2)),
+            Err(TopologyError::UnknownAs(Asn(2)))
+        );
         tb.add_as(Asn(2), Region::Europe);
         tb.link(Asn(1), Asn(2)).unwrap();
         assert_eq!(
@@ -612,8 +653,10 @@ mod tests {
             tb.add_as(Asn(200), Region::EastAsia);
             tb.link(Asn(100), Asn(200)).unwrap();
             for r in 0..4u8 {
-                tb.add_router(Asn(100), addr(10, 0, 0, r + 1), true).unwrap();
-                tb.add_router(Asn(200), addr(20, 0, 0, r + 1), true).unwrap();
+                tb.add_router(Asn(100), addr(10, 0, 0, r + 1), true)
+                    .unwrap();
+                tb.add_router(Asn(200), addr(20, 0, 0, r + 1), true)
+                    .unwrap();
             }
             let a = tb.add_host(Asn(100), addr(10, 1, 0, 1)).unwrap();
             let b = tb.add_host(Asn(200), addr(20, 1, 0, 1)).unwrap();

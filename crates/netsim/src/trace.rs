@@ -60,14 +60,32 @@ impl PacketTrace {
                 "tcp {} -> {} [{}{}{}{}] len {}",
                 seg.src_port,
                 seg.dst_port,
-                if seg.flags.contains(shadow_packet::tcp::TcpFlags::SYN) { "S" } else { "" },
-                if seg.flags.contains(shadow_packet::tcp::TcpFlags::ACK) { "A" } else { "" },
-                if seg.flags.contains(shadow_packet::tcp::TcpFlags::FIN) { "F" } else { "" },
-                if seg.flags.contains(shadow_packet::tcp::TcpFlags::RST) { "R" } else { "" },
+                if seg.flags.contains(shadow_packet::tcp::TcpFlags::SYN) {
+                    "S"
+                } else {
+                    ""
+                },
+                if seg.flags.contains(shadow_packet::tcp::TcpFlags::ACK) {
+                    "A"
+                } else {
+                    ""
+                },
+                if seg.flags.contains(shadow_packet::tcp::TcpFlags::FIN) {
+                    "F"
+                } else {
+                    ""
+                },
+                if seg.flags.contains(shadow_packet::tcp::TcpFlags::RST) {
+                    "R"
+                } else {
+                    ""
+                },
                 seg.payload.len(),
             ),
             Ok(Transport::Icmp(msg)) => match msg {
-                shadow_packet::icmp::IcmpMessage::TimeExceeded { .. } => "icmp time-exceeded".into(),
+                shadow_packet::icmp::IcmpMessage::TimeExceeded { .. } => {
+                    "icmp time-exceeded".into()
+                }
                 shadow_packet::icmp::IcmpMessage::EchoRequest { .. } => "icmp echo-request".into(),
                 shadow_packet::icmp::IcmpMessage::EchoReply { .. } => "icmp echo-reply".into(),
                 shadow_packet::icmp::IcmpMessage::DestinationUnreachable { .. } => {
@@ -118,7 +136,9 @@ mod tests {
     fn world() -> (Engine, NodeId, NodeId, Ipv4Addr, Ipv4Addr) {
         let mut tb = TopologyBuilder::new(3);
         tb.add_as(Asn(1), Region::Europe);
-        let router = tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
+        let router = tb
+            .add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let server_addr = Ipv4Addr::new(1, 1, 0, 2);
         let client = tb.add_host(Asn(1), client_addr).unwrap();
@@ -148,11 +168,7 @@ mod tests {
         let (mut engine, client, router, client_addr, server_addr) = world();
         engine.add_tap(router, Box::new(PacketTrace::new(16)));
         for i in 0..3u64 {
-            engine.inject(
-                SimTime(i),
-                client,
-                packet(client_addr, server_addr, b"x"),
-            );
+            engine.inject(SimTime(i), client, packet(client_addr, server_addr, b"x"));
         }
         engine.run_to_completion();
         let trace = engine.tap_as::<PacketTrace>(router, 0).unwrap();

@@ -10,7 +10,12 @@ use std::net::Ipv4Addr;
 
 /// Build a random connected topology: a chain of `n` ASes with extra chords,
 /// 1-4 routers each, one host in the first and last AS.
-fn build(seed: u64, n: usize, routers: usize, chords: &[(usize, usize)]) -> (shadow_netsim::Topology, NodeId, NodeId) {
+fn build(
+    seed: u64,
+    n: usize,
+    routers: usize,
+    chords: &[(usize, usize)],
+) -> (shadow_netsim::Topology, NodeId, NodeId) {
     let regions = [
         Region::Europe,
         Region::EastAsia,
@@ -42,7 +47,10 @@ fn build(seed: u64, n: usize, routers: usize, chords: &[(usize, usize)]) -> (sha
     }
     let src = tb.add_host(Asn(100), Ipv4Addr::new(10, 0, 1, 1)).unwrap();
     let dst = tb
-        .add_host(Asn(100 + n as u32 - 1), Ipv4Addr::new(10, n as u8 - 1, 1, 1))
+        .add_host(
+            Asn(100 + n as u32 - 1),
+            Ipv4Addr::new(10, n as u8 - 1, 1, 1),
+        )
         .unwrap();
     (tb.build().unwrap(), src, dst)
 }

@@ -8,8 +8,6 @@
 
 use crate::policy::{ReplayPolicy, WeightedChoice};
 use crate::retention::RetentionStore;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 use shadow_netsim::engine::{Ctx, TapVerdict, WireTap};
 use shadow_netsim::time::SimDuration;
 use shadow_netsim::topology::NodeId;
@@ -73,11 +71,12 @@ pub struct DpiStats {
     pub probes_beyond_retention: u64,
 }
 
-/// The tap itself.
+/// The tap itself. Stateless apart from the retention store: all probe
+/// randomness is derived per observation from `config.seed`, so what the
+/// tap does for one domain never depends on what other traffic it saw.
 pub struct DpiTap {
     config: DpiConfig,
     store: RetentionStore,
-    rng: ChaCha20Rng,
     stats: DpiStats,
 }
 
@@ -92,11 +91,9 @@ impl DpiTap {
             "a DPI observer needs at least one probe origin"
         );
         let store = RetentionStore::new(config.retention_capacity, config.retention_ttl);
-        let rng = ChaCha20Rng::seed_from_u64(config.seed ^ 0xd91_7a9);
         Self {
             config,
             store,
-            rng,
             stats: DpiStats::default(),
         }
     }
@@ -127,10 +124,14 @@ impl DpiTap {
                 if seg.dst_port == 80 && self.config.watch_http {
                     let req = HttpRequest::decode(&seg.payload).ok()?;
                     let host = req.host()?;
-                    DnsName::parse(host).ok().map(|n| (n, ObservedProtocol::Http))
+                    DnsName::parse(host)
+                        .ok()
+                        .map(|n| (n, ObservedProtocol::Http))
                 } else if seg.dst_port == 443 && self.config.watch_tls {
                     let sni = tls::sniff_sni(&seg.payload)?;
-                    DnsName::parse(&sni).ok().map(|n| (n, ObservedProtocol::Tls))
+                    DnsName::parse(&sni)
+                        .ok()
+                        .map(|n| (n, ObservedProtocol::Tls))
                 } else {
                     None
                 }
@@ -168,7 +169,7 @@ impl WireTap for DpiTap {
             &self.config.policy,
             &mut self.store,
             &self.config.origins,
-            &mut self.rng,
+            self.config.seed ^ 0xd91_7a9,
             &domain,
             proto.as_str(),
             ctx.now(),
@@ -245,8 +246,10 @@ mod tests {
         tb.add_as(Asn(1), Region::EastAsia);
         tb.add_as(Asn(2), Region::EastAsia);
         tb.link(Asn(1), Asn(2)).unwrap();
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
-        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
+        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let server_addr = Ipv4Addr::new(2, 1, 0, 1);
         let client = tb.add_host(Asn(1), client_addr).unwrap();
@@ -320,10 +323,7 @@ mod tests {
     }
 
     fn tls_decoy(w: &World, label: &str) -> Ipv4Packet {
-        let ch = tls::ClientHello::with_sni(
-            &format!("{label}.www.experiment.example"),
-            [3u8; 32],
-        );
+        let ch = tls::ClientHello::with_sni(&format!("{label}.www.experiment.example"), [3u8; 32]);
         let seg = TcpSegment::new(40001, 443, 1, 1, TcpFlags::PSH_ACK, ch.encode_record());
         Ipv4Packet::new(
             w.client_addr,
@@ -338,9 +338,12 @@ mod tests {
     #[test]
     fn observes_all_three_protocols_and_schedules_probes() {
         let mut w = world(base_config);
-        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "d1"));
-        w.engine.inject(SimTime(1_000), w.client, http_decoy(&w, "h1"));
-        w.engine.inject(SimTime(2_000), w.client, tls_decoy(&w, "t1"));
+        w.engine
+            .inject(SimTime::ZERO, w.client, dns_decoy(&w, "d1"));
+        w.engine
+            .inject(SimTime(1_000), w.client, http_decoy(&w, "h1"));
+        w.engine
+            .inject(SimTime(2_000), w.client, tls_decoy(&w, "t1"));
         w.engine.run_to_completion();
         let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
         assert_eq!(tap.stats().domains_observed, 3);
@@ -355,7 +358,15 @@ mod tests {
         assert_eq!(domains.len(), 3);
         // Probe delays respect the policy (1..=5 s after observation).
         for (at, order) in &recorder.orders {
-            assert!(at.millis() >= 1_000 * if order.domain.as_str().starts_with("d1") { 0 } else { 1 });
+            assert!(
+                at.millis()
+                    >= 1_000
+                        * if order.domain.as_str().starts_with("d1") {
+                            0
+                        } else {
+                            1
+                        }
+            );
         }
     }
 
@@ -381,8 +392,10 @@ mod tests {
     #[test]
     fn duplicate_domains_observed_once() {
         let mut w = world(base_config);
-        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "same"));
-        w.engine.inject(SimTime(500), w.client, dns_decoy(&w, "same"));
+        w.engine
+            .inject(SimTime::ZERO, w.client, dns_decoy(&w, "same"));
+        w.engine
+            .inject(SimTime(500), w.client, dns_decoy(&w, "same"));
         w.engine.run_to_completion();
         let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
         assert_eq!(tap.stats().domains_observed, 1);
@@ -399,7 +412,8 @@ mod tests {
             config.retention_ttl = SimDuration::from_hours(1);
             config
         });
-        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "late"));
+        w.engine
+            .inject(SimTime::ZERO, w.client, dns_decoy(&w, "late"));
         w.engine.run_to_completion();
         let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
         assert_eq!(tap.stats().probes_scheduled, 0);
@@ -416,9 +430,11 @@ mod tests {
             config.watch_tls = false;
             config
         });
-        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "d2"));
+        w.engine
+            .inject(SimTime::ZERO, w.client, dns_decoy(&w, "d2"));
         w.engine.inject(SimTime(100), w.client, tls_decoy(&w, "t2"));
-        w.engine.inject(SimTime(200), w.client, http_decoy(&w, "h2"));
+        w.engine
+            .inject(SimTime(200), w.client, http_decoy(&w, "h2"));
         w.engine.run_to_completion();
         let tap = w.engine.tap_as::<DpiTap>(w.tap_node, 0).unwrap();
         assert_eq!(tap.stats().domains_observed, 1, "only HTTP watched");
@@ -429,7 +445,8 @@ mod tests {
         // The defining property of traffic shadowing: the packet still
         // reaches its destination.
         let mut w = world(base_config);
-        w.engine.inject(SimTime::ZERO, w.client, dns_decoy(&w, "fwd"));
+        w.engine
+            .inject(SimTime::ZERO, w.client, dns_decoy(&w, "fwd"));
         w.engine.run_to_completion();
         assert_eq!(w.engine.stats().packets_dropped_by_tap, 0);
         assert_eq!(w.engine.stats().packets_delivered, 1);

@@ -182,8 +182,10 @@ mod tests {
         tb.add_as(Asn(1), Region::EastAsia);
         tb.add_as(Asn(2), Region::NorthAmerica);
         tb.link(Asn(1), Asn(2)).unwrap();
-        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true).unwrap();
-        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), true).unwrap();
+        tb.add_router(Asn(1), Ipv4Addr::new(1, 0, 0, 1), true)
+            .unwrap();
+        tb.add_router(Asn(2), Ipv4Addr::new(2, 0, 0, 1), true)
+            .unwrap();
         let client_addr = Ipv4Addr::new(1, 1, 0, 1);
         let resolver_addr = Ipv4Addr::new(2, 1, 0, 1);
         let pair_addr = Ipv4Addr::new(2, 1, 0, 4); // same /24, no DNS service
@@ -232,8 +234,18 @@ mod tests {
             w.tap_node,
             Box::new(InterceptorTap::redirect(Ipv4Addr::new(9, 9, 9, 9))),
         );
-        w.engine.add_host(w.client, Box::new(Sink { packets: Vec::new() }));
-        w.engine.add_host(w.resolver, Box::new(Sink { packets: Vec::new() }));
+        w.engine.add_host(
+            w.client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        w.engine.add_host(
+            w.resolver,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         // Query the *pair* address, which runs no DNS service.
         w.engine.inject(
             SimTime::ZERO,
@@ -266,8 +278,18 @@ mod tests {
                 w.alt_resolver_addr,
             )),
         );
-        w.engine.add_host(w.resolver, Box::new(Sink { packets: Vec::new() }));
-        w.engine.add_host(w.alt_resolver, Box::new(Sink { packets: Vec::new() }));
+        w.engine.add_host(
+            w.resolver,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
+        w.engine.add_host(
+            w.alt_resolver,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         w.engine.inject(
             SimTime::ZERO,
             w.client,
@@ -294,7 +316,12 @@ mod tests {
             w.tap_node,
             Box::new(InterceptorTap::redirect(Ipv4Addr::new(9, 9, 9, 9))),
         );
-        w.engine.add_host(w.resolver, Box::new(Sink { packets: Vec::new() }));
+        w.engine.add_host(
+            w.resolver,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         let pkt = Ipv4Packet::new(
             w.client_addr,
             w.resolver_addr,
@@ -316,7 +343,12 @@ mod tests {
             w.tap_node,
             Box::new(InterceptorTap::redirect(Ipv4Addr::new(9, 9, 9, 9))),
         );
-        w.engine.add_host(w.client, Box::new(Sink { packets: Vec::new() }));
+        w.engine.add_host(
+            w.client,
+            Box::new(Sink {
+                packets: Vec::new(),
+            }),
+        );
         // A response travelling resolver→client crosses the same router.
         let q = DnsMessage::query(1, DnsName::parse("x.example").unwrap());
         let resp = DnsMessage::response(&q, false, Rcode::NoError, vec![]);

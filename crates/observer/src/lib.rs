@@ -21,11 +21,11 @@
 //! `shadow-core` must rediscover from packets alone.
 
 pub mod dpi;
-pub mod scheduler;
 pub mod intercept;
 pub mod policy;
 pub mod probe;
 pub mod retention;
+pub mod scheduler;
 
 pub use dpi::{DpiConfig, DpiTap, ObservedProtocol};
 pub use intercept::{InterceptMode, InterceptorTap};

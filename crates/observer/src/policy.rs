@@ -37,11 +37,7 @@ impl DelayBucket {
     pub fn sample<R: Rng>(self, rng: &mut R) -> SimDuration {
         let (lo, hi) = self.range_ms();
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-        SimDuration::from_millis(if lo == hi {
-            lo
-        } else {
-            rng.gen_range(lo..=hi)
-        })
+        SimDuration::from_millis(if lo == hi { lo } else { rng.gen_range(lo..=hi) })
     }
 }
 
@@ -160,10 +156,7 @@ impl ReplayPolicy {
                 WeightedChoice::new(DelayBucket::Minutes(2, 50), 5),
             ],
             protocols: vec![WeightedChoice::new(ProbeKind::Dns, 1)],
-            reuse: vec![
-                WeightedChoice::new(1, 80),
-                WeightedChoice::new(2, 20),
-            ],
+            reuse: vec![WeightedChoice::new(1, 80), WeightedChoice::new(2, 20)],
         }
     }
 
@@ -343,6 +336,9 @@ mod tests {
         let policy = ReplayPolicy::heavy_prober();
         let mut a = ChaCha20Rng::seed_from_u64(7);
         let mut b = ChaCha20Rng::seed_from_u64(7);
-        assert_eq!(policy.sample_schedule(&mut a), policy.sample_schedule(&mut b));
+        assert_eq!(
+            policy.sample_schedule(&mut a),
+            policy.sample_schedule(&mut b)
+        );
     }
 }

@@ -53,6 +53,11 @@ pub struct ProbeOrder {
     /// Ground-truth provenance label (which exhibitor sent this), carried
     /// for tests; the measurement pipeline never reads it.
     pub exhibitor: String,
+    /// Per-order randomness (path choice, ClientHello random), drawn by the
+    /// exhibitor from its observation-derived stream. Keeping it on the
+    /// order makes the origin host's behaviour a pure function of the
+    /// orders it receives, independent of their interleaving.
+    pub seed: u64,
 }
 
 /// One emitted probe, logged for tests and debugging.
@@ -88,13 +93,14 @@ pub const ENUMERATION_PATHS: &[&str] = &[
 #[derive(Debug)]
 enum ConnPurpose {
     Http { domain: DnsName, path: String },
-    Https { domain: DnsName },
+    Https { domain: DnsName, seed: u64 },
 }
 
 /// Internal self-posted message driving one extra enumeration request; kept
 /// separate from [`ProbeOrder`] so follow-ups don't fan out recursively.
 struct FollowUpHttp {
     domain: DnsName,
+    seed: u64,
 }
 
 /// A host that executes probe orders.
@@ -104,10 +110,10 @@ pub struct ProbeOriginHost {
     /// Number of HTTP requests one Http order fans into (path enumeration).
     http_paths_per_order: usize,
     tcp: TcpStack,
-    rng: ChaCha20Rng,
     next_dns_id: u16,
-    /// DNS lookups in flight: query id → (domain, what to do once resolved).
-    pending_dns: HashMap<u16, (DnsName, ProbeKind)>,
+    /// DNS lookups in flight: query id → (domain, what to do once
+    /// resolved, the order's seed).
+    pending_dns: HashMap<u16, (DnsName, ProbeKind, u64)>,
     /// TCP connections in flight.
     pending_conns: HashMap<ConnKey, ConnPurpose>,
     /// Everything this origin emitted.
@@ -121,7 +127,6 @@ impl ProbeOriginHost {
             dns_via,
             http_paths_per_order: 2,
             tcp: TcpStack::new(seed as u32 | 1),
-            rng: ChaCha20Rng::seed_from_u64(seed),
             next_dns_id: 1,
             pending_dns: HashMap::new(),
             pending_conns: HashMap::new(),
@@ -148,7 +153,12 @@ impl ProbeOriginHost {
         )
     }
 
-    fn tcp_packets(&self, peer: Ipv4Addr, segs: Vec<shadow_packet::tcp::TcpSegment>, ctx: &mut Ctx<'_>) {
+    fn tcp_packets(
+        &self,
+        peer: Ipv4Addr,
+        segs: Vec<shadow_packet::tcp::TcpSegment>,
+        ctx: &mut Ctx<'_>,
+    ) {
         for seg in segs {
             ctx.send(Ipv4Packet::new(
                 self.addr,
@@ -163,12 +173,12 @@ impl ProbeOriginHost {
 
     /// Issue the DNS lookup that precedes any probe (or *is* the probe, for
     /// `ProbeKind::Dns`).
-    fn start_lookup(&mut self, domain: DnsName, kind: ProbeKind, ctx: &mut Ctx<'_>) {
+    fn start_lookup(&mut self, domain: DnsName, kind: ProbeKind, seed: u64, ctx: &mut Ctx<'_>) {
         let id = self.next_dns_id;
         self.next_dns_id = self.next_dns_id.wrapping_add(1).max(1);
         let query = DnsMessage::query(id, domain.clone());
         let pkt = self.udp(self.dns_via.target(), 53, query.encode());
-        self.pending_dns.insert(id, (domain.clone(), kind));
+        self.pending_dns.insert(id, (domain.clone(), kind, seed));
         self.log.push(ProbeRecord {
             at: ctx.now(),
             domain,
@@ -179,7 +189,7 @@ impl ProbeOriginHost {
     }
 
     fn on_dns_response(&mut self, msg: DnsMessage, ctx: &mut Ctx<'_>) {
-        let Some((domain, kind)) = self.pending_dns.remove(&msg.id) else {
+        let Some((domain, kind, seed)) = self.pending_dns.remove(&msg.id) else {
             return;
         };
         let addr = msg.answers.iter().find_map(|rr| match rr.data {
@@ -194,15 +204,16 @@ impl ProbeOriginHost {
                 // The lookup itself was the probe; nothing more to do.
             }
             ProbeKind::Http => {
+                let mut rng = ChaCha20Rng::seed_from_u64(seed);
                 let path = if self
                     .pending_conns
                     .values()
                     .any(|p| matches!(p, ConnPurpose::Http { domain: d, .. } if *d == domain))
                 {
                     // Follow-up orders enumerate deeper paths.
-                    ENUMERATION_PATHS[self.rng.gen_range(1..ENUMERATION_PATHS.len())].to_string()
+                    ENUMERATION_PATHS[rng.gen_range(1..ENUMERATION_PATHS.len())].to_string()
                 } else {
-                    ENUMERATION_PATHS[self.rng.gen_range(0..ENUMERATION_PATHS.len())].to_string()
+                    ENUMERATION_PATHS[rng.gen_range(0..ENUMERATION_PATHS.len())].to_string()
                 };
                 let mut segs = Vec::new();
                 let key = self.tcp.connect(addr, 80, &mut segs);
@@ -213,7 +224,8 @@ impl ProbeOriginHost {
             ProbeKind::Https => {
                 let mut segs = Vec::new();
                 let key = self.tcp.connect(addr, 443, &mut segs);
-                self.pending_conns.insert(key, ConnPurpose::Https { domain });
+                self.pending_conns
+                    .insert(key, ConnPurpose::Https { domain, seed });
                 self.tcp_packets(addr, segs, ctx);
             }
         }
@@ -239,9 +251,9 @@ impl ProbeOriginHost {
                                 detail: format!("GET {path}"),
                             },
                         ),
-                        ConnPurpose::Https { domain } => {
+                        ConnPurpose::Https { domain, seed } => {
                             let mut random = [0u8; 32];
-                            self.rng.fill(&mut random);
+                            ChaCha20Rng::seed_from_u64(*seed).fill(&mut random);
                             (
                                 ClientHello::with_sni(domain.as_str(), random).encode_record(),
                                 ProbeRecord {
@@ -293,18 +305,26 @@ impl Host for ProbeOriginHost {
             Ok(order) => {
                 let order = *order;
                 match order.kind {
-                    ProbeKind::Dns => self.start_lookup(order.domain, ProbeKind::Dns, ctx),
-                    ProbeKind::Https => self.start_lookup(order.domain, ProbeKind::Https, ctx),
+                    ProbeKind::Dns => {
+                        self.start_lookup(order.domain, ProbeKind::Dns, order.seed, ctx)
+                    }
+                    ProbeKind::Https => {
+                        self.start_lookup(order.domain, ProbeKind::Https, order.seed, ctx)
+                    }
                     ProbeKind::Http => {
                         // Path enumeration: fan one order into several
-                        // staggered single-request connections.
-                        self.start_lookup(order.domain.clone(), ProbeKind::Http, ctx);
+                        // staggered single-request connections, each with a
+                        // sub-seed split from the order's.
+                        self.start_lookup(order.domain.clone(), ProbeKind::Http, order.seed, ctx);
                         for i in 1..self.http_paths_per_order {
                             ctx.post(
                                 ctx.node(),
                                 SimDuration::from_millis(200 * i as u64),
                                 Box::new(FollowUpHttp {
                                     domain: order.domain.clone(),
+                                    seed: order.seed.wrapping_add(
+                                        (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                                    ),
                                 }),
                             );
                         }
@@ -315,7 +335,7 @@ impl Host for ProbeOriginHost {
             Err(other) => other,
         };
         if let Ok(follow_up) = msg.downcast::<FollowUpHttp>() {
-            self.start_lookup(follow_up.domain, ProbeKind::Http, ctx);
+            self.start_lookup(follow_up.domain, ProbeKind::Http, follow_up.seed, ctx);
         }
     }
 

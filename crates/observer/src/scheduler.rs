@@ -7,10 +7,33 @@
 use crate::policy::{sample_weighted, ReplayPolicy, WeightedChoice};
 use crate::probe::ProbeOrder;
 use crate::retention::RetentionStore;
+use rand_chacha::rand_core::{RngCore, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_netsim::topology::NodeId;
 use shadow_packet::dns::DnsName;
+
+/// Derive the RNG for one observation from the exhibitor seed, the observed
+/// domain, and the observation time. Keyed per *value* rather than drawn
+/// from a stateful stream so an exhibitor's decisions for one domain do not
+/// depend on which other domains it happened to see first — the property
+/// that lets sharded campaigns reproduce the sequential run exactly.
+/// `now` is part of the key so a domain re-observed after retention expiry
+/// gets a fresh stream.
+pub fn observation_rng(seed: u64, domain: &DnsName, now: SimTime) -> ChaCha20Rng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in domain.as_str().bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h ^= seed;
+    h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= now.millis();
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 29;
+    ChaCha20Rng::seed_from_u64(h)
+}
 
 /// Outcome counters for one observation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,12 +46,16 @@ pub struct PlanStats {
 
 /// Plan the unsolicited probes for one observed `domain`. Returns the
 /// (origin node, delay, order) triples the caller must post, plus counters.
+/// All randomness is derived from `(seed, domain, now)` via
+/// [`observation_rng`]; the RNG is only consulted for *new* observations
+/// (duplicates are inert), so planning for one domain is independent of
+/// every other domain the exhibitor retains.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_probes(
     policy: &ReplayPolicy,
     store: &mut RetentionStore,
     origins: &[WeightedChoice<NodeId>],
-    rng: &mut ChaCha20Rng,
+    seed: u64,
     domain: &DnsName,
     via: &'static str,
     now: SimTime,
@@ -39,17 +66,18 @@ pub fn plan_probes(
         return (Vec::new(), stats);
     }
     stats.was_new = true;
-    if !policy.triggers(rng) {
+    let mut rng = observation_rng(seed, domain, now);
+    if !policy.triggers(&mut rng) {
         return (Vec::new(), stats);
     }
     stats.triggered = true;
     let mut out = Vec::new();
-    for (delay, kind) in policy.sample_schedule(rng) {
+    for (delay, kind) in policy.sample_schedule(&mut rng) {
         if delay > store.ttl() {
             stats.beyond_retention += 1;
             continue;
         }
-        let origin = *sample_weighted(origins, rng);
+        let origin = *sample_weighted(origins, &mut rng);
         store.mark_used(domain);
         stats.probes += 1;
         out.push((
@@ -59,6 +87,7 @@ pub fn plan_probes(
                 domain: domain.clone(),
                 kind,
                 exhibitor: exhibitor.to_string(),
+                seed: rng.next_u64(),
             },
         ));
     }
@@ -69,9 +98,13 @@ pub fn plan_probes(
 mod tests {
     use super::*;
     use crate::policy::{DelayBucket, ProbeKind};
-    use rand_chacha::rand_core::SeedableRng;
 
-    fn setup() -> (ReplayPolicy, RetentionStore, Vec<WeightedChoice<NodeId>>, ChaCha20Rng) {
+    fn setup() -> (
+        ReplayPolicy,
+        RetentionStore,
+        Vec<WeightedChoice<NodeId>>,
+        u64,
+    ) {
         let policy = ReplayPolicy {
             trigger_percent: 100,
             delays: vec![WeightedChoice::new(DelayBucket::Seconds(1, 10), 1)],
@@ -80,8 +113,7 @@ mod tests {
         };
         let store = RetentionStore::new(100, SimDuration::from_days(1));
         let origins = vec![WeightedChoice::new(NodeId(7), 1)];
-        let rng = ChaCha20Rng::seed_from_u64(5);
-        (policy, store, origins, rng)
+        (policy, store, origins, 5)
     }
 
     fn name(s: &str) -> DnsName {
@@ -90,12 +122,12 @@ mod tests {
 
     #[test]
     fn plans_reuse_many_probes() {
-        let (policy, mut store, origins, mut rng) = setup();
+        let (policy, mut store, origins, seed) = setup();
         let (orders, stats) = plan_probes(
             &policy,
             &mut store,
             &origins,
-            &mut rng,
+            seed,
             &name("a.example"),
             "dns",
             SimTime(0),
@@ -113,25 +145,42 @@ mod tests {
 
     #[test]
     fn duplicate_observation_is_inert() {
-        let (policy, mut store, origins, mut rng) = setup();
+        let (policy, mut store, origins, seed) = setup();
         let d = name("a.example");
-        let _ = plan_probes(&policy, &mut store, &origins, &mut rng, &d, "dns", SimTime(0), "x");
-        let (orders, stats) =
-            plan_probes(&policy, &mut store, &origins, &mut rng, &d, "dns", SimTime(5), "x");
+        let _ = plan_probes(
+            &policy,
+            &mut store,
+            &origins,
+            seed,
+            &d,
+            "dns",
+            SimTime(0),
+            "x",
+        );
+        let (orders, stats) = plan_probes(
+            &policy,
+            &mut store,
+            &origins,
+            seed,
+            &d,
+            "dns",
+            SimTime(5),
+            "x",
+        );
         assert!(orders.is_empty());
         assert!(!stats.was_new);
     }
 
     #[test]
     fn retention_bound_drops_late_probes() {
-        let (mut policy, _, origins, mut rng) = setup();
+        let (mut policy, _, origins, seed) = setup();
         policy.delays = vec![WeightedChoice::new(DelayBucket::Days(3, 4), 1)];
         let mut store = RetentionStore::new(100, SimDuration::from_hours(1));
         let (orders, stats) = plan_probes(
             &policy,
             &mut store,
             &origins,
-            &mut rng,
+            seed,
             &name("b.example"),
             "tls",
             SimTime(0),
@@ -139,5 +188,55 @@ mod tests {
         );
         assert!(orders.is_empty());
         assert_eq!(stats.beyond_retention, 3);
+    }
+
+    #[test]
+    fn planning_is_value_derived_not_stream_dependent() {
+        // Two exhibitor instances that saw *different* other domains first
+        // must still plan identical probes for the same (domain, time).
+        let (policy, mut store_a, origins, seed) = setup();
+        let mut store_b = RetentionStore::new(100, SimDuration::from_days(1));
+        let _ = plan_probes(
+            &policy,
+            &mut store_a,
+            &origins,
+            seed,
+            &name("noise-1.example"),
+            "dns",
+            SimTime(0),
+            "x",
+        );
+        let _ = plan_probes(
+            &policy,
+            &mut store_a,
+            &origins,
+            seed,
+            &name("noise-2.example"),
+            "dns",
+            SimTime(1),
+            "x",
+        );
+        let (a, _) = plan_probes(
+            &policy,
+            &mut store_a,
+            &origins,
+            seed,
+            &name("same.example"),
+            "dns",
+            SimTime(9),
+            "x",
+        );
+        let (b, _) = plan_probes(
+            &policy,
+            &mut store_b,
+            &origins,
+            seed,
+            &name("same.example"),
+            "dns",
+            SimTime(9),
+            "x",
+        );
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 }

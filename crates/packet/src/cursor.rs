@@ -121,7 +121,10 @@ mod tests {
     fn truncation_reports_deficit() {
         let mut r = Reader::new(&[0x01]);
         match r.u32("x") {
-            Err(DecodeError::Truncated { what: "x", needed: 3 }) => {}
+            Err(DecodeError::Truncated {
+                what: "x",
+                needed: 3,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

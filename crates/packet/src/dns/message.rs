@@ -343,7 +343,12 @@ impl DnsMessage {
     }
 
     /// A response echoing `query`'s id and question.
-    pub fn response(query: &DnsMessage, authoritative: bool, rcode: Rcode, answers: Vec<DnsRecord>) -> Self {
+    pub fn response(
+        query: &DnsMessage,
+        authoritative: bool,
+        rcode: Rcode,
+        answers: Vec<DnsRecord>,
+    ) -> Self {
         Self {
             id: query.id,
             flags: DnsFlags::response_to(query.flags, authoritative, rcode),
@@ -438,7 +443,10 @@ mod tests {
         let q = DnsMessage::query(0xabcd, name("abc123.www.experiment.example"));
         let back = DnsMessage::decode(&q.encode()).unwrap();
         assert_eq!(back, q);
-        assert_eq!(back.qname().unwrap().as_str(), "abc123.www.experiment.example");
+        assert_eq!(
+            back.qname().unwrap().as_str(),
+            "abc123.www.experiment.example"
+        );
         assert!(!back.flags.response);
         assert!(back.flags.recursion_desired);
     }
@@ -450,7 +458,11 @@ mod tests {
             &q,
             true,
             Rcode::NoError,
-            vec![DnsRecord::a(name("x.example"), 3600, Ipv4Addr::new(192, 0, 2, 1))],
+            vec![DnsRecord::a(
+                name("x.example"),
+                3600,
+                Ipv4Addr::new(192, 0, 2, 1),
+            )],
         );
         let back = DnsMessage::decode(&resp.encode()).unwrap();
         assert_eq!(back, resp);
@@ -495,6 +507,7 @@ mod tests {
             data: RecordData::Soa {
                 mname: name("ns1.zone.example"),
                 rname: name("hostmaster.zone.example"),
+                #[allow(clippy::inconsistent_digit_grouping)] // YYYY_MM_DD serial
                 serial: 2024_03_01,
                 refresh: 7200,
                 retry: 3600,
@@ -540,7 +553,11 @@ mod tests {
             &q,
             true,
             Rcode::NoError,
-            vec![DnsRecord::a(name("z.example"), 60, Ipv4Addr::new(9, 9, 9, 9))],
+            vec![DnsRecord::a(
+                name("z.example"),
+                60,
+                Ipv4Addr::new(9, 9, 9, 9),
+            )],
         );
         let mut bytes = resp.encode();
         // Corrupt the A record's rdlength (last 6 bytes are len(2)+addr(4)).
@@ -578,6 +595,9 @@ mod tests {
         let back = DnsMessage::decode(&bytes).unwrap();
         assert_eq!(back.answers.len(), 1);
         assert_eq!(back.answers[0].name, qname);
-        assert_eq!(back.answers[0].data, RecordData::A(Ipv4Addr::new(203, 0, 113, 7)));
+        assert_eq!(
+            back.answers[0].data,
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 7))
+        );
     }
 }

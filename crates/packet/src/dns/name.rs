@@ -199,7 +199,8 @@ impl DnsName {
         if labels.is_empty() {
             return Ok(Self::root());
         }
-        Self::parse(&labels.join(".")).map_err(|e| DecodeError::malformed("DNS name", e.to_string()))
+        Self::parse(&labels.join("."))
+            .map_err(|e| DecodeError::malformed("DNS name", e.to_string()))
     }
 }
 
@@ -243,7 +244,10 @@ mod tests {
     fn rejects_invalid() {
         assert_eq!(DnsName::parse(""), Err(NameError::Empty));
         assert_eq!(DnsName::parse("a..b"), Err(NameError::EmptyLabel));
-        assert!(matches!(DnsName::parse("a b.com"), Err(NameError::BadCharacter(' '))));
+        assert!(matches!(
+            DnsName::parse("a b.com"),
+            Err(NameError::BadCharacter(' '))
+        ));
         let long_label = "a".repeat(64);
         assert!(matches!(
             DnsName::parse(&format!("{long_label}.com")),
@@ -270,7 +274,10 @@ mod tests {
         let full = zone.prepend("g6d8jjkut5obc4-9982").unwrap();
         assert_eq!(full.as_str(), "g6d8jjkut5obc4-9982.www.experiment.example");
         assert_eq!(full.parent().unwrap(), zone);
-        assert_eq!(DnsName::parse("com").unwrap().parent().unwrap(), DnsName::root());
+        assert_eq!(
+            DnsName::parse("com").unwrap().parent().unwrap(),
+            DnsName::root()
+        );
         assert_eq!(DnsName::root().parent(), None);
     }
 

@@ -73,7 +73,10 @@ impl HttpRequest {
             path: path.to_string(),
             headers: vec![
                 ("host".to_string(), host.to_string()),
-                ("user-agent".to_string(), "shadow-measurement/1.0".to_string()),
+                (
+                    "user-agent".to_string(),
+                    "shadow-measurement/1.0".to_string(),
+                ),
                 ("accept".to_string(), "*/*".to_string()),
                 ("connection".to_string(), "close".to_string()),
             ],
@@ -256,9 +259,9 @@ fn parse_headers<'a>(
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| DecodeError::malformed("HTTP header", format!("no colon in {line:?}")))?;
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            DecodeError::malformed("HTTP header", format!("no colon in {line:?}"))
+        })?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     Ok(headers)
@@ -336,7 +339,10 @@ mod tests {
         let bytes = b"GET / HTTP/1.1\r\nhost: h\r\ncontent-length: 10\r\n\r\nabc";
         assert!(matches!(
             HttpRequest::decode(bytes),
-            Err(DecodeError::Truncated { what: "HTTP body", .. })
+            Err(DecodeError::Truncated {
+                what: "HTTP body",
+                ..
+            })
         ));
     }
 

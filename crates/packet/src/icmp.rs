@@ -18,9 +18,17 @@ pub const QUOTED_PAYLOAD_LEN: usize = 8;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IcmpMessage {
     /// Echo request (type 8).
-    EchoRequest { identifier: u16, sequence: u16, payload: Vec<u8> },
+    EchoRequest {
+        identifier: u16,
+        sequence: u16,
+        payload: Vec<u8>,
+    },
     /// Echo reply (type 0).
-    EchoReply { identifier: u16, sequence: u16, payload: Vec<u8> },
+    EchoReply {
+        identifier: u16,
+        sequence: u16,
+        payload: Vec<u8>,
+    },
     /// Time Exceeded in transit (type 11, code 0): quotes the original IP
     /// header and the first 8 payload bytes.
     TimeExceeded {
@@ -42,8 +50,7 @@ impl IcmpMessage {
     pub fn time_exceeded(expired_header: Ipv4Header, expired_payload: &[u8]) -> Self {
         IcmpMessage::TimeExceeded {
             original_header: expired_header,
-            quoted_payload: expired_payload
-                [..expired_payload.len().min(QUOTED_PAYLOAD_LEN)]
+            quoted_payload: expired_payload[..expired_payload.len().min(QUOTED_PAYLOAD_LEN)]
                 .to_vec(),
         }
     }
@@ -51,7 +58,11 @@ impl IcmpMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            IcmpMessage::EchoRequest { identifier, sequence, payload } => {
+            IcmpMessage::EchoRequest {
+                identifier,
+                sequence,
+                payload,
+            } => {
                 out.push(8);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]); // checksum placeholder
@@ -59,7 +70,11 @@ impl IcmpMessage {
                 out.extend_from_slice(&sequence.to_be_bytes());
                 out.extend_from_slice(payload);
             }
-            IcmpMessage::EchoReply { identifier, sequence, payload } => {
+            IcmpMessage::EchoReply {
+                identifier,
+                sequence,
+                payload,
+            } => {
                 out.push(0);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]);
@@ -67,7 +82,10 @@ impl IcmpMessage {
                 out.extend_from_slice(&sequence.to_be_bytes());
                 out.extend_from_slice(payload);
             }
-            IcmpMessage::TimeExceeded { original_header, quoted_payload } => {
+            IcmpMessage::TimeExceeded {
+                original_header,
+                quoted_payload,
+            } => {
                 out.push(11);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]);
@@ -75,7 +93,11 @@ impl IcmpMessage {
                 out.extend_from_slice(&original_header.encode());
                 out.extend_from_slice(quoted_payload);
             }
-            IcmpMessage::DestinationUnreachable { code, original_header, quoted_payload } => {
+            IcmpMessage::DestinationUnreachable {
+                code,
+                original_header,
+                quoted_payload,
+            } => {
                 out.push(3);
                 out.push(*code);
                 out.extend_from_slice(&[0, 0]);
@@ -91,7 +113,9 @@ impl IcmpMessage {
 
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
         if buf.len() >= 4 && checksum_nonzero(buf) {
-            return Err(DecodeError::BadChecksum { what: "ICMP message" });
+            return Err(DecodeError::BadChecksum {
+                what: "ICMP message",
+            });
         }
         let mut r = Reader::new(buf);
         let ty = r.u8("ICMP type")?;
@@ -103,9 +127,17 @@ impl IcmpMessage {
                 let sequence = r.u16("ICMP sequence")?;
                 let payload = r.rest().to_vec();
                 Ok(if ty == 8 {
-                    IcmpMessage::EchoRequest { identifier, sequence, payload }
+                    IcmpMessage::EchoRequest {
+                        identifier,
+                        sequence,
+                        payload,
+                    }
                 } else {
-                    IcmpMessage::EchoReply { identifier, sequence, payload }
+                    IcmpMessage::EchoReply {
+                        identifier,
+                        sequence,
+                        payload,
+                    }
                 })
             }
             (11, 0) | (3, _) => {
@@ -119,9 +151,16 @@ impl IcmpMessage {
                     ));
                 }
                 Ok(if ty == 11 {
-                    IcmpMessage::TimeExceeded { original_header, quoted_payload }
+                    IcmpMessage::TimeExceeded {
+                        original_header,
+                        quoted_payload,
+                    }
                 } else {
-                    IcmpMessage::DestinationUnreachable { code, original_header, quoted_payload }
+                    IcmpMessage::DestinationUnreachable {
+                        code,
+                        original_header,
+                        quoted_payload,
+                    }
                 })
             }
             _ => Err(DecodeError::Unsupported {
@@ -134,10 +173,12 @@ impl IcmpMessage {
     /// For error messages: the header of the datagram that triggered them.
     pub fn original_header(&self) -> Option<&Ipv4Header> {
         match self {
-            IcmpMessage::TimeExceeded { original_header, .. }
-            | IcmpMessage::DestinationUnreachable { original_header, .. } => {
-                Some(original_header)
+            IcmpMessage::TimeExceeded {
+                original_header, ..
             }
+            | IcmpMessage::DestinationUnreachable {
+                original_header, ..
+            } => Some(original_header),
             _ => None,
         }
     }
@@ -200,7 +241,10 @@ mod tests {
         assert!(bytes.len() <= MAX_TIME_EXCEEDED_LEN);
         let back = IcmpMessage::decode(&bytes).unwrap();
         match &back {
-            IcmpMessage::TimeExceeded { original_header, quoted_payload } => {
+            IcmpMessage::TimeExceeded {
+                original_header,
+                quoted_payload,
+            } => {
                 assert_eq!(*original_header, sample_header());
                 assert_eq!(quoted_payload, &[1, 2, 3, 4, 5, 6, 7, 8]);
             }
@@ -230,7 +274,9 @@ mod tests {
         bytes[5] ^= 0xff;
         assert_eq!(
             IcmpMessage::decode(&bytes),
-            Err(DecodeError::BadChecksum { what: "ICMP message" })
+            Err(DecodeError::BadChecksum {
+                what: "ICMP message"
+            })
         );
     }
 
@@ -267,7 +313,11 @@ mod tests {
     fn original_header_accessor() {
         let m = IcmpMessage::time_exceeded(sample_header(), &[]);
         assert_eq!(m.original_header(), Some(&sample_header()));
-        let e = IcmpMessage::EchoRequest { identifier: 0, sequence: 0, payload: vec![] };
+        let e = IcmpMessage::EchoRequest {
+            identifier: 0,
+            sequence: 0,
+            payload: vec![],
+        };
         assert_eq!(e.original_header(), None);
     }
 }

@@ -110,7 +110,10 @@ impl Ipv4Header {
             });
         }
         if ihl < IPV4_HEADER_LEN {
-            return Err(DecodeError::malformed("IPv4 header", format!("IHL {ihl} < 20")));
+            return Err(DecodeError::malformed(
+                "IPv4 header",
+                format!("IHL {ihl} < 20"),
+            ));
         }
         let _dscp = r.u8("IPv4 DSCP")?;
         let total_length = r.u16("IPv4 total length")?;
@@ -138,7 +141,9 @@ impl Ipv4Header {
         }
         // A buffer containing a correct checksum sums to zero.
         if internet_checksum(&full[start..end_opts]) != 0 {
-            return Err(DecodeError::BadChecksum { what: "IPv4 header" });
+            return Err(DecodeError::BadChecksum {
+                what: "IPv4 header",
+            });
         }
         r.seek(end_opts)?;
         Ok(Self {
@@ -263,7 +268,9 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert_eq!(
             Ipv4Header::decode(&mut r),
-            Err(DecodeError::BadChecksum { what: "IPv4 header" })
+            Err(DecodeError::BadChecksum {
+                what: "IPv4 header"
+            })
         );
     }
 
@@ -318,7 +325,10 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert!(matches!(
             Ipv4Header::decode(&mut r),
-            Err(DecodeError::Unsupported { what: "IP version", .. })
+            Err(DecodeError::Unsupported {
+                what: "IP version",
+                ..
+            })
         ));
     }
 

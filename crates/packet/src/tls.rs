@@ -266,7 +266,7 @@ impl ClientHello {
         }
         let session_id = r.bytes("session id", sid_len)?.to_vec();
         let cs_len = r.u16("cipher suites length")? as usize;
-        if cs_len % 2 != 0 {
+        if !cs_len.is_multiple_of(2) {
             return Err(DecodeError::malformed("cipher suites", "odd length"));
         }
         let mut cipher_suites = Vec::with_capacity(cs_len / 2);
@@ -343,7 +343,10 @@ mod tests {
     #[test]
     fn sni_extraction() {
         let ch = hello();
-        assert_eq!(ch.sni().as_deref(), Some("decoy1234.www.experiment.example"));
+        assert_eq!(
+            ch.sni().as_deref(),
+            Some("decoy1234.www.experiment.example")
+        );
         assert_eq!(
             sniff_sni(&ch.encode_record()).as_deref(),
             Some("decoy1234.www.experiment.example")

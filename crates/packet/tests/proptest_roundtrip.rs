@@ -124,6 +124,123 @@ proptest! {
         let _ = DnsMessage::decode(&bytes);
     }
 
+    /// A name whose tail is a compression pointer decodes to the full
+    /// (prefix + target) name, and the reader resumes just past the
+    /// pointer — not past the pointer's target.
+    #[test]
+    fn dns_name_with_compression_pointer_decodes(
+        pad in proptest::collection::vec(any::<u8>(), 0..24),
+        prefix in proptest::collection::vec(arb_label(), 0..3),
+        suffix in arb_name(),
+    ) {
+        let mut buf = pad.clone();
+        let target = buf.len();
+        suffix.encode(&mut buf);
+        let start = buf.len();
+        for label in &prefix {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label.as_bytes());
+        }
+        buf.extend_from_slice(&[0xc0 | (target >> 8) as u8, target as u8]);
+        let end = buf.len();
+        // Trailing garbage the decoder must not run into.
+        buf.extend_from_slice(&[0xff, 0xff, 0xff]);
+
+        let mut r = shadow_packet::Reader::new(&buf);
+        r.seek(start).unwrap();
+        let decoded = DnsName::decode(&mut r).unwrap();
+        let expected = if prefix.is_empty() {
+            suffix
+        } else {
+            DnsName::parse(&format!("{}.{}", prefix.join("."), suffix)).unwrap()
+        };
+        prop_assert_eq!(decoded, expected);
+        prop_assert_eq!(r.position(), end);
+    }
+
+    /// Two-level pointer chains (a pointer whose target itself ends in a
+    /// pointer) decode correctly — resolvers emit these for shared suffixes.
+    #[test]
+    fn dns_name_pointer_chains_decode(
+        inner in proptest::collection::vec(arb_label(), 1..3),
+        outer in proptest::collection::vec(arb_label(), 1..3),
+        suffix in arb_name(),
+    ) {
+        let mut buf = Vec::new();
+        let suffix_at = buf.len();
+        suffix.encode(&mut buf);
+        let inner_at = buf.len();
+        for label in &inner {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label.as_bytes());
+        }
+        buf.extend_from_slice(&[0xc0 | (suffix_at >> 8) as u8, suffix_at as u8]);
+        let outer_at = buf.len();
+        for label in &outer {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label.as_bytes());
+        }
+        buf.extend_from_slice(&[0xc0 | (inner_at >> 8) as u8, inner_at as u8]);
+
+        let mut r = shadow_packet::Reader::new(&buf);
+        r.seek(outer_at).unwrap();
+        let decoded = DnsName::decode(&mut r).unwrap();
+        let expected = DnsName::parse(&format!(
+            "{}.{}.{}",
+            outer.join("."),
+            inner.join("."),
+            suffix
+        ))
+        .unwrap();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// Forward and self pointers are rejected as loops — an error, never a
+    /// panic or an infinite loop.
+    #[test]
+    fn dns_name_forward_pointers_are_rejected(
+        pad in proptest::collection::vec(any::<u8>(), 0..16),
+        ahead in 0u8..32,
+    ) {
+        let mut buf = pad.clone();
+        let start = buf.len();
+        let target = start + usize::from(ahead); // >= its own offset: invalid
+        buf.extend_from_slice(&[0xc0 | (target >> 8) as u8, target as u8]);
+        let mut r = shadow_packet::Reader::new(&buf);
+        r.seek(start).unwrap();
+        prop_assert!(DnsName::decode(&mut r).is_err());
+    }
+
+    /// A response whose answer name is a compression pointer to the
+    /// question decodes to the question name; re-encoding (uncompressed)
+    /// then round-trips.
+    #[test]
+    fn dns_message_with_compressed_answer_round_trips(
+        id in any::<u16>(),
+        qname in arb_name(),
+        addr in arb_ipv4(),
+        ttl in 0u32..1_000_000,
+    ) {
+        let q = DnsMessage::query(id, qname.clone());
+        let mut bytes = q.encode();
+        bytes[2] |= 0x80; // QR: response
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes()); // ancount = 1
+        bytes.extend_from_slice(&[0xc0, 12]); // pointer to the question name
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // type A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        bytes.extend_from_slice(&ttl.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&addr.octets());
+
+        let decoded = DnsMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.answers.len(), 1);
+        prop_assert_eq!(&decoded.answers[0].name, &qname);
+        prop_assert_eq!(&decoded.answers[0].data, &RecordData::A(addr));
+        // The uncompressed re-encoding carries the identical message.
+        let reencoded = DnsMessage::decode(&decoded.encode()).unwrap();
+        prop_assert_eq!(reencoded, decoded);
+    }
+
     #[test]
     fn http_request_round_trips(
         host in arb_label(),

@@ -181,7 +181,11 @@ mod tests {
     fn vp(id: u32, market: Market, addr: [u8; 4], country: &str) -> VantagePoint {
         VantagePoint {
             id: VpId(id),
-            provider: if market == Market::Global { "PureVPN" } else { "QiXun" },
+            provider: if market == Market::Global {
+                "PureVPN"
+            } else {
+                "QiXun"
+            },
             market,
             node: NodeId(id),
             addr: Ipv4Addr::new(addr[0], addr[1], addr[2], addr[3]),
@@ -195,8 +199,11 @@ mod tests {
     fn geo_with(prefix: [u8; 4], len: u8, asn: u32, hosting: bool) -> GeoDb {
         let mut db = GeoDb::new();
         db.insert(GeoRecord {
-            prefix: Ipv4Prefix::new(Ipv4Addr::new(prefix[0], prefix[1], prefix[2], prefix[3]), len)
-                .unwrap(),
+            prefix: Ipv4Prefix::new(
+                Ipv4Addr::new(prefix[0], prefix[1], prefix[2], prefix[3]),
+                len,
+            )
+            .unwrap(),
             asn: Asn(asn),
             country: cc("US"),
             hosting: if hosting {
@@ -226,7 +233,10 @@ mod tests {
         platform.vet_residential(&geo);
         assert_eq!(platform.vps.len(), 1);
         assert_eq!(platform.vps[0].id, VpId(1));
-        assert_eq!(platform.excluded, vec![(VpId(2), ExclusionReason::Residential)]);
+        assert_eq!(
+            platform.excluded,
+            vec![(VpId(2), ExclusionReason::Residential)]
+        );
     }
 
     #[test]
@@ -240,7 +250,10 @@ mod tests {
         let measured = vec![(VpId(1), 50), (VpId(2), 0), (VpId(3), 50)];
         platform.vet_ttl_rewrite(&measured, 50);
         assert_eq!(platform.vps.len(), 2);
-        assert_eq!(platform.excluded, vec![(VpId(2), ExclusionReason::TtlRewrite)]);
+        assert_eq!(
+            platform.excluded,
+            vec![(VpId(2), ExclusionReason::TtlRewrite)]
+        );
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl RateLimitedScheduler {
             .get(&target)
             .copied()
             .unwrap_or(SimTime::ZERO);
-        let v_slot = self
-            .next_vp_slot
-            .get(&vp)
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let v_slot = self.next_vp_slot.get(&vp).copied().unwrap_or(SimTime::ZERO);
         let at = not_before.max(t_slot).max(v_slot);
         self.next_target_slot.insert(target, at + self.target_gap);
         self.next_vp_slot.insert(vp, at + self.vp_gap);
@@ -80,10 +76,7 @@ impl RateLimitedScheduler {
             if !per_vp.contains_key(vp) {
                 vp_order.push(*vp);
             }
-            per_vp
-                .entry(*vp)
-                .or_default()
-                .push((*target, item.clone()));
+            per_vp.entry(*vp).or_default().push((*target, item.clone()));
         }
         let mut out = Vec::with_capacity(work.len());
         let max_len = per_vp.values().map(Vec::len).max().unwrap_or(0);
@@ -148,10 +141,8 @@ mod tests {
 
     #[test]
     fn round_robin_interleaves_vps() {
-        let mut sched = RateLimitedScheduler::new(
-            SimDuration::from_millis(0),
-            SimDuration::from_millis(0),
-        );
+        let mut sched =
+            RateLimitedScheduler::new(SimDuration::from_millis(0), SimDuration::from_millis(0));
         let work = vec![
             (VpId(1), addr(1), "a1"),
             (VpId(1), addr(2), "a2"),

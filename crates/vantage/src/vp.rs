@@ -170,7 +170,14 @@ impl VantagePointHost {
         ident: u16,
         payload: Vec<u8>,
     ) -> Ipv4Packet {
-        Ipv4Packet::new(self.addr, dst, proto, self.effective_ttl(ttl), ident, payload)
+        Ipv4Packet::new(
+            self.addr,
+            dst,
+            proto,
+            self.effective_ttl(ttl),
+            ident,
+            payload,
+        )
     }
 
     fn emit_tcp(&self, key: ConnKey, segs: Vec<TcpSegment>, ident: u16, ctx: &mut Ctx<'_>) {
@@ -216,7 +223,8 @@ impl VantagePointHost {
             VpCommand::RawHttpProbe { domain, dst, ttl } => {
                 let ident = self.alloc_ident(&domain, ttl, dst);
                 let req = HttpRequest::get(domain.as_str(), "/");
-                let seg = TcpSegment::new(20_000 + ident, 80, 1, 1, TcpFlags::PSH_ACK, req.encode());
+                let seg =
+                    TcpSegment::new(20_000 + ident, 80, 1, 1, TcpFlags::PSH_ACK, req.encode());
                 self.report.decoys_sent.push((ctx.now(), domain, ident));
                 ctx.send(self.packet(dst, IpProtocol::Tcp, ttl, ident, seg.encode()));
             }
@@ -259,8 +267,7 @@ impl VantagePointHost {
                     IpProtocol::Udp,
                     ttl,
                     ident,
-                    UdpDatagram::new(10_000 + ident, shadow_packet::doq::DOQ_PORT, frame)
-                        .encode(),
+                    UdpDatagram::new(10_000 + ident, shadow_packet::doq::DOQ_PORT, frame).encode(),
                 );
                 self.report.decoys_sent.push((ctx.now(), domain, ident));
                 ctx.send(pkt);
@@ -323,8 +330,7 @@ impl VantagePointHost {
                                 .map(|(i, b)| b ^ derive_random(*ident)[i % 32])
                                 .collect();
                             (
-                                ClientHello::with_ech(derive_random(*ident), inner)
-                                    .encode_record(),
+                                ClientHello::with_ech(derive_random(*ident), inner).encode_record(),
                                 *ident,
                                 domain.clone(),
                             )
@@ -407,15 +413,15 @@ impl Host for VantagePointHost {
                 }
             }
             Ok(Transport::Tcp(seg)) => self.on_tcp(pkt.header.src, seg, ctx),
-            Ok(Transport::Icmp(msg)) => {
-                if let IcmpMessage::TimeExceeded { original_header, .. } = msg {
-                    self.report.icmp.push(IcmpObservation {
-                        at: ctx.now(),
-                        router: pkt.header.src,
-                        orig_dst: original_header.dst,
-                        orig_ident: original_header.identification,
-                    });
-                }
+            Ok(Transport::Icmp(IcmpMessage::TimeExceeded {
+                original_header, ..
+            })) => {
+                self.report.icmp.push(IcmpObservation {
+                    at: ctx.now(),
+                    router: pkt.header.src,
+                    orig_dst: original_header.dst,
+                    orig_ident: original_header.identification,
+                });
             }
             _ => {}
         }

@@ -248,7 +248,11 @@ fn ttl_rewrite_defect_breaks_the_sweep() {
     w.engine.run_to_completion();
     let vp = w.engine.host_as::<VantagePointHost>(w.vp).unwrap();
     assert!(vp.report.icmp.is_empty(), "no expiry: TTL was rewritten");
-    assert_eq!(vp.report.dns_answers.len(), 1, "the decoy reached the resolver");
+    assert_eq!(
+        vp.report.dns_answers.len(),
+        1,
+        "the decoy reached the resolver"
+    );
 }
 
 #[test]

@@ -87,13 +87,19 @@ fn main() {
             .filter(|r| {
                 r.label.is_unsolicited()
                     && r.decoy.protocol == DecoyProtocol::Dns
-                    && r.interval > traffic_shadowing::shadow_netsim::time::SimDuration::from_mins(10)
+                    && r.interval
+                        > traffic_shadowing::shadow_netsim::time::SimDuration::from_mins(10)
                     && {
                         let name = outcome.dest_names.get(&r.decoy.dst());
                         matches!(
                             name.map(String::as_str),
-                            Some("Google") | Some("Cloudflare") | Some("Quad9") | Some("OpenDNS")
-                                | Some("Level3") | Some("Hurricane") | Some("SafeDNS")
+                            Some("Google")
+                                | Some("Cloudflare")
+                                | Some("Quad9")
+                                | Some("OpenDNS")
+                                | Some("Level3")
+                                | Some("Hurricane")
+                                | Some("SafeDNS")
                         )
                     }
             })

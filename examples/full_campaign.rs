@@ -3,7 +3,11 @@
 //! of the evaluation section side by side with the paper's reported
 //! numbers. This is the binary behind EXPERIMENTS.md.
 //!
-//! Run with `cargo run --release --example full_campaign [seed]`.
+//! Run with `cargo run --release --example full_campaign [seed] [--shards N]`.
+//!
+//! `--shards N` executes the campaign across N worker threads (one world
+//! per shard, merged deterministically); the output is byte-identical to
+//! the sequential run for any N.
 
 use shadow_analysis::report::{pct, render_series, render_table};
 use traffic_shadowing::shadow_analysis;
@@ -12,13 +16,46 @@ use traffic_shadowing::shadow_netsim::time::SimDuration;
 use traffic_shadowing::study::{Study, StudyConfig};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 7;
+    let mut shards: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                shards = args.get(i + 1).and_then(|s| s.parse().ok());
+                if shards.is_none() {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            raw => {
+                if let Ok(s) = raw.parse() {
+                    seed = s;
+                } else {
+                    eprintln!("usage: full_campaign [seed] [--shards N]");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+        }
+    }
     let started = std::time::Instant::now();
-    let outcome = Study::run(StudyConfig::standard(seed));
-    println!("=== full campaign (seed {seed}, {:?}) ===\n", started.elapsed());
+    let outcome = match shards {
+        Some(k) => Study::run_sharded(StudyConfig::standard(seed), k),
+        None => Study::run(StudyConfig::standard(seed)),
+    };
+    match shards {
+        Some(k) => println!(
+            "=== full campaign (seed {seed}, {k} shards, {:?}) ===\n",
+            started.elapsed()
+        ),
+        None => println!(
+            "=== full campaign (seed {seed}, {:?}) ===\n",
+            started.elapsed()
+        ),
+    }
     println!("{}\n", outcome.summary());
 
     // ------------------------------------------------- Table 1
@@ -48,15 +85,27 @@ fn main() {
     let landscape = outcome.landscape();
     let mut rows = Vec::new();
     for dest in [
-        "Yandex", "114DNS", "One DNS", "DNS PAI", "VERCARA", "Google", "Cloudflare", "Quad9",
-        "self-built", "a.root", ".com",
+        "Yandex",
+        "114DNS",
+        "One DNS",
+        "DNS PAI",
+        "VERCARA",
+        "Google",
+        "Cloudflare",
+        "Quad9",
+        "self-built",
+        "a.root",
+        ".com",
     ] {
         rows.push(vec![
             dest.to_string(),
             pct(landscape.destination_ratio(dest, DecoyProtocol::Dns)),
         ]);
     }
-    println!("{}", render_table(&["DNS destination", "paths shadowed"], &rows));
+    println!(
+        "{}",
+        render_table(&["DNS destination", "paths shadowed"], &rows)
+    );
     println!(
         "protocol totals: DNS {} | HTTP {} | TLS {}\n",
         pct(landscape.protocol_ratio(DecoyProtocol::Dns)),
@@ -119,7 +168,10 @@ fn main() {
                 })
                 .collect();
             println!("{protocol:?} decoys:");
-            println!("{}", render_table(&["AS", "Name", "Paths", "Share"], &table));
+            println!(
+                "{}",
+                render_table(&["AS", "Name", "Paths", "Share"], &table)
+            );
         }
     }
 
@@ -229,7 +281,10 @@ fn main() {
         let parts: Vec<String> = mix.iter().map(|(p, c)| format!("{p}:{c}")).collect();
         println!("AS{asn} {name}: {}", parts.join(" "));
     }
-    println!("overall Decoy-Request combos: {:?}\n", outcome.combo_counts());
+    println!(
+        "overall Decoy-Request combos: {:?}\n",
+        outcome.combo_counts()
+    );
 
     // ------------------------------------------------- §5.2 ports
     let scan = outcome.observer_port_scan();

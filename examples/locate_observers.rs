@@ -38,7 +38,10 @@ fn main() {
         println!("no problematic paths with this seed; try another");
         return;
     }
-    println!("phase I found {} problematic paths; tracing them\n", traced.len());
+    println!(
+        "phase I found {} problematic paths; tracing them\n",
+        traced.len()
+    );
 
     let (results, _) = Phase2Runner::run(
         &mut world,
@@ -72,12 +75,18 @@ fn main() {
             };
             println!("  hop {hop:>2}: {router:<15} {label}{marker}");
         }
-        match (result.observer_hop, result.dest_distance, result.normalized_hop) {
+        match (
+            result.observer_hop,
+            result.dest_distance,
+            result.normalized_hop,
+        ) {
             (Some(hop), Some(dist), Some(norm)) => println!(
                 "  observer at hop {hop} of {dist} (normalized {norm}/10{})\n",
                 if norm == 10 { " = destination" } else { "" }
             ),
-            (Some(hop), _, _) => println!("  observer at hop {hop}, destination distance unknown\n"),
+            (Some(hop), _, _) => {
+                println!("  observer at hop {hop}, destination distance unknown\n")
+            }
             _ => println!("  no observer triggered during the sweep\n"),
         }
     }

@@ -5,9 +5,9 @@
 
 use shadow_analysis::report::pct;
 use traffic_shadowing::shadow_analysis;
-use traffic_shadowing::shadow_core::world::WorldConfig;
 use traffic_shadowing::shadow_core::campaign::Phase1Config;
 use traffic_shadowing::shadow_core::phase2::Phase2Config;
+use traffic_shadowing::shadow_core::world::WorldConfig;
 use traffic_shadowing::shadow_netsim::time::SimDuration;
 use traffic_shadowing::study::{Study, StudyConfig};
 

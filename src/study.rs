@@ -13,9 +13,10 @@ use shadow_analysis::temporal::{interval_cdf, Cdf};
 use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
 use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::DecoyProtocol;
+use shadow_core::executor::{run_phase1_sharded, run_phase2_sharded};
 use shadow_core::noise::{NoiseFilter, PreflightOutcome};
 use shadow_core::phase2::{paths_to_trace, Phase2Config, Phase2Runner, TracerouteResult};
-use shadow_core::world::{World, WorldConfig};
+use shadow_core::world::{generate_spec, World, WorldConfig};
 use shadow_dns::catalog::resolver_h;
 use shadow_geo::country::cc;
 use shadow_intel::{Blocklist, PortScanner};
@@ -95,11 +96,8 @@ impl Study {
         let correlated = correlator.correlate(&phase1.arrivals);
 
         let (traced_paths, traceroutes, phase2_data) = if config.run_phase2 {
-            let traced = paths_to_trace(
-                &correlated,
-                &phase1.registry,
-                config.trace_cap_per_protocol,
-            );
+            let traced =
+                paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
             let (results, data) = Phase2Runner::run(&mut world, &traced, &config.phase2);
             (traced, results, Some(data))
         } else {
@@ -114,8 +112,67 @@ impl Study {
             dest_names.insert(site.addr, format!("site:{}", site.country));
         }
 
-        let blocklist =
-            Blocklist::from_addrs(world.ground_truth.blocklisted_addrs.iter().copied());
+        let blocklist = Blocklist::from_addrs(world.ground_truth.blocklisted_addrs.iter().copied());
+        let mut port_scanner = PortScanner::new();
+        for addr in &world.ground_truth.bgp_speaking_observers {
+            port_scanner.set_open(*addr, 179);
+        }
+
+        StudyOutcome {
+            world,
+            preflight,
+            phase1,
+            phase2: phase2_data,
+            correlated,
+            traced_paths,
+            traceroutes,
+            dest_names,
+            blocklist,
+            port_scanner,
+        }
+    }
+
+    /// [`Study::run`], executed across `shards` worker threads (one
+    /// private world per shard, VPs partitioned round-robin). Produces
+    /// byte-identical output to the sequential path for any shard count —
+    /// `tests/sharded_equivalence.rs` enforces this on the exported
+    /// analysis bundle.
+    pub fn run_sharded(config: StudyConfig, shards: usize) -> StudyOutcome {
+        let spec = generate_spec(config.world.clone());
+        let mut sharded = run_phase1_sharded(&spec, &config.phase1, shards);
+        let phase1 = sharded.data;
+        let preflight = sharded.preflight;
+        let correlator = Correlator::new(&phase1.registry);
+        let correlated = correlator.correlate(&phase1.arrivals);
+
+        let (traced_paths, traceroutes, phase2_data) = if config.run_phase2 {
+            let traced =
+                paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
+            let (results, data) = run_phase2_sharded(
+                &mut sharded.worlds,
+                &sharded.assignment,
+                &traced,
+                &config.phase2,
+            );
+            (traced, results, Some(data))
+        } else {
+            (Vec::new(), Vec::new(), None)
+        };
+
+        // Shard 0's world carries the analysis inputs: platform vetting,
+        // destinations, and ground truth are spec data, identical in every
+        // shard and in the sequential run.
+        let world = sharded.worlds.swap_remove(0);
+
+        let mut dest_names: BTreeMap<Ipv4Addr, String> = BTreeMap::new();
+        for dest in &world.dns_destinations {
+            dest_names.insert(dest.addr, dest.dest.name.to_string());
+        }
+        for site in &world.tranco {
+            dest_names.insert(site.addr, format!("site:{}", site.country));
+        }
+
+        let blocklist = Blocklist::from_addrs(world.ground_truth.blocklisted_addrs.iter().copied());
         let mut port_scanner = PortScanner::new();
         for addr in &world.ground_truth.bgp_speaking_observers {
             port_scanner.set_open(*addr, 179);
@@ -273,8 +330,7 @@ impl StudyOutcome {
 
     /// Total decoys sent across both phases.
     pub fn total_decoys(&self) -> usize {
-        self.phase1.registry.len()
-            + self.phase2.as_ref().map(|p| p.registry.len()).unwrap_or(0)
+        self.phase1.registry.len() + self.phase2.as_ref().map(|p| p.registry.len()).unwrap_or(0)
     }
 
     /// Bundle every analysis artifact for JSON export (diffing runs).

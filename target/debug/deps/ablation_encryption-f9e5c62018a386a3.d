@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_encryption-f9e5c62018a386a3.d: crates/bench/benches/ablation_encryption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_encryption-f9e5c62018a386a3.rmeta: crates/bench/benches/ablation_encryption.rs Cargo.toml
+
+crates/bench/benches/ablation_encryption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

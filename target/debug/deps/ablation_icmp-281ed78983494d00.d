@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_icmp-281ed78983494d00.d: crates/bench/benches/ablation_icmp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_icmp-281ed78983494d00.rmeta: crates/bench/benches/ablation_icmp.rs Cargo.toml
+
+crates/bench/benches/ablation_icmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/absorb_commutativity-089b293dec092ee0.d: tests/absorb_commutativity.rs
+
+/root/repo/target/debug/deps/absorb_commutativity-089b293dec092ee0: tests/absorb_commutativity.rs
+
+tests/absorb_commutativity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/absorb_commutativity-629a42361bcf9b9b.d: tests/absorb_commutativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabsorb_commutativity-629a42361bcf9b9b.rmeta: tests/absorb_commutativity.rs Cargo.toml
+
+tests/absorb_commutativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_refresh_spike-2420c421cf93f291.d: crates/dns/tests/cache_refresh_spike.rs
+
+/root/repo/target/debug/deps/cache_refresh_spike-2420c421cf93f291: crates/dns/tests/cache_refresh_spike.rs
+
+crates/dns/tests/cache_refresh_spike.rs:

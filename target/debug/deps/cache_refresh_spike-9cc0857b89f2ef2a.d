@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_refresh_spike-9cc0857b89f2ef2a.d: crates/dns/tests/cache_refresh_spike.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_refresh_spike-9cc0857b89f2ef2a.rmeta: crates/dns/tests/cache_refresh_spike.rs Cargo.toml
+
+crates/dns/tests/cache_refresh_spike.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_rounds-7a1dc045d5d315d2.d: tests/campaign_rounds.rs
+
+/root/repo/target/debug/deps/campaign_rounds-7a1dc045d5d315d2: tests/campaign_rounds.rs
+
+tests/campaign_rounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_rounds-88cb06ffa4f19c96.d: tests/campaign_rounds.rs
+
+/root/repo/target/debug/deps/campaign_rounds-88cb06ffa4f19c96: tests/campaign_rounds.rs
+
+tests/campaign_rounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_rounds-ef6dfbaa6443cc34.d: tests/campaign_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_rounds-ef6dfbaa6443cc34.rmeta: tests/campaign_rounds.rs Cargo.toml
+
+tests/campaign_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-47fb99a15fa77816.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-47fb99a15fa77816: tests/determinism.rs
+
+tests/determinism.rs:

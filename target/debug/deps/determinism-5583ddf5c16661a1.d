@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5583ddf5c16661a1.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5583ddf5c16661a1: tests/determinism.rs
+
+tests/determinism.rs:

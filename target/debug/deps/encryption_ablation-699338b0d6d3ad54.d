@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encryption_ablation-699338b0d6d3ad54.d: tests/encryption_ablation.rs
+
+/root/repo/target/debug/deps/encryption_ablation-699338b0d6d3ad54: tests/encryption_ablation.rs
+
+tests/encryption_ablation.rs:

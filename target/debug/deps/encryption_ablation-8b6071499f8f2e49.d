@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encryption_ablation-8b6071499f8f2e49.d: tests/encryption_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencryption_ablation-8b6071499f8f2e49.rmeta: tests/encryption_ablation.rs Cargo.toml
+
+tests/encryption_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

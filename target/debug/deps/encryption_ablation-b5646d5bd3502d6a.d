@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encryption_ablation-b5646d5bd3502d6a.d: tests/encryption_ablation.rs
+
+/root/repo/target/debug/deps/encryption_ablation-b5646d5bd3502d6a: tests/encryption_ablation.rs
+
+tests/encryption_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_path_ratios-1eeeac6460b01bc7.d: crates/bench/benches/fig3_path_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_path_ratios-1eeeac6460b01bc7.rmeta: crates/bench/benches/fig3_path_ratios.rs Cargo.toml
+
+crates/bench/benches/fig3_path_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

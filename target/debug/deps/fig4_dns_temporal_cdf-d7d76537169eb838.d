@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_dns_temporal_cdf-d7d76537169eb838.d: crates/bench/benches/fig4_dns_temporal_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_dns_temporal_cdf-d7d76537169eb838.rmeta: crates/bench/benches/fig4_dns_temporal_cdf.rs Cargo.toml
+
+crates/bench/benches/fig4_dns_temporal_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

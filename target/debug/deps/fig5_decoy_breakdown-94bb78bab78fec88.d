@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_decoy_breakdown-94bb78bab78fec88.d: crates/bench/benches/fig5_decoy_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_decoy_breakdown-94bb78bab78fec88.rmeta: crates/bench/benches/fig5_decoy_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig5_decoy_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

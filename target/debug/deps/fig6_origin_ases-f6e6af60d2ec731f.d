@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_origin_ases-f6e6af60d2ec731f.d: crates/bench/benches/fig6_origin_ases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_origin_ases-f6e6af60d2ec731f.rmeta: crates/bench/benches/fig6_origin_ases.rs Cargo.toml
+
+crates/bench/benches/fig6_origin_ases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_http_tls_temporal_cdf-a54a02e7ede2a9d7.d: crates/bench/benches/fig7_http_tls_temporal_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_http_tls_temporal_cdf-a54a02e7ede2a9d7.rmeta: crates/bench/benches/fig7_http_tls_temporal_cdf.rs Cargo.toml
+
+crates/bench/benches/fig7_http_tls_temporal_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_mitigation-15ca292de1e7bd90.d: tests/noise_mitigation.rs
+
+/root/repo/target/debug/deps/noise_mitigation-15ca292de1e7bd90: tests/noise_mitigation.rs
+
+tests/noise_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_mitigation-8aa884fff673f3d5.d: tests/noise_mitigation.rs
+
+/root/repo/target/debug/deps/noise_mitigation-8aa884fff673f3d5: tests/noise_mitigation.rs
+
+tests/noise_mitigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_mitigation-fc3b9886af5416c0.d: tests/noise_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_mitigation-fc3b9886af5416c0.rmeta: tests/noise_mitigation.rs Cargo.toml
+
+tests/noise_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

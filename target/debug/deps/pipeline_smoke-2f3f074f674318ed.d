@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_smoke-2f3f074f674318ed.d: crates/core/tests/pipeline_smoke.rs
+
+/root/repo/target/debug/deps/pipeline_smoke-2f3f074f674318ed: crates/core/tests/pipeline_smoke.rs
+
+crates/core/tests/pipeline_smoke.rs:

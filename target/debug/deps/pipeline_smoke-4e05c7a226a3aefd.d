@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_smoke-4e05c7a226a3aefd.d: crates/core/tests/pipeline_smoke.rs
+
+/root/repo/target/debug/deps/pipeline_smoke-4e05c7a226a3aefd: crates/core/tests/pipeline_smoke.rs
+
+crates/core/tests/pipeline_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_smoke-b60e0cbbf7db20f0.d: crates/core/tests/pipeline_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_smoke-b60e0cbbf7db20f0.rmeta: crates/core/tests/pipeline_smoke.rs Cargo.toml
+
+crates/core/tests/pipeline_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_throughput-f164b22b4aee7f6e.d: crates/bench/benches/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-f164b22b4aee7f6e.rmeta: crates/bench/benches/pipeline_throughput.rs Cargo.toml
+
+crates/bench/benches/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

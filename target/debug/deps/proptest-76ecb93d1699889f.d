@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-76ecb93d1699889f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-76ecb93d1699889f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-76ecb93d1699889f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ident-040f0d66e11385e9.d: crates/core/tests/proptest_ident.rs
+
+/root/repo/target/debug/deps/proptest_ident-040f0d66e11385e9: crates/core/tests/proptest_ident.rs
+
+crates/core/tests/proptest_ident.rs:

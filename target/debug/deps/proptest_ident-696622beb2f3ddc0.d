@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ident-696622beb2f3ddc0.d: crates/core/tests/proptest_ident.rs
+
+/root/repo/target/debug/deps/proptest_ident-696622beb2f3ddc0: crates/core/tests/proptest_ident.rs
+
+crates/core/tests/proptest_ident.rs:

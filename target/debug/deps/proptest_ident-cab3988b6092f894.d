@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ident-cab3988b6092f894.d: crates/core/tests/proptest_ident.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ident-cab3988b6092f894.rmeta: crates/core/tests/proptest_ident.rs Cargo.toml
+
+crates/core/tests/proptest_ident.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

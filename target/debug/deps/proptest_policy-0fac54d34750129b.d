@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_policy-0fac54d34750129b.d: crates/observer/tests/proptest_policy.rs
+
+/root/repo/target/debug/deps/proptest_policy-0fac54d34750129b: crates/observer/tests/proptest_policy.rs
+
+crates/observer/tests/proptest_policy.rs:

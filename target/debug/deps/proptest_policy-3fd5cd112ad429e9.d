@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_policy-3fd5cd112ad429e9.d: crates/observer/tests/proptest_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_policy-3fd5cd112ad429e9.rmeta: crates/observer/tests/proptest_policy.rs Cargo.toml
+
+crates/observer/tests/proptest_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-6facbaf665895c5a.d: crates/packet/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-6facbaf665895c5a: crates/packet/tests/proptest_roundtrip.rs
+
+crates/packet/tests/proptest_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-e0017e91c71e31ec.d: crates/packet/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-e0017e91c71e31ec.rmeta: crates/packet/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/packet/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

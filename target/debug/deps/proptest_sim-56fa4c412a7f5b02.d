@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-56fa4c412a7f5b02.d: crates/netsim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-56fa4c412a7f5b02.rmeta: crates/netsim/tests/proptest_sim.rs Cargo.toml
+
+crates/netsim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-d751e2be3516362d.d: crates/netsim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-d751e2be3516362d: crates/netsim/tests/proptest_sim.rs
+
+crates/netsim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolver_behavior-c1b3ee17c7b638f2.d: crates/dns/tests/resolver_behavior.rs
+
+/root/repo/target/debug/deps/resolver_behavior-c1b3ee17c7b638f2: crates/dns/tests/resolver_behavior.rs
+
+crates/dns/tests/resolver_behavior.rs:

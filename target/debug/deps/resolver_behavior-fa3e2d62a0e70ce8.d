@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resolver_behavior-fa3e2d62a0e70ce8.d: crates/dns/tests/resolver_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresolver_behavior-fa3e2d62a0e70ce8.rmeta: crates/dns/tests/resolver_behavior.rs Cargo.toml
+
+crates/dns/tests/resolver_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s51_reuse_counts-d5ec3f34821f94fe.d: crates/bench/benches/s51_reuse_counts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs51_reuse_counts-d5ec3f34821f94fe.rmeta: crates/bench/benches/s51_reuse_counts.rs Cargo.toml
+
+crates/bench/benches/s51_reuse_counts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s52_open_ports-288676f321da8bd1.d: crates/bench/benches/s52_open_ports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs52_open_ports-288676f321da8bd1.rmeta: crates/bench/benches/s52_open_ports.rs Cargo.toml
+
+crates/bench/benches/s52_open_ports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

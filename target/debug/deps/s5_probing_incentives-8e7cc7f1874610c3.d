@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s5_probing_incentives-8e7cc7f1874610c3.d: crates/bench/benches/s5_probing_incentives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs5_probing_incentives-8e7cc7f1874610c3.rmeta: crates/bench/benches/s5_probing_incentives.rs Cargo.toml
+
+crates/bench/benches/s5_probing_incentives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_bench-388e3a2bb4468754.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_bench-388e3a2bb4468754.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

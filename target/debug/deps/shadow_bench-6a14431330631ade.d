@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_bench-6a14431330631ade.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shadow_bench-6a14431330631ade: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

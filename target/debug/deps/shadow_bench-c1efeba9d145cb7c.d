@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shadow_bench-c1efeba9d145cb7c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c1efeba9d145cb7c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c1efeba9d145cb7c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_bench-c7c493f94c584256.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_bench-c7c493f94c584256.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shadow_bench-c84f4cb4de341f0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c84f4cb4de341f0c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c84f4cb4de341f0c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

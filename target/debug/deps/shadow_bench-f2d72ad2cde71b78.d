@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_bench-f2d72ad2cde71b78.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shadow_bench-f2d72ad2cde71b78: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

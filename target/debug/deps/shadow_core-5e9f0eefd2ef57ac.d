@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/shadow_core-5e9f0eefd2ef57ac.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_core-5e9f0eefd2ef57ac.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/correlate.rs:
+crates/core/src/decoy.rs:
+crates/core/src/executor.rs:
+crates/core/src/ident.rs:
+crates/core/src/noise.rs:
+crates/core/src/phase2.rs:
+crates/core/src/world/mod.rs:
+crates/core/src/world/build.rs:
+crates/core/src/world/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shadow_core-fe9d20d592351c4d.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs
+
+/root/repo/target/debug/deps/shadow_core-fe9d20d592351c4d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/correlate.rs:
+crates/core/src/decoy.rs:
+crates/core/src/ident.rs:
+crates/core/src/noise.rs:
+crates/core/src/phase2.rs:
+crates/core/src/world/mod.rs:
+crates/core/src/world/build.rs:
+crates/core/src/world/spec.rs:

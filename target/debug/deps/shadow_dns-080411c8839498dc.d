@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_dns-080411c8839498dc.d: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/debug/deps/libshadow_dns-080411c8839498dc.rlib: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/debug/deps/libshadow_dns-080411c8839498dc.rmeta: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/authoritative.rs:
+crates/dns/src/catalog.rs:
+crates/dns/src/profile.rs:
+crates/dns/src/resolver.rs:

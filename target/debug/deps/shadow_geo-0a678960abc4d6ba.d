@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_geo-0a678960abc4d6ba.d: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/debug/deps/libshadow_geo-0a678960abc4d6ba.rlib: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/debug/deps/libshadow_geo-0a678960abc4d6ba.rmeta: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/alloc.rs:
+crates/geo/src/asn.rs:
+crates/geo/src/country.rs:
+crates/geo/src/db.rs:

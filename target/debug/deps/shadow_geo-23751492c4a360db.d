@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_geo-23751492c4a360db.d: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/debug/deps/shadow_geo-23751492c4a360db: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/alloc.rs:
+crates/geo/src/asn.rs:
+crates/geo/src/country.rs:
+crates/geo/src/db.rs:

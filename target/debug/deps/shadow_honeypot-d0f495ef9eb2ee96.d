@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shadow_honeypot-d0f495ef9eb2ee96.d: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/debug/deps/shadow_honeypot-d0f495ef9eb2ee96: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/authority.rs:
+crates/honeypot/src/capture.rs:
+crates/honeypot/src/web.rs:

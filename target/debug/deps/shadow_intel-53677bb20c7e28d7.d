@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shadow_intel-53677bb20c7e28d7.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/debug/deps/libshadow_intel-53677bb20c7e28d7.rlib: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/debug/deps/libshadow_intel-53677bb20c7e28d7.rmeta: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:

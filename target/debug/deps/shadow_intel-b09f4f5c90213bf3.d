@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shadow_intel-b09f4f5c90213bf3.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/debug/deps/shadow_intel-b09f4f5c90213bf3: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shadow_intel-bacc087e418c0c75.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_intel-bacc087e418c0c75.rmeta: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs Cargo.toml
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

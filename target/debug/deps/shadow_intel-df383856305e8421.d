@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shadow_intel-df383856305e8421.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_intel-df383856305e8421.rmeta: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs Cargo.toml
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shadow_observer-5f3bf1ef0a34ced2.d: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_observer-5f3bf1ef0a34ced2.rmeta: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs Cargo.toml
+
+crates/observer/src/lib.rs:
+crates/observer/src/dpi.rs:
+crates/observer/src/intercept.rs:
+crates/observer/src/policy.rs:
+crates/observer/src/probe.rs:
+crates/observer/src/retention.rs:
+crates/observer/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/shadow_packet-f1aa7e55684b8c57.d: crates/packet/src/lib.rs crates/packet/src/cursor.rs crates/packet/src/dns/mod.rs crates/packet/src/dns/message.rs crates/packet/src/dns/name.rs crates/packet/src/doq.rs crates/packet/src/error.rs crates/packet/src/http.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/tls.rs crates/packet/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_packet-f1aa7e55684b8c57.rmeta: crates/packet/src/lib.rs crates/packet/src/cursor.rs crates/packet/src/dns/mod.rs crates/packet/src/dns/message.rs crates/packet/src/dns/name.rs crates/packet/src/doq.rs crates/packet/src/error.rs crates/packet/src/http.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/tls.rs crates/packet/src/udp.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/cursor.rs:
+crates/packet/src/dns/mod.rs:
+crates/packet/src/dns/message.rs:
+crates/packet/src/dns/name.rs:
+crates/packet/src/doq.rs:
+crates/packet/src/error.rs:
+crates/packet/src/http.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/tls.rs:
+crates/packet/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

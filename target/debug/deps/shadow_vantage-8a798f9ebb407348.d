@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_vantage-8a798f9ebb407348.d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/debug/deps/shadow_vantage-8a798f9ebb407348: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+crates/vantage/src/lib.rs:
+crates/vantage/src/platform.rs:
+crates/vantage/src/providers.rs:
+crates/vantage/src/schedule.rs:
+crates/vantage/src/vp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_scaling-af72e9d4bf571709.d: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_scaling-af72e9d4bf571709.rmeta: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+crates/bench/benches/shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_equivalence-22027da9a647e3dd.d: tests/sharded_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_equivalence-22027da9a647e3dd.rmeta: tests/sharded_equivalence.rs Cargo.toml
+
+tests/sharded_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_equivalence-aeffb6ec9c3e019c.d: tests/sharded_equivalence.rs
+
+/root/repo/target/debug/deps/sharded_equivalence-aeffb6ec9c3e019c: tests/sharded_equivalence.rs
+
+tests/sharded_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_end_to_end-485c2d09956975ea.d: tests/study_end_to_end.rs
+
+/root/repo/target/debug/deps/study_end_to_end-485c2d09956975ea: tests/study_end_to_end.rs
+
+tests/study_end_to_end.rs:

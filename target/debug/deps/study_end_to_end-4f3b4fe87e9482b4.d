@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_end_to_end-4f3b4fe87e9482b4.d: tests/study_end_to_end.rs
+
+/root/repo/target/debug/deps/study_end_to_end-4f3b4fe87e9482b4: tests/study_end_to_end.rs
+
+tests/study_end_to_end.rs:

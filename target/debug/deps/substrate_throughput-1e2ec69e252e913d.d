@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_throughput-1e2ec69e252e913d.d: crates/bench/benches/substrate_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_throughput-1e2ec69e252e913d.rmeta: crates/bench/benches/substrate_throughput.rs Cargo.toml
+
+crates/bench/benches/substrate_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

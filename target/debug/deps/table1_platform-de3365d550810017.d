@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_platform-de3365d550810017.d: crates/bench/benches/table1_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_platform-de3365d550810017.rmeta: crates/bench/benches/table1_platform.rs Cargo.toml
+
+crates/bench/benches/table1_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_observer_location-8553daa00a99f164.d: crates/bench/benches/table2_observer_location.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_observer_location-8553daa00a99f164.rmeta: crates/bench/benches/table2_observer_location.rs Cargo.toml
+
+crates/bench/benches/table2_observer_location.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_observer_ases-47ececa4d8250dc1.d: crates/bench/benches/table3_observer_ases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_observer_ases-47ececa4d8250dc1.rmeta: crates/bench/benches/table3_observer_ases.rs Cargo.toml
+
+crates/bench/benches/table3_observer_ases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

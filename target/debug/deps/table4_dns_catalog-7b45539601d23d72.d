@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_dns_catalog-7b45539601d23d72.d: crates/bench/benches/table4_dns_catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_dns_catalog-7b45539601d23d72.rmeta: crates/bench/benches/table4_dns_catalog.rs Cargo.toml
+
+crates/bench/benches/table4_dns_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/traffic_shadowing-5713b30d6ffcf3da.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/traffic_shadowing-5713b30d6ffcf3da: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

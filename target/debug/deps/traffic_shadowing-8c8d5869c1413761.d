@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/traffic_shadowing-8c8d5869c1413761.d: src/lib.rs src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic_shadowing-8c8d5869c1413761.rmeta: src/lib.rs src/study.rs Cargo.toml
+
+src/lib.rs:
+src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

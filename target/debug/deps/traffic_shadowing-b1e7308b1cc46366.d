@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/traffic_shadowing-b1e7308b1cc46366.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/traffic_shadowing-b1e7308b1cc46366: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/traffic_shadowing-ca79da995c174238.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-ca79da995c174238.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-ca79da995c174238.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

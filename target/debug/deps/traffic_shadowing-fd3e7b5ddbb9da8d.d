@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/traffic_shadowing-fd3e7b5ddbb9da8d.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-fd3e7b5ddbb9da8d.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-fd3e7b5ddbb9da8d.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

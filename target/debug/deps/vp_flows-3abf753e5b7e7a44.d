@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vp_flows-3abf753e5b7e7a44.d: crates/vantage/tests/vp_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvp_flows-3abf753e5b7e7a44.rmeta: crates/vantage/tests/vp_flows.rs Cargo.toml
+
+crates/vantage/tests/vp_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

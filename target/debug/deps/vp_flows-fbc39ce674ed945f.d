@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vp_flows-fbc39ce674ed945f.d: crates/vantage/tests/vp_flows.rs
+
+/root/repo/target/debug/deps/vp_flows-fbc39ce674ed945f: crates/vantage/tests/vp_flows.rs
+
+crates/vantage/tests/vp_flows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_consistency-2b632f32ce24b173.d: crates/core/tests/world_consistency.rs
+
+/root/repo/target/debug/deps/world_consistency-2b632f32ce24b173: crates/core/tests/world_consistency.rs
+
+crates/core/tests/world_consistency.rs:

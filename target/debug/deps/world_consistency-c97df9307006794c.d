@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_consistency-c97df9307006794c.d: crates/core/tests/world_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_consistency-c97df9307006794c.rmeta: crates/core/tests/world_consistency.rs Cargo.toml
+
+crates/core/tests/world_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

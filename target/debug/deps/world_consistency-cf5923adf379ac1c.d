@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_consistency-cf5923adf379ac1c.d: crates/core/tests/world_consistency.rs
+
+/root/repo/target/debug/deps/world_consistency-cf5923adf379ac1c: crates/core/tests/world_consistency.rs
+
+crates/core/tests/world_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encryption_mitigation-483b0af141935ae3.d: examples/encryption_mitigation.rs
+
+/root/repo/target/debug/examples/encryption_mitigation-483b0af141935ae3: examples/encryption_mitigation.rs
+
+examples/encryption_mitigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encryption_mitigation-7c0f0149944bd0aa.d: examples/encryption_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencryption_mitigation-7c0f0149944bd0aa.rmeta: examples/encryption_mitigation.rs Cargo.toml
+
+examples/encryption_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

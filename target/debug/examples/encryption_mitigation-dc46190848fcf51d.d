@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encryption_mitigation-dc46190848fcf51d.d: examples/encryption_mitigation.rs
+
+/root/repo/target/debug/examples/encryption_mitigation-dc46190848fcf51d: examples/encryption_mitigation.rs
+
+examples/encryption_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_campaign-0acad86b6dc331bb.d: examples/full_campaign.rs
+
+/root/repo/target/debug/examples/full_campaign-0acad86b6dc331bb: examples/full_campaign.rs
+
+examples/full_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_campaign-a859cc20ec032a63.d: examples/full_campaign.rs
+
+/root/repo/target/debug/examples/full_campaign-a859cc20ec032a63: examples/full_campaign.rs
+
+examples/full_campaign.rs:

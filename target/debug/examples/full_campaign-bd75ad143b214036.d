@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_campaign-bd75ad143b214036.d: examples/full_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_campaign-bd75ad143b214036.rmeta: examples/full_campaign.rs Cargo.toml
+
+examples/full_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interception_noise-c61cdd9aecc357dc.d: examples/interception_noise.rs
+
+/root/repo/target/debug/examples/interception_noise-c61cdd9aecc357dc: examples/interception_noise.rs
+
+examples/interception_noise.rs:

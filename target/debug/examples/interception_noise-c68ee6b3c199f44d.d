@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interception_noise-c68ee6b3c199f44d.d: examples/interception_noise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterception_noise-c68ee6b3c199f44d.rmeta: examples/interception_noise.rs Cargo.toml
+
+examples/interception_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interception_noise-db4cd8e5f78302ea.d: examples/interception_noise.rs
+
+/root/repo/target/debug/examples/interception_noise-db4cd8e5f78302ea: examples/interception_noise.rs
+
+examples/interception_noise.rs:

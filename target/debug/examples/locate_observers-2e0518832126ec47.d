@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/locate_observers-2e0518832126ec47.d: examples/locate_observers.rs
+
+/root/repo/target/debug/examples/locate_observers-2e0518832126ec47: examples/locate_observers.rs
+
+examples/locate_observers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/locate_observers-83b881804e88de39.d: examples/locate_observers.rs
+
+/root/repo/target/debug/examples/locate_observers-83b881804e88de39: examples/locate_observers.rs
+
+examples/locate_observers.rs:

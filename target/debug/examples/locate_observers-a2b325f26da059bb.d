@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/locate_observers-a2b325f26da059bb.d: examples/locate_observers.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocate_observers-a2b325f26da059bb.rmeta: examples/locate_observers.rs Cargo.toml
+
+examples/locate_observers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

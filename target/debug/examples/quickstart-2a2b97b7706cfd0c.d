@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2a2b97b7706cfd0c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2a2b97b7706cfd0c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d6c8a4f4884e136b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d6c8a4f4884e136b: examples/quickstart.rs
+
+examples/quickstart.rs:

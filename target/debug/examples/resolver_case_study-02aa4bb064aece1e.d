@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resolver_case_study-02aa4bb064aece1e.d: examples/resolver_case_study.rs
+
+/root/repo/target/debug/examples/resolver_case_study-02aa4bb064aece1e: examples/resolver_case_study.rs
+
+examples/resolver_case_study.rs:

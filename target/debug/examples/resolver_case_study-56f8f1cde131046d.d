@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resolver_case_study-56f8f1cde131046d.d: examples/resolver_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresolver_case_study-56f8f1cde131046d.rmeta: examples/resolver_case_study.rs Cargo.toml
+
+examples/resolver_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resolver_case_study-ec8b3b39b30698aa.d: examples/resolver_case_study.rs
+
+/root/repo/target/debug/examples/resolver_case_study-ec8b3b39b30698aa: examples/resolver_case_study.rs
+
+examples/resolver_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_refresh_spike-6b8f1f300fbcd683.d: crates/dns/tests/cache_refresh_spike.rs
+
+/root/repo/target/release/deps/cache_refresh_spike-6b8f1f300fbcd683: crates/dns/tests/cache_refresh_spike.rs
+
+crates/dns/tests/cache_refresh_spike.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_rounds-e934b9703eacaf86.d: tests/campaign_rounds.rs
+
+/root/repo/target/release/deps/campaign_rounds-e934b9703eacaf86: tests/campaign_rounds.rs
+
+tests/campaign_rounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-e7cb3b77680b5b82.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-e7cb3b77680b5b82: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/encryption_ablation-ceb48821a932873b.d: tests/encryption_ablation.rs
+
+/root/repo/target/release/deps/encryption_ablation-ceb48821a932873b: tests/encryption_ablation.rs
+
+tests/encryption_ablation.rs:

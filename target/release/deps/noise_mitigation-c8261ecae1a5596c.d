@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/noise_mitigation-c8261ecae1a5596c.d: tests/noise_mitigation.rs
+
+/root/repo/target/release/deps/noise_mitigation-c8261ecae1a5596c: tests/noise_mitigation.rs
+
+tests/noise_mitigation.rs:

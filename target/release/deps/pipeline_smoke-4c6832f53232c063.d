@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_smoke-4c6832f53232c063.d: crates/core/tests/pipeline_smoke.rs
+
+/root/repo/target/release/deps/pipeline_smoke-4c6832f53232c063: crates/core/tests/pipeline_smoke.rs
+
+crates/core/tests/pipeline_smoke.rs:

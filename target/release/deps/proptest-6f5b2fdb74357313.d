@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6f5b2fdb74357313.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6f5b2fdb74357313.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6f5b2fdb74357313.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e5e1f9ec7f46653d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e5e1f9ec7f46653d: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

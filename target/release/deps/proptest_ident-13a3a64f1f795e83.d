@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_ident-13a3a64f1f795e83.d: crates/core/tests/proptest_ident.rs
+
+/root/repo/target/release/deps/proptest_ident-13a3a64f1f795e83: crates/core/tests/proptest_ident.rs
+
+crates/core/tests/proptest_ident.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_policy-69e251b9cf09ee56.d: crates/observer/tests/proptest_policy.rs
+
+/root/repo/target/release/deps/proptest_policy-69e251b9cf09ee56: crates/observer/tests/proptest_policy.rs
+
+crates/observer/tests/proptest_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_roundtrip-c7833023e9ac0358.d: crates/packet/tests/proptest_roundtrip.rs
+
+/root/repo/target/release/deps/proptest_roundtrip-c7833023e9ac0358: crates/packet/tests/proptest_roundtrip.rs
+
+crates/packet/tests/proptest_roundtrip.rs:

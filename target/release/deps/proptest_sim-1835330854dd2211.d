@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_sim-1835330854dd2211.d: crates/netsim/tests/proptest_sim.rs
+
+/root/repo/target/release/deps/proptest_sim-1835330854dd2211: crates/netsim/tests/proptest_sim.rs
+
+crates/netsim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resolver_behavior-517cf17e2f28bbb5.d: crates/dns/tests/resolver_behavior.rs
+
+/root/repo/target/release/deps/resolver_behavior-517cf17e2f28bbb5: crates/dns/tests/resolver_behavior.rs
+
+crates/dns/tests/resolver_behavior.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/shadow_analysis-98b9d66ddf77a63f.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/release/deps/libshadow_analysis-98b9d66ddf77a63f.rlib: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/release/deps/libshadow_analysis-98b9d66ddf77a63f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/cases.rs:
+crates/analysis/src/combos.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/landscape.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/origins.rs:
+crates/analysis/src/probing.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/temporal.rs:

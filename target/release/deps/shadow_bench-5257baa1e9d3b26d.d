@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shadow_bench-5257baa1e9d3b26d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-5257baa1e9d3b26d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-5257baa1e9d3b26d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shadow_bench-c473dd0d1d4c16ee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/shadow_bench-c473dd0d1d4c16ee: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

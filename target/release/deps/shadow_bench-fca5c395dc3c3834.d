@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shadow_bench-fca5c395dc3c3834.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-fca5c395dc3c3834.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-fca5c395dc3c3834.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

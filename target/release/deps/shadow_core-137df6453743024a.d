@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/shadow_core-137df6453743024a.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs
+
+/root/repo/target/release/deps/libshadow_core-137df6453743024a.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs
+
+/root/repo/target/release/deps/libshadow_core-137df6453743024a.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/correlate.rs:
+crates/core/src/decoy.rs:
+crates/core/src/ident.rs:
+crates/core/src/noise.rs:
+crates/core/src/phase2.rs:
+crates/core/src/world/mod.rs:
+crates/core/src/world/build.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_dns-09e0920c79c59eee.d: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/release/deps/libshadow_dns-09e0920c79c59eee.rlib: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/release/deps/libshadow_dns-09e0920c79c59eee.rmeta: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/authoritative.rs:
+crates/dns/src/catalog.rs:
+crates/dns/src/profile.rs:
+crates/dns/src/resolver.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_geo-ae58ed46807bc298.d: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/release/deps/libshadow_geo-ae58ed46807bc298.rlib: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/release/deps/libshadow_geo-ae58ed46807bc298.rmeta: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/alloc.rs:
+crates/geo/src/asn.rs:
+crates/geo/src/country.rs:
+crates/geo/src/db.rs:

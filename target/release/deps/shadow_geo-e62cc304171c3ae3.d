@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shadow_geo-e62cc304171c3ae3.d: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/release/deps/shadow_geo-e62cc304171c3ae3: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/alloc.rs:
+crates/geo/src/asn.rs:
+crates/geo/src/country.rs:
+crates/geo/src/db.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/shadow_honeypot-2803999fe864e977.d: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/release/deps/shadow_honeypot-2803999fe864e977: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/authority.rs:
+crates/honeypot/src/capture.rs:
+crates/honeypot/src/web.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shadow_honeypot-4145fd7033f5e86d.d: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/release/deps/libshadow_honeypot-4145fd7033f5e86d.rlib: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/release/deps/libshadow_honeypot-4145fd7033f5e86d.rmeta: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/authority.rs:
+crates/honeypot/src/capture.rs:
+crates/honeypot/src/web.rs:

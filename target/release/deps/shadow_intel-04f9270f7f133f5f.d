@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/shadow_intel-04f9270f7f133f5f.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/release/deps/shadow_intel-04f9270f7f133f5f: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:

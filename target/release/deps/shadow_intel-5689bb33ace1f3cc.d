@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shadow_intel-5689bb33ace1f3cc.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/release/deps/libshadow_intel-5689bb33ace1f3cc.rlib: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/release/deps/libshadow_intel-5689bb33ace1f3cc.rmeta: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:

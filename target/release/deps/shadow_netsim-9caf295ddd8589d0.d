@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_netsim-9caf295ddd8589d0.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+/root/repo/target/release/deps/shadow_netsim-9caf295ddd8589d0: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:

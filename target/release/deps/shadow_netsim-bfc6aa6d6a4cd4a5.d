@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shadow_netsim-bfc6aa6d6a4cd4a5.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+/root/repo/target/release/deps/libshadow_netsim-bfc6aa6d6a4cd4a5.rlib: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+/root/repo/target/release/deps/libshadow_netsim-bfc6aa6d6a4cd4a5.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:

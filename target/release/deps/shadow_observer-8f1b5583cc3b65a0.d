@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_observer-8f1b5583cc3b65a0.d: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/scheduler.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs
+
+/root/repo/target/release/deps/shadow_observer-8f1b5583cc3b65a0: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/scheduler.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs
+
+crates/observer/src/lib.rs:
+crates/observer/src/dpi.rs:
+crates/observer/src/scheduler.rs:
+crates/observer/src/intercept.rs:
+crates/observer/src/policy.rs:
+crates/observer/src/probe.rs:
+crates/observer/src/retention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shadow_vantage-91e8a5f23e4f541d.d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/release/deps/shadow_vantage-91e8a5f23e4f541d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+crates/vantage/src/lib.rs:
+crates/vantage/src/platform.rs:
+crates/vantage/src/providers.rs:
+crates/vantage/src/schedule.rs:
+crates/vantage/src/vp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_scaling-728e56e182c22b6a.d: crates/bench/benches/shard_scaling.rs
+
+/root/repo/target/release/deps/shard_scaling-728e56e182c22b6a: crates/bench/benches/shard_scaling.rs
+
+crates/bench/benches/shard_scaling.rs:

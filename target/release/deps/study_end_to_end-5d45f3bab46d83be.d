@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_end_to_end-5d45f3bab46d83be.d: tests/study_end_to_end.rs
+
+/root/repo/target/release/deps/study_end_to_end-5d45f3bab46d83be: tests/study_end_to_end.rs
+
+tests/study_end_to_end.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/traffic_shadowing-b653a3afeb2e62da.d: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-b653a3afeb2e62da.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-b653a3afeb2e62da.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/traffic_shadowing-c93c68aa3277b174.d: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/traffic_shadowing-c93c68aa3277b174: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

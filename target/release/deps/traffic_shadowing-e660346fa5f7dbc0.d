@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/traffic_shadowing-e660346fa5f7dbc0.d: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-e660346fa5f7dbc0.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-e660346fa5f7dbc0.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

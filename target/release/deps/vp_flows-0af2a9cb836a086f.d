@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vp_flows-0af2a9cb836a086f.d: crates/vantage/tests/vp_flows.rs
+
+/root/repo/target/release/deps/vp_flows-0af2a9cb836a086f: crates/vantage/tests/vp_flows.rs
+
+crates/vantage/tests/vp_flows.rs:

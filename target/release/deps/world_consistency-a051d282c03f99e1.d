@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/world_consistency-a051d282c03f99e1.d: crates/core/tests/world_consistency.rs
+
+/root/repo/target/release/deps/world_consistency-a051d282c03f99e1: crates/core/tests/world_consistency.rs
+
+crates/core/tests/world_consistency.rs:

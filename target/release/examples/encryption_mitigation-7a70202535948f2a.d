@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encryption_mitigation-7a70202535948f2a.d: examples/encryption_mitigation.rs
+
+/root/repo/target/release/examples/encryption_mitigation-7a70202535948f2a: examples/encryption_mitigation.rs
+
+examples/encryption_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_campaign-72854142dc54e862.d: examples/full_campaign.rs
+
+/root/repo/target/release/examples/full_campaign-72854142dc54e862: examples/full_campaign.rs
+
+examples/full_campaign.rs:

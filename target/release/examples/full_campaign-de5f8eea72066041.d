@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_campaign-de5f8eea72066041.d: examples/full_campaign.rs
+
+/root/repo/target/release/examples/full_campaign-de5f8eea72066041: examples/full_campaign.rs
+
+examples/full_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interception_noise-17c9980cc0eb2df0.d: examples/interception_noise.rs
+
+/root/repo/target/release/examples/interception_noise-17c9980cc0eb2df0: examples/interception_noise.rs
+
+examples/interception_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/locate_observers-8194a5e4fa7f6fe8.d: examples/locate_observers.rs
+
+/root/repo/target/release/examples/locate_observers-8194a5e4fa7f6fe8: examples/locate_observers.rs
+
+examples/locate_observers.rs:

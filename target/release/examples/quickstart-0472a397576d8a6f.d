@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0472a397576d8a6f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0472a397576d8a6f: examples/quickstart.rs
+
+examples/quickstart.rs:

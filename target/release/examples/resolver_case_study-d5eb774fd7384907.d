@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resolver_case_study-d5eb774fd7384907.d: examples/resolver_case_study.rs
+
+/root/repo/target/release/examples/resolver_case_study-d5eb774fd7384907: examples/resolver_case_study.rs
+
+examples/resolver_case_study.rs:

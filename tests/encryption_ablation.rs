@@ -78,9 +78,7 @@ fn encrypted_queries_still_resolve() {
         .phase1
         .arrivals
         .iter()
-        .filter(|a| {
-            a.protocol == traffic_shadowing::shadow_honeypot::capture::ArrivalProtocol::Dns
-        })
+        .filter(|a| a.protocol == traffic_shadowing::shadow_honeypot::capture::ArrivalProtocol::Dns)
         .count();
     assert!(dns_arrivals > 0);
 }

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benchmarks compile and run with the same source as upstream criterion but
+//! use a simple adaptive wall-clock loop: each `bench_function` warms up
+//! once, picks an iteration count targeting ~50 ms of total work (bounded by
+//! `sample_size` semantics for heavy benches), then reports one line:
+//!
+//! ```text
+//! BENCH {"name":"group/bench","iters":N,"mean_ns":X,"throughput_bytes":B}
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only the semantics this workspace
+/// uses are distinguished (setup always runs once per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// Measured throughput annotation, echoed into the BENCH line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Target amount of wall-clock per benchmark's measurement loop.
+const TARGET_TOTAL: Duration = Duration::from_millis(50);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Per-invocation measurement state handed to the closure.
+pub struct Bencher<'a> {
+    iters_hint: u64,
+    result: &'a mut Option<Measurement>,
+}
+
+struct Measurement {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` in an adaptive loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let iters = pick_iters(once, self.iters_hint);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = Some(Measurement {
+            iters,
+            total: start.elapsed(),
+        });
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(input));
+        let once = warmup_start.elapsed();
+        let iters = pick_iters(once, self.iters_hint);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.result = Some(Measurement { iters, total });
+    }
+}
+
+fn pick_iters(once: Duration, hint: u64) -> u64 {
+    if once.is_zero() {
+        return MAX_ITERS.min(hint.max(1) * 10_000);
+    }
+    let fit = (TARGET_TOTAL.as_nanos() / once.as_nanos().max(1)) as u64;
+    fit.clamp(1, MAX_ITERS).min(hint.max(1) * 1_000).max(1)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, 100, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, sample_size: u64, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut result = None;
+    let mut bencher = Bencher {
+        iters_hint: sample_size,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(m) => {
+            let mean_ns = m.total.as_nanos() / u128::from(m.iters.max(1));
+            let throughput_field = match throughput {
+                Some(Throughput::Bytes(b)) => format!(",\"throughput_bytes\":{b}"),
+                Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+                None => String::new(),
+            };
+            println!(
+                "BENCH {{\"name\":\"{name}\",\"iters\":{},\"mean_ns\":{mean_ns}{throughput_field}}}",
+                m.iters
+            );
+        }
+        None => println!("BENCH {{\"name\":\"{name}\",\"error\":\"no measurement\"}}"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("unit/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn groups_apply_throughput_and_sample_size() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("unit_group");
+        group.throughput(Throughput::Bytes(64));
+        group.sample_size(10);
+        group.bench_function("nop", |b| b.iter(|| black_box(1u32)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+}

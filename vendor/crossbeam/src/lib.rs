@@ -1,0 +1,26 @@
+//! Offline stand-in for `crossbeam`, covering the one feature this
+//! workspace uses: scoped worker threads. `std::thread::scope` (stable
+//! since 1.63) provides the same structured-concurrency guarantee —
+//! spawned threads are joined before `scope` returns, so borrows of stack
+//! data are sound — with a slightly different signature (no `Result`
+//! wrapper, spawn closures take no scope argument).
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return_values() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,846 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/`proptest!` surface this workspace uses with a
+//! deterministic ChaCha20-backed generator and **no shrinking**: failing
+//! cases report the case number and the per-test seed instead of a
+//! minimized input. Each test function derives its seed from its own name,
+//! so runs are reproducible without any environment setup.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Outcome of a single generated test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// Assertion failure; aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` rejection; the case is re-generated.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(rand_chacha::ChaCha20Rng);
+
+    impl TestRng {
+        pub fn from_seed_u64(seed: u64) -> Self {
+            use rand::SeedableRng;
+            TestRng(rand_chacha::ChaCha20Rng::seed_from_u64(seed))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+    }
+
+    /// FNV-1a over the test name: per-test seeds without global state.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+
+    /// Drive one property test: generate inputs from `strategy` and feed
+    /// them to `case` until `config.cases` cases are accepted. Taking the
+    /// case body as `impl FnMut` here (rather than expanding the loop in
+    /// the macro) gives the closure's tuple pattern a concrete expected
+    /// type, so `proptest!` bodies never need type annotations.
+    pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: S, mut case: F)
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_from_name(name);
+        let mut rng = TestRng::from_seed_u64(seed);
+        let mut accepted: u32 = 0;
+        let mut attempts: u32 = 0;
+        let max_attempts = config.cases.saturating_mul(16).max(64);
+        while accepted < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "proptest `{name}`: too many prop_assume! rejections \
+                 ({attempts} attempts for {accepted} accepted cases)"
+            );
+            let input = strategy.generate(&mut rng);
+            match case(input) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "proptest `{name}` failed at case {accepted} (seed {seed:#x}):\n{message}"
+                ),
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<W, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { source: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe adapter so heterogeneous strategies can share a box.
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, W> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            use rand::Rng;
+            let index = rng.gen_range(0..self.options.len());
+            self.options[index].generate(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+// Numeric ranges are strategies.
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample_from(self.clone(), rng)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Copy,
+    RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample_from(self.clone(), rng)
+    }
+}
+
+// Bare string literals are regex strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = string::compile(self)
+            .unwrap_or_else(|err| panic!("invalid regex strategy `{self}`: {err:?}"));
+        string::generate(&pattern, rng)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-range uniform generator for a primitive.
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for FullRange<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = FullRange<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            FullRange(std::marker::PhantomData)
+        }
+    }
+
+    /// Arrays generate element-wise.
+    pub struct ArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        type Strategy = ArrayStrategy<T::Strategy, N>;
+
+        fn arbitrary() -> Self::Strategy {
+            ArrayStrategy(T::arbitrary())
+        }
+    }
+}
+
+pub use arbitrary::any;
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vec of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniform choice in an inclusive character range.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "char::range start must not exceed end");
+        CharRange { lo, hi }
+    }
+
+    pub struct CharRange {
+        lo: char,
+        hi: char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            use rand::Rng;
+            // Rejection-sample over the scalar range to skip surrogates.
+            loop {
+                let code = rng.gen_range(self.lo as u32..=self.hi as u32);
+                if let Some(c) = char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error from parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    /// A strategy producing strings matching a simple regex.
+    ///
+    /// Supported syntax: literals, `\x` escapes, `[a-z0-9-]` classes,
+    /// `(...)` groups, and the `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers.
+    /// Alternation and anchors are not supported (and not used here).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile(pattern).map(|nodes| RegexGeneratorStrategy { nodes })
+    }
+
+    pub struct RegexGeneratorStrategy {
+        nodes: Vec<Quantified>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate(&self.nodes, rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Node {
+        Literal(char),
+        /// Inclusive ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Quantified>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Quantified {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Unbounded quantifiers (`*`, `+`) cap their repetition here.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    pub(crate) fn compile(pattern: &str) -> Result<Vec<Quantified>, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let nodes = parse_sequence(&chars, &mut pos, false)?;
+        if pos != chars.len() {
+            return Err(Error(format!("unexpected `)` at position {pos}")));
+        }
+        Ok(nodes)
+    }
+
+    fn parse_sequence(
+        chars: &[char],
+        pos: &mut usize,
+        in_group: bool,
+    ) -> Result<Vec<Quantified>, Error> {
+        let mut nodes = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' if in_group => break,
+                ')' => return Err(Error("unmatched `)`".into())),
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_sequence(chars, pos, true)?;
+                    if chars.get(*pos) != Some(&')') {
+                        return Err(Error("unterminated group".into()));
+                    }
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    parse_class(chars, pos)?
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = chars
+                        .get(*pos)
+                        .copied()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    *pos += 1;
+                    Node::Literal(unescape(c))
+                }
+                '|' => return Err(Error("alternation is not supported".into())),
+                '^' | '$' => return Err(Error("anchors are not supported".into())),
+                c => {
+                    *pos += 1;
+                    Node::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos)?;
+            nodes.push(Quantified { node, min, max });
+        }
+        Ok(nodes)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+        let mut ranges = Vec::new();
+        if chars.get(*pos) == Some(&'^') {
+            return Err(Error("negated classes are not supported".into()));
+        }
+        while let Some(&c) = chars.get(*pos) {
+            match c {
+                ']' => {
+                    *pos += 1;
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = chars
+                        .get(*pos)
+                        .copied()
+                        .ok_or_else(|| Error("dangling escape in class".into()))?;
+                    *pos += 1;
+                    ranges.push((unescape(esc), unescape(esc)));
+                }
+                lo => {
+                    *pos += 1;
+                    // `a-z` range, unless `-` is the last char before `]`.
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                        *pos += 1;
+                        let hi = chars
+                            .get(*pos)
+                            .copied()
+                            .ok_or_else(|| Error("unterminated class range".into()))?;
+                        *pos += 1;
+                        if hi < lo {
+                            return Err(Error(format!("invalid range {lo}-{hi}")));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        Err(Error("unterminated character class".into()))
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), Error> {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *pos += 1;
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                *pos += 1;
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min_text = String::new();
+                while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                    min_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min_text
+                    .parse()
+                    .map_err(|_| Error("bad quantifier minimum".into()))?;
+                let max = match chars.get(*pos) {
+                    Some('}') => min,
+                    Some(',') => {
+                        *pos += 1;
+                        let mut max_text = String::new();
+                        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                            max_text.push(chars[*pos]);
+                            *pos += 1;
+                        }
+                        max_text
+                            .parse()
+                            .map_err(|_| Error("bad quantifier maximum".into()))?
+                    }
+                    _ => return Err(Error("unterminated quantifier".into())),
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err(Error("unterminated quantifier".into()));
+                }
+                *pos += 1;
+                if max < min {
+                    return Err(Error("quantifier maximum below minimum".into()));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    pub(crate) fn generate(nodes: &[Quantified], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_into(nodes, rng, &mut out);
+        out
+    }
+
+    fn generate_into(nodes: &[Quantified], rng: &mut TestRng, out: &mut String) {
+        use rand::Rng;
+        for quantified in nodes {
+            let reps = rng.gen_range(quantified.min..=quantified.max);
+            for _ in 0..reps {
+                match &quantified.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                            .sum();
+                        let mut pick = rng.gen_range(0..total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Node::Group(inner) => generate_into(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// --- Macros -----------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)) => {};
+    (@with_config ($config:expr)
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                ($($strategy,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_generation_matches_pattern() {
+        let strat = crate::string::string_regex("[a-z0-9][a-z0-9-]{0,20}").unwrap();
+        let mut rng = crate::test_runner::TestRng::from_seed_u64(1);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 21, "{s}");
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first.is_ascii_digit(), "{s}");
+            assert!(
+                chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_regex_generates_dotted_names() {
+        let strat = crate::string::string_regex("[a-z0-9]{1,20}(\\.[a-z0-9]{1,15}){0,4}").unwrap();
+        let mut rng = crate::test_runner::TestRng::from_seed_u64(2);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            for label in s.split('.') {
+                assert!(
+                    !label.is_empty()
+                        && label
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    "{s}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, label in "[a-z]{1,8}") {
+            prop_assert!(x < 100);
+            prop_assert!(!label.is_empty() && label.len() <= 8);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(label.len(), 0usize);
+        }
+
+        #[test]
+        fn assume_rejects_and_regenerates(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_form_parses(v in proptest::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            choice in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)],
+        ) {
+            prop_assert!(choice == 1 || choice == 2 || (5..7).contains(&choice));
+        }
+    }
+
+    use crate as proptest;
+}

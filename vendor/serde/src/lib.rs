@@ -1,0 +1,631 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor machinery is replaced by a small self-describing
+//! `Content` tree: `Serialize` renders a value into `Content`, `Deserialize`
+//! reads one back out. The vendored `serde_json` then formats `Content` with
+//! upstream-compatible JSON conventions (externally tagged enums, transparent
+//! newtype structs, `null` for `Option::None` and unit).
+//!
+//! Determinism matters more than fidelity here: `HashMap`/`HashSet` serialize
+//! sorted by key so repeated runs produce byte-identical output.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form of any value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Map with arbitrary (content) keys, already in serialization order.
+    Map(Vec<(Content, Content)>),
+    /// Named-field struct.
+    Struct(Vec<(&'static str, Content)>),
+    /// Enum unit variant, rendered as the bare variant name.
+    UnitVariant(&'static str),
+    /// Enum variant with a payload (newtype ⇒ the value, tuple ⇒ `Seq`,
+    /// struct ⇒ `Struct`), rendered externally tagged: `{"Name": payload}`.
+    Variant(&'static str, Box<Content>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Field accessor used by derived `Deserialize` impls. Missing fields
+    /// read as `Null`, which lets `Option` fields default to `None` and
+    /// everything else produce a type error downstream.
+    pub fn get_field(&self, name: &str) -> &Content {
+        let fields = match self {
+            Content::Struct(fields) => fields,
+            _ => return &NULL,
+        };
+        fields
+            .iter()
+            .find(|(f, _)| *f == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+
+    /// Sequence accessor used by derived `Deserialize` impls.
+    pub fn seq_elem(&self, index: usize) -> Result<&Content, DeError> {
+        match self {
+            Content::Seq(items) => items
+                .get(index)
+                .ok_or_else(|| DeError::new(format!("sequence too short: no element {index}"))),
+            other => Err(DeError::mismatch("sequence", other)),
+        }
+    }
+
+    /// Split an enum content into `(variant_name, payload)`.
+    pub fn variant(&self) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::UnitVariant(name) => Ok((name, None)),
+            Content::Variant(name, payload) => Ok((name, Some(payload))),
+            // JSON round-trips render unit variants as plain strings and
+            // payload variants as single-entry maps; accept both.
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(name), payload) => Ok((name, Some(payload))),
+                _ => Err(DeError::mismatch("externally tagged enum", self)),
+            },
+            other => Err(DeError::mismatch("enum", other)),
+        }
+    }
+
+    /// Unwrap the payload of a non-unit variant.
+    pub fn require_payload<'a>(
+        payload: Option<&'a Content>,
+        variant: &str,
+    ) -> Result<&'a Content, DeError> {
+        payload.ok_or_else(|| DeError::new(format!("variant `{variant}` is missing its payload")))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "signed integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+            Content::Struct(_) => "struct",
+            Content::UnitVariant(_) | Content::Variant(..) => "enum",
+        }
+    }
+
+    /// Canonical string form used to sort `HashMap`/`HashSet` entries and to
+    /// render non-string JSON map keys. Compact, deterministic, and
+    /// order-isomorphic with the natural ordering for homogeneous keys that
+    /// actually occur as map keys in this workspace (strings and integers
+    /// sort via a numeric prefix; everything else falls back to the rendered
+    /// form, which is stable even if not "natural").
+    pub fn canonical_key(&self) -> String {
+        match self {
+            Content::Str(s) => s.clone(),
+            Content::U64(v) => format!("{v:020}"),
+            Content::I64(v) => format!("{:021}", *v as i128 + i64::MAX as i128 + 1),
+            other => other.render_compact(),
+        }
+    }
+
+    /// Compact JSON-ish rendering (no spaces); used for map keys only.
+    pub fn render_compact(&self) -> String {
+        match self {
+            Content::Null => "null".to_string(),
+            Content::Bool(b) => b.to_string(),
+            Content::U64(v) => v.to_string(),
+            Content::I64(v) => v.to_string(),
+            Content::F64(v) => v.to_string(),
+            Content::Str(s) => s.clone(),
+            Content::Seq(items) => {
+                let parts: Vec<String> = items.iter().map(|c| c.render_compact()).collect();
+                format!("[{}]", parts.join(","))
+            }
+            Content::Map(entries) => {
+                let parts: Vec<String> = entries
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", k.render_compact(), v.render_compact()))
+                    .collect();
+                format!("{{{}}}", parts.join(","))
+            }
+            Content::Struct(fields) => {
+                let parts: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", k, v.render_compact()))
+                    .collect();
+                format!("{{{}}}", parts.join(","))
+            }
+            Content::UnitVariant(name) => (*name).to_string(),
+            Content::Variant(name, payload) => {
+                format!("{{{}:{}}}", name, payload.render_compact())
+            }
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    pub fn mismatch(expected: &str, found: &Content) -> Self {
+        DeError::new(format!("expected {expected}, found {}", found.type_name()))
+    }
+
+    pub fn unknown_variant(found: &str, enum_name: &str) -> Self {
+        DeError::new(format!("unknown variant `{found}` for enum `{enum_name}`"))
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render a value into the `Content` data model.
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+/// Reconstruct a value from the `Content` data model.
+pub trait Deserialize: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// --- Primitive impls --------------------------------------------------------
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range"))),
+                    Content::I64(v) if *v >= 0 => <$t>::try_from(*v as u64)
+                        .map_err(|_| DeError::new(format!("{v} out of range"))),
+                    other => Err(DeError::mismatch("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range"))),
+                    Content::U64(v) => {
+                        let signed = i64::try_from(*v)
+                            .map_err(|_| DeError::new(format!("{v} out of range")))?;
+                        <$t>::try_from(signed)
+                            .map_err(|_| DeError::new(format!("{v} out of range")))
+                    }
+                    other => Err(DeError::mismatch("signed integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::mismatch("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::mismatch("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// `&'static str` fields occur in catalog structs; deserializing one leaks
+/// the string, which is acceptable for the test-only round-trips that use it.
+impl Deserialize for &'static str {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::new(format!("invalid IPv4 address `{s}`"))),
+            other => Err(DeError::mismatch("IPv4 address string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(_content: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// --- Containers -------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(value) => value.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::deserialize_content(item)?;
+                }
+                Ok(out)
+            }
+            Content::Seq(items) => Err(DeError::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                Ok(($($name::deserialize_content(content.seq_elem($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_content(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_content(), v.serialize_content()))
+            .collect();
+        entries.sort_by_key(|(k, _)| k.canonical_key());
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize_content(k)?, V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("map", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::serialize_content).collect();
+        items.sort_by_key(Content::canonical_key);
+        Content::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::mismatch("sequence", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trips_through_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize_content(), Content::Null);
+        assert_eq!(Option::<u32>::deserialize_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::deserialize_content(&Content::U64(9)),
+            Ok(Some(9))
+        );
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut map = HashMap::new();
+        map.insert(30u32, "c");
+        map.insert(1u32, "a");
+        map.insert(200u32, "z");
+        let content = map.serialize_content();
+        match content {
+            Content::Map(entries) => {
+                let keys: Vec<_> = entries.iter().map(|(k, _)| k.clone()).collect();
+                assert_eq!(
+                    keys,
+                    vec![Content::U64(1), Content::U64(30), Content::U64(200)]
+                );
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let value = ("hi".to_string(), 4u8, -3i32);
+        let content = value.serialize_content();
+        let back: (String, u8, i32) = Deserialize::deserialize_content(&content).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let value: [u8; 4] = [9, 8, 7, 6];
+        let back: [u8; 4] = Deserialize::deserialize_content(&value.serialize_content()).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn ipv4_round_trips() {
+        let addr = Ipv4Addr::new(10, 2, 3, 4);
+        let back = Ipv4Addr::deserialize_content(&addr.serialize_content()).unwrap();
+        assert_eq!(back, addr);
+    }
+
+    #[test]
+    fn variant_accessors_accept_json_shapes() {
+        // As produced by a derive.
+        let unit = Content::UnitVariant("Dns");
+        assert_eq!(unit.variant().unwrap(), ("Dns", None));
+        // As produced by the JSON parser.
+        let tagged = Content::Map(vec![(Content::Str("Other".into()), Content::U64(7))]);
+        let (name, payload) = tagged.variant().unwrap();
+        assert_eq!(name, "Other");
+        assert_eq!(payload, Some(&Content::U64(7)));
+    }
+}

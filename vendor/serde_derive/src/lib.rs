@@ -1,0 +1,518 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored `serde`
+//! crate's `Content` tree. The input item is parsed directly from the
+//! `proc_macro::TokenStream` (no `syn`/`quote`): attributes and visibility
+//! are skipped, then the struct/enum shape is extracted.
+//!
+//! Supported shapes — everything this workspace derives:
+//! - structs with named fields
+//! - tuple structs (newtype structs serialize transparently, like serde)
+//! - unit structs
+//! - enums with unit / newtype / tuple / struct variants
+//! - generic type parameters without bounds or defaults (e.g. `Foo<T>`)
+//!
+//! `#[serde(...)]` attributes are not supported and the workspace does not
+//! use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Item {
+    is_enum: bool,
+    name: String,
+    generics: Vec<String>,
+    fields: Fields,                  // structs
+    variants: Vec<(String, Fields)>, // enums
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if item.is_enum {
+        serialize_enum(&item)
+    } else {
+        serialize_fields("self", &item.fields, true)
+    };
+    let (gen_decl, gen_use) = generics_for(&item, "::serde::Serialize");
+    format!(
+        "impl{gen_decl} ::serde::Serialize for {name}{gen_use} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n",
+        name = item.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if item.is_enum {
+        deserialize_enum(&item)
+    } else {
+        deserialize_fields("Self", &item.fields, "__content", true)
+    };
+    let (gen_decl, gen_use) = generics_for(&item, "::serde::Deserialize");
+    format!(
+        "impl{gen_decl} ::serde::Deserialize for {name}{gen_use} {{\n\
+             fn deserialize_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n",
+        name = item.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decl: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", decl.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    }
+}
+
+// --- Codegen: Serialize -----------------------------------------------------
+
+/// Body serializing `recv` (e.g. `self`) according to `fields`.
+fn serialize_fields(recv: &str, fields: &Fields, is_struct: bool) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\", ::serde::Serialize::serialize_content(&{recv}.{f}))"))
+                .collect();
+            format!(
+                "::serde::Content::Struct(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) if is_struct => {
+            // Newtype structs serialize transparently, matching serde.
+            format!("::serde::Serialize::serialize_content(&{recv}.0)")
+        }
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&{recv}.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn serialize_enum(item: &Item) -> String {
+    let mut arms = Vec::new();
+    for (variant, fields) in &item.variants {
+        let name = &item.name;
+        match fields {
+            Fields::Unit => arms.push(format!(
+                "{name}::{variant} => ::serde::Content::UnitVariant(\"{variant}\"),"
+            )),
+            Fields::Tuple(1) => arms.push(format!(
+                "{name}::{variant}(__a0) => ::serde::Content::Variant(\
+                     \"{variant}\", \
+                     ::std::boxed::Box::new(::serde::Serialize::serialize_content(__a0))),"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                let entries: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                    .collect();
+                arms.push(format!(
+                    "{name}::{variant}({}) => ::serde::Content::Variant(\
+                         \"{variant}\", \
+                         ::std::boxed::Box::new(::serde::Content::Seq(::std::vec![{}]))),",
+                    binds.join(", "),
+                    entries.join(", ")
+                ));
+            }
+            Fields::Named(field_names) => {
+                let binds = field_names.join(", ");
+                let entries: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("(\"{f}\", ::serde::Serialize::serialize_content({f}))"))
+                    .collect();
+                arms.push(format!(
+                    "{name}::{variant} {{ {binds} }} => ::serde::Content::Variant(\
+                         \"{variant}\", \
+                         ::std::boxed::Box::new(::serde::Content::Struct(::std::vec![{}]))),",
+                    entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// --- Codegen: Deserialize ---------------------------------------------------
+
+/// Expression constructing `ctor` from content expression `src`.
+fn deserialize_fields(ctor: &str, fields: &Fields, src: &str, is_struct: bool) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_content({src}.get_field(\"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({ctor} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) if is_struct => format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::deserialize_content({src})?))"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::Deserialize::deserialize_content({src}.seq_elem({i})?)?")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({ctor}({}))", inits.join(", "))
+        }
+    }
+}
+
+fn deserialize_enum(item: &Item) -> String {
+    let name = &item.name;
+    let mut arms = Vec::new();
+    for (variant, fields) in &item.variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+            }
+            Fields::Tuple(1) => format!(
+                "\"{variant}\" => {{\n\
+                     let __p = ::serde::Content::require_payload(__payload, \"{variant}\")?;\n\
+                     ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::deserialize_content(__p)?))\n\
+                 }}"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!("::serde::Deserialize::deserialize_content(__p.seq_elem({i})?)?")
+                    })
+                    .collect();
+                format!(
+                    "\"{variant}\" => {{\n\
+                         let __p = ::serde::Content::require_payload(__payload, \"{variant}\")?;\n\
+                         ::std::result::Result::Ok({name}::{variant}({}))\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize_content(__p.get_field(\"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{variant}\" => {{\n\
+                         let __p = ::serde::Content::require_payload(__payload, \"{variant}\")?;\n\
+                         ::std::result::Result::Ok({name}::{variant} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "let (__name, __payload) = __content.variant()?;\n\
+         match __name {{\n{}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\
+                 __other, \"{name}\")),\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+// --- Token-level item parser ------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("derive expects a struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    if let Some(TokenTree::Ident(w)) = tokens.get(pos) {
+        if w.to_string() == "where" {
+            panic!("derived type `{name}` has a where-clause, which this derive does not support");
+        }
+    }
+
+    if is_enum {
+        let group = expect_group(&tokens, &mut pos, Delimiter::Brace, &name);
+        let variants = parse_variants(group);
+        Item {
+            is_enum,
+            name,
+            generics,
+            fields: Fields::Unit,
+            variants,
+        }
+    } else {
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        };
+        Item {
+            is_enum,
+            name,
+            generics,
+            fields,
+            variants: Vec::new(),
+        }
+    }
+}
+
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` and the `[...]` group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delim: Delimiter,
+    context: &str,
+) -> TokenStream {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            g.stream()
+        }
+        other => panic!("expected {delim:?} group for `{context}`, found {other:?}"),
+    }
+}
+
+/// Parse `<T, U>`-style generics; only bare type parameters are supported.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*pos)
+            .unwrap_or_else(|| panic!("unterminated generics"))
+            .clone();
+        *pos += 1;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(std::mem::take(&mut current));
+                    }
+                } else {
+                    current.push(tok);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.is_empty() {
+                    params.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tok),
+        }
+    }
+    params
+        .into_iter()
+        .map(|param| match param.first() {
+            Some(TokenTree::Ident(i)) => {
+                let head = i.to_string();
+                if head == "const" {
+                    panic!("const generics are not supported by this derive");
+                }
+                if param
+                    .iter()
+                    .any(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == '='))
+                {
+                    panic!("generic parameter defaults are not supported by this derive");
+                }
+                head
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("lifetime parameters are not supported by this derive")
+            }
+            other => panic!("unsupported generic parameter: {other:?}"),
+        })
+        .collect()
+}
+
+/// Names of named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        names.push(name);
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    names
+}
+
+/// Advance past a type, stopping after the next top-level `,` (or at end).
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Count top-level comma-separated fields of a tuple struct/variant.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if i + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// Parse enum variants from a brace group.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}

@@ -1,0 +1,553 @@
+//! Offline stand-in for `serde_json`, over the vendored `serde` Content tree.
+//!
+//! Output conventions match upstream where this workspace can observe them:
+//! 2-space pretty indentation with `": "` separators, externally tagged
+//! enums, `null` for `None`, floats always printed with a decimal point
+//! (`100.0`, not `100`), and non-string map keys rendered as strings.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Error for JSON serialization/deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(err: DeError) -> Self {
+        Error::new(err.message().to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// --- Serialization ----------------------------------------------------------
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize_content(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize_content(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_content(out: &mut String, content: &Content, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            write_seq(out, items, indent, depth);
+        }
+        Content::Map(entries) => {
+            let fields: Vec<(String, &Content)> =
+                entries.iter().map(|(k, v)| (key_string(k), v)).collect();
+            write_object(out, &fields, indent, depth);
+        }
+        Content::Struct(fields) => {
+            let fields: Vec<(String, &Content)> =
+                fields.iter().map(|(k, v)| ((*k).to_string(), v)).collect();
+            write_object(out, &fields, indent, depth);
+        }
+        Content::UnitVariant(name) => write_json_string(out, name),
+        Content::Variant(name, payload) => {
+            let fields = vec![((*name).to_string(), payload.as_ref())];
+            write_object(out, &fields, indent, depth);
+        }
+    }
+}
+
+fn write_seq(out: &mut String, items: &[Content], indent: Option<usize>, depth: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_content(out, item, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push(']');
+}
+
+fn write_object(
+    out: &mut String,
+    fields: &[(String, &Content)],
+    indent: Option<usize>,
+    depth: usize,
+) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_json_string(out, key);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_content(out, value, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push('}');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Map keys must be strings in JSON; integers render as their decimal form,
+/// anything else falls back to the content's compact rendering.
+fn key_string(key: &Content) -> String {
+    match key {
+        Content::Str(s) => s.clone(),
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => other.render_compact(),
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // serde_json rejects non-finite floats; render null like Value does.
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- Deserialization --------------------------------------------------------
+
+/// Parse JSON text and deserialize into `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let content = parse(input)?;
+    Ok(T::deserialize_content(&content)?)
+}
+
+fn parse(input: &str) -> Result<Content> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Content> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Content::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Content::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Content::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Content::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(Error::new(format!(
+            "unexpected character `{}` at byte {}",
+            *c as char, *pos
+        ))),
+        None => Err(Error::new("unexpected end of input")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str, value: Content) -> Result<Content> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Content> {
+    *pos += 1; // consume '{'
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Content::Map(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b':') => *pos += 1,
+            _ => return Err(Error::new(format!("expected `:` at byte {}", *pos))),
+        }
+        let value = parse_value(bytes, pos)?;
+        entries.push((Content::Str(key), value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Content::Map(entries));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Content> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Content::Seq(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Content::Seq(items));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Decode the next UTF-8 scalar from the original input.
+                let rest = &bytes[*pos..];
+                let s =
+                    std::str::from_utf8(rest).map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Content> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if !text.contains(['.', 'e', 'E']) {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(v) = stripped.parse::<u64>() {
+                if let Ok(signed) = i64::try_from(v) {
+                    return Ok(Content::I64(-signed));
+                }
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Content::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Content::F64)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+// --- Value ------------------------------------------------------------------
+
+/// Loosely typed JSON value, indexable like `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(Content);
+
+static VALUE_NULL: Value = Value(Content::Null);
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, Content::Null)
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self.0, Content::Seq(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self.0, Content::Map(_) | Content::Struct(_))
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.0 {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<Vec<Value>> {
+        match &self.0 {
+            Content::Seq(items) => Some(items.iter().cloned().map(Value).collect()),
+            _ => None,
+        }
+    }
+
+    fn get_key(&self, key: &str) -> &Value {
+        let content = match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+                .map(|(_, v)| v),
+            Content::Struct(fields) => fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v),
+            _ => None,
+        };
+        match content {
+            Some(inner) => Value::wrap_ref(inner),
+            None => &VALUE_NULL,
+        }
+    }
+
+    fn get_index(&self, index: usize) -> &Value {
+        match &self.0 {
+            Content::Seq(items) => items.get(index).map(Value::wrap_ref).unwrap_or(&VALUE_NULL),
+            _ => &VALUE_NULL,
+        }
+    }
+
+    fn wrap_ref(content: &Content) -> &Value {
+        // Sound because `Value` is `#[repr(transparent)]` over `Content`.
+        unsafe { &*(content as *const Content as *const Value) }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> std::result::Result<Self, DeError> {
+        Ok(Value(content.clone()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&mut out, &self.0, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get_key(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_matches_serde_json_conventions() {
+        #[derive(Serialize)]
+        struct Row {
+            hop: u8,
+            share: f64,
+        }
+        let json = to_string_pretty(&Row {
+            hop: 10,
+            share: 100.0,
+        })
+        .unwrap();
+        assert!(json.contains("\"hop\": 10"), "{json}");
+        assert!(json.contains("\"share\": 100.0"), "{json}");
+        assert!(json.starts_with("{\n  "));
+    }
+
+    #[test]
+    fn parse_and_index_round_trip() {
+        let json = r#"{"rows": [{"hop": 3}, {"hop": 4}], "name": "x"}"#;
+        let value: Value = from_str(json).unwrap();
+        assert!(value["rows"].is_array());
+        assert_eq!(value["rows"][1]["hop"].as_u64(), Some(4));
+        assert_eq!(value["name"].as_str(), Some("x"));
+        assert!(value["missing"].is_null());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "line\n\"quoted\"\\tab\there".to_string();
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn numbers_parse_to_natural_types() {
+        assert_eq!(parse("42").unwrap(), Content::U64(42));
+        assert_eq!(parse("-3").unwrap(), Content::I64(-3));
+        assert_eq!(parse("2.5").unwrap(), Content::F64(2.5));
+    }
+
+    #[test]
+    fn compact_vs_pretty_agree_on_structure() {
+        let json = r#"{"a":[1,2],"b":null}"#;
+        let value: Value = from_str(json).unwrap();
+        let compact = to_string(&value).unwrap();
+        let reparsed: Value = from_str(&compact).unwrap();
+        assert_eq!(reparsed, value);
+    }
+}
