@@ -15,11 +15,18 @@
 //!   I slice), measured with shards run one at a time so they never
 //!   contend. This is the wall-clock a host with >= K idle cores gets, and
 //!   the number the >=2x-at-4-threads acceptance point reads.
+//!
+//! A third line, `SHARD_EVENTS {"threads":K,...}`, reports per-shard
+//! simulator event counts from a metrics-enabled run (taken outside the
+//! timed loop; the criterion measurements keep telemetry disabled) so load
+//! imbalance across the round-robin VP split is visible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use traffic_shadowing::shadow_core::campaign::{CampaignRunner, Phase1Config};
-use traffic_shadowing::shadow_core::executor::{run_phase1_sharded, shard_vps};
+use traffic_shadowing::shadow_core::executor::{
+    run_phase1_sharded, run_phase1_sharded_with, shard_vps, TelemetryOptions,
+};
 use traffic_shadowing::shadow_core::noise::NoiseFilter;
 use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
 use traffic_shadowing::shadow_vantage::platform::VpId;
@@ -57,6 +64,26 @@ fn bench(c: &mut Criterion) {
             baseline,
             critical_ns,
             baseline as f64 / critical_ns as f64
+        );
+    }
+
+    // One metrics-enabled run per thread count (outside the timed group —
+    // the criterion loop below stays telemetry-disabled) to report how
+    // evenly the event load splits across shards.
+    for threads in [1usize, 2, 4, 8] {
+        let sharded =
+            run_phase1_sharded_with(&spec, &config, threads, TelemetryOptions::enabled(false));
+        let drained = &sharded.data.metrics.run.events_drained_per_shard;
+        let total: u64 = drained.values().sum();
+        let per_shard: Vec<String> = drained
+            .iter()
+            .map(|(shard, n)| format!("\"{shard}\":{n}"))
+            .collect();
+        println!(
+            "SHARD_EVENTS {{\"threads\":{},\"total\":{},\"per_shard\":{{{}}}}}",
+            threads,
+            total,
+            per_shard.join(",")
         );
     }
 

@@ -9,6 +9,7 @@ use shadow_honeypot::capture::{Arrival, CaptureLog};
 use shadow_honeypot::web::WebHost;
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_netsim::topology::NodeId;
+use shadow_telemetry::{sort_records, EventKind, JournalRecord, MetricsSnapshot};
 use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
 use shadow_vantage::vp::{VantagePointHost, VpCommand, VpReport};
@@ -61,6 +62,10 @@ pub struct CampaignData {
     pub vp_reports: HashMap<VpId, VpReport>,
     /// When the last decoy left a VP.
     pub last_send: SimTime,
+    /// Telemetry snapshot for this phase/shard (empty when disabled).
+    pub metrics: MetricsSnapshot,
+    /// Journal records for this phase/shard (empty unless journaling).
+    pub journal: Vec<JournalRecord>,
 }
 
 impl CampaignData {
@@ -78,6 +83,11 @@ impl CampaignData {
             self.vp_reports.insert(vp, report);
         }
         self.last_send = self.last_send.max(other.last_send);
+        self.metrics.merge(&other.metrics);
+        if !other.journal.is_empty() {
+            self.journal.extend(other.journal);
+            sort_records(&mut self.journal);
+        }
     }
 }
 
@@ -248,6 +258,7 @@ impl CampaignRunner {
     ) -> CampaignData {
         for send in &plan.sends {
             if owns(send.vp) {
+                record_decoy_send(world, send);
                 world
                     .engine
                     .post(send.at, send.node, Box::new(send.command.clone()));
@@ -255,11 +266,15 @@ impl CampaignRunner {
         }
         world.engine.run_until(plan.last_send + config.grace);
         let (arrivals, vp_reports) = Self::harvest_filtered(world, &owns);
+        emit_phase_end(world, "phase1");
+        let (metrics, journal) = drain_telemetry(world);
         CampaignData {
             registry: plan.registry.filter_vps(&owns),
             arrivals,
             vp_reports,
             last_send: plan.last_send,
+            metrics,
+            journal,
         }
     }
 
@@ -303,4 +318,58 @@ impl CampaignRunner {
         }
         (arrivals, vp_reports)
     }
+}
+
+/// Count a planned decoy send and (when journaling) record the
+/// [`EventKind::DecoySent`] event, stamped with its scheduled sim-time and
+/// the VP's node. Pre-flight `RawUdp` checks carry no decoy identifier and
+/// are not counted.
+pub(crate) fn record_decoy_send(world: &World, send: &PlannedSend) {
+    let telemetry = world.engine.telemetry();
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let (protocol, domain, dst, ttl) = match &send.command {
+        VpCommand::DnsDecoy { domain, dst, ttl }
+        | VpCommand::EncryptedDnsDecoy { domain, dst, ttl } => ("DNS", domain, *dst, *ttl),
+        VpCommand::HttpDecoy { domain, dst, ttl }
+        | VpCommand::RawHttpProbe { domain, dst, ttl } => ("HTTP", domain, *dst, *ttl),
+        VpCommand::TlsDecoy { domain, dst, ttl }
+        | VpCommand::EchTlsDecoy { domain, dst, ttl }
+        | VpCommand::RawTlsProbe { domain, dst, ttl } => ("TLS", domain, *dst, *ttl),
+        _ => return,
+    };
+    if let Some(m) = telemetry.metrics() {
+        m.decoys_sent.inc(protocol);
+    }
+    let vp = send.vp.0;
+    telemetry.event(send.at.0, Some(send.node.0), || EventKind::DecoySent {
+        protocol: protocol.to_string(),
+        domain: domain.as_str().to_string(),
+        vp,
+        dst,
+        ttl,
+    });
+}
+
+/// Journal a [`EventKind::PhaseEnded`] marker (meta — skipped by diffs).
+pub(crate) fn emit_phase_end(world: &World, phase: &str) {
+    let telemetry = world.engine.telemetry();
+    let shard = telemetry.shard();
+    let phase = phase.to_string();
+    telemetry.event(world.engine.now().0, None, || EventKind::PhaseEnded {
+        phase,
+        shard,
+    });
+}
+
+/// Snapshot-and-reset the engine's telemetry into `(metrics, journal)`,
+/// with the journal sorted into the canonical total order. Each phase calls
+/// this once at harvest time, so consecutive phases never double-count.
+pub(crate) fn drain_telemetry(world: &World) -> (MetricsSnapshot, Vec<JournalRecord>) {
+    let telemetry = world.engine.telemetry();
+    let metrics = telemetry.take_snapshot();
+    let mut journal = telemetry.drain_journal();
+    sort_records(&mut journal);
+    (metrics, journal)
 }

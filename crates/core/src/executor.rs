@@ -32,8 +32,49 @@ use crate::noise::{NoiseFilter, PreflightOutcome};
 use crate::phase2::{Phase2Config, Phase2Runner, TracerouteResult};
 use crate::world::{World, WorldSpec};
 use shadow_netsim::engine::EngineStats;
+use shadow_telemetry::{EventKind, JournalRecord, Telemetry};
 use shadow_vantage::platform::VpId;
 use std::collections::BTreeSet;
+
+/// What a (sharded or sequential) run records about itself.
+///
+/// Telemetry is installed **after** the pre-flight replay: the Appendix-E
+/// pre-flight runs identically in *every* shard, so counting it K times
+/// would break the "merged world counters equal the sequential run's"
+/// invariant the telemetry exists to check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryOptions {
+    /// Collect metrics (counters + histograms).
+    pub metrics: bool,
+    /// Additionally buffer the structured event journal (implies metrics).
+    pub journal: bool,
+}
+
+impl TelemetryOptions {
+    /// Nothing recorded — the zero-cost default.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Metrics on; `journal` opts into the event journal too.
+    pub fn enabled(journal: bool) -> Self {
+        Self {
+            metrics: true,
+            journal,
+        }
+    }
+
+    /// Build the per-shard engine handle.
+    pub fn handle(&self, shard: u32) -> Telemetry {
+        if self.journal {
+            Telemetry::new(shard, true)
+        } else if self.metrics {
+            Telemetry::metrics_only(shard)
+        } else {
+            Telemetry::disabled()
+        }
+    }
+}
 
 /// Partition `vps` into `shards` round-robin sets (VP *i* goes to shard
 /// `i % shards`). Deterministic in the input order; every VP lands in
@@ -69,6 +110,19 @@ pub struct ShardedPhase1 {
 /// shard, and merge the results. With `shards == 1` this is the
 /// sequential pipeline modulo thread spawn.
 pub fn run_phase1_sharded(spec: &WorldSpec, config: &Phase1Config, shards: usize) -> ShardedPhase1 {
+    run_phase1_sharded_with(spec, config, shards, TelemetryOptions::disabled())
+}
+
+/// [`run_phase1_sharded`] with per-shard telemetry. Each shard's engine
+/// gets its own handle (installed after the pre-flight replay); snapshots
+/// and journals ride back inside each shard's [`CampaignData`] and merge
+/// in [`CampaignData::absorb`].
+pub fn run_phase1_sharded_with(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    shards: usize,
+    telemetry: TelemetryOptions,
+) -> ShardedPhase1 {
     let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
     let assignment = shard_vps(&vp_ids, shards);
 
@@ -79,15 +133,21 @@ pub fn run_phase1_sharded(spec: &WorldSpec, config: &Phase1Config, shards: usize
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = assignment
                 .iter()
-                .map(|owned| {
+                .enumerate()
+                .map(|(shard_idx, owned)| {
                     s.spawn(move || {
+                        let started = std::time::Instant::now();
                         let mut world = spec.instantiate();
                         let preflight = NoiseFilter::run_and_apply(&mut world);
+                        world
+                            .engine
+                            .set_telemetry(telemetry.handle(shard_idx as u32));
                         let plan = CampaignRunner::plan_phase1(&world, config);
-                        let data =
+                        let mut data =
                             CampaignRunner::execute_phase1(&mut world, &plan, config, |vp| {
                                 owned.contains(&vp)
                             });
+                        record_phase_wall(&mut data, "phase1", started);
                         (world, preflight, data)
                     })
                 })
@@ -101,6 +161,22 @@ pub fn run_phase1_sharded(spec: &WorldSpec, config: &Phase1Config, shards: usize
     merge_shards(shard_outputs, assignment)
 }
 
+/// Fold a shard's wall-clock into its already-taken snapshot. The snapshot
+/// is taken inside the phase runner (before the full phase duration is
+/// known), so the elapsed time is added to the frozen side here.
+fn record_phase_wall(data: &mut CampaignData, phase: &str, started: std::time::Instant) {
+    if data.metrics.is_empty() && data.journal.is_empty() {
+        return;
+    }
+    let ns = started.elapsed().as_nanos() as u64;
+    *data
+        .metrics
+        .run
+        .phase_wall_ns
+        .entry(phase.to_string())
+        .or_insert(0) += ns;
+}
+
 fn merge_shards(
     shard_outputs: Vec<(World, PreflightOutcome, CampaignData)>,
     assignment: Vec<BTreeSet<VpId>>,
@@ -109,10 +185,27 @@ fn merge_shards(
     let mut preflight = None;
     let mut data: Option<CampaignData> = None;
     let mut stats = EngineStats::default();
-    for (world, shard_preflight, shard_data) in shard_outputs {
+    for (shard_idx, (world, shard_preflight, mut shard_data)) in
+        shard_outputs.into_iter().enumerate()
+    {
         stats.absorb(world.engine.stats());
         if preflight.is_none() {
             preflight = Some(shard_preflight);
+        }
+        // Journaling runs get an audit marker per absorbed shard (meta —
+        // diffs skip it, so shard counts stay comparable).
+        if !shard_data.journal.is_empty() {
+            shard_data.journal.push(JournalRecord {
+                at_ms: shard_data.last_send.0,
+                shard: shard_idx as u32,
+                node: None,
+                seq: u64::MAX,
+                event: EventKind::ShardMerged {
+                    shard: shard_idx as u32,
+                    arrivals: shard_data.arrivals.len() as u64,
+                    decoys: shard_data.registry.len() as u64,
+                },
+            });
         }
         match &mut data {
             None => data = Some(shard_data),
@@ -120,9 +213,11 @@ fn merge_shards(
         }
         worlds.push(world);
     }
+    let mut data = data.expect("at least one shard");
+    shadow_telemetry::sort_records(&mut data.journal);
     ShardedPhase1 {
         preflight: preflight.expect("at least one shard"),
-        data: data.expect("at least one shard"),
+        data,
         worlds,
         assignment,
         stats,
@@ -149,9 +244,11 @@ pub fn run_phase2_sharded(
             .zip(assignment.iter())
             .map(|(world, owned)| {
                 s.spawn(move || {
+                    let started = std::time::Instant::now();
                     let plan = Phase2Runner::plan(world, paths, config);
-                    let data =
+                    let mut data =
                         Phase2Runner::execute(world, &plan, config, |vp| owned.contains(&vp));
+                    record_phase_wall(&mut data, "phase2", started);
                     (plan.traced, data)
                 })
             })
@@ -168,6 +265,7 @@ pub fn run_phase2_sharded(
     for (_, data) in shard_outputs {
         merged.absorb(data);
     }
+    shadow_telemetry::sort_records(&mut merged.journal);
     let results = Phase2Runner::localize(&merged, &traced, config.max_ttl);
     (results, merged)
 }

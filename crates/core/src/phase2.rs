@@ -175,6 +175,7 @@ impl Phase2Runner {
     ) -> CampaignData {
         for send in &plan.sends {
             if owns(send.vp) {
+                crate::campaign::record_decoy_send(world, send);
                 world
                     .engine
                     .post(send.at, send.node, Box::new(send.command.clone()));
@@ -182,11 +183,15 @@ impl Phase2Runner {
         }
         world.engine.run_until(plan.last_send + config.grace);
         let (arrivals, vp_reports) = CampaignRunner::harvest_filtered(world, &owns);
+        crate::campaign::emit_phase_end(world, "phase2");
+        let (metrics, journal) = crate::campaign::drain_telemetry(world);
         CampaignData {
             registry: plan.registry.filter_vps(&owns),
             arrivals,
             vp_reports,
             last_send: plan.last_send,
+            metrics,
+            journal,
         }
     }
 

@@ -167,6 +167,9 @@ impl RecursiveResolverHost {
         self.next_upstream_id = self.next_upstream_id.wrapping_add(1).max(1);
         let query = DnsMessage::query(id, qname.clone());
         self.stats.upstream_queries += 1;
+        if let Some(m) = ctx.telemetry().metrics() {
+            m.resolver_upstream_queries.inc();
+        }
         ctx.send(self.udp_to(self.egress_addr, auth, 53, 53, query.encode()));
         id
     }
@@ -191,6 +194,17 @@ impl RecursiveResolverHost {
             &self.profile.name,
         );
         self.stats.shadow_probes_scheduled += u64::from(plan.probes);
+        if plan.probes > 0 {
+            let telemetry = ctx.telemetry();
+            if let Some(m) = telemetry.metrics() {
+                m.shadow_probes_scheduled.add(u64::from(plan.probes));
+            }
+            telemetry.event(ctx.now().millis(), Some(ctx.node().0), || {
+                shadow_telemetry::EventKind::ShadowProbeScheduled {
+                    domain: qname.as_str().to_string(),
+                }
+            });
+        }
         for (origin, delay, order) in orders {
             ctx.post(origin, delay, Box::new(order));
         }
@@ -208,6 +222,9 @@ impl RecursiveResolverHost {
             return;
         };
         self.stats.client_queries += 1;
+        if let Some(m) = ctx.telemetry().metrics() {
+            m.resolver_queries.inc();
+        }
         if transport != ClientTransport::Plain {
             self.stats.encrypted_queries += 1;
         }
@@ -220,6 +237,9 @@ impl RecursiveResolverHost {
             if let Some(entry) = self.cache.get(&qname) {
                 if entry.expires > ctx.now() {
                     self.stats.cache_hits += 1;
+                    if let Some(m) = ctx.telemetry().metrics() {
+                        m.resolver_cache_hits.inc();
+                    }
                     let answers = entry.answers.clone();
                     self.respond(client, &qname, Rcode::NoError, answers, ctx);
                     return;

@@ -6,7 +6,7 @@
 //! limits and other ethics machinery of the real deployment have no
 //! simulated equivalent and live in the honey website instead.
 
-use crate::capture::{Arrival, ArrivalProtocol, CaptureLog};
+use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::transport::Transport;
 use shadow_packet::dns::{DnsMessage, DnsName, DnsRecord, Rcode};
@@ -78,14 +78,18 @@ impl Host for ExperimentAuthorityHost {
         };
         let response = if qname.is_subdomain_of(&self.zone) {
             self.queries_answered += 1;
-            self.captures.push(Arrival {
-                at: ctx.now(),
-                src: pkt.header.src,
-                protocol: ArrivalProtocol::Dns,
-                domain: qname.clone(),
-                http_path: None,
-                honeypot: "AUTH".to_string(),
-            });
+            capture_with_telemetry(
+                &mut self.captures,
+                Arrival {
+                    at: ctx.now(),
+                    src: pkt.header.src,
+                    protocol: ArrivalProtocol::Dns,
+                    domain: qname.clone(),
+                    http_path: None,
+                    honeypot: "AUTH".to_string(),
+                },
+                ctx,
+            );
             let target = self.wildcard_target(&qname);
             DnsMessage::response(
                 &query,

@@ -1,8 +1,10 @@
 //! Capture records: everything that arrives at a honeypot.
 
 use serde::{Deserialize, Serialize};
+use shadow_netsim::engine::Ctx;
 use shadow_netsim::time::SimTime;
 use shadow_packet::dns::DnsName;
+use shadow_telemetry::EventKind;
 use std::net::Ipv4Addr;
 
 /// The protocol an arrival came in over — the `Request` half of the paper's
@@ -90,6 +92,29 @@ impl CaptureLog {
         all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         all
     }
+}
+
+/// Record `arrival` into `log` *and* into the engine's telemetry: the
+/// per-protocol `arrivals_captured` counter plus an
+/// [`EventKind::ArrivalCaptured`] journal event. Every honeypot capture
+/// path funnels through here, so the counters and the journal can never
+/// disagree with the capture log itself.
+pub fn capture_with_telemetry(log: &mut CaptureLog, arrival: Arrival, ctx: &Ctx<'_>) {
+    let telemetry = ctx.telemetry();
+    if telemetry.is_enabled() {
+        if let Some(m) = telemetry.metrics() {
+            m.arrivals_captured.inc(arrival.protocol.as_str());
+        }
+        telemetry.event(arrival.at.millis(), Some(ctx.node().0), || {
+            EventKind::ArrivalCaptured {
+                honeypot: arrival.honeypot.clone(),
+                protocol: arrival.protocol.as_str().to_string(),
+                domain: arrival.domain.as_str().to_string(),
+                src: arrival.src,
+            }
+        });
+    }
+    log.push(arrival);
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! with logging disabled, the generic destination servers standing in for
 //! the Tranco-top-1K sites HTTP/TLS decoys are sent to.
 
-use crate::capture::{Arrival, ArrivalProtocol, CaptureLog};
+use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::tcp::{ConnKey, TcpEvent, TcpStack};
 use shadow_netsim::time::SimDuration;
@@ -107,10 +107,29 @@ impl SiteShadow {
             &self.label,
         );
         self.probes_scheduled += u64::from(plan.probes);
+        record_shadow_probes(ctx, domain, u64::from(plan.probes));
         for (origin, delay, order) in orders {
             ctx.post(origin, delay, Box::new(order));
         }
     }
+}
+
+/// Count `probes` scheduled shadow probes and journal one
+/// [`ShadowProbeScheduled`](shadow_telemetry::EventKind::ShadowProbeScheduled)
+/// event for the triggering domain (no-op when none were scheduled).
+fn record_shadow_probes(ctx: &Ctx<'_>, domain: &DnsName, probes: u64) {
+    if probes == 0 {
+        return;
+    }
+    let telemetry = ctx.telemetry();
+    if let Some(m) = telemetry.metrics() {
+        m.shadow_probes_scheduled.add(probes);
+    }
+    telemetry.event(ctx.now().millis(), Some(ctx.node().0), || {
+        shadow_telemetry::EventKind::ShadowProbeScheduled {
+            domain: domain.as_str().to_string(),
+        }
+    });
 }
 
 /// The purpose-statement homepage the paper documents on the honeypot
@@ -231,9 +250,9 @@ impl WebHost {
         }
     }
 
-    fn capture(&mut self, arrival: Arrival) {
+    fn capture(&mut self, arrival: Arrival, ctx: &Ctx<'_>) {
         if self.honeypot_region.is_some() {
-            self.captures.push(arrival);
+            capture_with_telemetry(&mut self.captures, arrival, ctx);
         }
     }
 
@@ -245,14 +264,17 @@ impl WebHost {
         if let Some(region) = self.honeypot_region.clone() {
             if let Some(host) = req.host() {
                 if let Ok(domain) = DnsName::parse(host) {
-                    self.capture(Arrival {
-                        at: ctx.now(),
-                        src: key.peer,
-                        protocol: ArrivalProtocol::Http,
-                        domain,
-                        http_path: Some(req.path.clone()),
-                        honeypot: region,
-                    });
+                    self.capture(
+                        Arrival {
+                            at: ctx.now(),
+                            src: key.peer,
+                            protocol: ArrivalProtocol::Http,
+                            domain,
+                            http_path: Some(req.path.clone()),
+                            honeypot: region,
+                        },
+                        ctx,
+                    );
                 }
             }
         }
@@ -276,14 +298,17 @@ impl WebHost {
         if let Some(region) = self.honeypot_region.clone() {
             if let Some(sni) = hello.sni() {
                 if let Ok(domain) = DnsName::parse(&sni) {
-                    self.capture(Arrival {
-                        at: ctx.now(),
-                        src: key.peer,
-                        protocol: ArrivalProtocol::Https,
-                        domain,
-                        http_path: None,
-                        honeypot: region,
-                    });
+                    self.capture(
+                        Arrival {
+                            at: ctx.now(),
+                            src: key.peer,
+                            protocol: ArrivalProtocol::Https,
+                            domain,
+                            http_path: None,
+                            honeypot: region,
+                        },
+                        ctx,
+                    );
                 }
             }
         }

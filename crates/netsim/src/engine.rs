@@ -6,6 +6,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 use shadow_packet::icmp::IcmpMessage;
 use shadow_packet::ipv4::{IpProtocol, Ipv4Packet, DEFAULT_TTL};
+use shadow_telemetry::{EventKind as TelemetryEvent, Telemetry};
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -82,6 +83,16 @@ enum Action {
     },
 }
 
+/// Stable journal label for an IP protocol ("ICMP"/"TCP"/"UDP"/"IP(n)").
+pub fn ip_protocol_label(proto: IpProtocol) -> String {
+    match proto {
+        IpProtocol::Icmp => "ICMP".to_string(),
+        IpProtocol::Tcp => "TCP".to_string(),
+        IpProtocol::Udp => "UDP".to_string(),
+        IpProtocol::Other(n) => format!("IP({n})"),
+    }
+}
+
 /// Callback context: simulated clock plus an action buffer.
 pub struct Ctx<'a> {
     now: SimTime,
@@ -89,6 +100,10 @@ pub struct Ctx<'a> {
     node: NodeId,
     /// `Some(index)` when the callback belongs to a tap at this node.
     tap: Option<usize>,
+    /// The engine's telemetry handle (disabled by default — see
+    /// [`Engine::set_telemetry`]), so hosts and taps can emit counters and
+    /// journal events without threading handles through constructors.
+    telemetry: &'a Telemetry,
     actions: &'a mut Vec<Action>,
 }
 
@@ -100,6 +115,11 @@ impl Ctx<'_> {
     /// The node this callback is running on.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The engine's telemetry handle (a disabled no-op unless enabled).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
     }
 
     /// Send `pkt` into the network from this node.
@@ -235,6 +255,7 @@ pub struct Engine {
     seq: u64,
     ident: u16,
     stats: EngineStats,
+    telemetry: Telemetry,
 }
 
 impl Engine {
@@ -248,6 +269,7 @@ impl Engine {
             seq: 0,
             ident: 1,
             stats: EngineStats::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -261,6 +283,18 @@ impl Engine {
 
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Install a telemetry handle. The campaign enables telemetry *after*
+    /// the Appendix-E pre-flight, so per-shard counters cover exactly the
+    /// campaign traffic and sum to the sequential run's counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry handle (disabled unless installed).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Bind a host application to a node. Replaces any previous binding.
@@ -360,6 +394,16 @@ impl Engine {
             self.dispatch(ev.kind);
             processed += 1;
             self.stats.events_processed += 1;
+            if processed & 0xFFF == 0 {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.queue_depth.record(self.queue.len() as u64);
+                }
+            }
+        }
+        if processed > 0 {
+            if let Some(m) = self.telemetry.metrics() {
+                m.events_drained.add(processed);
+            }
         }
         self.now = self
             .now
@@ -379,12 +423,27 @@ impl Engine {
         let mut processed = 0;
         while processed < max_events {
             let Some(ev) = self.queue.pop() else {
+                if processed > 0 {
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.events_drained.add(processed);
+                    }
+                }
                 return (processed, true);
             };
             self.now = ev.at;
             self.dispatch(ev.kind);
             processed += 1;
             self.stats.events_processed += 1;
+            if processed & 0xFFF == 0 {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.queue_depth.record(self.queue.len() as u64);
+                }
+            }
+        }
+        if processed > 0 {
+            if let Some(m) = self.telemetry.metrics() {
+                m.events_drained.add(processed);
+            }
         }
         (processed, self.queue.is_empty())
     }
@@ -401,6 +460,7 @@ impl Engine {
                         now: self.now,
                         node,
                         tap: None,
+                        telemetry: &self.telemetry,
                         actions: &mut actions,
                     };
                     host.on_timer(token, &mut ctx);
@@ -418,6 +478,7 @@ impl Engine {
                             now: self.now,
                             node,
                             tap: Some(tap_index),
+                            telemetry: &self.telemetry,
                             actions: &mut actions,
                         };
                         tap.on_timer(token, &mut ctx);
@@ -431,6 +492,7 @@ impl Engine {
                         now: self.now,
                         node,
                         tap: None,
+                        telemetry: &self.telemetry,
                         actions: &mut actions,
                     };
                     host.on_message(msg, &mut ctx);
@@ -458,10 +520,22 @@ impl Engine {
             if let Some(mut taps) = self.taps.remove(&node_id) {
                 let mut dropped = false;
                 for (tap_index, tap) in taps.iter_mut().enumerate() {
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.tap_observations.inc();
+                    }
+                    let (src, dst, proto) = (pkt.header.src, pkt.header.dst, pkt.header.protocol);
+                    self.telemetry.event(self.now.0, Some(node_id.0), || {
+                        TelemetryEvent::TapObserved {
+                            src,
+                            dst,
+                            protocol: ip_protocol_label(proto),
+                        }
+                    });
                     let mut ctx = Ctx {
                         now: self.now,
                         node: node_id,
                         tap: Some(tap_index),
+                        telemetry: &self.telemetry,
                         actions,
                     };
                     if tap.on_packet(&pkt, node_id, &mut ctx) == TapVerdict::Drop {
@@ -472,14 +546,30 @@ impl Engine {
                 self.taps.insert(node_id, taps);
                 if dropped {
                     self.stats.packets_dropped_by_tap += 1;
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.tap_drops.inc();
+                    }
                     return;
                 }
             }
             // Forwarding: decrement TTL; expire ⇒ ICMP Time Exceeded.
             if pkt.header.decrement_ttl().is_none() {
                 self.stats.ttl_expirations += 1;
+                if let Some(m) = self.telemetry.metrics() {
+                    m.ttl_expirations.inc();
+                }
                 if node.responds_icmp() {
                     self.stats.icmp_time_exceeded_sent += 1;
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.icmp_time_exceeded.inc();
+                    }
+                    let (expired_src, expired_dst) = (pkt.header.src, pkt.header.dst);
+                    self.telemetry.event(self.now.0, Some(node_id.0), || {
+                        TelemetryEvent::IcmpTimeExceeded {
+                            expired_src,
+                            expired_dst,
+                        }
+                    });
                     let icmp = IcmpMessage::time_exceeded(pkt.header, &pkt.payload);
                     let ident = self.next_ident();
                     let reply = Ipv4Packet::new(
@@ -501,6 +591,9 @@ impl Engine {
                 return;
             }
             debug_assert!(!is_final, "routes terminate at hosts");
+            if let Some(m) = self.telemetry.metrics() {
+                m.packets_forwarded.inc();
+            }
             let next = path[idx + 1];
             let delay = SimDuration::from_millis(self.topo.latency_ms(node_id, next));
             self.push(
@@ -515,11 +608,15 @@ impl Engine {
             // Endpoint delivery.
             debug_assert!(is_final, "hosts only appear at path ends");
             self.stats.packets_delivered += 1;
+            if let Some(m) = self.telemetry.metrics() {
+                m.packets_delivered.inc();
+            }
             if let Some(mut host) = self.hosts.remove(&node_id) {
                 let mut ctx = Ctx {
                     now: self.now,
                     node: node_id,
                     tap: None,
+                    telemetry: &self.telemetry,
                     actions,
                 };
                 host.on_packet(pkt, &mut ctx);

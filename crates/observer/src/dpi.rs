@@ -180,6 +180,17 @@ impl WireTap for DpiTap {
         }
         self.stats.probes_scheduled += u64::from(plan.probes);
         self.stats.probes_beyond_retention += u64::from(plan.beyond_retention);
+        if plan.probes > 0 {
+            let telemetry = ctx.telemetry();
+            if let Some(m) = telemetry.metrics() {
+                m.shadow_probes_scheduled.add(u64::from(plan.probes));
+            }
+            telemetry.event(ctx.now().millis(), Some(ctx.node().0), || {
+                shadow_telemetry::EventKind::ShadowProbeScheduled {
+                    domain: domain.as_str().to_string(),
+                }
+            });
+        }
         for (origin, delay, order) in orders {
             ctx.post(origin, delay, Box::new(order));
         }

@@ -32,6 +32,7 @@ fn run(seed: u64, encrypted: bool) -> StudyOutcome {
         phase2: Phase2Config::default(),
         trace_cap_per_protocol: 0, // landscape comparison only
         run_phase2: false,
+        telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
     })
 }
 

@@ -3,48 +3,102 @@
 //! of the evaluation section side by side with the paper's reported
 //! numbers. This is the binary behind EXPERIMENTS.md.
 //!
-//! Run with `cargo run --release --example full_campaign [seed] [--shards N]`.
+//! Run with `cargo run --release --example full_campaign [seed] [--shards N]
+//! [--tiny] [--metrics-out PATH] [--journal PATH]`.
 //!
 //! `--shards N` executes the campaign across N worker threads (one world
 //! per shard, merged deterministically); the output is byte-identical to
-//! the sequential run for any N.
+//! the sequential run for any N. `--metrics-out` writes the merged
+//! telemetry snapshot as JSON (and prints a summary table); `--journal`
+//! writes the canonically sorted event journal as JSONL (compare runs
+//! with the `journal_diff` example). `--tiny` runs the small test world
+//! instead of the paper-scale one (used by CI).
 
 use shadow_analysis::report::{pct, render_series, render_table};
 use traffic_shadowing::shadow_analysis;
 use traffic_shadowing::shadow_core::decoy::DecoyProtocol;
+use traffic_shadowing::shadow_core::executor::TelemetryOptions;
 use traffic_shadowing::shadow_netsim::time::SimDuration;
 use traffic_shadowing::study::{Study, StudyConfig};
+
+const USAGE: &str =
+    "usage: full_campaign [seed] [--shards N] [--tiny] [--metrics-out PATH] [--journal PATH]";
+
+fn path_arg(args: &[String], i: usize, flag: &str) -> String {
+    match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => {
+            eprintln!("{flag} needs a file path");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 7;
     let mut shards: Option<usize> = None;
+    let mut tiny = false;
+    let mut metrics_out: Option<String> = None;
+    let mut journal_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--shards" => {
                 shards = args.get(i + 1).and_then(|s| s.parse().ok());
-                if shards.is_none() {
-                    eprintln!("--shards needs a positive integer");
-                    std::process::exit(2);
+                match shards {
+                    None => {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(2);
+                    }
+                    Some(0) => {
+                        eprintln!("--shards must be at least 1 (got 0)");
+                        std::process::exit(2);
+                    }
+                    Some(_) => {}
                 }
+                i += 2;
+            }
+            "--tiny" => {
+                tiny = true;
+                i += 1;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(path_arg(&args, i, "--metrics-out"));
+                i += 2;
+            }
+            "--journal" => {
+                journal_out = Some(path_arg(&args, i, "--journal"));
                 i += 2;
             }
             raw => {
                 if let Ok(s) = raw.parse() {
                     seed = s;
                 } else {
-                    eprintln!("usage: full_campaign [seed] [--shards N]");
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
                 i += 1;
             }
         }
     }
+    let telemetry = if metrics_out.is_some() || journal_out.is_some() {
+        TelemetryOptions::enabled(journal_out.is_some())
+    } else {
+        TelemetryOptions::disabled()
+    };
+    let config = StudyConfig {
+        telemetry,
+        ..if tiny {
+            StudyConfig::tiny(seed)
+        } else {
+            StudyConfig::standard(seed)
+        }
+    };
     let started = std::time::Instant::now();
     let outcome = match shards {
-        Some(k) => Study::run_sharded(StudyConfig::standard(seed), k),
-        None => Study::run(StudyConfig::standard(seed)),
+        Some(k) => Study::run_sharded(config, k),
+        None => Study::run(config),
     };
     match shards {
         Some(k) => println!(
@@ -319,6 +373,48 @@ fn main() {
         pct(cn.cn_observer_fraction()),
         pct(cn.cn_origin_fraction),
     );
+
+    // ------------------------------------------------- Telemetry artifacts
+    if let (Some(metrics), Some(path)) = (&outcome.metrics, &metrics_out) {
+        println!("\n--- telemetry: run metrics ---");
+        let rows: Vec<Vec<String>> = metrics
+            .summary_rows()
+            .into_iter()
+            .map(|(metric, value)| vec![metric, value])
+            .collect();
+        println!("{}", render_table(&["metric", "value"], &rows));
+        match metrics.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("metrics snapshot written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize metrics: {e:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let (Some(journal), Some(path)) = (&outcome.journal, &journal_out) {
+        match traffic_shadowing::shadow_telemetry::to_jsonl(journal) {
+            Ok(jsonl) => {
+                if let Err(e) = std::fs::write(path, jsonl) {
+                    eprintln!("failed to write journal to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "event journal ({} records) written to {path}",
+                    journal.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("failed to serialize journal: {e:?}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // ------------------------------------------------- JSON artifact
     if let Ok(json) = outcome.export_bundle().to_json() {

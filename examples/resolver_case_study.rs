@@ -33,6 +33,7 @@ fn main() {
         phase2: Phase2Config::default(),
         trace_cap_per_protocol: 10,
         run_phase2: false,
+        telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
     };
     let outcome = Study::run(config);
 

@@ -16,6 +16,7 @@
 //! * [`shadow_core`] — the paper's methodology (decoys, phases, noise
 //!   mitigation) and the world builder;
 //! * [`shadow_intel`] — blocklist / exploit-db / port-scan substrates;
+//! * [`shadow_telemetry`] — run-wide metrics + the structured event journal;
 //! * [`shadow_analysis`] — the tables and figures.
 //!
 //! The [`study`] module wires them into one call:
@@ -36,6 +37,7 @@ pub use shadow_intel;
 pub use shadow_netsim;
 pub use shadow_observer;
 pub use shadow_packet;
+pub use shadow_telemetry;
 pub use shadow_vantage;
 
 pub mod study;

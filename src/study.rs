@@ -13,7 +13,7 @@ use shadow_analysis::temporal::{interval_cdf, Cdf};
 use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
 use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::DecoyProtocol;
-use shadow_core::executor::{run_phase1_sharded, run_phase2_sharded};
+use shadow_core::executor::{run_phase1_sharded_with, run_phase2_sharded, TelemetryOptions};
 use shadow_core::noise::{NoiseFilter, PreflightOutcome};
 use shadow_core::phase2::{paths_to_trace, Phase2Config, Phase2Runner, TracerouteResult};
 use shadow_core::world::{generate_spec, World, WorldConfig};
@@ -33,6 +33,9 @@ pub struct StudyConfig {
     pub trace_cap_per_protocol: usize,
     /// Skip Phase II entirely (landscape-only runs).
     pub run_phase2: bool,
+    /// Run-wide observability (metrics and/or event journal). Disabled by
+    /// default — and zero-cost when disabled.
+    pub telemetry: TelemetryOptions,
 }
 
 impl StudyConfig {
@@ -47,6 +50,7 @@ impl StudyConfig {
             },
             trace_cap_per_protocol: 12,
             run_phase2: true,
+            telemetry: TelemetryOptions::disabled(),
         }
     }
 
@@ -58,6 +62,7 @@ impl StudyConfig {
             phase2: Phase2Config::default(),
             trace_cap_per_protocol: 60,
             run_phase2: true,
+            telemetry: TelemetryOptions::disabled(),
         }
     }
 }
@@ -81,6 +86,12 @@ pub struct StudyOutcome {
     pub blocklist: Blocklist,
     /// The port-scan substrate for §5.2's observer fingerprinting.
     pub port_scanner: PortScanner,
+    /// Merged run metrics (Phase I + Phase II + post-correlation
+    /// classification); `None` when telemetry was disabled.
+    pub metrics: Option<shadow_telemetry::MetricsSnapshot>,
+    /// The merged, canonically sorted event journal; `None` unless the
+    /// journal was enabled.
+    pub journal: Option<Vec<shadow_telemetry::JournalRecord>>,
 }
 
 /// The runner.
@@ -90,12 +101,16 @@ impl Study {
     pub fn run(config: StudyConfig) -> StudyOutcome {
         let mut world = World::build(config.world.clone());
         let preflight = NoiseFilter::run_and_apply(&mut world);
+        // Telemetry starts *after* the pre-flight, mirroring the sharded
+        // path (where the pre-flight replays in every shard and must not
+        // be counted K times).
+        world.engine.set_telemetry(config.telemetry.handle(0));
 
-        let phase1 = CampaignRunner::run_phase1(&mut world, &config.phase1);
+        let mut phase1 = CampaignRunner::run_phase1(&mut world, &config.phase1);
         let correlator = Correlator::new(&phase1.registry);
         let correlated = correlator.correlate(&phase1.arrivals);
 
-        let (traced_paths, traceroutes, phase2_data) = if config.run_phase2 {
+        let (traced_paths, traceroutes, mut phase2_data) = if config.run_phase2 {
             let traced =
                 paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
             let (results, data) = Phase2Runner::run(&mut world, &traced, &config.phase2);
@@ -103,6 +118,8 @@ impl Study {
         } else {
             (Vec::new(), Vec::new(), None)
         };
+        let (metrics, journal) =
+            finalize_telemetry(&config, &mut phase1, phase2_data.as_mut(), &correlated);
 
         let mut dest_names: BTreeMap<Ipv4Addr, String> = BTreeMap::new();
         for dest in &world.dns_destinations {
@@ -129,6 +146,8 @@ impl Study {
             dest_names,
             blocklist,
             port_scanner,
+            metrics,
+            journal,
         }
     }
 
@@ -139,13 +158,13 @@ impl Study {
     /// analysis bundle.
     pub fn run_sharded(config: StudyConfig, shards: usize) -> StudyOutcome {
         let spec = generate_spec(config.world.clone());
-        let mut sharded = run_phase1_sharded(&spec, &config.phase1, shards);
-        let phase1 = sharded.data;
+        let mut sharded = run_phase1_sharded_with(&spec, &config.phase1, shards, config.telemetry);
+        let mut phase1 = sharded.data;
         let preflight = sharded.preflight;
         let correlator = Correlator::new(&phase1.registry);
         let correlated = correlator.correlate(&phase1.arrivals);
 
-        let (traced_paths, traceroutes, phase2_data) = if config.run_phase2 {
+        let (traced_paths, traceroutes, mut phase2_data) = if config.run_phase2 {
             let traced =
                 paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
             let (results, data) = run_phase2_sharded(
@@ -158,6 +177,8 @@ impl Study {
         } else {
             (Vec::new(), Vec::new(), None)
         };
+        let (metrics, journal) =
+            finalize_telemetry(&config, &mut phase1, phase2_data.as_mut(), &correlated);
 
         // Shard 0's world carries the analysis inputs: platform vetting,
         // destinations, and ground truth are spec data, identical in every
@@ -189,8 +210,62 @@ impl Study {
             dest_names,
             blocklist,
             port_scanner,
+            metrics,
+            journal,
         }
     }
+}
+
+/// Merge the per-phase telemetry into the study-level artifacts and fold
+/// the post-correlation classification in: every correlated arrival lands
+/// in the `unsolicited_by_rule` map / retention-interval histogram, and
+/// (when journaling) every unsolicited arrival gets an
+/// [`UnsolicitedArrival`](shadow_telemetry::EventKind::UnsolicitedArrival)
+/// record. Classification runs on the *merged* data, so the synthesized
+/// records are identical for any shard count.
+fn finalize_telemetry(
+    config: &StudyConfig,
+    phase1: &mut CampaignData,
+    phase2: Option<&mut CampaignData>,
+    correlated: &[CorrelatedRequest],
+) -> (
+    Option<shadow_telemetry::MetricsSnapshot>,
+    Option<Vec<shadow_telemetry::JournalRecord>>,
+) {
+    if !config.telemetry.metrics && !config.telemetry.journal {
+        return (None, None);
+    }
+    let mut metrics = std::mem::take(&mut phase1.metrics);
+    let mut journal = std::mem::take(&mut phase1.journal);
+    if let Some(p2) = phase2 {
+        // Both phases ran on the same shard set; keep the shard count
+        // instead of summing it across phases.
+        let shards = metrics.run.shards.max(p2.metrics.run.shards);
+        metrics.merge(&std::mem::take(&mut p2.metrics));
+        metrics.run.shards = shards;
+        journal.append(&mut p2.journal);
+    }
+    for (i, req) in correlated.iter().enumerate() {
+        let rule = format!("{:?}", req.label);
+        metrics.record_classification(&rule, req.label.is_unsolicited(), req.interval.millis());
+        if config.telemetry.journal && req.label.is_unsolicited() {
+            journal.push(shadow_telemetry::JournalRecord {
+                at_ms: req.arrival.at.millis(),
+                shard: 0,
+                node: None,
+                seq: i as u64,
+                event: shadow_telemetry::EventKind::UnsolicitedArrival {
+                    rule,
+                    domain: req.arrival.domain.as_str().to_string(),
+                    src: req.arrival.src,
+                    protocol: req.arrival.protocol.as_str().to_string(),
+                },
+            });
+        }
+    }
+    shadow_telemetry::sort_records(&mut journal);
+    let journal = config.telemetry.journal.then_some(journal);
+    (Some(metrics), journal)
 }
 
 impl StudyOutcome {

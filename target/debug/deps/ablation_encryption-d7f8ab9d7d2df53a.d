@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_encryption-d7f8ab9d7d2df53a.d: crates/bench/benches/ablation_encryption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_encryption-d7f8ab9d7d2df53a.rmeta: crates/bench/benches/ablation_encryption.rs Cargo.toml
+
+crates/bench/benches/ablation_encryption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_icmp-e2da3d611cbcab3d.d: crates/bench/benches/ablation_icmp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_icmp-e2da3d611cbcab3d.rmeta: crates/bench/benches/ablation_icmp.rs Cargo.toml
+
+crates/bench/benches/ablation_icmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

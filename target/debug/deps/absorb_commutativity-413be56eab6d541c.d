@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/absorb_commutativity-413be56eab6d541c.d: tests/absorb_commutativity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabsorb_commutativity-413be56eab6d541c.rmeta: tests/absorb_commutativity.rs Cargo.toml
+
+tests/absorb_commutativity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

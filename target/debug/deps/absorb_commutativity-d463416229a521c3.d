@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/absorb_commutativity-d463416229a521c3.d: tests/absorb_commutativity.rs
+
+/root/repo/target/debug/deps/absorb_commutativity-d463416229a521c3: tests/absorb_commutativity.rs
+
+tests/absorb_commutativity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_refresh_spike-7068b3e5c7cab34e.d: crates/dns/tests/cache_refresh_spike.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_refresh_spike-7068b3e5c7cab34e.rmeta: crates/dns/tests/cache_refresh_spike.rs Cargo.toml
+
+crates/dns/tests/cache_refresh_spike.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_refresh_spike-a256372395612c20.d: crates/dns/tests/cache_refresh_spike.rs
+
+/root/repo/target/debug/deps/cache_refresh_spike-a256372395612c20: crates/dns/tests/cache_refresh_spike.rs
+
+crates/dns/tests/cache_refresh_spike.rs:

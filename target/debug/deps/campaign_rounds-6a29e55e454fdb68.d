@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_rounds-6a29e55e454fdb68.d: tests/campaign_rounds.rs
+
+/root/repo/target/debug/deps/campaign_rounds-6a29e55e454fdb68: tests/campaign_rounds.rs
+
+tests/campaign_rounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_rounds-b32cc28f832ce7e5.d: tests/campaign_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_rounds-b32cc28f832ce7e5.rmeta: tests/campaign_rounds.rs Cargo.toml
+
+tests/campaign_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-566a13f0c367598e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-566a13f0c367598e: tests/determinism.rs
+
+tests/determinism.rs:

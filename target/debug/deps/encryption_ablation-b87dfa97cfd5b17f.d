@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encryption_ablation-b87dfa97cfd5b17f.d: tests/encryption_ablation.rs
+
+/root/repo/target/debug/deps/encryption_ablation-b87dfa97cfd5b17f: tests/encryption_ablation.rs
+
+tests/encryption_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encryption_ablation-c648c6c4e25fc800.d: tests/encryption_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencryption_ablation-c648c6c4e25fc800.rmeta: tests/encryption_ablation.rs Cargo.toml
+
+tests/encryption_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_path_ratios-383d0a73b4294c54.d: crates/bench/benches/fig3_path_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_path_ratios-383d0a73b4294c54.rmeta: crates/bench/benches/fig3_path_ratios.rs Cargo.toml
+
+crates/bench/benches/fig3_path_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_dns_temporal_cdf-cf3329d4f69dd7fc.d: crates/bench/benches/fig4_dns_temporal_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_dns_temporal_cdf-cf3329d4f69dd7fc.rmeta: crates/bench/benches/fig4_dns_temporal_cdf.rs Cargo.toml
+
+crates/bench/benches/fig4_dns_temporal_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_decoy_breakdown-b6279c8a981d387e.d: crates/bench/benches/fig5_decoy_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_decoy_breakdown-b6279c8a981d387e.rmeta: crates/bench/benches/fig5_decoy_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig5_decoy_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

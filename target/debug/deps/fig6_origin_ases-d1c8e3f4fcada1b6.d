@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_origin_ases-d1c8e3f4fcada1b6.d: crates/bench/benches/fig6_origin_ases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_origin_ases-d1c8e3f4fcada1b6.rmeta: crates/bench/benches/fig6_origin_ases.rs Cargo.toml
+
+crates/bench/benches/fig6_origin_ases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_http_tls_temporal_cdf-908e7edc8d8001c0.d: crates/bench/benches/fig7_http_tls_temporal_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_http_tls_temporal_cdf-908e7edc8d8001c0.rmeta: crates/bench/benches/fig7_http_tls_temporal_cdf.rs Cargo.toml
+
+crates/bench/benches/fig7_http_tls_temporal_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

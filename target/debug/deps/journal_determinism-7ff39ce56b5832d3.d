@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal_determinism-7ff39ce56b5832d3.d: tests/journal_determinism.rs
+
+/root/repo/target/debug/deps/journal_determinism-7ff39ce56b5832d3: tests/journal_determinism.rs
+
+tests/journal_determinism.rs:

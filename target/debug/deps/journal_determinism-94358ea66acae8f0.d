@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal_determinism-94358ea66acae8f0.d: tests/journal_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal_determinism-94358ea66acae8f0.rmeta: tests/journal_determinism.rs Cargo.toml
+
+tests/journal_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_merge-423f9e194ac5bcdf.d: tests/metrics_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_merge-423f9e194ac5bcdf.rmeta: tests/metrics_merge.rs Cargo.toml
+
+tests/metrics_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

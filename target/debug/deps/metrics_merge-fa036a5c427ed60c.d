@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_merge-fa036a5c427ed60c.d: tests/metrics_merge.rs
+
+/root/repo/target/debug/deps/metrics_merge-fa036a5c427ed60c: tests/metrics_merge.rs
+
+tests/metrics_merge.rs:

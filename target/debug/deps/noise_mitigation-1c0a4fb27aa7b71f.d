@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_mitigation-1c0a4fb27aa7b71f.d: tests/noise_mitigation.rs
+
+/root/repo/target/debug/deps/noise_mitigation-1c0a4fb27aa7b71f: tests/noise_mitigation.rs
+
+tests/noise_mitigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_mitigation-75f2a9270d76d18b.d: tests/noise_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_mitigation-75f2a9270d76d18b.rmeta: tests/noise_mitigation.rs Cargo.toml
+
+tests/noise_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_smoke-1778a877e38f9ac8.d: crates/core/tests/pipeline_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_smoke-1778a877e38f9ac8.rmeta: crates/core/tests/pipeline_smoke.rs Cargo.toml
+
+crates/core/tests/pipeline_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_smoke-fc959356c879c9fb.d: crates/core/tests/pipeline_smoke.rs
+
+/root/repo/target/debug/deps/pipeline_smoke-fc959356c879c9fb: crates/core/tests/pipeline_smoke.rs
+
+crates/core/tests/pipeline_smoke.rs:

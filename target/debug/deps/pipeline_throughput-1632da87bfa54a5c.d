@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_throughput-1632da87bfa54a5c.d: crates/bench/benches/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-1632da87bfa54a5c.rmeta: crates/bench/benches/pipeline_throughput.rs Cargo.toml
+
+crates/bench/benches/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ident-1ba9dd0f5b451739.d: crates/core/tests/proptest_ident.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ident-1ba9dd0f5b451739.rmeta: crates/core/tests/proptest_ident.rs Cargo.toml
+
+crates/core/tests/proptest_ident.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

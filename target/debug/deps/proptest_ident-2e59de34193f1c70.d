@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ident-2e59de34193f1c70.d: crates/core/tests/proptest_ident.rs
+
+/root/repo/target/debug/deps/proptest_ident-2e59de34193f1c70: crates/core/tests/proptest_ident.rs
+
+crates/core/tests/proptest_ident.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_policy-2da348a014acd963.d: crates/observer/tests/proptest_policy.rs
+
+/root/repo/target/debug/deps/proptest_policy-2da348a014acd963: crates/observer/tests/proptest_policy.rs
+
+crates/observer/tests/proptest_policy.rs:

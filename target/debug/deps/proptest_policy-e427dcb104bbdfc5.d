@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_policy-e427dcb104bbdfc5.d: crates/observer/tests/proptest_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_policy-e427dcb104bbdfc5.rmeta: crates/observer/tests/proptest_policy.rs Cargo.toml
+
+crates/observer/tests/proptest_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

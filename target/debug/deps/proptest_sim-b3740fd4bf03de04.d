@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-b3740fd4bf03de04.d: crates/netsim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-b3740fd4bf03de04: crates/netsim/tests/proptest_sim.rs
+
+crates/netsim/tests/proptest_sim.rs:

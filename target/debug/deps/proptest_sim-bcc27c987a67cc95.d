@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-bcc27c987a67cc95.d: crates/netsim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-bcc27c987a67cc95.rmeta: crates/netsim/tests/proptest_sim.rs Cargo.toml
+
+crates/netsim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolver_behavior-245f1531b15da4f3.d: crates/dns/tests/resolver_behavior.rs
+
+/root/repo/target/debug/deps/resolver_behavior-245f1531b15da4f3: crates/dns/tests/resolver_behavior.rs
+
+crates/dns/tests/resolver_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resolver_behavior-5e4748b9cdeab301.d: crates/dns/tests/resolver_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresolver_behavior-5e4748b9cdeab301.rmeta: crates/dns/tests/resolver_behavior.rs Cargo.toml
+
+crates/dns/tests/resolver_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s51_reuse_counts-ba31b2f6c576b0a2.d: crates/bench/benches/s51_reuse_counts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs51_reuse_counts-ba31b2f6c576b0a2.rmeta: crates/bench/benches/s51_reuse_counts.rs Cargo.toml
+
+crates/bench/benches/s51_reuse_counts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

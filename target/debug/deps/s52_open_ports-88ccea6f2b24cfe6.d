@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s52_open_ports-88ccea6f2b24cfe6.d: crates/bench/benches/s52_open_ports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs52_open_ports-88ccea6f2b24cfe6.rmeta: crates/bench/benches/s52_open_ports.rs Cargo.toml
+
+crates/bench/benches/s52_open_ports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

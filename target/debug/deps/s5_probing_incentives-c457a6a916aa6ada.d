@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s5_probing_incentives-c457a6a916aa6ada.d: crates/bench/benches/s5_probing_incentives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs5_probing_incentives-c457a6a916aa6ada.rmeta: crates/bench/benches/s5_probing_incentives.rs Cargo.toml
+
+crates/bench/benches/s5_probing_incentives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b645049bdafbd7ac.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b645049bdafbd7ac.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b645049bdafbd7ac.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d1134f0e3e4b3afd.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d1134f0e3e4b3afd.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d1134f0e3e4b3afd.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

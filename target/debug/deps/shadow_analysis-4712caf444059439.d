@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shadow_analysis-4712caf444059439.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/debug/deps/libshadow_analysis-4712caf444059439.rlib: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/debug/deps/libshadow_analysis-4712caf444059439.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/cases.rs:
+crates/analysis/src/combos.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/landscape.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/origins.rs:
+crates/analysis/src/probing.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/temporal.rs:

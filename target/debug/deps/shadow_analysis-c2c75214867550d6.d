@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shadow_analysis-c2c75214867550d6.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_analysis-c2c75214867550d6.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/cases.rs:
+crates/analysis/src/combos.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/landscape.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/origins.rs:
+crates/analysis/src/probing.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

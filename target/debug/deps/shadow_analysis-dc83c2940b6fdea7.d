@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shadow_analysis-dc83c2940b6fdea7.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/debug/deps/shadow_analysis-dc83c2940b6fdea7: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/cases.rs:
+crates/analysis/src/combos.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/landscape.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/origins.rs:
+crates/analysis/src/probing.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/temporal.rs:

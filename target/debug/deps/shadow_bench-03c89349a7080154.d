@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_bench-03c89349a7080154.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_bench-03c89349a7080154.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_bench-242af9679cc8764e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shadow_bench-242af9679cc8764e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shadow_bench-671fdabfe6011e05.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-671fdabfe6011e05.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-671fdabfe6011e05.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shadow_bench-c35037918bac348f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c35037918bac348f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshadow_bench-c35037918bac348f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/shadow_core-032fea3938df619e.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs
+
+/root/repo/target/debug/deps/libshadow_core-032fea3938df619e.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs
+
+/root/repo/target/debug/deps/libshadow_core-032fea3938df619e.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/correlate.rs:
+crates/core/src/decoy.rs:
+crates/core/src/executor.rs:
+crates/core/src/ident.rs:
+crates/core/src/noise.rs:
+crates/core/src/phase2.rs:
+crates/core/src/world/mod.rs:
+crates/core/src/world/build.rs:
+crates/core/src/world/spec.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/shadow_core-d5982a86925e8cbc.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_core-d5982a86925e8cbc.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/correlate.rs crates/core/src/decoy.rs crates/core/src/executor.rs crates/core/src/ident.rs crates/core/src/noise.rs crates/core/src/phase2.rs crates/core/src/world/mod.rs crates/core/src/world/build.rs crates/core/src/world/spec.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/correlate.rs:
+crates/core/src/decoy.rs:
+crates/core/src/executor.rs:
+crates/core/src/ident.rs:
+crates/core/src/noise.rs:
+crates/core/src/phase2.rs:
+crates/core/src/world/mod.rs:
+crates/core/src/world/build.rs:
+crates/core/src/world/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shadow_dns-486d22276c9cedc3.d: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_dns-486d22276c9cedc3.rmeta: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs Cargo.toml
+
+crates/dns/src/lib.rs:
+crates/dns/src/authoritative.rs:
+crates/dns/src/catalog.rs:
+crates/dns/src/profile.rs:
+crates/dns/src/resolver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_dns-c372017d9d2104dc.d: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/debug/deps/shadow_dns-c372017d9d2104dc: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/authoritative.rs:
+crates/dns/src/catalog.rs:
+crates/dns/src/profile.rs:
+crates/dns/src/resolver.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_geo-f8280c904f6c33c3.d: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/debug/deps/libshadow_geo-f8280c904f6c33c3.rlib: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+/root/repo/target/debug/deps/libshadow_geo-f8280c904f6c33c3.rmeta: crates/geo/src/lib.rs crates/geo/src/alloc.rs crates/geo/src/asn.rs crates/geo/src/country.rs crates/geo/src/db.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/alloc.rs:
+crates/geo/src/asn.rs:
+crates/geo/src/country.rs:
+crates/geo/src/db.rs:

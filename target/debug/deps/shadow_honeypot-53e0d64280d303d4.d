@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shadow_honeypot-53e0d64280d303d4.d: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/debug/deps/shadow_honeypot-53e0d64280d303d4: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/authority.rs:
+crates/honeypot/src/capture.rs:
+crates/honeypot/src/web.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shadow_honeypot-fc0c282f62a229da.d: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/debug/deps/libshadow_honeypot-fc0c282f62a229da.rlib: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+/root/repo/target/debug/deps/libshadow_honeypot-fc0c282f62a229da.rmeta: crates/honeypot/src/lib.rs crates/honeypot/src/authority.rs crates/honeypot/src/capture.rs crates/honeypot/src/web.rs
+
+crates/honeypot/src/lib.rs:
+crates/honeypot/src/authority.rs:
+crates/honeypot/src/capture.rs:
+crates/honeypot/src/web.rs:

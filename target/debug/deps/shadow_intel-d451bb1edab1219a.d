@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shadow_intel-d451bb1edab1219a.d: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/debug/deps/libshadow_intel-d451bb1edab1219a.rlib: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+/root/repo/target/debug/deps/libshadow_intel-d451bb1edab1219a.rmeta: crates/intel/src/lib.rs crates/intel/src/blocklist.rs crates/intel/src/payload.rs crates/intel/src/portscan.rs
+
+crates/intel/src/lib.rs:
+crates/intel/src/blocklist.rs:
+crates/intel/src/payload.rs:
+crates/intel/src/portscan.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shadow_netsim-13818ed9ef9fafbb.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_netsim-13818ed9ef9fafbb.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

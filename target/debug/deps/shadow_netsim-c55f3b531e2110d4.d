@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_netsim-c55f3b531e2110d4.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+/root/repo/target/debug/deps/shadow_netsim-c55f3b531e2110d4: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/tcp.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/tcp.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:

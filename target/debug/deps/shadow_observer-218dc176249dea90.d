@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_observer-218dc176249dea90.d: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs
+
+/root/repo/target/debug/deps/shadow_observer-218dc176249dea90: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs
+
+crates/observer/src/lib.rs:
+crates/observer/src/dpi.rs:
+crates/observer/src/intercept.rs:
+crates/observer/src/policy.rs:
+crates/observer/src/probe.rs:
+crates/observer/src/retention.rs:
+crates/observer/src/scheduler.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shadow_observer-9337918ef879449d.d: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_observer-9337918ef879449d.rmeta: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs Cargo.toml
+
+crates/observer/src/lib.rs:
+crates/observer/src/dpi.rs:
+crates/observer/src/intercept.rs:
+crates/observer/src/policy.rs:
+crates/observer/src/probe.rs:
+crates/observer/src/retention.rs:
+crates/observer/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

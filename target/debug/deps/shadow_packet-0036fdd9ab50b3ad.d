@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/shadow_packet-0036fdd9ab50b3ad.d: crates/packet/src/lib.rs crates/packet/src/cursor.rs crates/packet/src/dns/mod.rs crates/packet/src/dns/message.rs crates/packet/src/dns/name.rs crates/packet/src/doq.rs crates/packet/src/error.rs crates/packet/src/http.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/tls.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/libshadow_packet-0036fdd9ab50b3ad.rlib: crates/packet/src/lib.rs crates/packet/src/cursor.rs crates/packet/src/dns/mod.rs crates/packet/src/dns/message.rs crates/packet/src/dns/name.rs crates/packet/src/doq.rs crates/packet/src/error.rs crates/packet/src/http.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/tls.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/libshadow_packet-0036fdd9ab50b3ad.rmeta: crates/packet/src/lib.rs crates/packet/src/cursor.rs crates/packet/src/dns/mod.rs crates/packet/src/dns/message.rs crates/packet/src/dns/name.rs crates/packet/src/doq.rs crates/packet/src/error.rs crates/packet/src/http.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/tls.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/cursor.rs:
+crates/packet/src/dns/mod.rs:
+crates/packet/src/dns/message.rs:
+crates/packet/src/dns/name.rs:
+crates/packet/src/doq.rs:
+crates/packet/src/error.rs:
+crates/packet/src/http.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/tls.rs:
+crates/packet/src/udp.rs:

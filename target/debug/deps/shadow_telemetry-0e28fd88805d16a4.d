@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shadow_telemetry-0e28fd88805d16a4.d: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/debug/deps/shadow_telemetry-0e28fd88805d16a4: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/diff.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:

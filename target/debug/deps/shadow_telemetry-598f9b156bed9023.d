@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shadow_telemetry-598f9b156bed9023.d: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_telemetry-598f9b156bed9023.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/diff.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shadow_telemetry-b2134be2a6247cda.d: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/debug/deps/libshadow_telemetry-b2134be2a6247cda.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/debug/deps/libshadow_telemetry-b2134be2a6247cda.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/diff.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shadow_telemetry-b3997b3c3c6c6636.d: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/debug/deps/libshadow_telemetry-b3997b3c3c6c6636.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/debug/deps/libshadow_telemetry-b3997b3c3c6c6636.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/diff.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shadow_vantage-114512150c0bf571.d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/debug/deps/libshadow_vantage-114512150c0bf571.rlib: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/debug/deps/libshadow_vantage-114512150c0bf571.rmeta: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+crates/vantage/src/lib.rs:
+crates/vantage/src/platform.rs:
+crates/vantage/src/providers.rs:
+crates/vantage/src/schedule.rs:
+crates/vantage/src/vp.rs:

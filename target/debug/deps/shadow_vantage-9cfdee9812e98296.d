@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_vantage-9cfdee9812e98296.d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/debug/deps/shadow_vantage-9cfdee9812e98296: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+crates/vantage/src/lib.rs:
+crates/vantage/src/platform.rs:
+crates/vantage/src/providers.rs:
+crates/vantage/src/schedule.rs:
+crates/vantage/src/vp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_scaling-50b403d2b92a8428.d: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_scaling-50b403d2b92a8428.rmeta: crates/bench/benches/shard_scaling.rs Cargo.toml
+
+crates/bench/benches/shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_equivalence-6ab3c677311175cb.d: tests/sharded_equivalence.rs
+
+/root/repo/target/debug/deps/sharded_equivalence-6ab3c677311175cb: tests/sharded_equivalence.rs
+
+tests/sharded_equivalence.rs:

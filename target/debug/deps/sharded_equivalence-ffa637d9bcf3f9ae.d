@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_equivalence-ffa637d9bcf3f9ae.d: tests/sharded_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_equivalence-ffa637d9bcf3f9ae.rmeta: tests/sharded_equivalence.rs Cargo.toml
+
+tests/sharded_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

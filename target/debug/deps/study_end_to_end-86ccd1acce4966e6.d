@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_end_to_end-86ccd1acce4966e6.d: tests/study_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_end_to_end-86ccd1acce4966e6.rmeta: tests/study_end_to_end.rs Cargo.toml
+
+tests/study_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_end_to_end-9d502d9cff471bff.d: tests/study_end_to_end.rs
+
+/root/repo/target/debug/deps/study_end_to_end-9d502d9cff471bff: tests/study_end_to_end.rs
+
+tests/study_end_to_end.rs:

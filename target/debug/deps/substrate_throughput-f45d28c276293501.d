@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_throughput-f45d28c276293501.d: crates/bench/benches/substrate_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_throughput-f45d28c276293501.rmeta: crates/bench/benches/substrate_throughput.rs Cargo.toml
+
+crates/bench/benches/substrate_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

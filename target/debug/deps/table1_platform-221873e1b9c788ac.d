@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_platform-221873e1b9c788ac.d: crates/bench/benches/table1_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_platform-221873e1b9c788ac.rmeta: crates/bench/benches/table1_platform.rs Cargo.toml
+
+crates/bench/benches/table1_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_observer_location-600eb2e78ff3d8d1.d: crates/bench/benches/table2_observer_location.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_observer_location-600eb2e78ff3d8d1.rmeta: crates/bench/benches/table2_observer_location.rs Cargo.toml
+
+crates/bench/benches/table2_observer_location.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

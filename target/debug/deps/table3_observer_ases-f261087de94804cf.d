@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_observer_ases-f261087de94804cf.d: crates/bench/benches/table3_observer_ases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_observer_ases-f261087de94804cf.rmeta: crates/bench/benches/table3_observer_ases.rs Cargo.toml
+
+crates/bench/benches/table3_observer_ases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

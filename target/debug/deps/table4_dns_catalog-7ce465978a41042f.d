@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_dns_catalog-7ce465978a41042f.d: crates/bench/benches/table4_dns_catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_dns_catalog-7ce465978a41042f.rmeta: crates/bench/benches/table4_dns_catalog.rs Cargo.toml
+
+crates/bench/benches/table4_dns_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

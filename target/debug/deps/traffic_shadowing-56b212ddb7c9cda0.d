@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/traffic_shadowing-56b212ddb7c9cda0.d: src/lib.rs src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic_shadowing-56b212ddb7c9cda0.rmeta: src/lib.rs src/study.rs Cargo.toml
+
+src/lib.rs:
+src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

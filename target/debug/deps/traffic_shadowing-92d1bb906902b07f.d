@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/traffic_shadowing-92d1bb906902b07f.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-92d1bb906902b07f.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-92d1bb906902b07f.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

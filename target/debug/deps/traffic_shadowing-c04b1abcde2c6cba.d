@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/traffic_shadowing-c04b1abcde2c6cba.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-c04b1abcde2c6cba.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/libtraffic_shadowing-c04b1abcde2c6cba.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/traffic_shadowing-cb5eb4ae26e635ad.d: src/lib.rs src/study.rs
+
+/root/repo/target/debug/deps/traffic_shadowing-cb5eb4ae26e635ad: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vp_flows-5cc8df31433ff576.d: crates/vantage/tests/vp_flows.rs
+
+/root/repo/target/debug/deps/vp_flows-5cc8df31433ff576: crates/vantage/tests/vp_flows.rs
+
+crates/vantage/tests/vp_flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vp_flows-f7e9dfbd531b468c.d: crates/vantage/tests/vp_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvp_flows-f7e9dfbd531b468c.rmeta: crates/vantage/tests/vp_flows.rs Cargo.toml
+
+crates/vantage/tests/vp_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_consistency-178656397539088e.d: crates/core/tests/world_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_consistency-178656397539088e.rmeta: crates/core/tests/world_consistency.rs Cargo.toml
+
+crates/core/tests/world_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_consistency-6f8c3361153e9ac4.d: crates/core/tests/world_consistency.rs
+
+/root/repo/target/debug/deps/world_consistency-6f8c3361153e9ac4: crates/core/tests/world_consistency.rs
+
+crates/core/tests/world_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encryption_mitigation-1e5ab1ddcfa7e2c6.d: examples/encryption_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencryption_mitigation-1e5ab1ddcfa7e2c6.rmeta: examples/encryption_mitigation.rs Cargo.toml
+
+examples/encryption_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encryption_mitigation-2dc5a48809707efd.d: examples/encryption_mitigation.rs
+
+/root/repo/target/debug/examples/encryption_mitigation-2dc5a48809707efd: examples/encryption_mitigation.rs
+
+examples/encryption_mitigation.rs:

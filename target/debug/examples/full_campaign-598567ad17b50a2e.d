@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_campaign-598567ad17b50a2e.d: examples/full_campaign.rs
+
+/root/repo/target/debug/examples/full_campaign-598567ad17b50a2e: examples/full_campaign.rs
+
+examples/full_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_campaign-c054d6b9e40b2c34.d: examples/full_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_campaign-c054d6b9e40b2c34.rmeta: examples/full_campaign.rs Cargo.toml
+
+examples/full_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

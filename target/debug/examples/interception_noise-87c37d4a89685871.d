@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interception_noise-87c37d4a89685871.d: examples/interception_noise.rs
+
+/root/repo/target/debug/examples/interception_noise-87c37d4a89685871: examples/interception_noise.rs
+
+examples/interception_noise.rs:

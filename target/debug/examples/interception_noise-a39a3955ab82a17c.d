@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interception_noise-a39a3955ab82a17c.d: examples/interception_noise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterception_noise-a39a3955ab82a17c.rmeta: examples/interception_noise.rs Cargo.toml
+
+examples/interception_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

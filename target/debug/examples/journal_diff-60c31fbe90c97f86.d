@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/journal_diff-60c31fbe90c97f86.d: examples/journal_diff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjournal_diff-60c31fbe90c97f86.rmeta: examples/journal_diff.rs Cargo.toml
+
+examples/journal_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/journal_diff-bab14c44d4b54cea.d: examples/journal_diff.rs
+
+/root/repo/target/debug/examples/journal_diff-bab14c44d4b54cea: examples/journal_diff.rs
+
+examples/journal_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jsonl_probe-2236a84981fa7866.d: crates/telemetry/examples/jsonl_probe.rs
+
+/root/repo/target/debug/examples/jsonl_probe-2236a84981fa7866: crates/telemetry/examples/jsonl_probe.rs
+
+crates/telemetry/examples/jsonl_probe.rs:

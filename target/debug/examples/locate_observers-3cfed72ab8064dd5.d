@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/locate_observers-3cfed72ab8064dd5.d: examples/locate_observers.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocate_observers-3cfed72ab8064dd5.rmeta: examples/locate_observers.rs Cargo.toml
+
+examples/locate_observers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

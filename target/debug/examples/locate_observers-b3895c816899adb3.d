@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/locate_observers-b3895c816899adb3.d: examples/locate_observers.rs
+
+/root/repo/target/debug/examples/locate_observers-b3895c816899adb3: examples/locate_observers.rs
+
+examples/locate_observers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0e9b9a34c2db2ea7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0e9b9a34c2db2ea7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resolver_case_study-9966aba9d9719a24.d: examples/resolver_case_study.rs
+
+/root/repo/target/debug/examples/resolver_case_study-9966aba9d9719a24: examples/resolver_case_study.rs
+
+examples/resolver_case_study.rs:

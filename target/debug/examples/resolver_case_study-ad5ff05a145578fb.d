@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resolver_case_study-ad5ff05a145578fb.d: examples/resolver_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresolver_case_study-ad5ff05a145578fb.rmeta: examples/resolver_case_study.rs Cargo.toml
+
+examples/resolver_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

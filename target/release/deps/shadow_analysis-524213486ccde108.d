@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/shadow_analysis-524213486ccde108.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/release/deps/libshadow_analysis-524213486ccde108.rlib: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+/root/repo/target/release/deps/libshadow_analysis-524213486ccde108.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/cases.rs crates/analysis/src/combos.rs crates/analysis/src/export.rs crates/analysis/src/landscape.rs crates/analysis/src/location.rs crates/analysis/src/origins.rs crates/analysis/src/probing.rs crates/analysis/src/report.rs crates/analysis/src/reuse.rs crates/analysis/src/temporal.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/cases.rs:
+crates/analysis/src/combos.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/landscape.rs:
+crates/analysis/src/location.rs:
+crates/analysis/src/origins.rs:
+crates/analysis/src/probing.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/temporal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shadow_bench-6363a370a05eac75.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-6363a370a05eac75.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshadow_bench-6363a370a05eac75.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_dns-ef4962a8a24707a8.d: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/release/deps/libshadow_dns-ef4962a8a24707a8.rlib: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+/root/repo/target/release/deps/libshadow_dns-ef4962a8a24707a8.rmeta: crates/dns/src/lib.rs crates/dns/src/authoritative.rs crates/dns/src/catalog.rs crates/dns/src/profile.rs crates/dns/src/resolver.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/authoritative.rs:
+crates/dns/src/catalog.rs:
+crates/dns/src/profile.rs:
+crates/dns/src/resolver.rs:

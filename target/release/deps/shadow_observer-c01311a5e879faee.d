@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shadow_observer-c01311a5e879faee.d: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs
+
+/root/repo/target/release/deps/libshadow_observer-c01311a5e879faee.rlib: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs
+
+/root/repo/target/release/deps/libshadow_observer-c01311a5e879faee.rmeta: crates/observer/src/lib.rs crates/observer/src/dpi.rs crates/observer/src/intercept.rs crates/observer/src/policy.rs crates/observer/src/probe.rs crates/observer/src/retention.rs crates/observer/src/scheduler.rs
+
+crates/observer/src/lib.rs:
+crates/observer/src/dpi.rs:
+crates/observer/src/intercept.rs:
+crates/observer/src/policy.rs:
+crates/observer/src/probe.rs:
+crates/observer/src/retention.rs:
+crates/observer/src/scheduler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shadow_telemetry-1c7e0980dbbb82f8.d: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/release/deps/libshadow_telemetry-1c7e0980dbbb82f8.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+/root/repo/target/release/deps/libshadow_telemetry-1c7e0980dbbb82f8.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/diff.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/diff.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shadow_vantage-e1356670f40344d9.d: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/release/deps/libshadow_vantage-e1356670f40344d9.rlib: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+/root/repo/target/release/deps/libshadow_vantage-e1356670f40344d9.rmeta: crates/vantage/src/lib.rs crates/vantage/src/platform.rs crates/vantage/src/providers.rs crates/vantage/src/schedule.rs crates/vantage/src/vp.rs
+
+crates/vantage/src/lib.rs:
+crates/vantage/src/platform.rs:
+crates/vantage/src/providers.rs:
+crates/vantage/src/schedule.rs:
+crates/vantage/src/vp.rs:

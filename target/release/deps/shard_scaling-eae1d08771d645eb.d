@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_scaling-eae1d08771d645eb.d: crates/bench/benches/shard_scaling.rs
+
+/root/repo/target/release/deps/shard_scaling-eae1d08771d645eb: crates/bench/benches/shard_scaling.rs
+
+crates/bench/benches/shard_scaling.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/traffic_shadowing-66b664e082c427ee.d: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-66b664e082c427ee.rlib: src/lib.rs src/study.rs
+
+/root/repo/target/release/deps/libtraffic_shadowing-66b664e082c427ee.rmeta: src/lib.rs src/study.rs
+
+src/lib.rs:
+src/study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_campaign-08bd9b876281214f.d: examples/full_campaign.rs
+
+/root/repo/target/release/examples/full_campaign-08bd9b876281214f: examples/full_campaign.rs
+
+examples/full_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/journal_diff-ef199871c573625e.d: examples/journal_diff.rs
+
+/root/repo/target/release/examples/journal_diff-ef199871c573625e: examples/journal_diff.rs
+
+examples/journal_diff.rs:

@@ -41,17 +41,23 @@ static NULL: Content = Content::Null;
 impl Content {
     /// Field accessor used by derived `Deserialize` impls. Missing fields
     /// read as `Null`, which lets `Option` fields default to `None` and
-    /// everything else produce a type error downstream.
+    /// everything else produce a type error downstream. Accepts both the
+    /// derive-produced `Struct` shape and the JSON-parsed `Map` shape, so
+    /// derived structs round-trip through JSON text.
     pub fn get_field(&self, name: &str) -> &Content {
-        let fields = match self {
-            Content::Struct(fields) => fields,
-            _ => return &NULL,
-        };
-        fields
-            .iter()
-            .find(|(f, _)| *f == name)
-            .map(|(_, v)| v)
-            .unwrap_or(&NULL)
+        match self {
+            Content::Struct(fields) => fields
+                .iter()
+                .find(|(f, _)| *f == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
     }
 
     /// Sequence accessor used by derived `Deserialize` impls.
