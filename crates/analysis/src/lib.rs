@@ -25,6 +25,7 @@ pub mod origins;
 pub mod probing;
 pub mod report;
 pub mod reuse;
+pub mod robustness;
 pub mod temporal;
 
 pub use breakdown::{DecoyOutcome, DestinationBreakdown};
@@ -36,4 +37,5 @@ pub use origins::OriginAsReport;
 pub use probing::ProbingReport;
 pub use report::{render_series, render_table};
 pub use reuse::ReuseReport;
+pub use robustness::{CellMetrics, CellReport, RobustnessReport};
 pub use temporal::Cdf;

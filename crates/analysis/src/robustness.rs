@@ -1,0 +1,247 @@
+//! Robustness reporting: how much of the methodology survives impairment.
+//!
+//! A chaos sweep runs the same campaign under a grid of fault profiles and
+//! compares each cell against the fault-free baseline. This module holds
+//! the comparison — plain extracted metrics in, a [`RobustnessReport`]
+//! out — so it depends on nothing above the analysis layer; the study glue
+//! extracts a [`CellMetrics`] per campaign outcome.
+
+use crate::report::render_table;
+use serde::Serialize;
+
+/// The headline numbers one campaign produced, flattened for comparison:
+/// Figure 3's problematic-path ratios, Table 2's localization counts,
+/// Table 3's observer-IP census, and the unsolicited-arrival volume.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CellMetrics {
+    /// Cell label (fault profile name).
+    pub name: String,
+    /// Problematic-path ratio per decoy protocol (Figure 3).
+    pub dns_ratio: f64,
+    pub http_ratio: f64,
+    pub tls_ratio: f64,
+    /// Paths Phase II localized to a concrete observer hop (Table 2).
+    pub localized_paths: usize,
+    /// Paths Phase II attempted to trace.
+    pub traced_paths: usize,
+    /// Distinct observer IPs revealed by ICMP Time Exceeded (Table 3).
+    pub observer_ips: usize,
+    /// The revealed IPs themselves (sorted, deduplicated). Recall is
+    /// computed set-wise against the baseline: lost detections shuffle
+    /// *which* paths fill the Phase II trace cap, so a raw count can
+    /// grow under faults even while the baseline's observers vanish.
+    pub observer_addrs: Vec<String>,
+    /// Unsolicited arrivals after correlation.
+    pub unsolicited: usize,
+    /// Phase I decoys sent.
+    pub decoys_sent: usize,
+}
+
+impl CellMetrics {
+    /// Fraction of traced paths that yielded an observer hop.
+    pub fn localization_rate(&self) -> f64 {
+        if self.traced_paths == 0 {
+            0.0
+        } else {
+            self.localized_paths as f64 / self.traced_paths as f64
+        }
+    }
+}
+
+/// One sweep cell compared against the baseline. "Recall" here is the
+/// fraction of the baseline's signal the impaired run still recovers
+/// (1.0 = unaffected; values above 1.0 mean the faults *manufactured*
+/// signal — e.g. duplicate-induced false unsolicited arrivals).
+#[derive(Debug, Clone, Serialize)]
+pub struct CellReport {
+    pub metrics: CellMetrics,
+    /// Detection recall per protocol: cell ratio / baseline ratio.
+    pub dns_recall: f64,
+    pub http_recall: f64,
+    pub tls_recall: f64,
+    /// Localization-rate drift vs baseline (cell − baseline, in rate).
+    pub localization_drift: f64,
+    /// Observer-IP revelation recall: the fraction of the *baseline's*
+    /// revealed observer IPs this cell still reveals.
+    pub observer_ip_recall: f64,
+    /// Unsolicited arrivals beyond the baseline count (0 when the cell
+    /// saw no more than the baseline) — the duplicate-induced
+    /// false-unsolicited signal.
+    pub excess_unsolicited: usize,
+}
+
+fn recall(cell: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if cell == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cell / baseline
+    }
+}
+
+/// The full sweep: the fault-free baseline plus every cell's drift.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustnessReport {
+    pub baseline: CellMetrics,
+    pub cells: Vec<CellReport>,
+}
+
+impl RobustnessReport {
+    /// Compare every cell against `baseline`, preserving cell order.
+    pub fn compare(baseline: CellMetrics, cells: Vec<CellMetrics>) -> Self {
+        let reports = cells
+            .into_iter()
+            .map(|metrics| {
+                let ip_recall = if baseline.observer_addrs.is_empty() {
+                    1.0
+                } else {
+                    let recovered = baseline
+                        .observer_addrs
+                        .iter()
+                        .filter(|ip| metrics.observer_addrs.binary_search(ip).is_ok())
+                        .count();
+                    recovered as f64 / baseline.observer_addrs.len() as f64
+                };
+                CellReport {
+                    dns_recall: recall(metrics.dns_ratio, baseline.dns_ratio),
+                    http_recall: recall(metrics.http_ratio, baseline.http_ratio),
+                    tls_recall: recall(metrics.tls_ratio, baseline.tls_ratio),
+                    localization_drift: metrics.localization_rate() - baseline.localization_rate(),
+                    observer_ip_recall: ip_recall,
+                    excess_unsolicited: metrics.unsolicited.saturating_sub(baseline.unsolicited),
+                    metrics,
+                }
+            })
+            .collect();
+        Self {
+            baseline,
+            cells: reports,
+        }
+    }
+
+    /// Machine-readable export (the EXPERIMENTS.md diff workflow).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Human-readable sweep table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                vec![
+                    cell.metrics.name.clone(),
+                    format!("{:.2}", cell.dns_recall),
+                    format!("{:.2}", cell.http_recall),
+                    format!("{:.2}", cell.tls_recall),
+                    format!("{:+.3}", cell.localization_drift),
+                    format!("{:.2}", cell.observer_ip_recall),
+                    cell.excess_unsolicited.to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "cell",
+                "DNS rec",
+                "HTTP rec",
+                "TLS rec",
+                "loc drift",
+                "IP rec",
+                "excess unsol",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        let mut out: Vec<String> = (1..=n).map(|i| format!("10.0.0.{i}")).collect();
+        out.sort();
+        out
+    }
+
+    fn baseline() -> CellMetrics {
+        CellMetrics {
+            name: "baseline".into(),
+            dns_ratio: 0.10,
+            http_ratio: 0.08,
+            tls_ratio: 0.04,
+            localized_paths: 40,
+            traced_paths: 50,
+            observer_ips: 20,
+            observer_addrs: addrs(20),
+            unsolicited: 100,
+            decoys_sent: 1_000,
+        }
+    }
+
+    #[test]
+    fn identical_cell_has_unit_recall() {
+        let report = RobustnessReport::compare(
+            baseline(),
+            vec![CellMetrics {
+                name: "clean".into(),
+                ..baseline()
+            }],
+        );
+        let cell = &report.cells[0];
+        assert_eq!(cell.dns_recall, 1.0);
+        assert_eq!(cell.http_recall, 1.0);
+        assert_eq!(cell.tls_recall, 1.0);
+        assert_eq!(cell.localization_drift, 0.0);
+        assert_eq!(cell.observer_ip_recall, 1.0);
+        assert_eq!(cell.excess_unsolicited, 0);
+    }
+
+    #[test]
+    fn degraded_cell_shows_partial_recall() {
+        let degraded = CellMetrics {
+            name: "loss5%".into(),
+            dns_ratio: 0.08,
+            http_ratio: 0.02,
+            tls_ratio: 0.01,
+            localized_paths: 20,
+            traced_paths: 50,
+            observer_ips: 10,
+            observer_addrs: addrs(20)[..10].to_vec(),
+            unsolicited: 120,
+            ..baseline()
+        };
+        let report = RobustnessReport::compare(baseline(), vec![degraded]);
+        let cell = &report.cells[0];
+        assert!((cell.dns_recall - 0.8).abs() < 1e-9);
+        assert!((cell.http_recall - 0.25).abs() < 1e-9);
+        assert!((cell.observer_ip_recall - 0.5).abs() < 1e-9);
+        assert!((cell.localization_drift + 0.4).abs() < 1e-9);
+        assert_eq!(cell.excess_unsolicited, 20);
+    }
+
+    #[test]
+    fn zero_baseline_recall_is_defined() {
+        let mut base = baseline();
+        base.tls_ratio = 0.0;
+        let mut cell = base.clone();
+        cell.name = "c".into();
+        let report = RobustnessReport::compare(base, vec![cell]);
+        assert_eq!(report.cells[0].tls_recall, 1.0);
+    }
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let report = RobustnessReport::compare(baseline(), vec![baseline()]);
+        let json = report.to_json().unwrap();
+        assert!(json.contains("observer_ip_recall"));
+        let table = report.render();
+        assert!(table.contains("DNS rec"));
+        assert!(table.lines().count() >= 3);
+    }
+}

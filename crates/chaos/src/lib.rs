@@ -1,0 +1,23 @@
+//! # shadow-chaos
+//!
+//! Deterministic fault injection + scenario sweeps. The simulator's
+//! default network is perfectly reliable; the paper's substrate is the
+//! lossy real Internet. This crate quantifies how much of the measurement
+//! methodology survives impairment:
+//!
+//! * [`profile`] — [`FaultProfile`]: a declarative, serializable bundle of
+//!   impairments (per-link loss/duplication/jitter, router and link outage
+//!   windows, resolver outages, VP churn, honeypot downtime, ICMP
+//!   Time-Exceeded rate limiting, DNS retry policy). Compiled against
+//!   [`FaultTargets`] into the engine-side
+//!   [`LinkConditioner`](shadow_netsim::fault::LinkConditioner), whose
+//!   decisions are value-derived — byte-identical at any shard count.
+//! * [`matrix`] — [`ScenarioMatrix`]: a grid of named fault profiles
+//!   executed concurrently on worker threads; each cell runs a full study
+//!   and the caller folds the per-cell outcomes into a robustness report.
+
+pub mod matrix;
+pub mod profile;
+
+pub use matrix::{ScenarioCell, ScenarioMatrix};
+pub use profile::{ChurnSpec, FaultProfile, FaultTargets, OutageSpec, RetrySpec, Window};

@@ -12,7 +12,7 @@ use shadow_netsim::topology::NodeId;
 use shadow_telemetry::{sort_records, EventKind, JournalRecord, MetricsSnapshot};
 use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
-use shadow_vantage::vp::{VantagePointHost, VpCommand, VpReport};
+use shadow_vantage::vp::{DnsRetry, VantagePointHost, VpCommand, VpReport};
 use std::collections::HashMap;
 
 /// Phase I configuration.
@@ -36,6 +36,12 @@ pub struct Phase1Config {
     /// How long to keep the clock running after the last send, so that
     /// days-later probes still land (Figure 4's ≥10-day tail).
     pub grace: SimDuration,
+    /// Retry policy for clear-text DNS decoys (None = one-shot). Installed
+    /// by fault-injection studies: on a lossy network, retried DNS decoys
+    /// keep the DNS detection path alive while one-shot HTTP/TLS decoys
+    /// fade. Fault-free runs are unaffected — answers always arrive before
+    /// the timeout, so no retransmission ever fires.
+    pub dns_retry: Option<DnsRetry>,
 }
 
 impl Default for Phase1Config {
@@ -49,6 +55,7 @@ impl Default for Phase1Config {
             rounds: 1,
             round_gap: SimDuration::from_hours(12),
             grace: SimDuration::from_days(30),
+            dns_retry: None,
         }
     }
 }
@@ -167,6 +174,7 @@ impl CampaignRunner {
                                 domain: record.domain.clone(),
                                 dst,
                                 ttl: 64,
+                                retry: config.dns_retry,
                             }
                         };
                         sends.push(PlannedSend {
@@ -330,7 +338,9 @@ pub(crate) fn record_decoy_send(world: &World, send: &PlannedSend) {
         return;
     }
     let (protocol, domain, dst, ttl) = match &send.command {
-        VpCommand::DnsDecoy { domain, dst, ttl }
+        VpCommand::DnsDecoy {
+            domain, dst, ttl, ..
+        }
         | VpCommand::EncryptedDnsDecoy { domain, dst, ttl } => ("DNS", domain, *dst, *ttl),
         VpCommand::HttpDecoy { domain, dst, ttl }
         | VpCommand::RawHttpProbe { domain, dst, ttl } => ("HTTP", domain, *dst, *ttl),

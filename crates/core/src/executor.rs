@@ -32,9 +32,11 @@ use crate::noise::{NoiseFilter, PreflightOutcome};
 use crate::phase2::{Phase2Config, Phase2Runner, TracerouteResult};
 use crate::world::{World, WorldSpec};
 use shadow_netsim::engine::EngineStats;
+use shadow_netsim::fault::LinkConditioner;
 use shadow_telemetry::{EventKind, JournalRecord, Telemetry};
 use shadow_vantage::platform::VpId;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What a (sharded or sequential) run records about itself.
 ///
@@ -123,6 +125,23 @@ pub fn run_phase1_sharded_with(
     shards: usize,
     telemetry: TelemetryOptions,
 ) -> ShardedPhase1 {
+    run_phase1_sharded_conditioned(spec, config, shards, telemetry, None)
+}
+
+/// [`run_phase1_sharded_with`] under an optional fault conditioner. Every
+/// shard installs the *same* conditioner (its decisions are value-derived
+/// from packet bytes, so shards seeing disjoint traffic subsets still
+/// agree with the sequential run packet-for-packet). Installed after the
+/// pre-flight replay, alongside telemetry: the Appendix-E pre-flight vets
+/// the platform on a healthy network in every shard, keeping the global
+/// plan identical across shard counts even under faults.
+pub fn run_phase1_sharded_conditioned(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    shards: usize,
+    telemetry: TelemetryOptions,
+    conditioner: Option<Arc<LinkConditioner>>,
+) -> ShardedPhase1 {
     let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
     let assignment = shard_vps(&vp_ids, shards);
 
@@ -135,6 +154,7 @@ pub fn run_phase1_sharded_with(
                 .iter()
                 .enumerate()
                 .map(|(shard_idx, owned)| {
+                    let conditioner = conditioner.clone();
                     s.spawn(move || {
                         let started = std::time::Instant::now();
                         let mut world = spec.instantiate();
@@ -142,6 +162,7 @@ pub fn run_phase1_sharded_with(
                         world
                             .engine
                             .set_telemetry(telemetry.handle(shard_idx as u32));
+                        world.engine.set_conditioner(conditioner);
                         let plan = CampaignRunner::plan_phase1(&world, config);
                         let mut data =
                             CampaignRunner::execute_phase1(&mut world, &plan, config, |vp| {

@@ -34,7 +34,10 @@ pub mod world;
 pub use campaign::{CampaignData, CampaignRunner, Phase1Config};
 pub use correlate::{CorrelatedRequest, Correlator, PathKey, ProblematicPath, UnsolicitedLabel};
 pub use decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
-pub use executor::{run_phase1_sharded, run_phase2_sharded, shard_vps, ShardedPhase1};
+pub use executor::{
+    run_phase1_sharded, run_phase1_sharded_conditioned, run_phase2_sharded, shard_vps,
+    ShardedPhase1,
+};
 pub use ident::{DecoyIdent, IdentError};
 pub use noise::{NoiseFilter, PreflightOutcome};
 pub use phase2::{ObserverLocation, Phase2Config, Phase2Runner, TracerouteResult};

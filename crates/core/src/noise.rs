@@ -157,6 +157,7 @@ impl NoiseFilter {
                         domain,
                         dst: pair,
                         ttl: 64,
+                        retry: None,
                     }),
                 );
             }

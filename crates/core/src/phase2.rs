@@ -135,6 +135,7 @@ impl Phase2Runner {
                         domain: record.domain.clone(),
                         dst: key.dst,
                         ttl,
+                        retry: None,
                     },
                     DecoyProtocol::Http => VpCommand::RawHttpProbe {
                         domain: record.domain.clone(),

@@ -193,6 +193,11 @@ impl RecursiveResolverHost {
             ctx.now(),
             &self.profile.name,
         );
+        if plan.capacity_evictions > 0 {
+            if let Some(m) = ctx.telemetry().metrics() {
+                m.retention_capacity_evictions.add(plan.capacity_evictions);
+            }
+        }
         self.stats.shadow_probes_scheduled += u64::from(plan.probes);
         if plan.probes > 0 {
             let telemetry = ctx.telemetry();

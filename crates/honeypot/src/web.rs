@@ -106,6 +106,11 @@ impl SiteShadow {
             ctx.now(),
             &self.label,
         );
+        if plan.capacity_evictions > 0 {
+            if let Some(m) = ctx.telemetry().metrics() {
+                m.retention_capacity_evictions.add(plan.capacity_evictions);
+            }
+        }
         self.probes_scheduled += u64::from(plan.probes);
         record_shadow_probes(ctx, domain, u64::from(plan.probes));
         for (origin, delay, order) in orders {

@@ -2,6 +2,7 @@
 //! generates ICMP Time Exceeded, delivers to endpoint hosts, and runs
 //! on-path wire taps (where traffic observers live).
 
+use crate::fault::{LinkConditioner, LinkVerdict};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 use shadow_packet::icmp::IcmpMessage;
@@ -256,6 +257,9 @@ pub struct Engine {
     ident: u16,
     stats: EngineStats,
     telemetry: Telemetry,
+    /// Installed fault profile (None = perfectly reliable network; every
+    /// conditioner check then reduces to one `None` branch).
+    conditioner: Option<Arc<LinkConditioner>>,
 }
 
 impl Engine {
@@ -270,6 +274,7 @@ impl Engine {
             ident: 1,
             stats: EngineStats::default(),
             telemetry: Telemetry::disabled(),
+            conditioner: None,
         }
     }
 
@@ -295,6 +300,18 @@ impl Engine {
     /// The engine's telemetry handle (disabled unless installed).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Install (or clear) a fault conditioner. Shards of one campaign share
+    /// a single compiled conditioner: its decisions are value-derived, so
+    /// the same packet meets the same fate in any shard.
+    pub fn set_conditioner(&mut self, conditioner: Option<Arc<LinkConditioner>>) {
+        self.conditioner = conditioner;
+    }
+
+    /// The installed fault conditioner, if any.
+    pub fn conditioner(&self) -> Option<&Arc<LinkConditioner>> {
+        self.conditioner.as_ref()
     }
 
     /// Bind a host application to a node. Replaces any previous binding.
@@ -341,15 +358,7 @@ impl Engine {
     /// Inject a packet into the network from `from` at absolute time `at`.
     pub fn inject(&mut self, at: SimTime, from: NodeId, pkt: Ipv4Packet) {
         let at = at.max(self.now);
-        self.seq += 1;
-        let seq = self.seq;
-        if let Some(ev) = self.launch(at, from, pkt) {
-            self.queue.push(Event {
-                at: ev.0,
-                seq,
-                kind: ev.1,
-            });
-        }
+        self.launch(at, from, pkt);
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
@@ -361,24 +370,90 @@ impl Engine {
         });
     }
 
-    /// Compute the first hop event for a packet leaving `from`.
-    fn launch(
-        &mut self,
-        at: SimTime,
-        from: NodeId,
-        pkt: Ipv4Packet,
-    ) -> Option<(SimTime, EventKind)> {
+    /// Route a packet leaving `from` and schedule its first hop.
+    fn launch(&mut self, at: SimTime, from: NodeId, pkt: Ipv4Packet) {
         self.stats.packets_sent += 1;
+        if let Some(cond) = &self.conditioner {
+            // A downed origin (VP churn, resolver/honeypot outage) emits
+            // nothing.
+            if cond.node_down(from, at.0) {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.fault_outage_drops.inc();
+                }
+                return;
+            }
+        }
         let Some(path) = self.topo.route_to_addr(from, pkt.header.dst) else {
             self.stats.packets_dropped_unroutable += 1;
-            return None;
+            return;
         };
         if path.len() == 1 {
             // Loopback: deliver to self immediately.
-            return Some((at, EventKind::Hop { pkt, path, idx: 0 }));
+            self.push(at, EventKind::Hop { pkt, path, idx: 0 });
+            return;
         }
         let delay = SimDuration::from_millis(self.topo.latency_ms(path[0], path[1]));
-        Some((at + delay, EventKind::Hop { pkt, path, idx: 1 }))
+        self.schedule_link(at, delay, pkt, path, 1);
+    }
+
+    /// Schedule arrival at `path[idx]` after crossing the link
+    /// `path[idx-1] → path[idx]`, consulting the fault conditioner (loss,
+    /// jitter, duplication, link outages) when one is installed.
+    fn schedule_link(
+        &mut self,
+        depart: SimTime,
+        base_delay: SimDuration,
+        pkt: Ipv4Packet,
+        path: Arc<[NodeId]>,
+        idx: usize,
+    ) {
+        let verdict = match &self.conditioner {
+            None => LinkVerdict::CLEAN,
+            Some(cond) => cond.link_verdict(
+                depart.0,
+                path[idx - 1],
+                path[idx],
+                &pkt.header,
+                &pkt.payload,
+            ),
+        };
+        match verdict {
+            LinkVerdict::Lost => {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.fault_packets_lost.inc();
+                }
+            }
+            LinkVerdict::OutageDrop => {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.fault_outage_drops.inc();
+                }
+            }
+            LinkVerdict::Deliver {
+                extra_delay_ms,
+                duplicate_after_ms,
+            } => {
+                if extra_delay_ms > 0 {
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.fault_packets_delayed.inc();
+                    }
+                }
+                let arrive = depart + base_delay + SimDuration::from_millis(extra_delay_ms);
+                if let Some(gap_ms) = duplicate_after_ms {
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.fault_packets_duplicated.inc();
+                    }
+                    self.push(
+                        arrive + SimDuration::from_millis(gap_ms),
+                        EventKind::Hop {
+                            pkt: pkt.clone(),
+                            path: path.clone(),
+                            idx,
+                        },
+                    );
+                }
+                self.push(arrive, EventKind::Hop { pkt, path, idx });
+            }
+        }
     }
 
     /// Run until the queue drains or the clock passes `deadline`.
@@ -514,6 +589,18 @@ impl Engine {
         let node = *self.topo.node(node_id);
         let is_final = idx == path.len() - 1;
 
+        if let Some(cond) = &self.conditioner {
+            // A downed node neither forwards, observes, expires, nor
+            // accepts delivery (router outage / honeypot downtime / VP
+            // churn / resolver outage — all node-outage windows).
+            if cond.node_down(node_id, self.now.0) {
+                if let Some(m) = self.telemetry.metrics() {
+                    m.fault_outage_drops.inc();
+                }
+                return;
+            }
+        }
+
         if node.is_router() {
             // Taps observe arriving packets (a DPI box sees the wire even
             // when the packet is about to expire here).
@@ -558,7 +645,18 @@ impl Engine {
                 if let Some(m) = self.telemetry.metrics() {
                     m.ttl_expirations.inc();
                 }
-                if node.responds_icmp() {
+                // ICMP rate limiting: a value-derived probabilistic
+                // suppression rather than a stateful token bucket — shard
+                // engines see disjoint traffic, so shared bucket state
+                // would diverge from the sequential run.
+                let rate_limited = node.responds_icmp()
+                    && match &self.conditioner {
+                        Some(cond) => {
+                            cond.suppress_icmp(self.now.0, node_id, &pkt.header, &pkt.payload)
+                        }
+                        None => false,
+                    };
+                if node.responds_icmp() && !rate_limited {
                     self.stats.icmp_time_exceeded_sent += 1;
                     if let Some(m) = self.telemetry.metrics() {
                         m.icmp_time_exceeded.inc();
@@ -587,6 +685,11 @@ impl Engine {
                     });
                 } else {
                     self.stats.icmp_suppressed += 1;
+                    if rate_limited {
+                        if let Some(m) = self.telemetry.metrics() {
+                            m.fault_icmp_rate_limited.inc();
+                        }
+                    }
                 }
                 return;
             }
@@ -596,14 +699,7 @@ impl Engine {
             }
             let next = path[idx + 1];
             let delay = SimDuration::from_millis(self.topo.latency_ms(node_id, next));
-            self.push(
-                self.now + delay,
-                EventKind::Hop {
-                    pkt,
-                    path,
-                    idx: idx + 1,
-                },
-            );
+            self.schedule_link(self.now, delay, pkt, path, idx + 1);
         } else {
             // Endpoint delivery.
             debug_assert!(is_final, "hosts only appear at path ends");
@@ -631,9 +727,7 @@ impl Engine {
             match action {
                 Action::Send { from, pkt, delay } => {
                     let at = self.now + delay;
-                    if let Some((when, kind)) = self.launch(at, from, pkt) {
-                        self.push(when, kind);
-                    }
+                    self.launch(at, from, pkt);
                 }
                 Action::HostTimer { node, token, delay } => {
                     self.push(self.now + delay, EventKind::HostTimer { node, token });

@@ -15,12 +15,16 @@
 //!   pluggable endpoint [`Host`]s and on-path [`WireTap`]s (where DPI-style
 //!   traffic observers attach);
 //! * [`tcp`] — a segment-level TCP endpoint state machine (handshakes,
-//!   data, teardown) shared by every host that speaks HTTP or TLS.
+//!   data, teardown) shared by every host that speaks HTTP or TLS;
+//! * [`fault`] — deterministic fault injection: value-derived per-packet
+//!   loss/duplication/jitter, node and link outage windows, ICMP rate
+//!   limiting, consulted by the engine only when a profile is installed.
 //!
 //! Everything is deterministic: same topology + same injected events ⇒
 //! byte-identical packet streams.
 
 pub mod engine;
+pub mod fault;
 pub mod tcp;
 pub mod time;
 pub mod topology;
@@ -28,6 +32,7 @@ pub mod trace;
 pub mod transport;
 
 pub use engine::{Ctx, Engine, EngineStats, Host, TapVerdict, WireTap};
+pub use fault::{LinkConditioner, LinkVerdict, OutageWindow};
 pub use tcp::{ConnKey, TcpEvent, TcpStack};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkClass, NodeId, NodeKind, Topology, TopologyBuilder, TopologyError};

@@ -485,8 +485,9 @@ impl Topology {
     }
 }
 
-/// SplitMix64-style deterministic mixing.
-pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
+/// SplitMix64-style deterministic mixing. Public because the fault layer
+/// ([`crate::fault`]) derives per-packet fate from the same rule.
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
     let mut z = a
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(b)

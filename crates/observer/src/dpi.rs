@@ -178,6 +178,11 @@ impl WireTap for DpiTap {
         if plan.was_new {
             self.stats.domains_observed += 1;
         }
+        if plan.capacity_evictions > 0 {
+            if let Some(m) = ctx.telemetry().metrics() {
+                m.retention_capacity_evictions.add(plan.capacity_evictions);
+            }
+        }
         self.stats.probes_scheduled += u64::from(plan.probes);
         self.stats.probes_beyond_retention += u64::from(plan.beyond_retention);
         if plan.probes > 0 {

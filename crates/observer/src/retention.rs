@@ -5,6 +5,12 @@
 //! shorter HTTP/TLS retention to "the limited storage capacity of routing
 //! devices serving as traffic observers". Both knobs live here: a hard
 //! capacity (FIFO eviction) and a time-to-live.
+//!
+//! Capacity evictions are surfaced through the run-section telemetry
+//! counter `retention_capacity_evictions` (bumped by every exhibitor that
+//! drives a store through `plan_probes`): per-shard stores see per-shard
+//! traffic subsets, so a nonzero count flags the sharded-equivalence
+//! caveat documented in DESIGN.md §5 instead of leaving it silent.
 
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_packet::dns::DnsName;

@@ -42,6 +42,11 @@ pub struct PlanStats {
     pub triggered: bool,
     pub probes: u32,
     pub beyond_retention: u32,
+    /// Items FIFO-evicted from the store to make room for this one. In a
+    /// sharded run per-shard stores see traffic subsets, so callers report
+    /// this to the *run* telemetry section — nonzero means the DESIGN.md §5
+    /// sharded-equivalence caveat is live for this campaign.
+    pub capacity_evictions: u64,
 }
 
 /// Plan the unsolicited probes for one observed `domain`. Returns the
@@ -62,7 +67,10 @@ pub fn plan_probes(
     exhibitor: &str,
 ) -> (Vec<(NodeId, SimDuration, ProbeOrder)>, PlanStats) {
     let mut stats = PlanStats::default();
-    if !store.observe(domain.clone(), via, now) {
+    let evictions_before = store.evictions();
+    let was_new = store.observe(domain.clone(), via, now);
+    stats.capacity_evictions = store.evictions() - evictions_before;
+    if !was_new {
         return (Vec::new(), stats);
     }
     stats.was_new = true;

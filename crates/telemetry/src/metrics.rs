@@ -199,12 +199,29 @@ pub struct MetricsRegistry {
     pub resolver_upstream_queries: Counter,
     /// Shadowing probes the on-path/exhibitor pipeline scheduled.
     pub shadow_probes_scheduled: Counter,
+    /// Fault injection: packets lost to value-derived link loss.
+    pub fault_packets_lost: Counter,
+    /// Fault injection: duplicate copies scheduled.
+    pub fault_packets_duplicated: Counter,
+    /// Fault injection: transmissions given extra jitter delay.
+    pub fault_packets_delayed: Counter,
+    /// Fault injection: packets dropped by node/link outage windows.
+    pub fault_outage_drops: Counter,
+    /// Fault injection: ICMP Time Exceeded suppressed by rate limiting.
+    pub fault_icmp_rate_limited: Counter,
+    /// DNS decoy retransmissions VPs issued (retry-protected decoys only).
+    pub dns_retries: Counter,
 
     // -- run diagnostics: legitimately run/shard-dependent ---------------
     /// Engine event-queue depth, sampled every few thousand events.
     pub queue_depth: Histogram,
     /// Events the engine drained (this shard).
     pub events_drained: Counter,
+    /// Retention-store capacity (FIFO) evictions. Run-section on purpose:
+    /// sharded stores see per-shard traffic subsets, so eviction counts
+    /// legitimately differ from the sequential run (DESIGN.md §5 caveat —
+    /// nonzero here means that caveat is live, not silent).
+    pub retention_capacity_evictions: Counter,
     /// Wall-clock nanoseconds per named phase (this shard).
     phase_wall_ns: Mutex<BTreeMap<String, u64>>,
 }
@@ -227,8 +244,15 @@ impl Default for MetricsRegistry {
             resolver_cache_hits: Counter::default(),
             resolver_upstream_queries: Counter::default(),
             shadow_probes_scheduled: Counter::default(),
+            fault_packets_lost: Counter::default(),
+            fault_packets_duplicated: Counter::default(),
+            fault_packets_delayed: Counter::default(),
+            fault_outage_drops: Counter::default(),
+            fault_icmp_rate_limited: Counter::default(),
+            dns_retries: Counter::default(),
             queue_depth: Histogram::pow2(),
             events_drained: Counter::default(),
+            retention_capacity_evictions: Counter::default(),
             phase_wall_ns: Mutex::new(BTreeMap::new()),
         }
     }
@@ -267,6 +291,12 @@ impl MetricsRegistry {
                 resolver_cache_hits: self.resolver_cache_hits.take(),
                 resolver_upstream_queries: self.resolver_upstream_queries.take(),
                 shadow_probes_scheduled: self.shadow_probes_scheduled.take(),
+                fault_packets_lost: self.fault_packets_lost.take(),
+                fault_packets_duplicated: self.fault_packets_duplicated.take(),
+                fault_packets_delayed: self.fault_packets_delayed.take(),
+                fault_outage_drops: self.fault_outage_drops.take(),
+                fault_icmp_rate_limited: self.fault_icmp_rate_limited.take(),
+                dns_retries: self.dns_retries.take(),
                 unsolicited_by_rule: BTreeMap::new(),
                 retention_intervals_ms: HistogramSnapshot::default(),
             },
@@ -274,6 +304,7 @@ impl MetricsRegistry {
                 shards: 1,
                 events_drained_per_shard: events_per_shard,
                 queue_depth: self.queue_depth.take(),
+                retention_capacity_evictions: self.retention_capacity_evictions.take(),
                 phase_wall_ns: std::mem::take(&mut self.phase_wall_ns.lock()),
             },
         }
@@ -297,6 +328,17 @@ pub struct WorldMetrics {
     pub resolver_cache_hits: u64,
     pub resolver_upstream_queries: u64,
     pub shadow_probes_scheduled: u64,
+    /// Fault-injection world counters. Value-derived per-packet decisions
+    /// make these deterministic and shard-invariant like everything else
+    /// in this section; all zero when no fault profile is installed.
+    pub fault_packets_lost: u64,
+    pub fault_packets_duplicated: u64,
+    pub fault_packets_delayed: u64,
+    pub fault_outage_drops: u64,
+    pub fault_icmp_rate_limited: u64,
+    /// DNS decoy retransmissions (a VP lives in exactly one shard, so the
+    /// sum across shards matches the sequential run).
+    pub dns_retries: u64,
     /// Unsolicited arrivals per classification rule (filled after
     /// correlation via [`MetricsSnapshot::record_classification`]).
     pub unsolicited_by_rule: BTreeMap<String, u64>,
@@ -318,6 +360,12 @@ impl WorldMetrics {
         self.resolver_cache_hits += other.resolver_cache_hits;
         self.resolver_upstream_queries += other.resolver_upstream_queries;
         self.shadow_probes_scheduled += other.shadow_probes_scheduled;
+        self.fault_packets_lost += other.fault_packets_lost;
+        self.fault_packets_duplicated += other.fault_packets_duplicated;
+        self.fault_packets_delayed += other.fault_packets_delayed;
+        self.fault_outage_drops += other.fault_outage_drops;
+        self.fault_icmp_rate_limited += other.fault_icmp_rate_limited;
+        self.dns_retries += other.dns_retries;
         merge_map(&mut self.unsolicited_by_rule, &other.unsolicited_by_rule);
         self.retention_intervals_ms
             .merge(&other.retention_intervals_ms);
@@ -332,6 +380,9 @@ pub struct RunMetrics {
     pub shards: u64,
     pub events_drained_per_shard: BTreeMap<u32, u64>,
     pub queue_depth: HistogramSnapshot,
+    /// Retention-store capacity (FIFO) evictions — run-section because
+    /// per-shard stores see traffic subsets (DESIGN.md §5).
+    pub retention_capacity_evictions: u64,
     pub phase_wall_ns: BTreeMap<String, u64>,
 }
 
@@ -342,6 +393,7 @@ impl RunMetrics {
             *self.events_drained_per_shard.entry(*shard).or_insert(0) += n;
         }
         self.queue_depth.merge(&other.queue_depth);
+        self.retention_capacity_evictions += other.retention_capacity_evictions;
         for (phase, ns) in &other.phase_wall_ns {
             *self.phase_wall_ns.entry(phase.clone()).or_insert(0) += ns;
         }
@@ -432,6 +484,26 @@ impl MetricsSnapshot {
         ));
         for (rule, n) in &w.unsolicited_by_rule {
             rows.push((format!("unsolicited ({rule})"), n.to_string()));
+        }
+        // Fault rows appear only when a fault profile actually fired, so
+        // fault-free summaries keep their pre-chaos shape.
+        for (label, n) in [
+            ("fault packets lost", w.fault_packets_lost),
+            ("fault packets duplicated", w.fault_packets_duplicated),
+            ("fault packets delayed", w.fault_packets_delayed),
+            ("fault outage drops", w.fault_outage_drops),
+            ("fault ICMP rate-limited", w.fault_icmp_rate_limited),
+            ("DNS decoy retries", w.dns_retries),
+        ] {
+            if n > 0 {
+                rows.push((label.to_string(), n.to_string()));
+            }
+        }
+        if self.run.retention_capacity_evictions > 0 {
+            rows.push((
+                "retention capacity evictions".to_string(),
+                self.run.retention_capacity_evictions.to_string(),
+            ));
         }
         rows.push(("shards merged".to_string(), self.run.shards.to_string()));
         for (shard, n) in &self.run.events_drained_per_shard {

@@ -7,6 +7,7 @@
 //! connections open). Everything a VP observes — DNS answers, ICMP Time
 //! Exceeded — is recorded for the campaign to harvest.
 
+use serde::{Deserialize, Serialize};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::tcp::{ConnKey, TcpEvent, TcpStack};
 use shadow_netsim::time::SimTime;
@@ -22,14 +23,40 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+/// Retry policy for a DNS decoy: resend the same query (same transaction
+/// id, same ident) up to `attempts` more times, `timeout_ms` apart, until
+/// an answer arrives. Stub resolvers retry on the lossy real Internet; the
+/// fault-injection sweeps rely on this to show DNS-path detection
+/// degrading slower than one-shot HTTP/TLS under loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRetry {
+    /// Extra transmissions after the first (0 = retries disabled).
+    pub attempts: u8,
+    /// Gap between transmissions in simulated milliseconds. Keep this
+    /// above the worst-case answer RTT: fault-free runs must never fire a
+    /// spurious retransmission, or they would no longer be byte-identical
+    /// to runs planned without retry.
+    pub timeout_ms: u64,
+}
+
+impl DnsRetry {
+    /// Paper-realistic stub-resolver default: two retries, 15 s apart.
+    pub const STANDARD: DnsRetry = DnsRetry {
+        attempts: 2,
+        timeout_ms: 15_000,
+    };
+}
+
 /// A command posted to a VP by the campaign controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VpCommand {
-    /// UDP/53 A query for `domain` to `dst` with initial TTL `ttl`.
+    /// UDP/53 A query for `domain` to `dst` with initial TTL `ttl`;
+    /// optionally retry-protected.
     DnsDecoy {
         domain: DnsName,
         dst: Ipv4Addr,
         ttl: u8,
+        retry: Option<DnsRetry>,
     },
     /// TCP handshake to `dst:80`, then `GET / HTTP/1.1` with Host `domain`.
     HttpDecoy {
@@ -118,6 +145,21 @@ enum PendingConn {
     EchTls { domain: DnsName, ident: u16 },
 }
 
+/// An unanswered retry-protected DNS decoy awaiting its timeout.
+#[derive(Debug)]
+struct PendingDns {
+    dst: Ipv4Addr,
+    ttl: u8,
+    /// Encoded UDP datagram of the original query — retransmissions are
+    /// byte-identical (same transaction id, same ident).
+    payload: Vec<u8>,
+    remaining: u8,
+    timeout_ms: u64,
+}
+
+/// Timer-token namespace for DNS retry timers; low 16 bits carry the ident.
+const DNS_RETRY_TOKEN: u64 = 0x5245_5452_0000_0000;
+
 /// The VP host.
 pub struct VantagePointHost {
     addr: Ipv4Addr,
@@ -129,6 +171,8 @@ pub struct VantagePointHost {
     pending_conns: HashMap<ConnKey, PendingConn>,
     /// TTL to use for packets of each pending connection.
     conn_ttl: HashMap<ConnKey, u8>,
+    /// Unanswered retry-protected DNS decoys, by ident.
+    pending_dns: HashMap<u16, PendingDns>,
     pub report: VpReport,
 }
 
@@ -141,6 +185,7 @@ impl VantagePointHost {
             next_ident: 1,
             pending_conns: HashMap::new(),
             conn_ttl: HashMap::new(),
+            pending_dns: HashMap::new(),
             report: VpReport::default(),
         }
     }
@@ -189,18 +234,36 @@ impl VantagePointHost {
 
     fn run_command(&mut self, cmd: VpCommand, ctx: &mut Ctx<'_>) {
         match cmd {
-            VpCommand::DnsDecoy { domain, dst, ttl } => {
+            VpCommand::DnsDecoy {
+                domain,
+                dst,
+                ttl,
+                retry,
+            } => {
                 let ident = self.alloc_ident(&domain, ttl, dst);
                 let query = DnsMessage::query(ident, domain.clone());
-                let pkt = self.packet(
-                    dst,
-                    IpProtocol::Udp,
-                    ttl,
-                    ident,
-                    UdpDatagram::new(10_000 + ident, 53, query.encode()).encode(),
-                );
+                let datagram = UdpDatagram::new(10_000 + ident, 53, query.encode()).encode();
+                let pkt = self.packet(dst, IpProtocol::Udp, ttl, ident, datagram.clone());
                 self.report.decoys_sent.push((ctx.now(), domain, ident));
                 ctx.send(pkt);
+                // Retry-free decoys arm no timer at all, so runs planned
+                // without retry stay byte-identical to pre-chaos runs.
+                if let Some(retry) = retry.filter(|r| r.attempts > 0) {
+                    self.pending_dns.insert(
+                        ident,
+                        PendingDns {
+                            dst,
+                            ttl,
+                            payload: datagram,
+                            remaining: retry.attempts,
+                            timeout_ms: retry.timeout_ms,
+                        },
+                    );
+                    ctx.timer(
+                        shadow_netsim::time::SimDuration::from_millis(retry.timeout_ms),
+                        DNS_RETRY_TOKEN | u64::from(ident),
+                    );
+                }
             }
             VpCommand::HttpDecoy { domain, dst, ttl } => {
                 let ident = self.alloc_ident(&domain, ttl, dst);
@@ -396,6 +459,9 @@ impl Host for VantagePointHost {
             Ok(Transport::Udp(dg)) if dg.src_port == 53 => {
                 if let Ok(msg) = DnsMessage::decode(&dg.payload) {
                     if msg.flags.response {
+                        // An answer (any rcode) settles the decoy: cancel
+                        // any outstanding retry.
+                        self.pending_dns.remove(&msg.id);
                         if let Some(qname) = msg.qname().cloned() {
                             let answer = msg.answers.iter().find_map(|rr| match rr.data {
                                 RecordData::A(a) => Some(a),
@@ -424,6 +490,37 @@ impl Host for VantagePointHost {
                 });
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token & DNS_RETRY_TOKEN != DNS_RETRY_TOKEN {
+            return;
+        }
+        let ident = (token & 0xFFFF) as u16;
+        // Already answered ⇒ the timer is a no-op.
+        let Some(pending) = self.pending_dns.get_mut(&ident) else {
+            return;
+        };
+        pending.remaining -= 1;
+        let (dst, ttl, payload) = (pending.dst, pending.ttl, pending.payload.clone());
+        let rearm = pending.remaining > 0;
+        if !rearm {
+            self.pending_dns.remove(&ident);
+        }
+        if let Some(m) = ctx.telemetry().metrics() {
+            m.dns_retries.inc();
+        }
+        // Byte-identical retransmission; not re-recorded in decoys_sent —
+        // it is the same logical decoy.
+        let pkt = self.packet(dst, IpProtocol::Udp, ttl, ident, payload);
+        ctx.send(pkt);
+        if rearm {
+            let timeout = self.pending_dns[&ident].timeout_ms;
+            ctx.timer(
+                shadow_netsim::time::SimDuration::from_millis(timeout),
+                DNS_RETRY_TOKEN | u64::from(ident),
+            );
         }
     }
 

@@ -126,6 +126,7 @@ fn dns_decoy_resolves_and_records_answer() {
             domain: domain("d1"),
             dst: w.resolver_addr,
             ttl: 64,
+            retry: None,
         }),
     );
     w.engine.run_to_completion();
@@ -214,6 +215,7 @@ fn ttl_sweep_records_icmp_per_probe() {
                 domain: domain(&format!("s{ttl}")),
                 dst: w.resolver_addr,
                 ttl,
+                retry: None,
             }),
         );
     }
@@ -243,6 +245,7 @@ fn ttl_rewrite_defect_breaks_the_sweep() {
             domain: domain("r1"),
             dst: w.resolver_addr,
             ttl: 1, // requested TTL 1, but the egress rewrites to 64
+            retry: None,
         }),
     );
     w.engine.run_to_completion();

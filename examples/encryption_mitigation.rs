@@ -33,6 +33,7 @@ fn run(seed: u64, encrypted: bool) -> StudyOutcome {
         trace_cap_per_protocol: 0, // landscape comparison only
         run_phase2: false,
         telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
+        faults: None,
     })
 }
 

@@ -12,17 +12,20 @@
 //! telemetry snapshot as JSON (and prints a summary table); `--journal`
 //! writes the canonically sorted event journal as JSONL (compare runs
 //! with the `journal_diff` example). `--tiny` runs the small test world
-//! instead of the paper-scale one (used by CI).
+//! instead of the paper-scale one (used by CI). `--loss P` injects P%
+//! uniform per-link packet loss (with the standard DNS retry policy);
+//! `--fault-seed S` re-keys which packets the faults hit.
 
 use shadow_analysis::report::{pct, render_series, render_table};
 use traffic_shadowing::shadow_analysis;
+use traffic_shadowing::shadow_chaos::{FaultProfile, RetrySpec};
 use traffic_shadowing::shadow_core::decoy::DecoyProtocol;
 use traffic_shadowing::shadow_core::executor::TelemetryOptions;
 use traffic_shadowing::shadow_netsim::time::SimDuration;
 use traffic_shadowing::study::{Study, StudyConfig};
 
-const USAGE: &str =
-    "usage: full_campaign [seed] [--shards N] [--tiny] [--metrics-out PATH] [--journal PATH]";
+const USAGE: &str = "usage: full_campaign [seed] [--shards N] [--tiny] [--metrics-out PATH] \
+     [--journal PATH] [--loss PERCENT] [--fault-seed S]";
 
 fn path_arg(args: &[String], i: usize, flag: &str) -> String {
     match args.get(i + 1) {
@@ -41,6 +44,8 @@ fn main() {
     let mut tiny = false;
     let mut metrics_out: Option<String> = None;
     let mut journal_out: Option<String> = None;
+    let mut loss_percent: f64 = 0.0;
+    let mut fault_seed: u64 = 1;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +76,30 @@ fn main() {
                 journal_out = Some(path_arg(&args, i, "--journal"));
                 i += 2;
             }
+            "--loss" => {
+                match args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    None => {
+                        eprintln!("--loss needs a percentage");
+                        std::process::exit(2);
+                    }
+                    Some(p) if !(0.0..=100.0).contains(&p) => {
+                        eprintln!("--loss must be between 0 and 100 (got {p})");
+                        std::process::exit(2);
+                    }
+                    Some(p) => loss_percent = p,
+                }
+                i += 2;
+            }
+            "--fault-seed" => {
+                match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    None => {
+                        eprintln!("--fault-seed needs a non-negative integer");
+                        std::process::exit(2);
+                    }
+                    Some(s) => fault_seed = s,
+                }
+                i += 2;
+            }
             raw => {
                 if let Ok(s) = raw.parse() {
                     seed = s;
@@ -87,8 +116,17 @@ fn main() {
     } else {
         TelemetryOptions::disabled()
     };
+    let faults = (loss_percent > 0.0).then(|| FaultProfile {
+        dns_retry: Some(RetrySpec::STANDARD),
+        ..FaultProfile::with_loss(
+            &format!("loss{loss_percent}%"),
+            loss_percent / 100.0,
+            fault_seed,
+        )
+    });
     let config = StudyConfig {
         telemetry,
+        faults,
         ..if tiny {
             StudyConfig::tiny(seed)
         } else {

@@ -34,6 +34,7 @@ fn main() {
         trace_cap_per_protocol: 10,
         run_phase2: false,
         telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
+        faults: None,
     };
     let outcome = Study::run(config);
 

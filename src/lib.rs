@@ -29,6 +29,7 @@
 //! ```
 
 pub use shadow_analysis;
+pub use shadow_chaos;
 pub use shadow_core;
 pub use shadow_dns;
 pub use shadow_geo;
@@ -40,6 +41,7 @@ pub use shadow_packet;
 pub use shadow_telemetry;
 pub use shadow_vantage;
 
+pub mod robustness;
 pub mod study;
 
 pub use study::{Study, StudyConfig, StudyOutcome};

@@ -2,6 +2,7 @@
 //! pre-flight, Phase I, correlation, Phase II, and the analysis inputs —
 //! everything the examples and benches build on.
 
+use crate::robustness::fault_targets;
 use shadow_analysis::breakdown::{self, DestinationBreakdown};
 use shadow_analysis::cases::{AnycastCase, CnObserverCase, ResolverCase};
 use shadow_analysis::landscape::LandscapeReport;
@@ -10,18 +11,22 @@ use shadow_analysis::origins::OriginAsReport;
 use shadow_analysis::probing::ProbingReport;
 use shadow_analysis::reuse::ReuseReport;
 use shadow_analysis::temporal::{interval_cdf, Cdf};
+use shadow_chaos::FaultProfile;
 use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
 use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::DecoyProtocol;
-use shadow_core::executor::{run_phase1_sharded_with, run_phase2_sharded, TelemetryOptions};
+use shadow_core::executor::{run_phase1_sharded_conditioned, run_phase2_sharded, TelemetryOptions};
 use shadow_core::noise::{NoiseFilter, PreflightOutcome};
 use shadow_core::phase2::{paths_to_trace, Phase2Config, Phase2Runner, TracerouteResult};
-use shadow_core::world::{generate_spec, World, WorldConfig};
+use shadow_core::world::{generate_spec, World, WorldConfig, WorldSpec};
 use shadow_dns::catalog::resolver_h;
 use shadow_geo::country::cc;
 use shadow_intel::{Blocklist, PortScanner};
+use shadow_netsim::fault::LinkConditioner;
+use shadow_vantage::vp::DnsRetry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Study-wide configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +41,10 @@ pub struct StudyConfig {
     /// Run-wide observability (metrics and/or event journal). Disabled by
     /// default — and zero-cost when disabled.
     pub telemetry: TelemetryOptions,
+    /// Fault injection: impair the network under a declarative profile
+    /// (see `shadow_chaos`). `None` (the default) leaves the engine's
+    /// conditioner slot empty — byte-identical to pre-chaos builds.
+    pub faults: Option<FaultProfile>,
 }
 
 impl StudyConfig {
@@ -51,6 +60,7 @@ impl StudyConfig {
             trace_cap_per_protocol: 12,
             run_phase2: true,
             telemetry: TelemetryOptions::disabled(),
+            faults: None,
         }
     }
 
@@ -63,7 +73,38 @@ impl StudyConfig {
             trace_cap_per_protocol: 60,
             run_phase2: true,
             telemetry: TelemetryOptions::disabled(),
+            faults: None,
         }
+    }
+
+    /// Install a fault profile (builder style, for sweeps).
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
+        self
+    }
+
+    /// The Phase I configuration with the fault profile's DNS retry
+    /// policy folded in (an explicit `phase1.dns_retry` wins).
+    fn phase1_effective(&self) -> Phase1Config {
+        let mut phase1 = self.phase1.clone();
+        if phase1.dns_retry.is_none() {
+            if let Some(profile) = &self.faults {
+                phase1.dns_retry = profile.dns_retry.map(|r| DnsRetry {
+                    attempts: r.attempts,
+                    timeout_ms: r.timeout_ms,
+                });
+            }
+        }
+        phase1
+    }
+
+    /// Compile the fault profile against `spec`'s node populations.
+    /// `None` when no profile is installed — the engine keeps its
+    /// zero-cost empty conditioner slot.
+    fn conditioner(&self, spec: &WorldSpec) -> Option<Arc<LinkConditioner>> {
+        self.faults
+            .as_ref()
+            .map(|profile| Arc::new(profile.compile(&fault_targets(spec))))
     }
 }
 
@@ -99,14 +140,22 @@ pub struct Study;
 
 impl Study {
     pub fn run(config: StudyConfig) -> StudyOutcome {
-        let mut world = World::build(config.world.clone());
+        // `World::build` is `generate_spec(..).instantiate()`; going
+        // through the spec here keeps one copy around for compiling the
+        // fault profile against the world's node populations.
+        let spec = generate_spec(config.world.clone());
+        let conditioner = config.conditioner(&spec);
+        let mut world = spec.instantiate();
         let preflight = NoiseFilter::run_and_apply(&mut world);
-        // Telemetry starts *after* the pre-flight, mirroring the sharded
-        // path (where the pre-flight replays in every shard and must not
-        // be counted K times).
+        // Telemetry and faults start *after* the pre-flight, mirroring the
+        // sharded path (where the pre-flight replays in every shard and
+        // must not be counted K times, and vets the platform on a healthy
+        // network so the global plan survives impairment).
         world.engine.set_telemetry(config.telemetry.handle(0));
+        world.engine.set_conditioner(conditioner);
 
-        let mut phase1 = CampaignRunner::run_phase1(&mut world, &config.phase1);
+        let phase1_config = config.phase1_effective();
+        let mut phase1 = CampaignRunner::run_phase1(&mut world, &phase1_config);
         let correlator = Correlator::new(&phase1.registry);
         let correlated = correlator.correlate(&phase1.arrivals);
 
@@ -158,7 +207,14 @@ impl Study {
     /// analysis bundle.
     pub fn run_sharded(config: StudyConfig, shards: usize) -> StudyOutcome {
         let spec = generate_spec(config.world.clone());
-        let mut sharded = run_phase1_sharded_with(&spec, &config.phase1, shards, config.telemetry);
+        let phase1_config = config.phase1_effective();
+        let mut sharded = run_phase1_sharded_conditioned(
+            &spec,
+            &phase1_config,
+            shards,
+            config.telemetry,
+            config.conditioner(&spec),
+        );
         let mut phase1 = sharded.data;
         let preflight = sharded.preflight;
         let correlator = Correlator::new(&phase1.registry);

@@ -1,0 +1,122 @@
+//! Fault injection must not cost the simulator its headline guarantee:
+//! a fixed `(WorldConfig, FaultProfile, seed)` triple produces
+//! byte-identical output — run twice, run sequentially, or run across any
+//! shard count. Every fault decision is value-derived from packet bytes,
+//! so shards that each see only a subset of the traffic still agree with
+//! the sequential run packet-for-packet.
+//!
+//! Also pins the boundary profiles: total loss delivers nothing, and a
+//! compiled-but-impairment-free profile is indistinguishable from running
+//! with no profile at all.
+
+use proptest::prelude::*;
+use traffic_shadowing::shadow_chaos::{ChurnSpec, FaultProfile, OutageSpec, RetrySpec, Window};
+use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
+
+const SEED: u64 = 99;
+
+fn bundle_json(outcome: &StudyOutcome) -> String {
+    outcome
+        .export_bundle()
+        .to_json()
+        .expect("bundle serializes")
+}
+
+/// A profile exercising every fault class at once.
+fn rich_profile() -> FaultProfile {
+    FaultProfile {
+        name: "rich".into(),
+        fault_seed: 0xC0FFEE,
+        loss: 0.01,
+        duplication: 0.005,
+        jitter_ms: 3,
+        icmp_rate_limit: 0.5,
+        router_outage: Some(OutageSpec {
+            fraction: 0.1,
+            window: Window::new(60_000, 600_000),
+        }),
+        link_outage: Some(OutageSpec {
+            fraction: 0.05,
+            window: Window::new(120_000, 300_000),
+        }),
+        resolver_outage: Some(Window::new(30_000, 90_000)),
+        vp_churn: Some(ChurnSpec {
+            fraction: 0.2,
+            window: Window::new(200_000, 500_000),
+        }),
+        honeypot_downtime: Some(Window::new(400_000, 450_000)),
+        dns_retry: Some(RetrySpec::STANDARD),
+    }
+}
+
+fn config_with(profile: FaultProfile) -> StudyConfig {
+    StudyConfig::tiny(SEED).with_faults(profile)
+}
+
+#[test]
+fn same_profile_same_seed_is_byte_identical() {
+    let a = Study::run(config_with(rich_profile()));
+    let b = Study::run(config_with(rich_profile()));
+    assert_eq!(a.phase1.arrivals, b.phase1.arrivals);
+    assert_eq!(a.traceroutes, b.traceroutes);
+    assert_eq!(bundle_json(&a), bundle_json(&b));
+}
+
+#[test]
+fn sharded_equivalence_survives_faults() {
+    let sequential = Study::run(config_with(rich_profile()));
+    let expected = bundle_json(&sequential);
+    for k in [1usize, 4] {
+        let sharded = Study::run_sharded(config_with(rich_profile()), k);
+        assert_eq!(
+            sequential.phase1.arrivals, sharded.phase1.arrivals,
+            "K={k}: Phase I arrival streams diverge under faults"
+        );
+        assert_eq!(
+            sequential.traceroutes, sharded.traceroutes,
+            "K={k}: Phase II traceroutes diverge under faults"
+        );
+        assert_eq!(
+            expected,
+            bundle_json(&sharded),
+            "K={k}: exported analysis bundles diverge under faults"
+        );
+    }
+}
+
+#[test]
+fn fault_seed_changes_which_packets_suffer() {
+    let a = Study::run(config_with(FaultProfile::with_loss("l", 0.05, 1)));
+    let b = Study::run(config_with(FaultProfile::with_loss("l", 0.05, 2)));
+    assert_ne!(
+        a.phase1.arrivals, b.phase1.arrivals,
+        "different fault seeds must impair different packets"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Total loss delivers nothing: no arrivals, no correlations, no
+    /// traceroute ever completes.
+    #[test]
+    fn total_loss_delivers_nothing(seed in 1u64..1_000) {
+        let profile = FaultProfile::with_loss("blackout", 1.0, seed);
+        let outcome = Study::run(config_with(profile));
+        prop_assert!(outcome.phase1.arrivals.is_empty());
+        prop_assert!(outcome.correlated.is_empty());
+        prop_assert!(outcome.traceroutes.iter().all(|r| r.normalized_hop.is_none()));
+    }
+
+    /// A zero-impairment profile (conditioner installed, nothing to do)
+    /// must match running with no profile at all, byte for byte.
+    #[test]
+    fn fault_free_profile_matches_no_profile(seed in 1u64..1_000) {
+        let mut clean = FaultProfile::baseline("clean");
+        clean.fault_seed = seed;
+        let with_profile = Study::run(config_with(clean));
+        let without = Study::run(StudyConfig::tiny(SEED));
+        prop_assert_eq!(&with_profile.phase1.arrivals, &without.phase1.arrivals);
+        prop_assert_eq!(bundle_json(&with_profile), bundle_json(&without));
+    }
+}

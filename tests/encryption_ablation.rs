@@ -19,6 +19,7 @@ fn run(seed: u64, encrypted: bool) -> StudyOutcome {
         trace_cap_per_protocol: 0,
         run_phase2: false,
         telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
+        faults: None,
     })
 }
 
