@@ -3,12 +3,36 @@
 //! larger simulated world cares about.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shadow_bench::hotpath::{pipeline_json_path, record_bench_json, run_hot_path};
 use shadow_bench::study;
 use traffic_shadowing::shadow_core::campaign::{CampaignRunner, Phase1Config};
 use traffic_shadowing::shadow_core::correlate::Correlator;
 use traffic_shadowing::shadow_core::noise::NoiseFilter;
 use traffic_shadowing::shadow_core::world::{World, WorldConfig};
 use traffic_shadowing::shadow_netsim::time::SimDuration;
+
+/// Engine hot path: per-hop forwarding + DPI inspection over a tapped
+/// router chain, recorded into `BENCH_pipeline.json` so the repo's perf
+/// trajectory is machine-readable (hops/sec, events/sec, peak RSS).
+fn hot_path(_c: &mut Criterion) {
+    if criterion::test_mode() {
+        // Smoke mode: prove the fixture still runs, but never overwrite
+        // the committed trajectory with a one-shot tiny measurement.
+        let metrics = run_hot_path(500);
+        println!("Testing pipeline/hot_path ... ok ({} hops)", metrics.hops);
+        return;
+    }
+    run_hot_path(2_000); // warm-up: route cache, allocator, branch predictors
+    let metrics = run_hot_path(60_000);
+    println!(
+        "BENCH {{\"name\":\"pipeline/hot_path\",\"iters\":1,\"mean_ns\":{},\"hops_per_sec\":{:.0},\"events_per_sec\":{:.0}}}",
+        metrics.elapsed_ns, metrics.hops_per_sec, metrics.events_per_sec
+    );
+    let record = record_bench_json(&pipeline_json_path(), "pipeline/hot_path", metrics);
+    if let Some(speedup) = record.speedup_hops_per_sec {
+        println!("hot_path speedup vs recorded baseline: {speedup:.2}x hops/sec");
+    }
+}
 
 fn bench(c: &mut Criterion) {
     // Correlation throughput over the cached standard campaign.
@@ -60,5 +84,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, hot_path, bench);
 criterion_main!(benches);

@@ -5,9 +5,15 @@
 //! process (a couple of seconds) and cached. Each bench then (a) prints the
 //! regenerated table or series — the actual reproduction artifact — and
 //! (b) times the analysis computation itself.
+//!
+//! The [`hotpath`] module holds the engine hot-path fixture behind the
+//! `BENCH_pipeline.json` perf-trajectory record: a tapped router chain that
+//! isolates per-hop forwarding + DPI inspection cost from campaign logic.
 
 use std::sync::OnceLock;
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
+
+pub mod hotpath;
 
 /// The seed every bench harness uses, so printed tables match
 /// EXPERIMENTS.md.

@@ -225,7 +225,7 @@ mod tests {
             protocol: proto,
             domain: domain.clone(),
             http_path: None,
-            honeypot: "AUTH".to_string(),
+            honeypot: "AUTH".into(),
         }
     }
 

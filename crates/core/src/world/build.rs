@@ -1197,8 +1197,14 @@ fn place_dpi_taps(b: &mut Builder) {
             ],
         };
         let origins = origin_pool(b, spec.label);
-        let routers = b.tb_routers(Asn(spec.asn));
-        for (j, router) in routers.iter().take(spec.routers_tapped).enumerate() {
+        // Copy out: the loop body mutates the builder while iterating.
+        let routers: Vec<NodeId> = b
+            .tb_routers(Asn(spec.asn))
+            .iter()
+            .take(spec.routers_tapped)
+            .copied()
+            .collect();
+        for (j, router) in routers.iter().enumerate() {
             let config = DpiConfig {
                 label: spec.label.to_string(),
                 watch_dns: spec.dns,
@@ -1226,7 +1232,7 @@ fn place_dpi_taps(b: &mut Builder) {
 
 impl Builder {
     /// Router nodes of an AS as recorded by the topology builder.
-    fn tb_routers(&self, asn: Asn) -> Vec<NodeId> {
+    fn tb_routers(&self, asn: Asn) -> &[NodeId] {
         self.tb.routers_of(asn)
     }
 }
@@ -1246,8 +1252,7 @@ fn place_interceptors(b: &mut Builder) {
             break;
         }
         let asn = cn_clouds[i % cn_clouds.len()];
-        let routers = b.tb_routers(asn);
-        let Some(&router) = routers.first() else {
+        let Some(&router) = b.tb_routers(asn).first() else {
             continue;
         };
         if b.ground_truth.interceptor_nodes.contains(&router) {

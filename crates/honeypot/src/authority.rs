@@ -6,7 +6,7 @@
 //! limits and other ethics machinery of the real deployment have no
 //! simulated equivalent and live in the honey website instead.
 
-use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog};
+use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::transport::Transport;
 use shadow_packet::dns::{DnsMessage, DnsName, DnsRecord, Rcode};
@@ -27,6 +27,9 @@ pub struct ExperimentAuthorityHost {
     /// region); selection is a stable hash of the queried name, so repeat
     /// queries hit the same honeypot.
     web_addrs: Vec<Ipv4Addr>,
+    /// Label stamped on every DNS capture ("AUTH"); built once so each
+    /// query's arrival record shares it.
+    label: Label,
     pub captures: CaptureLog,
     pub queries_answered: u64,
     pub out_of_zone_queries: u64,
@@ -39,6 +42,7 @@ impl ExperimentAuthorityHost {
             addr,
             zone,
             web_addrs,
+            label: "AUTH".into(),
             captures: CaptureLog::new(),
             queries_answered: 0,
             out_of_zone_queries: 0,
@@ -86,7 +90,7 @@ impl Host for ExperimentAuthorityHost {
                     protocol: ArrivalProtocol::Dns,
                     domain: qname.clone(),
                     http_path: None,
-                    honeypot: "AUTH".to_string(),
+                    honeypot: self.label.clone(),
                 },
                 ctx,
             );

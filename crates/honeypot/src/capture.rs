@@ -1,11 +1,63 @@
 //! Capture records: everything that arrives at a honeypot.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 use shadow_netsim::engine::Ctx;
 use shadow_netsim::time::SimTime;
 use shadow_packet::dns::DnsName;
 use shadow_telemetry::EventKind;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A honeypot's name ("US", "DE", "SG", "AUTH").
+///
+/// `Arc`-backed: every arrival carries its capturing honeypot's label, so
+/// the per-capture copy must be a reference-count bump, not a fresh heap
+/// string. Serializes as a plain string — capture-log and journal
+/// encodings are unchanged from the `String` representation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Serialize for Label {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for Label {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        String::deserialize_content(content).map(Label::from)
+    }
+}
 
 /// The protocol an arrival came in over — the `Request` half of the paper's
 /// `Decoy-Request` protocol-combination labels.
@@ -38,7 +90,7 @@ pub struct Arrival {
     /// For HTTP arrivals: the requested path (payload analysis, §5).
     pub http_path: Option<String>,
     /// Which honeypot captured it ("US", "DE", "SG").
-    pub honeypot: String,
+    pub honeypot: Label,
 }
 
 impl Arrival {
@@ -105,9 +157,11 @@ pub fn capture_with_telemetry(log: &mut CaptureLog, arrival: Arrival, ctx: &Ctx<
         if let Some(m) = telemetry.metrics() {
             m.arrivals_captured.inc(arrival.protocol.as_str());
         }
+        // The owned copy of the label is built inside the closure, so it
+        // is only paid for when a journal is actually attached.
         telemetry.event(arrival.at.millis(), Some(ctx.node().0), || {
             EventKind::ArrivalCaptured {
-                honeypot: arrival.honeypot.clone(),
+                honeypot: arrival.honeypot.as_str().to_owned(),
                 protocol: arrival.protocol.as_str().to_string(),
                 domain: arrival.domain.as_str().to_string(),
                 src: arrival.src,
@@ -128,7 +182,7 @@ mod tests {
             protocol: proto,
             domain: DnsName::parse("x.www.experiment.example").unwrap(),
             http_path: None,
-            honeypot: hp.to_string(),
+            honeypot: hp.into(),
         }
     }
 

@@ -2,7 +2,7 @@
 //! with logging disabled, the generic destination servers standing in for
 //! the Tranco-top-1K sites HTTP/TLS decoys are sent to.
 
-use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog};
+use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::tcp::{ConnKey, TcpEvent, TcpStack};
 use shadow_netsim::time::SimDuration;
@@ -152,7 +152,7 @@ pub struct WebHost {
     addr: Ipv4Addr,
     tcp: TcpStack,
     /// `Some(region)` = honeypot mode with capture; `None` = plain site.
-    honeypot_region: Option<String>,
+    honeypot_region: Option<Label>,
     captures: CaptureLog,
     /// Buffered bytes per connection until a full request parses.
     rx: HashMap<ConnKey, Vec<u8>>,
@@ -165,7 +165,7 @@ pub struct WebHost {
 impl WebHost {
     /// A logging honeypot in `region` ("US", "DE", "SG").
     pub fn honeypot(addr: Ipv4Addr, region: &str, seed: u32) -> Self {
-        Self::build(addr, Some(region.to_string()), seed)
+        Self::build(addr, Some(region.into()), seed)
     }
 
     /// A plain destination website (no capture) — a Tranco-site stand-in.
@@ -173,7 +173,7 @@ impl WebHost {
         Self::build(addr, None, seed)
     }
 
-    fn build(addr: Ipv4Addr, honeypot_region: Option<String>, seed: u32) -> Self {
+    fn build(addr: Ipv4Addr, honeypot_region: Option<Label>, seed: u32) -> Self {
         let mut tcp = TcpStack::new(seed);
         tcp.listen(80);
         tcp.listen(443);
@@ -431,7 +431,7 @@ mod tests {
                         self.tcp.send(key, self.payload.clone(), &mut out);
                         self.emit(out, ctx);
                     }
-                    TcpEvent::Data(_, bytes) => self.responses.push(bytes),
+                    TcpEvent::Data(_, bytes) => self.responses.push(bytes.to_vec()),
                     _ => {}
                 }
             }

@@ -5,12 +5,15 @@
 use crate::fault::{LinkConditioner, LinkVerdict};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
+use crate::wheel::TimeWheel;
 use shadow_packet::icmp::IcmpMessage;
 use shadow_packet::ipv4::{IpProtocol, Ipv4Packet, DEFAULT_TTL};
+use shadow_packet::DecodedView;
 use shadow_telemetry::{EventKind as TelemetryEvent, Telemetry};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 /// An endpoint application bound to one topology node (a VP, a resolver, a
@@ -44,8 +47,20 @@ pub enum TapVerdict {
 
 /// A passive (or not quite passive) device attached to a router, seeing
 /// every packet the router forwards.
+///
+/// `view` is the packet's shared parse-once memo: the first tap on the
+/// route that calls [`DecodedView::app_field`] pays for the application
+/// decode, every later tap (and every later hop) reads the cached result.
+/// Taps must read watched fields through the view rather than re-parsing
+/// the payload — see the contract in [`shadow_packet::view`].
 pub trait WireTap: Send + Sync {
-    fn on_packet(&mut self, pkt: &Ipv4Packet, at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict;
+    fn on_packet(
+        &mut self,
+        pkt: &Ipv4Packet,
+        view: &DecodedView,
+        at: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) -> TapVerdict;
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
 
@@ -170,9 +185,12 @@ impl Ctx<'_> {
 /// Why a timer callback targets a tap and not a host: taps call
 /// [`Ctx::timer`] too, so the engine must remember which kind armed it.
 enum EventKind {
-    /// Packet arriving at `path[idx]`.
+    /// Packet arriving at `path[idx]`. The view is the packet's parse-once
+    /// memo, shared (Arc) with any fault-injected duplicate — duplicates
+    /// carry identical bytes, so they share one decode.
     Hop {
         pkt: Ipv4Packet,
+        view: Arc<DecodedView>,
         path: Arc<[NodeId]>,
         idx: usize,
     },
@@ -189,33 +207,6 @@ enum EventKind {
         node: NodeId,
         msg: Box<dyn Any + Send + Sync>,
     },
-}
-
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap via reversal: earliest time first, then insertion order.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// Aggregate counters, exposed for tests and benches.
@@ -249,7 +240,7 @@ impl EngineStats {
 /// The simulator.
 pub struct Engine {
     topo: Topology,
-    queue: BinaryHeap<Event>,
+    queue: TimeWheel<EventKind>,
     hosts: HashMap<NodeId, Box<dyn Host>>,
     taps: HashMap<NodeId, Vec<Box<dyn WireTap>>>,
     now: SimTime,
@@ -260,13 +251,19 @@ pub struct Engine {
     /// Installed fault profile (None = perfectly reliable network; every
     /// conditioner check then reduces to one `None` branch).
     conditioner: Option<Arc<LinkConditioner>>,
+    /// Per-engine route memo, consulted on every [`Engine::launch`].
+    /// Lives here rather than in [`Topology`] so sharded campaigns never
+    /// contend on a shared lock — each shard's engine warms its own cache
+    /// with exactly the routes its traffic uses. `None` records an
+    /// unroutable destination (negative caching).
+    route_cache: HashMap<(NodeId, Ipv4Addr), Option<Arc<[NodeId]>>>,
 }
 
 impl Engine {
     pub fn new(topo: Topology) -> Self {
         Self {
             topo,
-            queue: BinaryHeap::new(),
+            queue: TimeWheel::new(),
             hosts: HashMap::new(),
             taps: HashMap::new(),
             now: SimTime::ZERO,
@@ -275,6 +272,7 @@ impl Engine {
             stats: EngineStats::default(),
             telemetry: Telemetry::disabled(),
             conditioner: None,
+            route_cache: HashMap::new(),
         }
     }
 
@@ -363,11 +361,7 @@ impl Engine {
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Event {
-            at,
-            seq: self.seq,
-            kind,
-        });
+        self.queue.push(at, self.seq, kind);
     }
 
     /// Route a packet leaving `from` and schedule its first hop.
@@ -383,17 +377,32 @@ impl Engine {
                 return;
             }
         }
-        let Some(path) = self.topo.route_to_addr(from, pkt.header.dst) else {
+        let path = match self.route_cache.entry((from, pkt.header.dst)) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(v) => v
+                .insert(self.topo.route_to_addr(from, pkt.header.dst))
+                .clone(),
+        };
+        let Some(path) = path else {
             self.stats.packets_dropped_unroutable += 1;
             return;
         };
+        let view = Arc::new(DecodedView::new());
         if path.len() == 1 {
             // Loopback: deliver to self immediately.
-            self.push(at, EventKind::Hop { pkt, path, idx: 0 });
+            self.push(
+                at,
+                EventKind::Hop {
+                    pkt,
+                    view,
+                    path,
+                    idx: 0,
+                },
+            );
             return;
         }
         let delay = SimDuration::from_millis(self.topo.latency_ms(path[0], path[1]));
-        self.schedule_link(at, delay, pkt, path, 1);
+        self.schedule_link(at, delay, pkt, view, path, 1);
     }
 
     /// Schedule arrival at `path[idx]` after crossing the link
@@ -404,6 +413,7 @@ impl Engine {
         depart: SimTime,
         base_delay: SimDuration,
         pkt: Ipv4Packet,
+        view: Arc<DecodedView>,
         path: Arc<[NodeId]>,
         idx: usize,
     ) {
@@ -442,16 +452,28 @@ impl Engine {
                     if let Some(m) = self.telemetry.metrics() {
                         m.fault_packets_duplicated.inc();
                     }
+                    // Cheap duplicate: the clone bumps the payload and view
+                    // refcounts; no bytes are copied and the decode memo is
+                    // shared between original and duplicate.
                     self.push(
                         arrive + SimDuration::from_millis(gap_ms),
                         EventKind::Hop {
                             pkt: pkt.clone(),
+                            view: view.clone(),
                             path: path.clone(),
                             idx,
                         },
                     );
                 }
-                self.push(arrive, EventKind::Hop { pkt, path, idx });
+                self.push(
+                    arrive,
+                    EventKind::Hop {
+                        pkt,
+                        view,
+                        path,
+                        idx,
+                    },
+                );
             }
         }
     }
@@ -460,13 +482,13 @@ impl Engine {
     /// Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev.kind);
+            let (at, _, kind) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(kind);
             processed += 1;
             self.stats.events_processed += 1;
             if processed & 0xFFF == 0 {
@@ -482,7 +504,7 @@ impl Engine {
         }
         self.now = self
             .now
-            .max(deadline.min(self.queue.peek().map(|e| e.at).unwrap_or(deadline)));
+            .max(deadline.min(self.queue.peek_at().unwrap_or(deadline)));
         processed
     }
 
@@ -497,7 +519,7 @@ impl Engine {
     pub fn run_with_budget(&mut self, max_events: u64) -> (u64, bool) {
         let mut processed = 0;
         while processed < max_events {
-            let Some(ev) = self.queue.pop() else {
+            let Some((at, _, kind)) = self.queue.pop() else {
                 if processed > 0 {
                     if let Some(m) = self.telemetry.metrics() {
                         m.events_drained.add(processed);
@@ -505,8 +527,8 @@ impl Engine {
                 }
                 return (processed, true);
             };
-            self.now = ev.at;
-            self.dispatch(ev.kind);
+            self.now = at;
+            self.dispatch(kind);
             processed += 1;
             self.stats.events_processed += 1;
             if processed & 0xFFF == 0 {
@@ -526,8 +548,13 @@ impl Engine {
     fn dispatch(&mut self, kind: EventKind) {
         let mut actions = Vec::new();
         match kind {
-            EventKind::Hop { pkt, path, idx } => {
-                self.hop(pkt, path, idx, &mut actions);
+            EventKind::Hop {
+                pkt,
+                view,
+                path,
+                idx,
+            } => {
+                self.hop(pkt, view, path, idx, &mut actions);
             }
             EventKind::HostTimer { node, token } => {
                 if let Some(mut host) = self.hosts.remove(&node) {
@@ -581,6 +608,7 @@ impl Engine {
     fn hop(
         &mut self,
         mut pkt: Ipv4Packet,
+        view: Arc<DecodedView>,
         path: Arc<[NodeId]>,
         idx: usize,
         actions: &mut Vec<Action>,
@@ -625,7 +653,7 @@ impl Engine {
                         telemetry: &self.telemetry,
                         actions,
                     };
-                    if tap.on_packet(&pkt, node_id, &mut ctx) == TapVerdict::Drop {
+                    if tap.on_packet(&pkt, &view, node_id, &mut ctx) == TapVerdict::Drop {
                         dropped = true;
                         break;
                     }
@@ -699,7 +727,9 @@ impl Engine {
             }
             let next = path[idx + 1];
             let delay = SimDuration::from_millis(self.topo.latency_ms(node_id, next));
-            self.schedule_link(self.now, delay, pkt, path, idx + 1);
+            // TTL decrement touched only the header; the payload (and
+            // therefore the cached view) is unchanged — keep sharing it.
+            self.schedule_link(self.now, delay, pkt, view, path, idx + 1);
         } else {
             // Endpoint delivery.
             debug_assert!(is_final, "hosts only appear at path ends");
@@ -775,7 +805,7 @@ mod tests {
                 return;
             }
             let dg = UdpDatagram::decode(&pkt.payload).expect("well-formed in test");
-            self.received.push((ctx.now(), dg.payload.clone()));
+            self.received.push((ctx.now(), dg.payload.to_vec()));
             let reply = UdpDatagram::new(dg.dst_port, dg.src_port, dg.payload);
             ctx.send(Ipv4Packet::new(
                 self.addr,
@@ -845,7 +875,13 @@ mod tests {
     }
 
     impl WireTap for CountingTap {
-        fn on_packet(&mut self, pkt: &Ipv4Packet, _at: NodeId, _ctx: &mut Ctx<'_>) -> TapVerdict {
+        fn on_packet(
+            &mut self,
+            pkt: &Ipv4Packet,
+            _view: &DecodedView,
+            _at: NodeId,
+            _ctx: &mut Ctx<'_>,
+        ) -> TapVerdict {
             self.seen += 1;
             if Some(pkt.header.dst) == self.poison {
                 TapVerdict::Drop

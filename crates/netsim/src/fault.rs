@@ -283,7 +283,7 @@ mod tests {
             ident,
             vec![1, 2, 3, 4],
         );
-        (pkt.header, pkt.payload)
+        (pkt.header, pkt.payload.to_vec())
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod transport;
+pub mod wheel;
 
 pub use engine::{Ctx, Engine, EngineStats, Host, TapVerdict, WireTap};
 pub use fault::{LinkConditioner, LinkVerdict, OutageWindow};
@@ -38,3 +39,4 @@ pub use time::{SimDuration, SimTime};
 pub use topology::{LinkClass, NodeId, NodeKind, Topology, TopologyBuilder, TopologyError};
 pub use trace::{PacketTrace, TraceEntry};
 pub use transport::Transport;
+pub use wheel::TimeWheel;

@@ -12,6 +12,7 @@
 //! real handshake semantics.
 
 use shadow_packet::tcp::{TcpFlags, TcpSegment};
+use shadow_packet::SharedBytes;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -54,8 +55,9 @@ struct Conn {
 pub enum TcpEvent {
     /// Handshake completed (either role).
     Established(ConnKey),
-    /// In-order payload bytes arrived.
-    Data(ConnKey, Vec<u8>),
+    /// In-order payload bytes arrived (shared with the segment — surfacing
+    /// data to the application copies nothing).
+    Data(ConnKey, SharedBytes),
     /// Peer closed cleanly.
     Closed(ConnKey),
     /// Connection reset (peer RST or protocol violation).
@@ -153,7 +155,12 @@ impl TcpStack {
 
     /// Send payload on an established connection. Returns `false` (and
     /// emits nothing) if the connection cannot carry data.
-    pub fn send(&mut self, key: ConnKey, data: Vec<u8>, out: &mut Vec<TcpSegment>) -> bool {
+    pub fn send(
+        &mut self,
+        key: ConnKey,
+        data: impl Into<SharedBytes>,
+        out: &mut Vec<TcpSegment>,
+    ) -> bool {
         let Some(conn) = self.conns.get_mut(&key) else {
             return false;
         };
@@ -186,7 +193,7 @@ impl TcpStack {
                     conn.snd_nxt,
                     conn.rcv_nxt,
                     TcpFlags::FIN_ACK,
-                    Vec::new(),
+                    SharedBytes::empty(),
                 );
                 conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
                 conn.state = if conn.state == ConnState::CloseWait {
@@ -209,7 +216,7 @@ impl TcpStack {
                 conn.snd_nxt,
                 conn.rcv_nxt,
                 TcpFlags::RST.union(TcpFlags::ACK),
-                Vec::new(),
+                SharedBytes::empty(),
             ));
             conn.state = ConnState::Closed;
         }
@@ -270,7 +277,7 @@ impl TcpStack {
                             conn.snd_nxt,
                             conn.rcv_nxt,
                             TcpFlags::ACK,
-                            Vec::new(),
+                            SharedBytes::empty(),
                         ));
                         events.push(TcpEvent::Established(key));
                     }
@@ -334,7 +341,7 @@ impl TcpStack {
                 conn.snd_nxt,
                 conn.rcv_nxt,
                 TcpFlags::ACK,
-                Vec::new(),
+                SharedBytes::empty(),
             ));
         }
     }
@@ -404,12 +411,12 @@ mod tests {
         let mut c_out = Vec::new();
         assert!(client.send(key, b"request".to_vec(), &mut c_out));
         let (_, s_ev) = pump(&mut client, &mut server, c_out, Vec::new());
-        assert!(s_ev.contains(&TcpEvent::Data(server_key, b"request".to_vec())));
+        assert!(s_ev.contains(&TcpEvent::Data(server_key, b"request".to_vec().into())));
 
         let mut s_out = Vec::new();
         assert!(server.send(server_key, b"response".to_vec(), &mut s_out));
         let (c_ev, _) = pump(&mut client, &mut server, Vec::new(), s_out);
-        assert!(c_ev.contains(&TcpEvent::Data(key, b"response".to_vec())));
+        assert!(c_ev.contains(&TcpEvent::Data(key, b"response".to_vec().into())));
     }
 
     #[test]

@@ -209,12 +209,12 @@ impl TopologyBuilder {
 
     /// Router nodes registered so far for an AS (in insertion order) —
     /// world builders need these before the topology is frozen, e.g. to
-    /// attach wire taps.
-    pub fn routers_of(&self, asn: Asn) -> Vec<NodeId> {
+    /// attach wire taps. Borrows, matching [`Topology::routers_of`].
+    pub fn routers_of(&self, asn: Asn) -> &[NodeId] {
         self.ases
             .get(&asn)
-            .map(|e| e.routers.clone())
-            .unwrap_or_default()
+            .map(|e| e.routers.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Register an additional address for an existing node (e.g. a
@@ -251,7 +251,6 @@ impl TopologyBuilder {
             adj,
             addr_map: self.addr_map,
             bfs_cache: Mutex::new(HashMap::new()),
-            route_cache: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -272,15 +271,12 @@ pub struct Topology {
     adj: HashMap<Asn, Vec<Asn>>,
     addr_map: HashMap<Ipv4Addr, Vec<NodeId>>,
     bfs_cache: Mutex<HashMap<Asn, Arc<BfsTree>>>,
-    route_cache: Mutex<RouteCache>,
 }
 
-/// Memoized hop sequences, keyed by (src node, dst node).
-type RouteCache = HashMap<(NodeId, NodeId), Arc<[NodeId]>>;
-
 impl Clone for Topology {
-    /// Clone the graph data; the route/BFS caches are pure memoization and
-    /// restart empty (each shard's engine warms its own).
+    /// Clone the graph data; the BFS cache is pure memoization and restarts
+    /// empty. (Full node-level routes are memoized per engine, not here —
+    /// see the engine's route cache — so shards never contend on a lock.)
     fn clone(&self) -> Self {
         Self {
             seed: self.seed,
@@ -289,7 +285,6 @@ impl Clone for Topology {
             adj: self.adj.clone(),
             addr_map: self.addr_map.clone(),
             bfs_cache: Mutex::new(HashMap::new()),
-            route_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -429,13 +424,15 @@ impl Topology {
     }
 
     /// Full node-level route from `src` to `dst` (both inclusive). `None`
-    /// if the ASes are disconnected. Cached.
+    /// if the ASes are disconnected.
+    ///
+    /// Pure computation (the AS-level BFS underneath is memoized); callers
+    /// on the hot path memoize whole routes themselves — the engine keeps a
+    /// per-shard `(src, dst addr) → route` cache so concurrent shards never
+    /// serialize on a shared lock here.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
         if src == dst {
             return Some(Arc::from(vec![src].into_boxed_slice()));
-        }
-        if let Some(cached) = self.route_cache.lock().get(&(src, dst)) {
-            return Some(Arc::clone(cached));
         }
         let src_as = self.node(src).asn;
         let dst_as = self.node(dst).asn;
@@ -449,9 +446,7 @@ impl Topology {
         // Never route *through* the endpoints themselves.
         hops.retain(|&n| n == src || self.node(n).is_router());
         hops.push(dst);
-        let arc: Arc<[NodeId]> = Arc::from(hops.into_boxed_slice());
-        self.route_cache.lock().insert((src, dst), Arc::clone(&arc));
-        Some(arc)
+        Some(Arc::from(hops.into_boxed_slice()))
     }
 
     /// Route to an address, resolving anycast first.
@@ -553,12 +548,11 @@ mod tests {
     }
 
     #[test]
-    fn route_is_deterministic_and_cached() {
+    fn route_is_deterministic() {
         let (topo, client, server) = chain();
         let r1 = topo.route(client, server).unwrap();
         let r2 = topo.route(client, server).unwrap();
-        assert_eq!(r1, r2);
-        assert!(Arc::ptr_eq(&r1, &r2), "second lookup hits the cache");
+        assert_eq!(r1, r2, "recomputation yields the identical route");
     }
 
     #[test]

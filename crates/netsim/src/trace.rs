@@ -8,6 +8,7 @@ use crate::time::SimTime;
 use crate::topology::NodeId;
 use crate::transport::Transport;
 use shadow_packet::ipv4::{IpProtocol, Ipv4Packet};
+use shadow_packet::DecodedView;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -98,7 +99,13 @@ impl PacketTrace {
 }
 
 impl WireTap for PacketTrace {
-    fn on_packet(&mut self, pkt: &Ipv4Packet, at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict {
+    fn on_packet(
+        &mut self,
+        pkt: &Ipv4Packet,
+        _view: &DecodedView,
+        at: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) -> TapVerdict {
         self.total_seen += 1;
         if self.entries.len() == self.capacity {
             self.entries.pop_front();

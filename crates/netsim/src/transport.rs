@@ -19,8 +19,8 @@ impl Transport {
     /// Decode the transport message inside `pkt`.
     pub fn parse(pkt: &Ipv4Packet) -> Result<Self, DecodeError> {
         match pkt.header.protocol {
-            IpProtocol::Udp => UdpDatagram::decode(&pkt.payload).map(Transport::Udp),
-            IpProtocol::Tcp => TcpSegment::decode(&pkt.payload).map(Transport::Tcp),
+            IpProtocol::Udp => UdpDatagram::decode_shared(&pkt.payload).map(Transport::Udp),
+            IpProtocol::Tcp => TcpSegment::decode_shared(&pkt.payload).map(Transport::Tcp),
             IpProtocol::Icmp => IcmpMessage::decode(&pkt.payload).map(Transport::Icmp),
             IpProtocol::Other(n) => Err(DecodeError::Unsupported {
                 what: "IP protocol",

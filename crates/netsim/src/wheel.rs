@@ -1,0 +1,346 @@
+//! [`TimeWheel`]: the engine's indexed event queue.
+//!
+//! A discrete-event simulation of packet forwarding schedules almost all of
+//! its events a few link latencies ahead (1–119 ms per hop), while a small
+//! minority — probe timers, retention expiries — land seconds to days out.
+//! A binary heap pays `O(log n)` per operation over the whole mixed
+//! population; this queue splits it:
+//!
+//! * **Wheel**: a power-of-two ring of per-millisecond buckets covering
+//!   `[cursor, cursor + SLOTS)`. Push is `O(1)`; pop scans an occupancy
+//!   bitmap (one or two words for hot traffic) and drains a bucket.
+//! * **Overflow heap**: events beyond the wheel horizon — or behind the
+//!   cursor, which only test harnesses produce — fall back to a
+//!   `BinaryHeap`. They are popped straight from the heap when due; the
+//!   wheel and heap fronts are compared on every pop, so no migration step
+//!   is needed and no ordering corner exists between the two.
+//!
+//! ## Tie-break rule
+//!
+//! Pop order is exactly ascending `(at, seq)` — identical to the
+//! `BinaryHeap<Event>` ordering this queue replaced (earliest simulated
+//! time first; same-timestamp events in push order). The property test at
+//! the bottom pins the equivalence against a reference heap, and the
+//! sharded-equivalence suite pins it end to end.
+//!
+//! Invariant that keeps buckets single-timestamped: every wheel-resident
+//! event's time lies in `[cursor, cursor + SLOTS)`, and `cursor` never
+//! decreases, so two distinct times in the window can never share a bucket
+//! (they would differ by at least `SLOTS`).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Wheel size in 1 ms slots. 4096 ⇒ a ~4-second horizon, comfortably
+/// covering per-hop latencies plus fault jitter; anything slower (probe
+/// schedules, retention TTLs) belongs in the overflow heap anyway.
+const SLOTS: usize = 4096;
+const WORDS: usize = SLOTS / 64;
+
+struct OverflowEntry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for OverflowEntry<T> {}
+
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversal, same rule the engine's `Event` used.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A bucketed timer wheel with a heap fallback; see the module docs.
+pub struct TimeWheel<T> {
+    slots: Box<[Vec<(SimTime, u64, T)>]>,
+    occupied: [u64; WORDS],
+    /// Lowest timestamp the wheel may currently hold.
+    cursor: u64,
+    /// Events resident in `slots` (excludes `due` and `overflow`).
+    wheel_len: usize,
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// The bucket being drained, reversed so `pop()` takes from the end in
+    /// ascending-seq order.
+    due: Vec<(SimTime, u64, T)>,
+}
+
+impl<T> Default for TimeWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimeWheel<T> {
+    pub fn new() -> Self {
+        Self {
+            slots: std::iter::repeat_with(Vec::new).take(SLOTS).collect(),
+            occupied: [0; WORDS],
+            cursor: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            due: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.due.len() + self.overflow.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert an event. `seq` values must be unique and increase across
+    /// pushes — the engine's event counter provides both.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        let t = at.0;
+        if t >= self.cursor && t < self.cursor.saturating_add(SLOTS as u64) {
+            let slot = (t % SLOTS as u64) as usize;
+            self.slots[slot].push((at, seq, item));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(OverflowEntry { at, seq, item });
+        }
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_at(&mut self) -> Option<SimTime> {
+        self.load_due();
+        let due = self.due.last().map(|&(at, seq, _)| (at, seq));
+        let over = self.overflow.peek().map(|e| (e.at, e.seq));
+        match (due, over) {
+            (None, None) => None,
+            (Some((at, _)), None) => Some(at),
+            (None, Some((at, _))) => Some(at),
+            (Some(d), Some(o)) => Some(d.min(o).0),
+        }
+    }
+
+    /// Remove and return the next event in ascending `(at, seq)` order.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.load_due();
+        let due_key = self.due.last().map(|&(at, seq, _)| (at, seq));
+        let over_key = self.overflow.peek().map(|e| (e.at, e.seq));
+        let from_overflow = match (due_key, over_key) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(d), Some(o)) => o < d,
+        };
+        if from_overflow {
+            let e = self.overflow.pop().expect("peeked");
+            // The cursor may advance past drained wheel ground, never
+            // backwards (a past-cursor overflow event leaves it alone).
+            self.cursor = self.cursor.max(e.at.0);
+            Some((e.at, e.seq, e.item))
+        } else {
+            self.due.pop()
+        }
+    }
+
+    /// If no bucket is being drained, find the earliest occupied bucket,
+    /// advance the cursor to its timestamp, and stage it for popping.
+    fn load_due(&mut self) {
+        if !self.due.is_empty() || self.wheel_len == 0 {
+            return;
+        }
+        let start = (self.cursor % SLOTS as u64) as usize;
+        let slot = self
+            .next_occupied(start)
+            .expect("wheel_len > 0 implies an occupied slot");
+        let mut bucket = std::mem::take(&mut self.slots[slot]);
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+        self.wheel_len -= bucket.len();
+        debug_assert!(
+            bucket
+                .windows(2)
+                .all(|w| w[0].0 == w[1].0 && w[0].1 < w[1].1),
+            "bucket must be single-timestamped and seq-ascending"
+        );
+        self.cursor = bucket[0].0 .0;
+        bucket.reverse(); // pop() takes from the end ⇒ ascending seq
+        self.due = bucket;
+    }
+
+    /// First occupied slot at or after `start`, scanning the bitmap
+    /// circularly (word at a time, so a hot wheel costs one or two words).
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let first_word = start / 64;
+        // Mask off bits before `start` in its word.
+        let head = self.occupied[first_word] & (!0u64 << (start % 64));
+        if head != 0 {
+            return Some(first_word * 64 + head.trailing_zeros() as usize);
+        }
+        for i in 1..=WORDS {
+            let w = (first_word + i) % WORDS;
+            let bits = if i == WORDS {
+                // Wrapped fully around: the bits before `start` come last.
+                self.occupied[w] & !(!0u64 << (start % 64))
+            } else {
+                self.occupied[w]
+            };
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: the `BinaryHeap<Event>` the wheel replaced.
+    struct RefHeap<T>(BinaryHeap<OverflowEntry<T>>);
+
+    impl<T> RefHeap<T> {
+        fn new() -> Self {
+            Self(BinaryHeap::new())
+        }
+
+        fn push(&mut self, at: SimTime, seq: u64, item: T) {
+            self.0.push(OverflowEntry { at, seq, item });
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+            self.0.pop().map(|e| (e.at, e.seq, e.item))
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimeWheel::new();
+        w.push(SimTime(5), 1, "a");
+        w.push(SimTime(3), 2, "b");
+        w.push(SimTime(5), 3, "c");
+        w.push(SimTime(3), 4, "d");
+        let order: Vec<_> = std::iter::from_fn(|| w.pop()).map(|(_, _, x)| x).collect();
+        assert_eq!(order, vec!["b", "d", "a", "c"]);
+    }
+
+    #[test]
+    fn same_timestamp_dispatch_order_matches_heap() {
+        // The satellite guarantee: within a timestamp, the wheel dispatches
+        // in exactly the order the old heap did (push order via seq).
+        let mut wheel = TimeWheel::new();
+        let mut heap = RefHeap::new();
+        let mut seq = 0u64;
+        // Many events on few timestamps, some in the wheel window, some far
+        // beyond it, some pushed "late" (behind earlier pops).
+        let times = [7u64, 3, 7, 100_000, 3, 7, 100_000, 3, 0, 50_000_000];
+        for (i, &t) in times.iter().enumerate() {
+            seq += 1;
+            wheel.push(SimTime(t), seq, i);
+            heap.push(SimTime(t), seq, i);
+        }
+        for _ in 0..3 {
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        // Interleave more pushes mid-drain.
+        for (i, &t) in [5u64, 5, 9_999_999, 5].iter().enumerate() {
+            seq += 1;
+            wheel.push(SimTime(t), seq, 100 + i);
+            heap.push(SimTime(t), seq, 100 + i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn far_future_and_past_events_take_the_overflow_path() {
+        let mut w = TimeWheel::new();
+        w.push(SimTime(1), 1, "near");
+        w.push(SimTime(10_000_000), 2, "far");
+        assert_eq!(w.pop().unwrap().2, "near");
+        // Cursor is now at 1; a push behind it still orders correctly.
+        w.push(SimTime(0), 3, "past");
+        assert_eq!(w.pop().unwrap().2, "past");
+        assert_eq!(w.pop().unwrap().2, "far");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_all_three_regions() {
+        let mut w = TimeWheel::new();
+        assert!(w.is_empty());
+        w.push(SimTime(2), 1, ());
+        w.push(SimTime(2), 2, ());
+        w.push(SimTime(999_999_999), 3, ());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.peek_at(), Some(SimTime(2)));
+        w.pop();
+        assert_eq!(w.len(), 2, "due buffer still counted");
+        w.pop();
+        w.pop();
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn randomized_equivalence_with_reference_heap() {
+        // Deterministic pseudo-random workload: mixed near/far times,
+        // interleaved pushes and pops, compared op for op with the heap.
+        let mut wheel = TimeWheel::new();
+        let mut heap = RefHeap::new();
+        let mut seq = 0u64;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut clock = 0u64;
+        for _ in 0..5_000 {
+            match rand() % 3 {
+                0 | 1 => {
+                    // Push near the clock, sometimes far out, on a coarse
+                    // grid so timestamp collisions are common.
+                    let delta = match rand() % 10 {
+                        0 => rand() % 100_000_000, // far future
+                        _ => (rand() % 50) * 3,    // hot window, collisions
+                    };
+                    seq += 1;
+                    wheel.push(SimTime(clock + delta), seq, seq);
+                    heap.push(SimTime(clock + delta), seq, seq);
+                }
+                _ => {
+                    let (a, b) = (wheel.pop(), heap.pop());
+                    assert_eq!(a, b);
+                    if let Some((at, _, _)) = a {
+                        clock = clock.max(at.0);
+                    }
+                }
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

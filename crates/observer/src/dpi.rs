@@ -11,11 +11,9 @@ use crate::retention::RetentionStore;
 use shadow_netsim::engine::{Ctx, TapVerdict, WireTap};
 use shadow_netsim::time::SimDuration;
 use shadow_netsim::topology::NodeId;
-use shadow_netsim::transport::Transport;
-use shadow_packet::dns::{DnsMessage, DnsName};
-use shadow_packet::http::HttpRequest;
+use shadow_packet::dns::DnsName;
 use shadow_packet::ipv4::Ipv4Packet;
-use shadow_packet::tls;
+use shadow_packet::{AppProtocol, DecodedView};
 use std::any::Any;
 
 /// Which protocol a domain was extracted from.
@@ -32,6 +30,16 @@ impl ObservedProtocol {
             ObservedProtocol::Dns => "dns",
             ObservedProtocol::Http => "http",
             ObservedProtocol::Tls => "tls",
+        }
+    }
+}
+
+impl From<AppProtocol> for ObservedProtocol {
+    fn from(p: AppProtocol) -> Self {
+        match p {
+            AppProtocol::Dns => ObservedProtocol::Dns,
+            AppProtocol::Http => ObservedProtocol::Http,
+            AppProtocol::Tls => ObservedProtocol::Tls,
         }
     }
 }
@@ -110,33 +118,14 @@ impl DpiTap {
         &self.store
     }
 
-    /// Extract a watched domain from a packet, if any.
-    fn extract(&self, pkt: &Ipv4Packet) -> Option<(DnsName, ObservedProtocol)> {
-        match Transport::parse(pkt).ok()? {
-            Transport::Udp(dg) if dg.dst_port == 53 && self.config.watch_dns => {
-                let msg = DnsMessage::decode(&dg.payload).ok()?;
-                if msg.flags.response {
-                    return None;
-                }
-                msg.qname().cloned().map(|n| (n, ObservedProtocol::Dns))
-            }
-            Transport::Tcp(seg) if !seg.payload.is_empty() => {
-                if seg.dst_port == 80 && self.config.watch_http {
-                    let req = HttpRequest::decode(&seg.payload).ok()?;
-                    let host = req.host()?;
-                    DnsName::parse(host)
-                        .ok()
-                        .map(|n| (n, ObservedProtocol::Http))
-                } else if seg.dst_port == 443 && self.config.watch_tls {
-                    let sni = tls::sniff_sni(&seg.payload)?;
-                    DnsName::parse(&sni)
-                        .ok()
-                        .map(|n| (n, ObservedProtocol::Tls))
-                } else {
-                    None
-                }
-            }
-            _ => None,
+    /// Whether this observer's protocol switches cover `proto`. Filtering
+    /// happens *after* reading the shared [`DecodedView`] — the view caches
+    /// the maximal extraction, per-tap configuration is applied here.
+    fn watches(&self, proto: AppProtocol) -> bool {
+        match proto {
+            AppProtocol::Dns => self.config.watch_dns,
+            AppProtocol::Http => self.config.watch_http,
+            AppProtocol::Tls => self.config.watch_tls,
         }
     }
 
@@ -149,16 +138,29 @@ impl DpiTap {
 }
 
 impl WireTap for DpiTap {
-    fn on_packet(&mut self, pkt: &Ipv4Packet, _at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict {
+    fn on_packet(
+        &mut self,
+        pkt: &Ipv4Packet,
+        view: &DecodedView,
+        _at: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) -> TapVerdict {
         self.stats.packets_seen += 1;
         if let Some(filter) = &self.config.dst_filter {
             if !filter.contains(&pkt.header.dst) {
                 return TapVerdict::Continue;
             }
         }
-        let Some((domain, proto)) = self.extract(pkt) else {
+        // Parse-once fast path: the first tap on the route pays for the
+        // application decode; this tap (and every later hop) reads the memo.
+        let Some(field) = view.app_field(pkt) else {
             return TapVerdict::Continue;
         };
+        if !self.watches(field.protocol) {
+            return TapVerdict::Continue;
+        }
+        let proto = ObservedProtocol::from(field.protocol);
+        let domain = field.name.clone();
         if !self.in_zone(&domain) {
             return TapVerdict::Continue;
         }
@@ -220,8 +222,11 @@ mod tests {
     use shadow_netsim::engine::{Engine, Host};
     use shadow_netsim::time::SimTime;
     use shadow_netsim::topology::TopologyBuilder;
+    use shadow_packet::dns::DnsMessage;
+    use shadow_packet::http::HttpRequest;
     use shadow_packet::ipv4::{IpProtocol, DEFAULT_TTL};
     use shadow_packet::tcp::{TcpFlags, TcpSegment};
+    use shadow_packet::tls;
     use shadow_packet::udp::UdpDatagram;
     use std::net::Ipv4Addr;
 

@@ -15,6 +15,7 @@ use shadow_netsim::transport::Transport;
 use shadow_packet::dns::{DnsMessage, DnsRecord, Rcode};
 use shadow_packet::ipv4::{IpProtocol, Ipv4Packet, DEFAULT_TTL};
 use shadow_packet::udp::UdpDatagram;
+use shadow_packet::DecodedView;
 use std::any::Any;
 use std::net::Ipv4Addr;
 
@@ -68,7 +69,16 @@ impl InterceptorTap {
 }
 
 impl WireTap for InterceptorTap {
-    fn on_packet(&mut self, pkt: &Ipv4Packet, _at: NodeId, ctx: &mut Ctx<'_>) -> TapVerdict {
+    // The interceptor needs the *entire* DNS message (transaction id,
+    // flags, question) to forge responses, not just the memoized name
+    // field, so it decodes the payload itself rather than using the view.
+    fn on_packet(
+        &mut self,
+        pkt: &Ipv4Packet,
+        _view: &DecodedView,
+        _at: NodeId,
+        ctx: &mut Ctx<'_>,
+    ) -> TapVerdict {
         let Ok(Transport::Udp(dg)) = Transport::parse(pkt) else {
             return TapVerdict::Continue;
         };

@@ -14,7 +14,7 @@
 
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_packet::dns::DnsName;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// One piece of sniffed data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,9 +29,21 @@ pub struct ObservedItem {
 }
 
 /// Bounded FIFO store with TTL expiry.
+///
+/// Lookups are O(1): `index` maps each retained domain to its absolute
+/// insertion number, and `head` counts how many items have ever left the
+/// front of the queue, so `items[index[d] - head]` addresses a domain's
+/// slot directly. The tap consults the store once per observed packet —
+/// with a linear scan this was the single hottest spot of the whole
+/// pipeline (quadratic in retained items for fresh-domain workloads).
 #[derive(Debug)]
 pub struct RetentionStore {
     items: VecDeque<ObservedItem>,
+    /// domain → absolute insertion number (monotonic across the store's
+    /// lifetime; never reused).
+    index: HashMap<DnsName, u64>,
+    /// Absolute insertion number of the current queue front.
+    head: u64,
     capacity: usize,
     ttl: SimDuration,
     evictions: u64,
@@ -44,10 +56,20 @@ impl RetentionStore {
     pub fn new(capacity: usize, ttl: SimDuration) -> Self {
         Self {
             items: VecDeque::new(),
+            index: HashMap::new(),
+            head: 0,
             capacity: capacity.max(1),
             ttl,
             evictions: 0,
             expirations: 0,
+        }
+    }
+
+    /// Remove the queue front, keeping the index in sync.
+    fn pop_front(&mut self) {
+        if let Some(front) = self.items.pop_front() {
+            self.index.remove(&front.domain);
+            self.head += 1;
         }
     }
 
@@ -75,7 +97,7 @@ impl RetentionStore {
     pub fn expire(&mut self, now: SimTime) {
         while let Some(front) = self.items.front() {
             if now.since(front.first_seen) > self.ttl {
-                self.items.pop_front();
+                self.pop_front();
                 self.expirations += 1;
             } else {
                 break;
@@ -88,13 +110,15 @@ impl RetentionStore {
     /// sight of a name).
     pub fn observe(&mut self, domain: DnsName, via: &'static str, now: SimTime) -> bool {
         self.expire(now);
-        if self.items.iter().any(|i| i.domain == domain) {
+        if self.index.contains_key(&domain) {
             return false;
         }
         if self.items.len() == self.capacity {
-            self.items.pop_front();
+            self.pop_front();
             self.evictions += 1;
         }
+        self.index
+            .insert(domain.clone(), self.head + self.items.len() as u64);
         self.items.push_back(ObservedItem {
             domain,
             first_seen: now,
@@ -107,13 +131,14 @@ impl RetentionStore {
     /// Whether `domain` is currently retained (after expiry at `now`).
     pub fn contains(&mut self, domain: &DnsName, now: SimTime) -> bool {
         self.expire(now);
-        self.items.iter().any(|i| &i.domain == domain)
+        self.index.contains_key(domain)
     }
 
     /// Count one use of `domain`'s data (a probe emitted).
     pub fn mark_used(&mut self, domain: &DnsName) {
-        if let Some(item) = self.items.iter_mut().find(|i| &i.domain == domain) {
-            item.uses += 1;
+        if let Some(&abs) = self.index.get(domain) {
+            let slot = (abs - self.head) as usize;
+            self.items[slot].uses += 1;
         }
     }
 
@@ -183,5 +208,38 @@ mod tests {
         store.mark_used(&name("a.example"));
         store.mark_used(&name("a.example"));
         assert_eq!(store.iter().next().unwrap().uses, 2);
+    }
+
+    #[test]
+    fn index_survives_mixed_eviction_and_expiry() {
+        // Exercise the index ↔ queue offset accounting (`head`) across
+        // capacity evictions, TTL expiry, and re-insertions.
+        let mut store = RetentionStore::new(3, SimDuration::from_secs(100));
+        for (i, n) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            store.observe(name(&format!("{n}.example")), "dns", SimTime(i as u64));
+        }
+        assert_eq!(store.evictions(), 2, "a and b evicted by capacity");
+        assert!(!store.contains(&name("a.example"), SimTime(10)));
+        assert!(store.contains(&name("c.example"), SimTime(10)));
+        // mark_used must hit the right slot despite the shifted head.
+        store.mark_used(&name("d.example"));
+        let uses: Vec<_> = store
+            .iter()
+            .map(|i| (i.domain.as_str().to_string(), i.uses))
+            .collect();
+        assert_eq!(
+            uses,
+            vec![
+                ("c.example".to_string(), 0),
+                ("d.example".to_string(), 1),
+                ("e.example".to_string(), 0)
+            ]
+        );
+        // Expire everything, then reuse a previously-evicted name.
+        assert!(!store.contains(&name("c.example"), SimTime(200_000)));
+        assert_eq!(store.len(), 0);
+        assert!(store.observe(name("a.example"), "dns", SimTime(200_000)));
+        store.mark_used(&name("a.example"));
+        assert_eq!(store.iter().next().unwrap().uses, 1);
     }
 }

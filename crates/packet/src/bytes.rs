@@ -1,0 +1,239 @@
+//! [`SharedBytes`]: the zero-copy payload buffer behind the packet fast
+//! path.
+//!
+//! Every in-flight payload in the simulator used to be an owned `Vec<u8>`,
+//! cloned on event duplication, tap inspection, harvest and capture. At the
+//! paper's scale (thousands of vantage points × 5–15 router hops × a 1..64
+//! TTL sweep) those copies dominate the hot path. `SharedBytes` is a
+//! `Bytes`-style view — an `Arc<[u8]>` plus a window — so cloning is a
+//! reference-count bump and sub-slicing (a UDP payload inside an IPv4
+//! payload, a DNS message inside a UDP payload) shares the same allocation.
+//!
+//! The buffer is immutable once constructed; that immutability is what
+//! makes the sharing sound and what the parse-once [`crate::view`] memo
+//! relies on. Code that needs to edit bytes (e.g. truncating an ICMP
+//! quotation) copies out explicitly via [`SharedBytes::to_vec`].
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable, sliceable, immutable byte buffer.
+#[derive(Clone)]
+pub struct SharedBytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// An empty buffer (no allocation beyond a shared static-like Arc).
+    pub fn empty() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// The viewed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-window of this buffer sharing the same allocation.
+    ///
+    /// # Panics
+    /// If the range exceeds `self.len()`, mirroring slice indexing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "SharedBytes::slice range {range:?} out of bounds for length {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Copy the viewed bytes into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: Arc::from(v),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(s: &[u8]) -> Self {
+        Self {
+            data: Arc::from(s),
+            start: 0,
+            len: s.len(),
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SharedBytes {
+    fn from(s: &[u8; N]) -> Self {
+        Self::from(&s[..])
+    }
+}
+
+impl From<Arc<[u8]>> for SharedBytes {
+    fn from(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self {
+            data,
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for SharedBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len)
+    }
+}
+
+// Wire-compatible with `Vec<u8>` so existing journal/fixture encodings are
+// unchanged by the zero-copy migration.
+impl Serialize for SharedBytes {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl Deserialize for SharedBytes {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<u8>::deserialize_content(content).map(Self::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = SharedBytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_windows_correctly() {
+        let a = SharedBytes::from(&b"hello world"[..]);
+        let w = a.slice(6..11);
+        assert!(Arc::ptr_eq(&a.data, &w.data));
+        assert_eq!(&*w, b"world");
+        let inner = w.slice(1..3);
+        assert_eq!(&*inner, b"or");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        SharedBytes::from(&b"abc"[..]).slice(1..5);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(SharedBytes::empty().is_empty());
+        assert_eq!(SharedBytes::default().len(), 0);
+        assert_eq!(&*SharedBytes::empty(), b"");
+    }
+
+    #[test]
+    fn deref_and_eq_with_plain_bytes() {
+        let a = SharedBytes::from(vec![9u8, 8, 7]);
+        assert_eq!(a[0], 9);
+        assert_eq!(a, vec![9u8, 8, 7]);
+        assert_eq!(a.to_vec(), vec![9u8, 8, 7]);
+    }
+
+    #[test]
+    fn serde_matches_vec_u8_wire_format() {
+        let v = vec![0u8, 255, 3];
+        let sb = SharedBytes::from(v.clone());
+        assert_eq!(sb.serialize_content(), v.serialize_content());
+        let back = SharedBytes::deserialize_content(&v.serialize_content()).expect("round-trips");
+        assert_eq!(back, sb);
+        // A sliced view serializes its window, not the whole backing buffer.
+        let w = SharedBytes::from(vec![1u8, 2, 3, 4]).slice(1..3);
+        assert_eq!(w.serialize_content(), vec![2u8, 3].serialize_content());
+    }
+}

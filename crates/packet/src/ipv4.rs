@@ -5,6 +5,7 @@
 //! observers, and routers in `shadow-netsim` decrement [`Ipv4Header::ttl`]
 //! and emit ICMP Time Exceeded when it hits zero.
 
+use crate::bytes::SharedBytes;
 use crate::cursor::Reader;
 use crate::error::DecodeError;
 use serde::{Deserialize, Serialize};
@@ -175,10 +176,14 @@ impl Ipv4Header {
 }
 
 /// A full IPv4 packet: header plus transport payload.
+///
+/// The payload is a [`SharedBytes`] view: cloning a packet (event
+/// duplication, harvest, capture) bumps a reference count instead of
+/// copying the buffer, and transport decoders can slice it zero-copy.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ipv4Packet {
     pub header: Ipv4Header,
-    pub payload: Vec<u8>,
+    pub payload: SharedBytes,
 }
 
 impl Ipv4Packet {
@@ -188,8 +193,9 @@ impl Ipv4Packet {
         protocol: IpProtocol,
         ttl: u8,
         identification: u16,
-        payload: Vec<u8>,
+        payload: impl Into<SharedBytes>,
     ) -> Self {
+        let payload = payload.into();
         let header = Ipv4Header::new(src, dst, protocol, ttl, identification, payload.len());
         Self { header, payload }
     }
@@ -202,17 +208,27 @@ impl Ipv4Packet {
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_shared(&SharedBytes::from(buf))
+    }
+
+    /// Decode from an already-shared buffer; the payload is a zero-copy
+    /// window into `buf`.
+    pub fn decode_shared(buf: &SharedBytes) -> Result<Self, DecodeError> {
         let mut r = Reader::new(buf);
         let header = Ipv4Header::decode(&mut r)?;
         let want = header.payload_len();
-        let payload = r.bytes("IPv4 payload", want.min(r.remaining()))?.to_vec();
-        if payload.len() < want {
+        let start = r.position();
+        let have = r.remaining().min(want);
+        if have < want {
             return Err(DecodeError::Truncated {
                 what: "IPv4 payload",
-                needed: want - payload.len(),
+                needed: want - have,
             });
         }
-        Ok(Self { header, payload })
+        Ok(Self {
+            header,
+            payload: buf.slice(start..start + want),
+        })
     }
 }
 

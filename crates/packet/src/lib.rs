@@ -19,7 +19,14 @@
 //! return structured [`DecodeError`]s rather than panicking on hostile
 //! input, and every encoder/decoder pair round-trips (enforced by unit and
 //! property tests).
+//!
+//! Two supporting pieces serve the simulator's zero-copy fast path:
+//! [`bytes::SharedBytes`], the `Arc`-backed payload buffer that makes
+//! packet duplication and sub-slicing free, and [`view::DecodedView`], the
+//! parse-once memo that lets every router-hop tap share one application-
+//! layer extraction per packet instead of re-decoding at each hop.
 
+pub mod bytes;
 pub mod cursor;
 pub mod dns;
 pub mod doq;
@@ -30,7 +37,9 @@ pub mod ipv4;
 pub mod tcp;
 pub mod tls;
 pub mod udp;
+pub mod view;
 
+pub use bytes::SharedBytes;
 pub use cursor::Reader;
 pub use dns::{
     DnsClass, DnsFlags, DnsMessage, DnsName, DnsQuestion, DnsRecord, RecordData, RecordType,
@@ -42,3 +51,4 @@ pub use ipv4::{IpProtocol, Ipv4Header, Ipv4Packet};
 pub use tcp::{TcpFlags, TcpSegment};
 pub use tls::{ClientHello, TlsExtension, TlsRecord};
 pub use udp::UdpDatagram;
+pub use view::{extract_app_field, AppField, AppProtocol, DecodedView};

@@ -6,6 +6,7 @@
 //! retransmission are out of scope — simulated links are reliable and
 //! in-order, which the paper's methodology does not depend on.
 
+use crate::bytes::SharedBytes;
 use crate::cursor::Reader;
 use crate::error::DecodeError;
 use serde::{Deserialize, Serialize};
@@ -53,7 +54,7 @@ pub struct TcpSegment {
     pub ack: u32,
     pub flags: TcpFlags,
     pub window: u16,
-    pub payload: Vec<u8>,
+    pub payload: SharedBytes,
 }
 
 impl TcpSegment {
@@ -63,7 +64,7 @@ impl TcpSegment {
         seq: u32,
         ack: u32,
         flags: TcpFlags,
-        payload: Vec<u8>,
+        payload: impl Into<SharedBytes>,
     ) -> Self {
         Self {
             src_port,
@@ -72,13 +73,20 @@ impl TcpSegment {
             ack,
             flags,
             window: 65_535,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// A bare SYN opening a connection.
     pub fn syn(src_port: u16, dst_port: u16, isn: u32) -> Self {
-        Self::new(src_port, dst_port, isn, 0, TcpFlags::SYN, Vec::new())
+        Self::new(
+            src_port,
+            dst_port,
+            isn,
+            0,
+            TcpFlags::SYN,
+            SharedBytes::empty(),
+        )
     }
 
     /// The SYN-ACK answering `syn`.
@@ -89,7 +97,7 @@ impl TcpSegment {
             server_isn,
             syn.seq.wrapping_add(1),
             TcpFlags::SYN_ACK,
-            Vec::new(),
+            SharedBytes::empty(),
         )
     }
 
@@ -101,7 +109,7 @@ impl TcpSegment {
             seg.ack,
             seg.seq.wrapping_add(seg.seq_len()),
             TcpFlags::RST.union(TcpFlags::ACK),
-            Vec::new(),
+            SharedBytes::empty(),
         )
     }
 
@@ -133,6 +141,12 @@ impl TcpSegment {
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_shared(&SharedBytes::from(buf))
+    }
+
+    /// Decode from an already-shared buffer (e.g. an [`crate::Ipv4Packet`]
+    /// payload); the segment payload is a zero-copy window into `buf`.
+    pub fn decode_shared(buf: &SharedBytes) -> Result<Self, DecodeError> {
         let mut r = Reader::new(buf);
         let src_port = r.u16("TCP source port")?;
         let dst_port = r.u16("TCP destination port")?;
@@ -151,7 +165,7 @@ impl TcpSegment {
         let _checksum = r.u16("TCP checksum")?;
         let _urgent = r.u16("TCP urgent pointer")?;
         r.skip("TCP options", data_offset - TCP_HEADER_LEN)?;
-        let payload = r.rest().to_vec();
+        let start = r.position();
         Ok(Self {
             src_port,
             dst_port,
@@ -159,7 +173,7 @@ impl TcpSegment {
             ack,
             flags,
             window,
-            payload,
+            payload: buf.slice(start..buf.len()),
         })
     }
 }

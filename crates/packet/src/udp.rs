@@ -1,5 +1,6 @@
 //! UDP datagram codec (RFC 768). DNS decoys travel over UDP/53.
 
+use crate::bytes::SharedBytes;
 use crate::cursor::Reader;
 use crate::error::DecodeError;
 use serde::{Deserialize, Serialize};
@@ -13,15 +14,15 @@ pub const UDP_HEADER_LEN: usize = 8;
 pub struct UdpDatagram {
     pub src_port: u16,
     pub dst_port: u16,
-    pub payload: Vec<u8>,
+    pub payload: SharedBytes,
 }
 
 impl UdpDatagram {
-    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+    pub fn new(src_port: u16, dst_port: u16, payload: impl Into<SharedBytes>) -> Self {
         Self {
             src_port,
             dst_port,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -37,6 +38,12 @@ impl UdpDatagram {
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_shared(&SharedBytes::from(buf))
+    }
+
+    /// Decode from an already-shared buffer (e.g. an [`crate::Ipv4Packet`]
+    /// payload); the datagram payload is a zero-copy window into `buf`.
+    pub fn decode_shared(buf: &SharedBytes) -> Result<Self, DecodeError> {
         let mut r = Reader::new(buf);
         let src_port = r.u16("UDP source port")?;
         let dst_port = r.u16("UDP destination port")?;
@@ -48,11 +55,13 @@ impl UdpDatagram {
                 format!("{length} < {UDP_HEADER_LEN}"),
             ));
         }
-        let payload = r.bytes("UDP payload", length - UDP_HEADER_LEN)?.to_vec();
+        let want = length - UDP_HEADER_LEN;
+        let start = r.position();
+        r.bytes("UDP payload", want)?;
         Ok(Self {
             src_port,
             dst_port,
-            payload,
+            payload: buf.slice(start..start + want),
         })
     }
 }
@@ -69,7 +78,7 @@ mod tests {
 
     #[test]
     fn empty_payload_ok() {
-        let d = UdpDatagram::new(1, 2, Vec::new());
+        let d = UdpDatagram::new(1, 2, Vec::<u8>::new());
         let bytes = d.encode();
         assert_eq!(bytes.len(), UDP_HEADER_LEN);
         assert_eq!(UdpDatagram::decode(&bytes).unwrap(), d);

@@ -1,0 +1,219 @@
+//! [`DecodedView`]: the parse-once memo attached to each in-flight packet.
+//!
+//! The paper's observers are *on-path*: every router hop of a 5–15-hop
+//! route may carry a DPI tap that wants the packet's clear-text application
+//! field (DNS QNAME, HTTP `Host`, TLS SNI). Re-decoding the payload at
+//! every hop multiplies the (identical) parse work by the route length.
+//! A `DecodedView` rides along with the packet through the event queue:
+//! the first tap that asks pays for one full extraction, every later hop
+//! reads the cached result.
+//!
+//! ## The parse-once contract
+//!
+//! * Extraction is a **pure function of the packet bytes** — never of tap
+//!   configuration. The view caches the *maximal* extraction (whatever any
+//!   of the three protocols yields); per-tap concerns (watch flags, zone
+//!   filters, destination filters) are applied by the tap *after* reading
+//!   the cached field. This is what makes sharing across taps with
+//!   different configs sound.
+//! * Payload bytes are immutable in flight ([`crate::SharedBytes`]), so a
+//!   cached view can never go stale. Anything that changes the payload
+//!   (e.g. an ICMP rewrite) constructs a new packet and a new view.
+//! * Taps receive the view read-only and must not substitute their own
+//!   parse for watched protocols; `shadow-bench`'s proptests pin the cached
+//!   extraction byte-for-byte to a direct re-parse.
+
+use crate::dns::{DnsMessage, DnsName};
+use crate::http::HttpRequest;
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::tcp::TcpSegment;
+use crate::tls;
+use crate::udp::UdpDatagram;
+use std::sync::OnceLock;
+
+/// Which application protocol a field was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppProtocol {
+    /// UDP/53 query QNAME.
+    Dns,
+    /// TCP/80 request `Host` header.
+    Http,
+    /// TCP/443 ClientHello SNI.
+    Tls,
+}
+
+/// The clear-text application-layer field a traffic observer shadows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppField {
+    pub name: DnsName,
+    pub protocol: AppProtocol,
+}
+
+/// Lazily-computed, shareable application-layer extraction for one packet.
+///
+/// Cheap to construct (no parsing happens until [`DecodedView::app_field`]
+/// is first called); intended to be wrapped in an `Arc` and cloned along
+/// with the packet through duplications and hops.
+#[derive(Debug, Default)]
+pub struct DecodedView {
+    field: OnceLock<Option<AppField>>,
+}
+
+impl DecodedView {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The packet's application field, decoding on first use.
+    ///
+    /// `pkt` must be the packet this view rides with; the engine maintains
+    /// that pairing. (The view deliberately does not store the packet —
+    /// the packet already owns its payload, and duplicated packets share
+    /// both payload and view.)
+    pub fn app_field(&self, pkt: &Ipv4Packet) -> Option<&AppField> {
+        self.field.get_or_init(|| extract_app_field(pkt)).as_ref()
+    }
+
+    /// Whether the extraction has already run (test/bench introspection).
+    pub fn is_decoded(&self) -> bool {
+        self.field.get().is_some()
+    }
+}
+
+/// The reference extraction: decode `pkt`'s application field directly,
+/// with no memoization. [`DecodedView`] caches exactly this function;
+/// equivalence is pinned by proptests in `shadow-bench`.
+pub fn extract_app_field(pkt: &Ipv4Packet) -> Option<AppField> {
+    match pkt.header.protocol {
+        IpProtocol::Udp => {
+            let dg = UdpDatagram::decode_shared(&pkt.payload).ok()?;
+            if dg.dst_port != 53 {
+                return None;
+            }
+            let msg = DnsMessage::decode(&dg.payload).ok()?;
+            if msg.flags.response {
+                return None;
+            }
+            msg.qname().cloned().map(|name| AppField {
+                name,
+                protocol: AppProtocol::Dns,
+            })
+        }
+        IpProtocol::Tcp => {
+            let seg = TcpSegment::decode_shared(&pkt.payload).ok()?;
+            if seg.payload.is_empty() {
+                return None;
+            }
+            if seg.dst_port == 80 {
+                let req = HttpRequest::decode(&seg.payload).ok()?;
+                let host = req.host()?;
+                DnsName::parse(host).ok().map(|name| AppField {
+                    name,
+                    protocol: AppProtocol::Http,
+                })
+            } else if seg.dst_port == 443 {
+                let sni = tls::sniff_sni(&seg.payload)?;
+                DnsName::parse(&sni).ok().map(|name| AppField {
+                    name,
+                    protocol: AppProtocol::Tls,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::DEFAULT_TTL;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn wrap(proto: IpProtocol, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            proto,
+            DEFAULT_TTL,
+            7,
+            payload,
+        )
+    }
+
+    #[test]
+    fn dns_query_extracts_once_and_caches() {
+        let q = DnsMessage::query(1, DnsName::parse("a.example").unwrap());
+        let pkt = wrap(
+            IpProtocol::Udp,
+            UdpDatagram::new(5000, 53, q.encode()).encode(),
+        );
+        let view = DecodedView::new();
+        assert!(!view.is_decoded());
+        let field = view.app_field(&pkt).cloned().expect("qname extracted");
+        assert_eq!(field.protocol, AppProtocol::Dns);
+        assert_eq!(field.name.as_str(), "a.example");
+        assert!(view.is_decoded());
+        // Second call returns the cached value.
+        assert_eq!(view.app_field(&pkt), Some(&field));
+    }
+
+    #[test]
+    fn http_host_and_tls_sni_extract() {
+        let req = HttpRequest::get("h.example", "/");
+        let http = wrap(
+            IpProtocol::Tcp,
+            TcpSegment::new(1, 80, 1, 1, TcpFlags::PSH_ACK, req.encode()).encode(),
+        );
+        let f = DecodedView::new().app_field(&http).cloned().unwrap();
+        assert_eq!(f.protocol, AppProtocol::Http);
+        assert_eq!(f.name.as_str(), "h.example");
+
+        let ch = tls::ClientHello::with_sni("t.example", [0u8; 32]);
+        let tls_pkt = wrap(
+            IpProtocol::Tcp,
+            TcpSegment::new(1, 443, 1, 1, TcpFlags::PSH_ACK, ch.encode_record()).encode(),
+        );
+        let f = DecodedView::new().app_field(&tls_pkt).cloned().unwrap();
+        assert_eq!(f.protocol, AppProtocol::Tls);
+        assert_eq!(f.name.as_str(), "t.example");
+    }
+
+    #[test]
+    fn non_watched_traffic_yields_none() {
+        // DNS response, wrong ports, garbage, ICMP: all cache `None`.
+        let mut resp = DnsMessage::query(2, DnsName::parse("r.example").unwrap());
+        resp.flags.response = true;
+        let pkt = wrap(
+            IpProtocol::Udp,
+            UdpDatagram::new(53, 53, resp.encode()).encode(),
+        );
+        assert!(DecodedView::new().app_field(&pkt).is_none());
+
+        let off_port = wrap(
+            IpProtocol::Tcp,
+            TcpSegment::new(1, 8080, 1, 1, TcpFlags::PSH_ACK, b"x".to_vec()).encode(),
+        );
+        assert!(DecodedView::new().app_field(&off_port).is_none());
+
+        let garbage = wrap(IpProtocol::Udp, vec![1, 2, 3]);
+        let view = DecodedView::new();
+        assert!(view.app_field(&garbage).is_none());
+        assert!(view.is_decoded(), "failed extraction is cached too");
+    }
+
+    #[test]
+    fn matches_reference_extraction() {
+        let q = DnsMessage::query(9, DnsName::parse("eq.example").unwrap());
+        let pkt = wrap(
+            IpProtocol::Udp,
+            UdpDatagram::new(5000, 53, q.encode()).encode(),
+        );
+        assert_eq!(
+            DecodedView::new().app_field(&pkt).cloned(),
+            extract_app_field(&pkt)
+        );
+    }
+}

@@ -8,10 +8,42 @@
 //! ```text
 //! BENCH {"name":"group/bench","iters":N,"mean_ns":X,"throughput_bytes":B}
 //! ```
+//!
+//! Passing `--test` (`cargo bench -- --test`) mirrors upstream's smoke
+//! mode: each routine runs exactly once with no timing loop. Harnesses
+//! that persist their numbers can drain them via [`take_reports`].
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the binary was invoked with `--test` (`cargo bench -- --test`,
+/// upstream criterion's smoke mode): every benchmark routine runs exactly
+/// once to prove it still works, and no timing loop is entered. CI uses
+/// this so benches can't rot without a nightly timing budget.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// One completed measurement, as echoed on the `BENCH` line.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub name: String,
+    pub iters: u64,
+    pub mean_ns: u64,
+}
+
+thread_local! {
+    static REPORTS: RefCell<Vec<BenchReport>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drain the measurements recorded so far on this thread. Bench binaries
+/// drive all groups from `main`, so a final group function can collect
+/// everything and persist it to a trajectory file. Empty in `--test` mode.
+pub fn take_reports() -> Vec<BenchReport> {
+    REPORTS.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
 
 /// How `iter_batched` amortizes setup; only the semantics this workspace
 /// uses are distinguished (setup always runs once per iteration).
@@ -36,6 +68,7 @@ const MAX_ITERS: u64 = 1_000_000;
 /// Per-invocation measurement state handed to the closure.
 pub struct Bencher<'a> {
     iters_hint: u64,
+    smoke: bool,
     result: &'a mut Option<Measurement>,
 }
 
@@ -50,6 +83,13 @@ impl Bencher<'_> {
         let warmup_start = Instant::now();
         black_box(routine());
         let once = warmup_start.elapsed();
+        if self.smoke {
+            *self.result = Some(Measurement {
+                iters: 1,
+                total: once,
+            });
+            return;
+        }
         let iters = pick_iters(once, self.iters_hint);
         let start = Instant::now();
         for _ in 0..iters {
@@ -71,6 +111,13 @@ impl Bencher<'_> {
         let warmup_start = Instant::now();
         black_box(routine(input));
         let once = warmup_start.elapsed();
+        if self.smoke {
+            *self.result = Some(Measurement {
+                iters: 1,
+                total: once,
+            });
+            return;
+        }
         let iters = pick_iters(once, self.iters_hint);
         let mut total = Duration::ZERO;
         for _ in 0..iters {
@@ -151,13 +198,16 @@ fn run_one<F>(name: &str, sample_size: u64, throughput: Option<Throughput>, mut 
 where
     F: FnMut(&mut Bencher<'_>),
 {
+    let smoke = test_mode();
     let mut result = None;
     let mut bencher = Bencher {
         iters_hint: sample_size,
+        smoke,
         result: &mut result,
     };
     f(&mut bencher);
     match result {
+        Some(_) if smoke => println!("Testing {name} ... ok"),
         Some(m) => {
             let mean_ns = m.total.as_nanos() / u128::from(m.iters.max(1));
             let throughput_field = match throughput {
@@ -169,6 +219,13 @@ where
                 "BENCH {{\"name\":\"{name}\",\"iters\":{},\"mean_ns\":{mean_ns}{throughput_field}}}",
                 m.iters
             );
+            REPORTS.with(|r| {
+                r.borrow_mut().push(BenchReport {
+                    name: name.to_string(),
+                    iters: m.iters,
+                    mean_ns: mean_ns as u64,
+                })
+            });
         }
         None => println!("BENCH {{\"name\":\"{name}\",\"error\":\"no measurement\"}}"),
     }
@@ -201,6 +258,18 @@ mod tests {
     fn bench_function_measures_and_reports() {
         let mut criterion = Criterion::default();
         criterion.bench_function("unit/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn reports_are_collected_and_drained() {
+        let _ = take_reports();
+        let mut criterion = Criterion::default();
+        criterion.bench_function("unit/collected", |b| b.iter(|| black_box(2u32)));
+        let reports = take_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "unit/collected");
+        assert!(reports[0].iters >= 1);
+        assert!(take_reports().is_empty(), "drained on take");
     }
 
     #[test]
