@@ -5,6 +5,10 @@
 use serde::{Deserialize, Serialize};
 use shadow_core::correlate::CorrelatedRequest;
 use shadow_core::decoy::{DecoyProtocol, DecoyRegistry};
+use shadow_core::sink::{
+    CorrelationAggregates, OUTCOME_DNS_EARLY, OUTCOME_DNS_LATE, OUTCOME_HTTP_EARLY,
+    OUTCOME_HTTP_LATE,
+};
 use shadow_honeypot::capture::ArrivalProtocol;
 use shadow_netsim::time::SimDuration;
 use std::collections::BTreeMap;
@@ -104,6 +108,43 @@ pub fn compute(
             .or_insert(class);
     }
 
+    group_by_destination(registry, dest_names, |domain| {
+        outcome_per_decoy.get(domain).copied()
+    })
+}
+
+/// The streamed Figure 5: the strongest outcome per decoy is decoded from
+/// the capture-time fold's outcome bits (the bit precedence mirrors the
+/// [`DecoyOutcome`] ordering, so the decoded class equals the batch `max`).
+pub fn compute_streamed(
+    registry: &DecoyRegistry,
+    aggregates: &CorrelationAggregates,
+    dest_names: &BTreeMap<Ipv4Addr, String>,
+) -> Vec<DestinationBreakdown> {
+    group_by_destination(registry, dest_names, |domain| {
+        let fold = aggregates.decoys.get(domain)?;
+        if fold.outcome_bits & OUTCOME_HTTP_LATE != 0 {
+            Some(DecoyOutcome::HttpLater)
+        } else if fold.outcome_bits & OUTCOME_HTTP_EARLY != 0 {
+            Some(DecoyOutcome::HttpWithinHour)
+        } else if fold.outcome_bits & OUTCOME_DNS_LATE != 0 {
+            Some(DecoyOutcome::DnsRepeatsLater)
+        } else if fold.outcome_bits & OUTCOME_DNS_EARLY != 0 {
+            Some(DecoyOutcome::DnsRepeatsWithinHour)
+        } else {
+            None
+        }
+    })
+}
+
+/// Shared denominator walk: every DNS decoy in the registry lands in its
+/// destination's row with the outcome `classify` assigns it (`None` =
+/// silent).
+fn group_by_destination(
+    registry: &DecoyRegistry,
+    dest_names: &BTreeMap<Ipv4Addr, String>,
+    classify: impl Fn(&shadow_packet::dns::DnsName) -> Option<DecoyOutcome>,
+) -> Vec<DestinationBreakdown> {
     let mut per_dest: BTreeMap<String, DestinationBreakdown> = BTreeMap::new();
     for decoy in registry.iter() {
         if decoy.protocol != DecoyProtocol::Dns {
@@ -121,10 +162,7 @@ pub fn compute(
                 outcomes: BTreeMap::new(),
             });
         entry.decoys += 1;
-        let outcome = outcome_per_decoy
-            .get(&decoy.domain)
-            .copied()
-            .unwrap_or(DecoyOutcome::Silent);
+        let outcome = classify(&decoy.domain).unwrap_or(DecoyOutcome::Silent);
         *entry.outcomes.entry(outcome).or_insert(0) += 1;
     }
     per_dest.into_values().collect()

@@ -7,14 +7,16 @@
 //! AS29988 produce unsolicited DNS requests only."
 
 use serde::{Deserialize, Serialize};
-use shadow_core::correlate::{CorrelatedRequest, PathKey};
+use shadow_core::correlate::{Combo, CorrelatedRequest, PathKey};
 use shadow_core::phase2::TracerouteResult;
+use shadow_core::sink::CorrelationAggregates;
 use shadow_geo::GeoDb;
 use shadow_honeypot::capture::ArrivalProtocol;
 use std::collections::BTreeMap;
 
-/// Counts per `Decoy-Request` combination label (e.g. `DNS-HTTP`).
-pub fn combo_counts(correlated: &[CorrelatedRequest]) -> BTreeMap<String, usize> {
+/// Counts per `Decoy-Request` combination (e.g. `DNS-HTTP`), keyed by the
+/// typed [`Combo`] (its `Display` is the paper's label).
+pub fn combo_counts(correlated: &[CorrelatedRequest]) -> BTreeMap<Combo, usize> {
     let mut out = BTreeMap::new();
     for req in correlated {
         if req.label.is_unsolicited() {
@@ -22,6 +24,16 @@ pub fn combo_counts(correlated: &[CorrelatedRequest]) -> BTreeMap<String, usize>
         }
     }
     out
+}
+
+/// The streamed [`combo_counts`]: the sink already folded the combination
+/// counters at capture time.
+pub fn combo_counts_streamed(aggregates: &CorrelationAggregates) -> BTreeMap<Combo, usize> {
+    aggregates
+        .combos
+        .iter()
+        .map(|(&combo, &n)| (combo, n as usize))
+        .collect()
 }
 
 /// Per-observer-AS protocol mixes for on-wire observers.
@@ -69,6 +81,39 @@ impl ObserverCombos {
                 .or_default()
                 .entry(req.arrival.protocol.as_str().to_string())
                 .or_insert(0) += 1;
+        }
+        Self { per_as }
+    }
+
+    /// The streamed [`ObserverCombos::compute`]: per-path × arrival-protocol
+    /// counters come from the capture-time fold instead of a retained
+    /// correlated vector.
+    pub fn compute_streamed(
+        aggregates: &CorrelationAggregates,
+        traceroutes: &[TracerouteResult],
+        geo: &GeoDb,
+    ) -> Self {
+        let mut observer_as: BTreeMap<PathKey, u32> = BTreeMap::new();
+        for r in traceroutes {
+            if r.normalized_hop == Some(10) {
+                continue; // destination-side: not an on-the-wire device
+            }
+            if let Some(addr) = r.observer_addr {
+                if let Some(asn) = geo.asn_of(addr) {
+                    observer_as.insert(r.path, asn.0);
+                }
+            }
+        }
+        let mut per_as: BTreeMap<u32, BTreeMap<String, usize>> = BTreeMap::new();
+        for (&(path, arrival_protocol), &count) in &aggregates.path_combos {
+            let Some(&asn) = observer_as.get(&path) else {
+                continue;
+            };
+            *per_as
+                .entry(asn)
+                .or_default()
+                .entry(arrival_protocol.as_str().to_string())
+                .or_insert(0) += count as usize;
         }
         Self { per_as }
     }
@@ -138,8 +183,9 @@ mod tests {
         let correlated = correlator.correlate(&arrivals);
 
         let combos = combo_counts(&correlated);
-        assert_eq!(combos["HTTP-HTTP"], 2);
-        assert_eq!(combos["HTTP-DNS"], 1);
+        assert_eq!(combos[&Combo::HttpHttp], 2);
+        assert_eq!(combos[&Combo::HttpDns], 1);
+        assert_eq!(Combo::HttpHttp.to_string(), "HTTP-HTTP");
 
         // Observer localized at AS4134 on this path.
         let mut geo = GeoDb::new();

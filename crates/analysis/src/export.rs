@@ -13,6 +13,7 @@ use crate::reuse::ReuseReport;
 use crate::temporal::Cdf;
 use serde::Serialize;
 use shadow_core::decoy::DecoyProtocol;
+use shadow_core::sink::IntervalHistogram;
 
 /// Everything one campaign's analysis produced, as one serializable bundle.
 #[derive(Debug, Default, Serialize)]
@@ -63,6 +64,15 @@ impl SerializableHopTable {
 /// Turn a CDF into its paper-grid points with owned labels.
 pub fn grid_points(cdf: &Cdf) -> Vec<(String, f64)> {
     cdf.paper_grid()
+        .into_iter()
+        .map(|(label, v)| (label.to_string(), v))
+        .collect()
+}
+
+/// The streamed [`grid_points`]: the same paper grid, read from a sink
+/// interval histogram (bit-identical to the retained CDF at these points).
+pub fn grid_points_streamed(hist: &IntervalHistogram) -> Vec<(String, f64)> {
+    crate::temporal::histogram_paper_grid(hist)
         .into_iter()
         .map(|(label, v)| (label.to_string(), v))
         .collect()

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::{DecoyProtocol, DecoyRegistry};
+use shadow_core::sink::CorrelationAggregates;
 use shadow_geo::CountryCode;
 use shadow_vantage::platform::{Platform, VpId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,13 +45,34 @@ impl LandscapeReport {
         platform: &Platform,
         dest_names: &BTreeMap<Ipv4Addr, String>,
     ) -> Self {
-        let country_of: BTreeMap<VpId, CountryCode> =
-            platform.vps.iter().map(|vp| (vp.id, vp.country)).collect();
         let correlator = Correlator::new(registry);
         let problematic: BTreeSet<PathKey> = correlator
             .problematic_paths(correlated)
             .into_keys()
             .collect();
+        Self::from_problematic(registry, &problematic, platform, dest_names)
+    }
+
+    /// The streamed [`LandscapeReport::compute`]: the problematic-path set
+    /// comes straight from the capture-time fold's path map.
+    pub fn compute_streamed(
+        registry: &DecoyRegistry,
+        aggregates: &CorrelationAggregates,
+        platform: &Platform,
+        dest_names: &BTreeMap<Ipv4Addr, String>,
+    ) -> Self {
+        let problematic: BTreeSet<PathKey> = aggregates.paths.keys().copied().collect();
+        Self::from_problematic(registry, &problematic, platform, dest_names)
+    }
+
+    fn from_problematic(
+        registry: &DecoyRegistry,
+        problematic: &BTreeSet<PathKey>,
+        platform: &Platform,
+        dest_names: &BTreeMap<Ipv4Addr, String>,
+    ) -> Self {
+        let country_of: BTreeMap<VpId, CountryCode> =
+            platform.vps.iter().map(|vp| (vp.id, vp.country)).collect();
 
         // Denominator: every (vp, dst, protocol) a decoy was sent on.
         let mut totals: BTreeMap<(String, String, DecoyProtocol), (usize, usize)> = BTreeMap::new();

@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 use shadow_core::correlate::CorrelatedRequest;
 use shadow_core::decoy::DecoyProtocol;
+use shadow_core::sink::CorrelationAggregates;
 use shadow_netsim::time::SimDuration;
 use std::collections::BTreeMap;
 
@@ -40,6 +41,28 @@ impl ReuseReport {
         }
         Self {
             triggered_decoys: triggered.len(),
+            late_counts,
+        }
+    }
+
+    /// The streamed equivalent of [`ReuseReport::compute`], read from the
+    /// capture-time per-decoy folds. The cutoff is whatever
+    /// `SinkConfig::late_cutoff` the campaign streamed with (1 h in the
+    /// shipped configurations — the paper's framing).
+    pub fn from_aggregates(aggregates: &CorrelationAggregates, protocol: DecoyProtocol) -> Self {
+        let mut late_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut triggered_decoys = 0;
+        for (domain, fold) in &aggregates.decoys {
+            if fold.protocol != protocol {
+                continue;
+            }
+            triggered_decoys += 1;
+            if fold.late_unsolicited > 0 {
+                late_counts.insert(domain.as_str().to_string(), fold.late_unsolicited as usize);
+            }
+        }
+        Self {
+            triggered_decoys,
             late_counts,
         }
     }

@@ -1,8 +1,17 @@
 //! Temporal analysis: the interval CDFs of Figures 4 and 7.
+//!
+//! Two representations coexist: the sample-exact [`Cdf`] (built from
+//! retained per-request intervals) and the streamed fixed-bucket
+//! [`IntervalHistogram`] folded at capture time. The paper's figures only
+//! ever read the CDF at the fixed grid 1 s / 1 min / 1 h / 1 d / 10 d /
+//! 30 d — every grid point is a histogram bucket edge, so the histogram's
+//! cumulative counts reproduce the batch CDF fractions *bit-for-bit*
+//! (`grid_exactness` test below).
 
 use serde::{Deserialize, Serialize};
 use shadow_core::correlate::CorrelatedRequest;
 use shadow_core::decoy::DecoyProtocol;
+use shadow_core::sink::{CorrelationAggregates, IntervalHistogram};
 use shadow_netsim::time::SimDuration;
 
 /// An empirical CDF over durations.
@@ -97,6 +106,37 @@ pub fn interval_cdf(
     Cdf::from_durations(samples)
 }
 
+/// The streamed Figure 4 / Figure 7 series: the same selection as
+/// [`interval_cdf`], read from the capture-time aggregates instead of a
+/// retained request vector.
+pub fn interval_histogram(
+    aggregates: &CorrelationAggregates,
+    protocol: DecoyProtocol,
+    dst_filter: Option<&[std::net::Ipv4Addr]>,
+) -> IntervalHistogram {
+    aggregates.interval_histogram(protocol, |dst| match dst_filter {
+        Some(dsts) => dsts.contains(&dst),
+        None => true,
+    })
+}
+
+/// Evaluate a streamed histogram at the paper's figure grid, mirroring
+/// [`Cdf::paper_grid`] (empty series reads 0.0 everywhere, like the
+/// empty CDF).
+pub fn histogram_paper_grid(hist: &IntervalHistogram) -> Vec<(&'static str, f64)> {
+    [
+        ("1s", SimDuration::from_secs(1)),
+        ("1min", SimDuration::from_mins(1)),
+        ("1h", SimDuration::from_hours(1)),
+        ("1d", SimDuration::from_days(1)),
+        ("10d", SimDuration::from_days(10)),
+        ("30d", SimDuration::from_days(30)),
+    ]
+    .into_iter()
+    .map(|(label, d)| (label, hist.fraction_at(d).unwrap_or(0.0)))
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +174,48 @@ mod tests {
         assert!((mass - 0.75).abs() < 1e-9);
         let none = c.mass_near(SimDuration::from_hours(5), SimDuration::from_mins(5));
         assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn grid_exactness_histogram_matches_cdf_bit_for_bit() {
+        // Awkward values straddling every grid edge, duplicates included.
+        let samples: Vec<u64> = vec![
+            0,
+            1,
+            999,
+            1_000,
+            1_001,
+            59_999,
+            60_000,
+            60_001,
+            3_599_999,
+            3_600_000,
+            3_600_000,
+            3_600_001,
+            86_400_000,
+            86_400_001,
+            863_999_999,
+            864_000_000,
+            864_000_001,
+            2_591_999_999,
+            2_592_000_000,
+            2_592_000_001,
+        ];
+        let c = cdf(&samples);
+        let mut hist = IntervalHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        for ((label_c, frac_c), (label_h, frac_h)) in
+            c.paper_grid().into_iter().zip(histogram_paper_grid(&hist))
+        {
+            assert_eq!(label_c, label_h);
+            assert_eq!(
+                frac_c.to_bits(),
+                frac_h.to_bits(),
+                "grid point {label_c}: batch CDF and streamed histogram diverge"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use traffic_shadowing::shadow_core::executor::{
     run_phase1_sharded, run_phase1_sharded_with, shard_vps, TelemetryOptions,
 };
 use traffic_shadowing::shadow_core::noise::NoiseFilter;
+use traffic_shadowing::shadow_core::sink::SinkConfig;
 use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
 use traffic_shadowing::shadow_vantage::platform::VpId;
 
@@ -51,9 +52,13 @@ fn bench(c: &mut Criterion) {
             let mut world = spec.instantiate();
             NoiseFilter::run_and_apply(&mut world);
             let plan = CampaignRunner::plan_phase1(&world, &config);
-            let data = CampaignRunner::execute_phase1(&mut world, &plan, &config, |vp| {
-                owned.contains(&vp)
-            });
+            let data = CampaignRunner::execute_phase1(
+                &mut world,
+                &plan,
+                &config,
+                SinkConfig::retained(),
+                |vp| owned.contains(&vp),
+            );
             criterion::black_box(data);
             critical_ns = critical_ns.max(start.elapsed().as_nanos());
         }

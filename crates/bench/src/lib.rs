@@ -13,6 +13,7 @@
 use std::sync::OnceLock;
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
+pub mod correlate;
 pub mod hotpath;
 
 /// The seed every bench harness uses, so printed tables match
@@ -25,7 +26,9 @@ pub fn study() -> &'static StudyOutcome {
     STUDY.get_or_init(|| {
         eprintln!("[bench fixture] running the standard campaign (seed {BENCH_SEED})...");
         let started = std::time::Instant::now();
-        let outcome = Study::run(StudyConfig::standard(BENCH_SEED));
+        // Retained: the figure benches time the batch (sample-level)
+        // analysis passes against the streamed aggregates.
+        let outcome = Study::run(StudyConfig::standard(BENCH_SEED).with_retained_arrivals());
         eprintln!("[bench fixture] campaign done in {:?}", started.elapsed());
         outcome
     })

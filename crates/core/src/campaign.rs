@@ -2,6 +2,7 @@
 //! run the simulated clock forward, and harvest honeypot captures.
 
 use crate::decoy::{DecoyProtocol, DecoyRegistry};
+use crate::sink::{CorrelationAggregates, CorrelationSink, SinkConfig};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use shadow_honeypot::authority::ExperimentAuthorityHost;
@@ -65,6 +66,9 @@ impl Default for Phase1Config {
 #[derive(Debug, Clone, Default)]
 pub struct CampaignData {
     pub registry: DecoyRegistry,
+    /// Raw arrivals — populated only when the phase ran with
+    /// [`SinkConfig::retain_arrivals`]; the streaming default leaves this
+    /// empty and [`CampaignData::aggregates`] carries the analysis state.
     pub arrivals: Vec<Arrival>,
     pub vp_reports: HashMap<VpId, VpReport>,
     /// When the last decoy left a VP.
@@ -73,6 +77,8 @@ pub struct CampaignData {
     pub metrics: MetricsSnapshot,
     /// Journal records for this phase/shard (empty unless journaling).
     pub journal: Vec<JournalRecord>,
+    /// Streamed correlation aggregates folded at capture time.
+    pub aggregates: CorrelationAggregates,
 }
 
 impl CampaignData {
@@ -95,6 +101,7 @@ impl CampaignData {
             self.journal.extend(other.journal);
             sort_records(&mut self.journal);
         }
+        self.aggregates.absorb(other.aggregates);
     }
 }
 
@@ -124,10 +131,22 @@ pub struct Phase1Plan {
 pub struct CampaignRunner;
 
 impl CampaignRunner {
-    /// Run Phase I on `world` and harvest captures.
+    /// Run Phase I on `world` and harvest captures. Keeps the raw arrival
+    /// vector alongside the streamed aggregates (the legacy contract most
+    /// direct callers expect); use [`CampaignRunner::run_phase1_with`] with
+    /// [`SinkConfig::streaming`] to drop the buffering.
     pub fn run_phase1(world: &mut World, config: &Phase1Config) -> CampaignData {
+        Self::run_phase1_with(world, config, SinkConfig::retained())
+    }
+
+    /// [`CampaignRunner::run_phase1`] with an explicit sink configuration.
+    pub fn run_phase1_with(
+        world: &mut World,
+        config: &Phase1Config,
+        sink: SinkConfig,
+    ) -> CampaignData {
         let plan = Self::plan_phase1(world, config);
-        Self::execute_phase1(world, &plan, config, |_| true)
+        Self::execute_phase1(world, &plan, config, sink, |_| true)
     }
 
     /// Compute the full Phase I schedule without posting anything.
@@ -262,8 +281,11 @@ impl CampaignRunner {
         world: &mut World,
         plan: &Phase1Plan,
         config: &Phase1Config,
+        sink: SinkConfig,
         owns: impl Fn(VpId) -> bool,
     ) -> CampaignData {
+        let registry = plan.registry.filter_vps(&owns);
+        let shared = install_sink(world, &registry, sink);
         for send in &plan.sends {
             if owns(send.vp) {
                 record_decoy_send(world, send);
@@ -274,15 +296,17 @@ impl CampaignRunner {
         }
         world.engine.run_until(plan.last_send + config.grace);
         let (arrivals, vp_reports) = Self::harvest_filtered(world, &owns);
+        let aggregates = drain_sink(world, &shared);
         emit_phase_end(world, "phase1");
         let (metrics, journal) = drain_telemetry(world);
         CampaignData {
-            registry: plan.registry.filter_vps(&owns),
+            registry,
             arrivals,
             vp_reports,
             last_send: plan.last_send,
             metrics,
             journal,
+            aggregates,
         }
     }
 
@@ -326,6 +350,33 @@ impl CampaignRunner {
         }
         (arrivals, vp_reports)
     }
+}
+
+/// Build a [`CorrelationSink`] over this phase's registry slice and hand a
+/// shared handle to every capture point. The sink sees arrivals in the
+/// exact order the honeypots capture them.
+pub(crate) fn install_sink(
+    world: &mut World,
+    registry: &DecoyRegistry,
+    config: SinkConfig,
+) -> shadow_honeypot::capture::SharedArrivalSink {
+    let shared = CorrelationSink::shared(std::sync::Arc::new(registry.clone()), config);
+    world.install_arrival_sink(Some(shared.clone()));
+    shared
+}
+
+/// Uninstall the phase's sink and take its aggregates, recording the sink
+/// state size (classifier entries + per-decoy folds) into the run metrics.
+pub(crate) fn drain_sink(
+    world: &mut World,
+    shared: &shadow_honeypot::capture::SharedArrivalSink,
+) -> CorrelationAggregates {
+    world.install_arrival_sink(None);
+    let (aggregates, state_size) = CorrelationSink::drain_shared(shared);
+    if let Some(m) = world.engine.telemetry().metrics() {
+        m.sink_tracked_decoys.add(state_size as u64);
+    }
+    aggregates
 }
 
 /// Count a planned decoy send and (when journaling) record the

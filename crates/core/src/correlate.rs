@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Why an arrival counts as unsolicited (the paper's rules i–iii), or not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum UnsolicitedLabel {
     /// The expected one-time resolution of a DNS decoy.
     SolicitedResolution,
@@ -36,6 +36,82 @@ impl UnsolicitedLabel {
                 | UnsolicitedLabel::RepeatedDnsQuery
         )
     }
+
+    /// The rule name as used in metrics/journal keys (same spelling as the
+    /// `Debug` form, without a formatting allocation).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsolicitedLabel::SolicitedResolution => "SolicitedResolution",
+            UnsolicitedLabel::CrossProtocol => "CrossProtocol",
+            UnsolicitedLabel::HttpTlsArrival => "HttpTlsArrival",
+            UnsolicitedLabel::RepeatedDnsQuery => "RepeatedDnsQuery",
+            UnsolicitedLabel::ReplicationNoise => "ReplicationNoise",
+        }
+    }
+}
+
+/// The paper's protocol-combination label (decoy protocol × arrival
+/// protocol, e.g. "DNS-HTTP") as a `Copy` key. Aggregation loops key
+/// counts by combination; formatting a fresh `String` per request just to
+/// use it as a map key was pure allocation overhead. Variants are declared
+/// in the alphabetical order of their display forms, so `Ord` sorts a
+/// `BTreeMap<Combo, _>` exactly like the old string-keyed maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Combo {
+    DnsDns,
+    DnsHttp,
+    DnsHttps,
+    HttpDns,
+    HttpHttp,
+    HttpHttps,
+    TlsDns,
+    TlsHttp,
+    TlsHttps,
+}
+
+impl Combo {
+    pub fn new(decoy: DecoyProtocol, arrival: ArrivalProtocol) -> Self {
+        match (decoy, arrival) {
+            (DecoyProtocol::Dns, ArrivalProtocol::Dns) => Combo::DnsDns,
+            (DecoyProtocol::Dns, ArrivalProtocol::Http) => Combo::DnsHttp,
+            (DecoyProtocol::Dns, ArrivalProtocol::Https) => Combo::DnsHttps,
+            (DecoyProtocol::Http, ArrivalProtocol::Dns) => Combo::HttpDns,
+            (DecoyProtocol::Http, ArrivalProtocol::Http) => Combo::HttpHttp,
+            (DecoyProtocol::Http, ArrivalProtocol::Https) => Combo::HttpHttps,
+            (DecoyProtocol::Tls, ArrivalProtocol::Dns) => Combo::TlsDns,
+            (DecoyProtocol::Tls, ArrivalProtocol::Http) => Combo::TlsHttp,
+            (DecoyProtocol::Tls, ArrivalProtocol::Https) => Combo::TlsHttps,
+        }
+    }
+
+    pub fn decoy(self) -> DecoyProtocol {
+        match self {
+            Combo::DnsDns | Combo::DnsHttp | Combo::DnsHttps => DecoyProtocol::Dns,
+            Combo::HttpDns | Combo::HttpHttp | Combo::HttpHttps => DecoyProtocol::Http,
+            Combo::TlsDns | Combo::TlsHttp | Combo::TlsHttps => DecoyProtocol::Tls,
+        }
+    }
+
+    pub fn arrival(self) -> ArrivalProtocol {
+        match self {
+            Combo::DnsDns | Combo::HttpDns | Combo::TlsDns => ArrivalProtocol::Dns,
+            Combo::DnsHttp | Combo::HttpHttp | Combo::TlsHttp => ArrivalProtocol::Http,
+            Combo::DnsHttps | Combo::HttpHttps | Combo::TlsHttps => ArrivalProtocol::Https,
+        }
+    }
+}
+
+impl std::fmt::Display for Combo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.decoy().as_str(), self.arrival().as_str())
+    }
+}
+
+impl PartialEq<&str> for Combo {
+    fn eq(&self, other: &&str) -> bool {
+        let (d, a) = other.split_once('-').unwrap_or(("", ""));
+        self.decoy().as_str() == d && self.arrival().as_str() == a
+    }
 }
 
 /// One arrival resolved against the decoy registry.
@@ -51,12 +127,8 @@ pub struct CorrelatedRequest {
 
 impl CorrelatedRequest {
     /// The paper's protocol-combination label, e.g. "DNS-HTTP".
-    pub fn combo(&self) -> String {
-        format!(
-            "{}-{}",
-            self.decoy.protocol.as_str(),
-            self.arrival.protocol.as_str()
-        )
+    pub fn combo(&self) -> Combo {
+        Combo::new(self.decoy.protocol, self.arrival.protocol)
     }
 }
 
@@ -75,6 +147,70 @@ pub struct ProblematicPath {
     pub unsolicited: usize,
     pub first_unsolicited_at: SimTime,
     pub decoys_triggering: usize,
+}
+
+/// The §3 classification rules as an incremental state machine: feed it
+/// (decoy, arrival) pairs in capture-time order and it labels each one
+/// immediately. This is the single implementation of the rules — the
+/// streaming [`crate::sink::CorrelationSink`] drives it per capture, and
+/// the batch [`Correlator`] drives it over a sorted arrival vector — so
+/// the two paths cannot drift apart.
+///
+/// The only order-sensitive state is the first-seen time per DNS-decoy
+/// domain. All captures for one domain happen at the single authoritative
+/// host in simulated-time order, so streaming (capture order) and batch
+/// (sort order) see the same first-seen time; two arrivals in the same
+/// millisecond may swap which of them is labeled `SolicitedResolution`
+/// versus `ReplicationNoise`, but both labels are non-unsolicited, so
+/// every unsolicited-derived aggregate is invariant under the swap.
+#[derive(Debug, Default)]
+pub struct StreamingClassifier {
+    replication_window: SimDuration,
+    first_dns_seen: HashMap<shadow_packet::dns::DnsName, SimTime>,
+}
+
+impl StreamingClassifier {
+    /// Appendix E's default replication window (1,500 ms).
+    pub const DEFAULT_REPLICATION_WINDOW: SimDuration = SimDuration(1_500);
+
+    pub fn new(replication_window: SimDuration) -> Self {
+        Self {
+            replication_window,
+            first_dns_seen: HashMap::new(),
+        }
+    }
+
+    /// Label one arrival already resolved to its decoy. Must be called in
+    /// capture-time order per domain.
+    pub fn classify(&mut self, decoy: &DecoyRecord, arrival: &Arrival) -> UnsolicitedLabel {
+        match arrival.protocol {
+            ArrivalProtocol::Http | ArrivalProtocol::Https => UnsolicitedLabel::HttpTlsArrival,
+            ArrivalProtocol::Dns => {
+                if decoy.protocol != DecoyProtocol::Dns {
+                    UnsolicitedLabel::CrossProtocol
+                } else {
+                    match self.first_dns_seen.get(&decoy.domain) {
+                        None => {
+                            self.first_dns_seen.insert(decoy.domain.clone(), arrival.at);
+                            UnsolicitedLabel::SolicitedResolution
+                        }
+                        Some(&first_at) => {
+                            if arrival.at.since(first_at) <= self.replication_window {
+                                UnsolicitedLabel::ReplicationNoise
+                            } else {
+                                UnsolicitedLabel::RepeatedDnsQuery
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Domains with classifier state (the sink-depth proxy).
+    pub fn tracked_domains(&self) -> usize {
+        self.first_dns_seen.len()
+    }
 }
 
 /// The correlation engine.
@@ -102,41 +238,23 @@ impl<'a> Correlator<'a> {
     /// Correlate a time-sorted arrival stream. Arrivals whose domain does
     /// not resolve to a registered decoy (scanner noise, corrupted labels)
     /// are dropped.
+    ///
+    /// This is the batch adapter over [`StreamingClassifier`] — the same
+    /// state machine the capture-time [`crate::sink::CorrelationSink`]
+    /// runs, replayed over a buffered vector for callers that want the
+    /// per-request sample set rather than the streamed aggregates.
     pub fn correlate(&self, arrivals: &[Arrival]) -> Vec<CorrelatedRequest> {
-        let mut first_dns_seen: HashMap<&shadow_packet::dns::DnsName, SimTime> = HashMap::new();
+        let mut classifier = StreamingClassifier::new(self.replication_window);
         let mut out = Vec::with_capacity(arrivals.len());
         for arrival in arrivals {
             let Some(decoy) = self.registry.lookup(&arrival.domain) else {
                 continue;
             };
-            let interval = arrival.at.since(decoy.planned_at);
-            let label = match arrival.protocol {
-                ArrivalProtocol::Http | ArrivalProtocol::Https => UnsolicitedLabel::HttpTlsArrival,
-                ArrivalProtocol::Dns => {
-                    if decoy.protocol != DecoyProtocol::Dns {
-                        UnsolicitedLabel::CrossProtocol
-                    } else {
-                        match first_dns_seen.get(&decoy.domain) {
-                            None => {
-                                first_dns_seen.insert(&decoy.domain, arrival.at);
-                                UnsolicitedLabel::SolicitedResolution
-                            }
-                            Some(&first_at) => {
-                                if arrival.at.since(first_at) <= self.replication_window {
-                                    UnsolicitedLabel::ReplicationNoise
-                                } else {
-                                    UnsolicitedLabel::RepeatedDnsQuery
-                                }
-                            }
-                        }
-                    }
-                }
-            };
             out.push(CorrelatedRequest {
                 arrival: arrival.clone(),
                 decoy: decoy.clone(),
-                interval,
-                label,
+                interval: arrival.at.since(decoy.planned_at),
+                label: classifier.classify(decoy, arrival),
             });
         }
         out

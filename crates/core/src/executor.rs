@@ -30,6 +30,7 @@ use crate::campaign::{CampaignData, CampaignRunner, Phase1Config};
 use crate::correlate::PathKey;
 use crate::noise::{NoiseFilter, PreflightOutcome};
 use crate::phase2::{Phase2Config, Phase2Runner, TracerouteResult};
+use crate::sink::SinkConfig;
 use crate::world::{World, WorldSpec};
 use shadow_netsim::engine::EngineStats;
 use shadow_netsim::fault::LinkConditioner;
@@ -142,6 +143,29 @@ pub fn run_phase1_sharded_conditioned(
     telemetry: TelemetryOptions,
     conditioner: Option<Arc<LinkConditioner>>,
 ) -> ShardedPhase1 {
+    run_phase1_sharded_sink(
+        spec,
+        config,
+        shards,
+        telemetry,
+        conditioner,
+        SinkConfig::retained(),
+    )
+}
+
+/// [`run_phase1_sharded_conditioned`] with an explicit sink configuration.
+/// Each shard installs its own [`crate::sink::CorrelationSink`] over the
+/// registry slice it owns; per-shard aggregates merge commutatively in
+/// [`CampaignData::absorb`]. With [`SinkConfig::streaming`] no shard ever
+/// buffers its arrival vector.
+pub fn run_phase1_sharded_sink(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    shards: usize,
+    telemetry: TelemetryOptions,
+    conditioner: Option<Arc<LinkConditioner>>,
+    sink: SinkConfig,
+) -> ShardedPhase1 {
     let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
     let assignment = shard_vps(&vp_ids, shards);
 
@@ -165,7 +189,7 @@ pub fn run_phase1_sharded_conditioned(
                         world.engine.set_conditioner(conditioner);
                         let plan = CampaignRunner::plan_phase1(&world, config);
                         let mut data =
-                            CampaignRunner::execute_phase1(&mut world, &plan, config, |vp| {
+                            CampaignRunner::execute_phase1(&mut world, &plan, config, sink, |vp| {
                                 owned.contains(&vp)
                             });
                         record_phase_wall(&mut data, "phase1", started);
@@ -254,6 +278,19 @@ pub fn run_phase2_sharded(
     paths: &[PathKey],
     config: &Phase2Config,
 ) -> (Vec<TracerouteResult>, CampaignData) {
+    run_phase2_sharded_sink(worlds, assignment, paths, config, SinkConfig::retained())
+}
+
+/// [`run_phase2_sharded`] with an explicit sink configuration. Observer
+/// localization reads the merged aggregates' smallest-triggering-TTL fold,
+/// so [`SinkConfig::streaming`] sweeps never buffer arrivals either.
+pub fn run_phase2_sharded_sink(
+    worlds: &mut [World],
+    assignment: &[BTreeSet<VpId>],
+    paths: &[PathKey],
+    config: &Phase2Config,
+    sink: SinkConfig,
+) -> (Vec<TracerouteResult>, CampaignData) {
     assert_eq!(
         worlds.len(),
         assignment.len(),
@@ -268,7 +305,7 @@ pub fn run_phase2_sharded(
                     let started = std::time::Instant::now();
                     let plan = Phase2Runner::plan(world, paths, config);
                     let mut data =
-                        Phase2Runner::execute(world, &plan, config, |vp| owned.contains(&vp));
+                        Phase2Runner::execute(world, &plan, config, sink, |vp| owned.contains(&vp));
                     record_phase_wall(&mut data, "phase2", started);
                     (plan.traced, data)
                 })

@@ -29,16 +29,21 @@ pub mod executor;
 pub mod ident;
 pub mod noise;
 pub mod phase2;
+pub mod sink;
 pub mod world;
 
 pub use campaign::{CampaignData, CampaignRunner, Phase1Config};
-pub use correlate::{CorrelatedRequest, Correlator, PathKey, ProblematicPath, UnsolicitedLabel};
+pub use correlate::{
+    Combo, CorrelatedRequest, Correlator, PathKey, ProblematicPath, StreamingClassifier,
+    UnsolicitedLabel,
+};
 pub use decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
 pub use executor::{
-    run_phase1_sharded, run_phase1_sharded_conditioned, run_phase2_sharded, shard_vps,
-    ShardedPhase1,
+    run_phase1_sharded, run_phase1_sharded_conditioned, run_phase1_sharded_sink,
+    run_phase2_sharded, run_phase2_sharded_sink, shard_vps, ShardedPhase1,
 };
 pub use ident::{DecoyIdent, IdentError};
 pub use noise::{NoiseFilter, PreflightOutcome};
 pub use phase2::{ObserverLocation, Phase2Config, Phase2Runner, TracerouteResult};
+pub use sink::{CorrelationAggregates, CorrelationSink, IntervalHistogram, SinkConfig};
 pub use world::{World, WorldConfig};

@@ -10,6 +10,7 @@
 use crate::campaign::{CampaignData, CampaignRunner, PlannedSend};
 use crate::correlate::{Correlator, PathKey};
 use crate::decoy::{DecoyProtocol, DecoyRegistry};
+use crate::sink::{CorrelationAggregates, SinkConfig};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use shadow_netsim::time::{SimDuration, SimTime};
@@ -90,8 +91,20 @@ impl Phase2Runner {
         paths: &[PathKey],
         config: &Phase2Config,
     ) -> (Vec<TracerouteResult>, CampaignData) {
+        Self::run_with(world, paths, config, SinkConfig::retained())
+    }
+
+    /// [`Phase2Runner::run`] with an explicit sink configuration —
+    /// [`SinkConfig::streaming`] localizes from the capture-time
+    /// aggregates without ever buffering the sweep's arrivals.
+    pub fn run_with(
+        world: &mut World,
+        paths: &[PathKey],
+        config: &Phase2Config,
+        sink: SinkConfig,
+    ) -> (Vec<TracerouteResult>, CampaignData) {
         let plan = Self::plan(world, paths, config);
-        let data = Self::execute(world, &plan, config, |_| true);
+        let data = Self::execute(world, &plan, config, sink, |_| true);
         let results = Self::localize(&data, &plan.traced, config.max_ttl);
         (results, data)
     }
@@ -172,8 +185,11 @@ impl Phase2Runner {
         world: &mut World,
         plan: &Phase2Plan,
         config: &Phase2Config,
+        sink: SinkConfig,
         owns: impl Fn(VpId) -> bool,
     ) -> CampaignData {
+        let registry = plan.registry.filter_vps(&owns);
+        let shared = crate::campaign::install_sink(world, &registry, sink);
         for send in &plan.sends {
             if owns(send.vp) {
                 crate::campaign::record_decoy_send(world, send);
@@ -184,40 +200,53 @@ impl Phase2Runner {
         }
         world.engine.run_until(plan.last_send + config.grace);
         let (arrivals, vp_reports) = CampaignRunner::harvest_filtered(world, &owns);
+        let aggregates = crate::campaign::drain_sink(world, &shared);
         crate::campaign::emit_phase_end(world, "phase2");
         let (metrics, journal) = crate::campaign::drain_telemetry(world);
         CampaignData {
-            registry: plan.registry.filter_vps(&owns),
+            registry,
             arrivals,
             vp_reports,
             last_send: plan.last_send,
             metrics,
             journal,
+            aggregates,
         }
     }
 
     /// Pure localization from Phase II data (separated for testing).
+    ///
+    /// The smallest-triggering-TTL fold comes straight from the streamed
+    /// [`CorrelationAggregates`] — the sink already tracked the per-path
+    /// minimum at capture time, so no arrival buffering or re-correlation
+    /// is needed. Hand-built data carrying only raw arrivals (no sink ran)
+    /// falls back to the batch correlator.
     pub fn localize(data: &CampaignData, traced: &[PathKey], max_ttl: u8) -> Vec<TracerouteResult> {
-        let correlator = Correlator::new(&data.registry);
-        let correlated = correlator.correlate(&data.arrivals);
-
         // Smallest triggering TTL per path.
-        let mut min_trigger: HashMap<PathKey, u8> = HashMap::new();
-        for req in &correlated {
-            if !req.label.is_unsolicited() {
-                continue;
-            }
-            let key = PathKey {
-                vp: req.decoy.vp,
-                dst: req.decoy.dst(),
-                protocol: req.decoy.protocol,
+        let min_trigger: HashMap<PathKey, u8> =
+            if data.aggregates.classified == 0 && !data.arrivals.is_empty() {
+                let correlator = Correlator::new(&data.registry);
+                let correlated = correlator.correlate(&data.arrivals);
+                let mut fold: HashMap<PathKey, u8> = HashMap::new();
+                for req in correlated.iter().filter(|r| r.label.is_unsolicited()) {
+                    let key = PathKey {
+                        vp: req.decoy.vp,
+                        dst: req.decoy.dst(),
+                        protocol: req.decoy.protocol,
+                    };
+                    let ttl = req.decoy.ttl();
+                    fold.entry(key)
+                        .and_modify(|t| *t = (*t).min(ttl))
+                        .or_insert(ttl);
+                }
+                fold
+            } else {
+                data.aggregates
+                    .paths
+                    .iter()
+                    .map(|(key, fold)| (*key, fold.min_trigger_ttl))
+                    .collect()
             };
-            let ttl = req.decoy.ttl();
-            min_trigger
-                .entry(key)
-                .and_modify(|t| *t = (*t).min(ttl))
-                .or_insert(ttl);
-        }
 
         // ICMP evidence per (vp, dst): hop → router address; and, for DNS,
         // the smallest TTL that produced a destination answer.
@@ -304,10 +333,26 @@ pub fn paths_to_trace(
     cap_per_protocol: usize,
 ) -> Vec<PathKey> {
     let correlator = Correlator::new(registry);
-    let paths = correlator.problematic_paths(correlated);
+    cap_paths(
+        correlator.problematic_paths(correlated).keys(),
+        cap_per_protocol,
+    )
+}
+
+/// [`paths_to_trace`] from streamed aggregates — identical selection (the
+/// aggregate path map holds the same keys in the same `BTreeMap` order the
+/// batch correlator derives), no correlated vector required.
+pub fn paths_to_trace_streamed(
+    aggregates: &CorrelationAggregates,
+    cap_per_protocol: usize,
+) -> Vec<PathKey> {
+    cap_paths(aggregates.paths.keys(), cap_per_protocol)
+}
+
+fn cap_paths<'a>(keys: impl Iterator<Item = &'a PathKey>, cap_per_protocol: usize) -> Vec<PathKey> {
     let mut per_protocol: BTreeMap<DecoyProtocol, usize> = BTreeMap::new();
     let mut out = Vec::new();
-    for key in paths.keys() {
+    for key in keys {
         let count = per_protocol.entry(key.protocol).or_insert(0);
         if *count < cap_per_protocol {
             *count += 1;

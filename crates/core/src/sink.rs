@@ -1,0 +1,643 @@
+//! Streaming correlation: the capture-time sink that replaces batch
+//! post-hoc analysis.
+//!
+//! The batch pipeline buffered every honeypot [`Arrival`], then re-scanned
+//! the full vector once per analysis module — O(arrivals) memory and a
+//! serial tail after the simulation finished. The [`CorrelationSink`]
+//! inverts that dataflow: each arrival is classified the moment a honeypot
+//! captures it (decoy lookup + the §3 rules via
+//! [`StreamingClassifier`]) and folded into [`CorrelationAggregates`] —
+//! compact maps bounded by the number of decoys, paths, and destinations,
+//! never by traffic volume. Each shard owns one sink; per-shard aggregates
+//! merge commutatively through `CampaignData::absorb`, and the merged
+//! result is byte-identical to running the batch correlator over the
+//! merged arrival vector (pinned by `tests/streaming_equivalence.rs`).
+//!
+//! Why per-shard folding is exact: decoy domains are unique and each
+//! belongs to exactly one VP, hence one shard. All DNS captures for a
+//! domain happen at the single authoritative host in simulated-time order,
+//! so the first-seen time the classifier keys on is the same whether the
+//! stream is consumed at capture time or sorted afterwards. The only
+//! ambiguity — two same-millisecond duplicates swapping
+//! `SolicitedResolution` and `ReplicationNoise` — is between two
+//! non-unsolicited labels, which no aggregate distinguishes.
+
+use crate::correlate::{
+    Combo, CorrelatedRequest, PathKey, ProblematicPath, StreamingClassifier, UnsolicitedLabel,
+};
+use crate::decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+use shadow_honeypot::capture::{
+    Arrival, ArrivalProtocol, ArrivalSink, SharedArrivalSink, SinkDecision,
+};
+use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_packet::dns::DnsName;
+use shadow_telemetry::HistogramSnapshot;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// How the streaming sink behaves for one campaign phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkConfig {
+    /// Appendix E replication window fed to the classifier.
+    pub replication_window: SimDuration,
+    /// Strict cutoff separating "within the hour" from "later" in the
+    /// per-decoy folds (Figure 5 classes, §5.1 reuse counting).
+    pub late_cutoff: SimDuration,
+    /// Keep the raw arrivals in the honeypot capture logs as well. `false`
+    /// (the streaming default) is what keeps peak memory flat; `true`
+    /// preserves the legacy per-request sample set for analyses that need
+    /// individual arrivals (origin ASes, probing payloads, case studies).
+    pub retain_arrivals: bool,
+}
+
+impl SinkConfig {
+    /// The streaming default: aggregates only, no arrival buffering.
+    pub fn streaming() -> Self {
+        Self {
+            replication_window: StreamingClassifier::DEFAULT_REPLICATION_WINDOW,
+            late_cutoff: SimDuration::from_hours(1),
+            retain_arrivals: false,
+        }
+    }
+
+    /// Streaming aggregates plus the legacy buffered arrival vector.
+    pub fn retained() -> Self {
+        Self {
+            retain_arrivals: true,
+            ..Self::streaming()
+        }
+    }
+}
+
+impl Default for SinkConfig {
+    fn default() -> Self {
+        Self::streaming()
+    }
+}
+
+/// Inclusive upper bucket edges (milliseconds) of the fixed-bucket
+/// interval histograms. Includes **every** paper-grid point (1 s, 1 min,
+/// 1 h, 1 d, 10 d, 30 d — `Cdf::paper_grid`), so cumulative bucket counts
+/// reproduce the batch sample-CDF fractions at the grid *exactly*, plus
+/// intermediate edges for resolution.
+pub const INTERVAL_EDGES_MS: [u64; 12] = [
+    1_000,         // 1 s
+    10_000,        // 10 s
+    60_000,        // 1 min
+    600_000,       // 10 min
+    3_600_000,     // 1 h
+    21_600_000,    // 6 h
+    86_400_000,    // 1 d
+    259_200_000,   // 3 d
+    864_000_000,   // 10 d
+    1_728_000_000, // 20 d
+    2_592_000_000, // 30 d
+    5_184_000_000, // 60 d
+];
+
+/// A fixed-bucket histogram over decoy-emission → arrival intervals, the
+/// streaming replacement for buffering every interval sample. One extra
+/// bucket catches overflow beyond the last edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalHistogram {
+    counts: [u64; INTERVAL_EDGES_MS.len() + 1],
+}
+
+impl Default for IntervalHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; INTERVAL_EDGES_MS.len() + 1],
+        }
+    }
+}
+
+impl IntervalHistogram {
+    #[inline]
+    pub fn record(&mut self, interval_ms: u64) {
+        let idx = INTERVAL_EDGES_MS.partition_point(|&edge| edge < interval_ms);
+        self.counts[idx] += 1;
+    }
+
+    pub fn merge(&mut self, other: &IntervalHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Samples ≤ `edge_ms`. Exact only when `edge_ms` is one of
+    /// [`INTERVAL_EDGES_MS`]; `None` otherwise (an inexact answer would
+    /// silently diverge from the batch CDF).
+    pub fn cumulative_at(&self, edge_ms: u64) -> Option<u64> {
+        let idx = INTERVAL_EDGES_MS.iter().position(|&e| e == edge_ms)?;
+        Some(self.counts[..=idx].iter().sum())
+    }
+
+    /// Fraction of samples ≤ `edge_ms` — the CDF value at a bucket edge.
+    /// Computed as the same integer-count division the batch
+    /// `Cdf::fraction_at` performs, so the two agree bit-for-bit.
+    pub fn fraction_at(&self, edge: SimDuration) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        self.cumulative_at(edge.millis())
+            .map(|n| n as f64 / total as f64)
+    }
+}
+
+/// Figure-5 outcome bits of one decoy, strongest-wins decodable.
+pub const OUTCOME_DNS_EARLY: u8 = 1;
+pub const OUTCOME_DNS_LATE: u8 = 2;
+pub const OUTCOME_HTTP_EARLY: u8 = 4;
+pub const OUTCOME_HTTP_LATE: u8 = 8;
+
+/// Everything the analyses need to know about one decoy's unsolicited
+/// traffic, folded incrementally (Figure 5 breakdown + §5.1 reuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoyFold {
+    pub protocol: DecoyProtocol,
+    /// OR of the `OUTCOME_*` bits this decoy's unsolicited arrivals set.
+    pub outcome_bits: u8,
+    /// Unsolicited arrivals later than the configured late cutoff.
+    pub late_unsolicited: u64,
+}
+
+/// Everything the analyses need to know about one client-server path,
+/// folded incrementally (Figure 3 numerators + Phase II TTL localization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathFold {
+    pub unsolicited: u64,
+    pub first_unsolicited_at: SimTime,
+    /// Decoy domains whose unsolicited arrivals implicate this path.
+    pub triggering: BTreeSet<DnsName>,
+    /// Smallest decoy TTL that still triggered — the incremental min-fold
+    /// Phase II's binary-search localization reads.
+    pub min_trigger_ttl: u8,
+}
+
+/// Compact per-shard correlation state. Every map is bounded by decoys,
+/// paths, or destinations — never by arrival volume — and every field
+/// merges commutatively in [`CorrelationAggregates::absorb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorrelationAggregates {
+    /// Arrivals offered to the sink, including unknown-domain noise.
+    pub arrivals_seen: u64,
+    /// Arrivals that resolved to a registered decoy.
+    pub classified: u64,
+    /// Classified arrivals per §3 label (solicited classes included).
+    pub by_label: BTreeMap<UnsolicitedLabel, u64>,
+    /// Intervals of **all** classified arrivals in the telemetry bucket
+    /// layout (feeds `WorldMetrics::retention_intervals_ms`).
+    pub retention_intervals_ms: HistogramSnapshot,
+    /// Unsolicited-interval histograms per (decoy protocol, destination) —
+    /// the streamed source of the Figure 4/7 temporal CDFs.
+    pub interval_hists: BTreeMap<(DecoyProtocol, Ipv4Addr), IntervalHistogram>,
+    /// Unsolicited arrivals per protocol combination (§5.2).
+    pub combos: BTreeMap<Combo, u64>,
+    /// Unsolicited arrivals per (path, arrival protocol) — the observer
+    /// combination input (Table: per-AS combos).
+    pub path_combos: BTreeMap<(PathKey, ArrivalProtocol), u64>,
+    /// Problematic-path folds (Figure 3, Phase II trace targets).
+    pub paths: BTreeMap<PathKey, PathFold>,
+    /// Per-decoy folds (Figure 5 breakdown, §5.1 reuse).
+    pub decoys: BTreeMap<DnsName, DecoyFold>,
+}
+
+impl CorrelationAggregates {
+    /// Fold one classified arrival.
+    pub fn fold(
+        &mut self,
+        decoy: &DecoyRecord,
+        arrival: &Arrival,
+        interval: SimDuration,
+        label: UnsolicitedLabel,
+        late_cutoff: SimDuration,
+    ) {
+        self.classified += 1;
+        *self.by_label.entry(label).or_insert(0) += 1;
+        self.retention_intervals_ms.record(interval.millis());
+        if !label.is_unsolicited() {
+            return;
+        }
+        let key = PathKey {
+            vp: decoy.vp,
+            dst: decoy.dst(),
+            protocol: decoy.protocol,
+        };
+        *self
+            .combos
+            .entry(Combo::new(decoy.protocol, arrival.protocol))
+            .or_insert(0) += 1;
+        *self.path_combos.entry((key, arrival.protocol)).or_insert(0) += 1;
+        self.interval_hists
+            .entry((decoy.protocol, decoy.dst()))
+            .or_default()
+            .record(interval.millis());
+        let path = self.paths.entry(key).or_insert_with(|| PathFold {
+            unsolicited: 0,
+            first_unsolicited_at: arrival.at,
+            triggering: BTreeSet::new(),
+            min_trigger_ttl: decoy.ttl(),
+        });
+        path.unsolicited += 1;
+        path.first_unsolicited_at = path.first_unsolicited_at.min(arrival.at);
+        path.min_trigger_ttl = path.min_trigger_ttl.min(decoy.ttl());
+        // Check-before-insert: a decoy's repeat arrivals dominate, and
+        // cloning the domain `String` on every hit is the fold's only
+        // per-arrival allocation.
+        if !path.triggering.contains(&decoy.domain) {
+            path.triggering.insert(decoy.domain.clone());
+        }
+        let late = interval > late_cutoff;
+        if !self.decoys.contains_key(&decoy.domain) {
+            self.decoys.insert(
+                decoy.domain.clone(),
+                DecoyFold {
+                    protocol: decoy.protocol,
+                    outcome_bits: 0,
+                    late_unsolicited: 0,
+                },
+            );
+        }
+        let fold = self
+            .decoys
+            .get_mut(&decoy.domain)
+            .expect("inserted above if absent");
+        fold.outcome_bits |= match (arrival.protocol, late) {
+            (ArrivalProtocol::Dns, false) => OUTCOME_DNS_EARLY,
+            (ArrivalProtocol::Dns, true) => OUTCOME_DNS_LATE,
+            (_, false) => OUTCOME_HTTP_EARLY,
+            (_, true) => OUTCOME_HTTP_LATE,
+        };
+        if late {
+            fold.late_unsolicited += 1;
+        }
+    }
+
+    /// Commutative merge — the aggregates' half of `CampaignData::absorb`.
+    /// Sums, minima, unions, and bit-ORs only, so any absorb order yields
+    /// identical state.
+    pub fn absorb(&mut self, other: CorrelationAggregates) {
+        self.arrivals_seen += other.arrivals_seen;
+        self.classified += other.classified;
+        for (label, n) in other.by_label {
+            *self.by_label.entry(label).or_insert(0) += n;
+        }
+        self.retention_intervals_ms
+            .merge(&other.retention_intervals_ms);
+        for (key, hist) in other.interval_hists {
+            self.interval_hists.entry(key).or_default().merge(&hist);
+        }
+        for (combo, n) in other.combos {
+            *self.combos.entry(combo).or_insert(0) += n;
+        }
+        for (key, n) in other.path_combos {
+            *self.path_combos.entry(key).or_insert(0) += n;
+        }
+        for (key, fold) in other.paths {
+            match self.paths.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(fold);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    mine.unsolicited += fold.unsolicited;
+                    mine.first_unsolicited_at =
+                        mine.first_unsolicited_at.min(fold.first_unsolicited_at);
+                    mine.min_trigger_ttl = mine.min_trigger_ttl.min(fold.min_trigger_ttl);
+                    mine.triggering.extend(fold.triggering);
+                }
+            }
+        }
+        for (domain, fold) in other.decoys {
+            match self.decoys.entry(domain) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(fold);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    mine.outcome_bits |= fold.outcome_bits;
+                    mine.late_unsolicited += fold.late_unsolicited;
+                }
+            }
+        }
+    }
+
+    /// The batch twin: run the identical lookup → classify → fold pipeline
+    /// over a sorted arrival vector. Equivalence tests compare this
+    /// against what the capture-time sinks streamed.
+    pub fn from_arrivals(
+        registry: &DecoyRegistry,
+        arrivals: &[Arrival],
+        config: &SinkConfig,
+    ) -> Self {
+        let mut classifier = StreamingClassifier::new(config.replication_window);
+        let mut agg = Self::default();
+        for arrival in arrivals {
+            agg.arrivals_seen += 1;
+            let Some(decoy) = registry.lookup(&arrival.domain) else {
+                continue;
+            };
+            let label = classifier.classify(decoy, arrival);
+            agg.fold(
+                decoy,
+                arrival,
+                arrival.at.since(decoy.planned_at),
+                label,
+                config.late_cutoff,
+            );
+        }
+        agg
+    }
+
+    /// Fold an already-correlated batch (retained mode helper for tests).
+    pub fn from_correlated(correlated: &[CorrelatedRequest], late_cutoff: SimDuration) -> Self {
+        let mut agg = Self::default();
+        for req in correlated {
+            agg.arrivals_seen += 1;
+            agg.fold(
+                &req.decoy,
+                &req.arrival,
+                req.interval,
+                req.label,
+                late_cutoff,
+            );
+        }
+        agg
+    }
+
+    /// Total unsolicited arrivals across all rules.
+    pub fn unsolicited_total(&self) -> u64 {
+        self.by_label
+            .iter()
+            .filter(|(label, _)| label.is_unsolicited())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The problematic-path view, shaped exactly like
+    /// `Correlator::problematic_paths`.
+    pub fn problematic_paths(&self) -> BTreeMap<PathKey, ProblematicPath> {
+        self.paths
+            .iter()
+            .map(|(key, fold)| {
+                (
+                    *key,
+                    ProblematicPath {
+                        key: *key,
+                        unsolicited: fold.unsolicited as usize,
+                        first_unsolicited_at: fold.first_unsolicited_at,
+                        decoys_triggering: fold.triggering.len(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Smallest decoy TTL that triggered unsolicited traffic on `key`.
+    pub fn min_trigger_ttl(&self, key: &PathKey) -> Option<u8> {
+        self.paths.get(key).map(|fold| fold.min_trigger_ttl)
+    }
+
+    /// Sum of the unsolicited-interval histograms over `(protocol, dst)`
+    /// cells selected by `keep` — the Figure 4/7 series source.
+    pub fn interval_histogram(
+        &self,
+        protocol: DecoyProtocol,
+        mut keep: impl FnMut(Ipv4Addr) -> bool,
+    ) -> IntervalHistogram {
+        let mut out = IntervalHistogram::default();
+        for ((proto, dst), hist) in &self.interval_hists {
+            if *proto == protocol && keep(*dst) {
+                out.merge(hist);
+            }
+        }
+        out
+    }
+}
+
+/// The capture-time [`ArrivalSink`]: one per shard engine, installed on
+/// the authoritative server and every honey web host before campaign
+/// traffic starts, drained into `CampaignData::aggregates` at harvest.
+pub struct CorrelationSink {
+    registry: Arc<DecoyRegistry>,
+    config: SinkConfig,
+    classifier: StreamingClassifier,
+    aggregates: CorrelationAggregates,
+}
+
+impl CorrelationSink {
+    pub fn new(registry: Arc<DecoyRegistry>, config: SinkConfig) -> Self {
+        Self {
+            registry,
+            config,
+            classifier: StreamingClassifier::new(config.replication_window),
+            aggregates: CorrelationAggregates::default(),
+        }
+    }
+
+    /// Build the shared handle the honeypot hosts hold.
+    pub fn shared(registry: Arc<DecoyRegistry>, config: SinkConfig) -> SharedArrivalSink {
+        Arc::new(parking_lot::Mutex::new(Box::new(Self::new(
+            registry, config,
+        ))))
+    }
+
+    /// Decoy states currently held (classifier first-seen entries plus
+    /// per-decoy folds) — the sink-depth telemetry value.
+    pub fn state_size(&self) -> usize {
+        self.classifier.tracked_domains() + self.aggregates.decoys.len()
+    }
+
+    pub fn take_aggregates(&mut self) -> CorrelationAggregates {
+        std::mem::take(&mut self.aggregates)
+    }
+
+    /// Drain the aggregates (and state-size reading) out of a shared
+    /// handle after the run. Returns empty aggregates if the handle holds
+    /// some other sink type — the campaign layer only ever installs
+    /// [`CorrelationSink`]s, so that would be a bug upstream, not here.
+    pub fn drain_shared(shared: &SharedArrivalSink) -> (CorrelationAggregates, usize) {
+        let mut guard = shared.lock();
+        match guard.as_any_mut().downcast_mut::<CorrelationSink>() {
+            Some(sink) => {
+                let state_size = sink.state_size();
+                (sink.take_aggregates(), state_size)
+            }
+            None => (CorrelationAggregates::default(), 0),
+        }
+    }
+}
+
+impl ArrivalSink for CorrelationSink {
+    fn offer(&mut self, arrival: &Arrival) -> SinkDecision {
+        self.aggregates.arrivals_seen += 1;
+        let retain = self.config.retain_arrivals;
+        let Some(decoy) = self.registry.lookup(&arrival.domain) else {
+            return SinkDecision::unclassified(retain);
+        };
+        let label = self.classifier.classify(decoy, arrival);
+        self.aggregates.fold(
+            decoy,
+            arrival,
+            arrival.at.since(decoy.planned_at),
+            label,
+            self.config.late_cutoff,
+        );
+        SinkDecision {
+            retain,
+            classified: true,
+            unsolicited: label.is_unsolicited(),
+            rule: label.is_unsolicited().then(|| label.as_str()),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::Correlator;
+    use shadow_vantage::platform::VpId;
+
+    fn zone() -> DnsName {
+        DnsName::parse("www.experiment.example").unwrap()
+    }
+
+    fn arrival(domain: &DnsName, at: u64, proto: ArrivalProtocol) -> Arrival {
+        Arrival {
+            at: SimTime(at),
+            src: Ipv4Addr::new(8, 8, 8, 8),
+            protocol: proto,
+            domain: domain.clone(),
+            http_path: None,
+            honeypot: "AUTH".into(),
+        }
+    }
+
+    fn registry() -> (DecoyRegistry, DecoyRecord, DecoyRecord) {
+        let mut reg = DecoyRegistry::new(zone());
+        let dns = reg.register(
+            VpId(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(77, 88, 8, 8),
+            DecoyProtocol::Dns,
+            64,
+            SimTime(1_000),
+            None,
+        );
+        let http = reg.register(
+            VpId(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(93, 184, 216, 34),
+            DecoyProtocol::Http,
+            64,
+            SimTime(2_000),
+            None,
+        );
+        (reg, dns, http)
+    }
+
+    fn stream() -> (DecoyRegistry, Vec<Arrival>) {
+        let (reg, dns, http) = registry();
+        let arrivals = vec![
+            arrival(&dns.domain, 2_000, ArrivalProtocol::Dns), // solicited
+            arrival(&dns.domain, 2_500, ArrivalProtocol::Dns), // replication
+            arrival(&dns.domain, 90_000, ArrivalProtocol::Dns), // repeated
+            arrival(&dns.domain, 4_000_000, ArrivalProtocol::Http), // late HTTP probe
+            arrival(&http.domain, 9_000, ArrivalProtocol::Dns), // cross-protocol
+            arrival(&zone().prepend("noise").unwrap(), 10, ArrivalProtocol::Dns), // unknown
+        ];
+        (reg, arrivals)
+    }
+
+    #[test]
+    fn streamed_offer_matches_batch_fold() {
+        let (reg, arrivals) = stream();
+        let batch = CorrelationAggregates::from_arrivals(&reg, &arrivals, &SinkConfig::streaming());
+        let shared = CorrelationSink::shared(Arc::new(reg), SinkConfig::streaming());
+        for a in &arrivals {
+            shared.lock().offer(a);
+        }
+        let (streamed, state) = CorrelationSink::drain_shared(&shared);
+        assert_eq!(streamed, batch);
+        assert!(state > 0);
+        assert_eq!(streamed.arrivals_seen, 6);
+        assert_eq!(streamed.classified, 5);
+        assert_eq!(streamed.unsolicited_total(), 3);
+    }
+
+    #[test]
+    fn aggregates_match_batch_correlator_reports() {
+        let (reg, arrivals) = stream();
+        let agg = CorrelationAggregates::from_arrivals(&reg, &arrivals, &SinkConfig::streaming());
+        let correlator = Correlator::new(&reg);
+        let correlated = correlator.correlate(&arrivals);
+        assert_eq!(
+            agg.problematic_paths(),
+            correlator.problematic_paths(&correlated)
+        );
+        let unsolicited = correlated
+            .iter()
+            .filter(|r| r.label.is_unsolicited())
+            .count();
+        assert_eq!(agg.unsolicited_total() as usize, unsolicited);
+    }
+
+    #[test]
+    fn absorb_merges_split_streams_exactly() {
+        let (reg, arrivals) = stream();
+        let whole = CorrelationAggregates::from_arrivals(&reg, &arrivals, &SinkConfig::streaming());
+        // Split by owning decoy (domain), as sharding does.
+        let (left, right): (Vec<Arrival>, Vec<Arrival>) = arrivals.iter().cloned().partition(|a| {
+            a.domain
+                .as_str()
+                .contains(reg.iter().next().unwrap().domain.as_str())
+        });
+        let mut a = CorrelationAggregates::from_arrivals(&reg, &left, &SinkConfig::streaming());
+        let b = CorrelationAggregates::from_arrivals(&reg, &right, &SinkConfig::streaming());
+        let mut ba = b.clone();
+        ba.absorb(a.clone());
+        a.absorb(b);
+        assert_eq!(a, ba, "absorb must be commutative");
+        assert_eq!(a, whole, "split streams must merge to the whole");
+    }
+
+    #[test]
+    fn retain_decision_follows_config() {
+        let (reg, arrivals) = stream();
+        let reg = Arc::new(reg);
+        let mut streaming = CorrelationSink::new(reg.clone(), SinkConfig::streaming());
+        let mut retained = CorrelationSink::new(reg, SinkConfig::retained());
+        assert!(!streaming.offer(&arrivals[0]).retain);
+        assert!(retained.offer(&arrivals[0]).retain);
+        let verdict = retained.offer(&arrivals[3]);
+        assert!(verdict.unsolicited);
+        assert_eq!(verdict.rule, Some("HttpTlsArrival"));
+    }
+
+    #[test]
+    fn interval_histogram_is_exact_at_edges() {
+        let mut hist = IntervalHistogram::default();
+        for ms in [500, 1_000, 1_001, 60_000, 3_600_001, 86_400_000] {
+            hist.record(ms);
+        }
+        assert_eq!(hist.total(), 6);
+        assert_eq!(hist.cumulative_at(1_000), Some(2));
+        assert_eq!(hist.cumulative_at(60_000), Some(4));
+        assert_eq!(hist.cumulative_at(86_400_000), Some(6));
+        assert_eq!(hist.cumulative_at(1_234), None, "not a bucket edge");
+    }
+}

@@ -161,4 +161,30 @@ impl World {
     pub fn dns_destination(&self, name: &str) -> Option<&DeployedDnsDestination> {
         self.dns_destinations.iter().find(|d| d.dest.name == name)
     }
+
+    /// Install (or clear, with `None`) a streaming arrival sink on every
+    /// capture point — the authoritative server and all honey web hosts.
+    /// Each host holds a clone of the shared handle, so every capture in
+    /// this world's engine folds into the same per-shard sink.
+    pub fn install_arrival_sink(
+        &mut self,
+        sink: Option<shadow_honeypot::capture::SharedArrivalSink>,
+    ) {
+        let auth_node = self.auth_node;
+        if let Some(auth) = self
+            .engine
+            .host_as_mut::<shadow_honeypot::authority::ExperimentAuthorityHost>(auth_node)
+        {
+            auth.set_arrival_sink(sink.clone());
+        }
+        let web_nodes: Vec<NodeId> = self.honey_web.iter().map(|&(node, _, _)| node).collect();
+        for node in web_nodes {
+            if let Some(web) = self
+                .engine
+                .host_as_mut::<shadow_honeypot::web::WebHost>(node)
+            {
+                web.set_arrival_sink(sink.clone());
+            }
+        }
+    }
 }

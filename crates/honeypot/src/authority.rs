@@ -6,7 +6,9 @@
 //! limits and other ethics machinery of the real deployment have no
 //! simulated equivalent and live in the honey website instead.
 
-use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label};
+use crate::capture::{
+    capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label, SharedArrivalSink,
+};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::transport::Transport;
 use shadow_packet::dns::{DnsMessage, DnsName, DnsRecord, Rcode};
@@ -31,6 +33,9 @@ pub struct ExperimentAuthorityHost {
     /// query's arrival record shares it.
     label: Label,
     pub captures: CaptureLog,
+    /// Streaming correlation sink; installed by the campaign layer before
+    /// Phase I traffic starts, `None` during preflight and unit tests.
+    sink: Option<SharedArrivalSink>,
     pub queries_answered: u64,
     pub out_of_zone_queries: u64,
 }
@@ -44,9 +49,15 @@ impl ExperimentAuthorityHost {
             web_addrs,
             label: "AUTH".into(),
             captures: CaptureLog::new(),
+            sink: None,
             queries_answered: 0,
             out_of_zone_queries: 0,
         }
+    }
+
+    /// Install (or clear) the streaming arrival sink.
+    pub fn set_arrival_sink(&mut self, sink: Option<SharedArrivalSink>) {
+        self.sink = sink;
     }
 
     pub fn zone(&self) -> &DnsName {
@@ -84,6 +95,7 @@ impl Host for ExperimentAuthorityHost {
             self.queries_answered += 1;
             capture_with_telemetry(
                 &mut self.captures,
+                self.sink.as_ref(),
                 Arrival {
                     at: ctx.now(),
                     src: pkt.header.src,

@@ -146,12 +146,67 @@ impl CaptureLog {
     }
 }
 
-/// Record `arrival` into `log` *and* into the engine's telemetry: the
-/// per-protocol `arrivals_captured` counter plus an
-/// [`EventKind::ArrivalCaptured`] journal event. Every honeypot capture
-/// path funnels through here, so the counters and the journal can never
-/// disagree with the capture log itself.
-pub fn capture_with_telemetry(log: &mut CaptureLog, arrival: Arrival, ctx: &Ctx<'_>) {
+/// The capture-time verdict a streaming sink returns for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkDecision {
+    /// Should the host also buffer the arrival in its local
+    /// [`CaptureLog`]? `false` is the streaming default — the sink's
+    /// aggregates are the only record kept, and peak memory stays flat.
+    pub retain: bool,
+    /// Did the arrival's domain resolve to a registered decoy?
+    pub classified: bool,
+    /// Was it classified unsolicited?
+    pub unsolicited: bool,
+    /// The unsolicited rule name, when `unsolicited`. Solicited-class
+    /// attribution is deliberately unnamed: which of two same-millisecond
+    /// duplicates counts as the solicited resolution depends on engine
+    /// event order, and journals must stay shard-invariant.
+    pub rule: Option<&'static str>,
+}
+
+impl SinkDecision {
+    /// The verdict for an arrival no sink wants to interpret.
+    pub fn unclassified(retain: bool) -> Self {
+        Self {
+            retain,
+            classified: false,
+            unsolicited: false,
+            rule: None,
+        }
+    }
+}
+
+/// A streaming consumer of honeypot arrivals, installed by the campaign
+/// layer. Hosts call [`ArrivalSink::offer`] from the capture funnel for
+/// every arrival, at capture time and in capture order; the sink decides
+/// whether the host should still buffer the arrival locally.
+pub trait ArrivalSink: Send {
+    fn offer(&mut self, arrival: &Arrival) -> SinkDecision;
+
+    /// Downcast hook so the installing layer can take its state back out
+    /// after the run (the hosts only know the trait object).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The shared handle hosts hold: one sink per shard engine, shared by that
+/// engine's authoritative server and honey web hosts. Single-threaded
+/// within a shard, so the mutex is uncontended — it exists to satisfy the
+/// `Send` bound the sharded executor needs when worlds cross threads.
+pub type SharedArrivalSink = Arc<parking_lot::Mutex<Box<dyn ArrivalSink>>>;
+
+/// Record `arrival` into the engine's telemetry (the per-protocol
+/// `arrivals_captured` counter plus an [`EventKind::ArrivalCaptured`]
+/// journal event), offer it to the streaming `sink` if one is installed,
+/// and append it to `log` only when the sink's verdict says to retain it
+/// (always, when no sink is installed). Every honeypot capture path
+/// funnels through here, so the counters, the journal, the sink
+/// aggregates, and the capture log can never disagree.
+pub fn capture_with_telemetry(
+    log: &mut CaptureLog,
+    sink: Option<&SharedArrivalSink>,
+    arrival: Arrival,
+    ctx: &Ctx<'_>,
+) {
     let telemetry = ctx.telemetry();
     if telemetry.is_enabled() {
         if let Some(m) = telemetry.metrics() {
@@ -168,7 +223,28 @@ pub fn capture_with_telemetry(log: &mut CaptureLog, arrival: Arrival, ctx: &Ctx<
             }
         });
     }
-    log.push(arrival);
+    let decision = match sink {
+        Some(sink) => sink.lock().offer(&arrival),
+        None => SinkDecision::unclassified(true),
+    };
+    if decision.classified && telemetry.is_enabled() {
+        if let Some(m) = telemetry.metrics() {
+            m.arrivals_classified.inc();
+        }
+        telemetry.event(arrival.at.millis(), Some(ctx.node().0), || {
+            EventKind::ArrivalClassified {
+                honeypot: arrival.honeypot.as_str().to_owned(),
+                protocol: arrival.protocol.as_str().to_string(),
+                domain: arrival.domain.as_str().to_string(),
+                src: arrival.src,
+                unsolicited: decision.unsolicited,
+                rule: decision.rule.map(str::to_string),
+            }
+        });
+    }
+    if decision.retain {
+        log.push(arrival);
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 //! with logging disabled, the generic destination servers standing in for
 //! the Tranco-top-1K sites HTTP/TLS decoys are sent to.
 
-use crate::capture::{capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label};
+use crate::capture::{
+    capture_with_telemetry, Arrival, ArrivalProtocol, CaptureLog, Label, SharedArrivalSink,
+};
 use shadow_netsim::engine::{Ctx, Host};
 use shadow_netsim::tcp::{ConnKey, TcpEvent, TcpStack};
 use shadow_netsim::time::SimDuration;
@@ -154,6 +156,9 @@ pub struct WebHost {
     /// `Some(region)` = honeypot mode with capture; `None` = plain site.
     honeypot_region: Option<Label>,
     captures: CaptureLog,
+    /// Streaming correlation sink; installed by the campaign layer before
+    /// Phase I traffic starts, `None` during preflight and unit tests.
+    sink: Option<SharedArrivalSink>,
     /// Buffered bytes per connection until a full request parses.
     rx: HashMap<ConnKey, Vec<u8>>,
     /// Optional destination-side shadowing sensor.
@@ -182,6 +187,7 @@ impl WebHost {
             tcp,
             honeypot_region,
             captures: CaptureLog::new(),
+            sink: None,
             rx: HashMap::new(),
             shadow: None,
             http_requests_served: 0,
@@ -242,6 +248,11 @@ impl WebHost {
         std::mem::take(&mut self.captures)
     }
 
+    /// Install (or clear) the streaming arrival sink.
+    pub fn set_arrival_sink(&mut self, sink: Option<SharedArrivalSink>) {
+        self.sink = sink;
+    }
+
     fn emit(&self, peer: Ipv4Addr, segs: Vec<shadow_packet::tcp::TcpSegment>, ctx: &mut Ctx<'_>) {
         for seg in segs {
             ctx.send(Ipv4Packet::new(
@@ -257,7 +268,7 @@ impl WebHost {
 
     fn capture(&mut self, arrival: Arrival, ctx: &Ctx<'_>) {
         if self.honeypot_region.is_some() {
-            capture_with_telemetry(&mut self.captures, arrival, ctx);
+            capture_with_telemetry(&mut self.captures, self.sink.as_ref(), arrival, ctx);
         }
     }
 

@@ -61,6 +61,19 @@ pub enum EventKind {
         src: Ipv4Addr,
         protocol: String,
     },
+    /// The streaming correlation sink classified an arrival at capture
+    /// time. `rule` is only present for unsolicited arrivals: attributing
+    /// solicited-vs-replication is a same-millisecond tie-break whose
+    /// winner depends on engine event order, so naming it would make
+    /// journals shard-sensitive; the unsolicited rules are order-invariant.
+    ArrivalClassified {
+        honeypot: String,
+        protocol: String,
+        domain: String,
+        src: Ipv4Addr,
+        unsolicited: bool,
+        rule: Option<String>,
+    },
     /// Meta: one shard's campaign data was absorbed into the merge.
     ShardMerged {
         shard: u32,
@@ -94,6 +107,7 @@ impl EventKind {
             EventKind::UnsolicitedArrival { .. } => 5,
             EventKind::ShardMerged { .. } => 6,
             EventKind::PhaseEnded { .. } => 7,
+            EventKind::ArrivalClassified { .. } => 8,
         }
     }
 }

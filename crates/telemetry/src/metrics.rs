@@ -211,6 +211,10 @@ pub struct MetricsRegistry {
     pub fault_icmp_rate_limited: Counter,
     /// DNS decoy retransmissions VPs issued (retry-protected decoys only).
     pub dns_retries: Counter,
+    /// Arrivals the streaming correlation sink resolved to a decoy at
+    /// capture time (solicited or not). Unknown-domain noise is excluded,
+    /// so this equals the batch correlator's output length.
+    pub arrivals_classified: Counter,
 
     // -- run diagnostics: legitimately run/shard-dependent ---------------
     /// Engine event-queue depth, sampled every few thousand events.
@@ -222,6 +226,10 @@ pub struct MetricsRegistry {
     /// legitimately differ from the sequential run (DESIGN.md §5 caveat —
     /// nonzero here means that caveat is live, not silent).
     pub retention_capacity_evictions: Counter,
+    /// Decoy states the streaming correlation sink held at drain time —
+    /// the sink's memory footprint proxy. Run-section: each shard's sink
+    /// only tracks the decoys its own traffic touched.
+    pub sink_tracked_decoys: Counter,
     /// Wall-clock nanoseconds per named phase (this shard).
     phase_wall_ns: Mutex<BTreeMap<String, u64>>,
 }
@@ -250,9 +258,11 @@ impl Default for MetricsRegistry {
             fault_outage_drops: Counter::default(),
             fault_icmp_rate_limited: Counter::default(),
             dns_retries: Counter::default(),
+            arrivals_classified: Counter::default(),
             queue_depth: Histogram::pow2(),
             events_drained: Counter::default(),
             retention_capacity_evictions: Counter::default(),
+            sink_tracked_decoys: Counter::default(),
             phase_wall_ns: Mutex::new(BTreeMap::new()),
         }
     }
@@ -297,6 +307,7 @@ impl MetricsRegistry {
                 fault_outage_drops: self.fault_outage_drops.take(),
                 fault_icmp_rate_limited: self.fault_icmp_rate_limited.take(),
                 dns_retries: self.dns_retries.take(),
+                arrivals_classified: self.arrivals_classified.take(),
                 unsolicited_by_rule: BTreeMap::new(),
                 retention_intervals_ms: HistogramSnapshot::default(),
             },
@@ -305,6 +316,7 @@ impl MetricsRegistry {
                 events_drained_per_shard: events_per_shard,
                 queue_depth: self.queue_depth.take(),
                 retention_capacity_evictions: self.retention_capacity_evictions.take(),
+                sink_tracked_decoys: self.sink_tracked_decoys.take(),
                 phase_wall_ns: std::mem::take(&mut self.phase_wall_ns.lock()),
             },
         }
@@ -339,6 +351,8 @@ pub struct WorldMetrics {
     /// DNS decoy retransmissions (a VP lives in exactly one shard, so the
     /// sum across shards matches the sequential run).
     pub dns_retries: u64,
+    /// Arrivals the streaming sink resolved to a decoy at capture time.
+    pub arrivals_classified: u64,
     /// Unsolicited arrivals per classification rule (filled after
     /// correlation via [`MetricsSnapshot::record_classification`]).
     pub unsolicited_by_rule: BTreeMap<String, u64>,
@@ -366,6 +380,7 @@ impl WorldMetrics {
         self.fault_outage_drops += other.fault_outage_drops;
         self.fault_icmp_rate_limited += other.fault_icmp_rate_limited;
         self.dns_retries += other.dns_retries;
+        self.arrivals_classified += other.arrivals_classified;
         merge_map(&mut self.unsolicited_by_rule, &other.unsolicited_by_rule);
         self.retention_intervals_ms
             .merge(&other.retention_intervals_ms);
@@ -383,6 +398,8 @@ pub struct RunMetrics {
     /// Retention-store capacity (FIFO) evictions — run-section because
     /// per-shard stores see traffic subsets (DESIGN.md §5).
     pub retention_capacity_evictions: u64,
+    /// Streaming-sink decoy states held at drain time, summed over shards.
+    pub sink_tracked_decoys: u64,
     pub phase_wall_ns: BTreeMap<String, u64>,
 }
 
@@ -394,6 +411,7 @@ impl RunMetrics {
         }
         self.queue_depth.merge(&other.queue_depth);
         self.retention_capacity_evictions += other.retention_capacity_evictions;
+        self.sink_tracked_decoys += other.sink_tracked_decoys;
         for (phase, ns) in &other.phase_wall_ns {
             *self.phase_wall_ns.entry(phase.clone()).or_insert(0) += ns;
         }
@@ -466,6 +484,12 @@ impl MetricsSnapshot {
         for (label, n) in &w.arrivals_captured {
             rows.push((format!("arrivals captured ({label})"), n.to_string()));
         }
+        if w.arrivals_classified > 0 {
+            rows.push((
+                "arrivals classified (sink)".to_string(),
+                w.arrivals_classified.to_string(),
+            ));
+        }
         rows.push((
             "resolver queries".to_string(),
             w.resolver_queries.to_string(),
@@ -503,6 +527,12 @@ impl MetricsSnapshot {
             rows.push((
                 "retention capacity evictions".to_string(),
                 self.run.retention_capacity_evictions.to_string(),
+            ));
+        }
+        if self.run.sink_tracked_decoys > 0 {
+            rows.push((
+                "sink tracked decoys".to_string(),
+                self.run.sink_tracked_decoys.to_string(),
             ));
         }
         rows.push(("shards merged".to_string(), self.run.shards.to_string()));

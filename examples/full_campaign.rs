@@ -127,6 +127,9 @@ fn main() {
     let config = StudyConfig {
         telemetry,
         faults,
+        // The full reproduction prints the sample-level artifacts (Figure
+        // 6 origins, probing payloads, case studies).
+        retain_arrivals: true,
         ..if tiny {
             StudyConfig::tiny(seed)
         } else {

@@ -9,18 +9,24 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
     let started = std::time::Instant::now();
+    // The default configuration streams: arrivals are classified at capture
+    // time into compact per-shard aggregates, and no raw arrival vector is
+    // retained anywhere.
     let outcome = Study::run(StudyConfig::tiny(seed));
     println!("=== traffic-shadowing quickstart (seed {seed}) ===\n");
     println!("{}", outcome.summary());
-    println!("\nYandex case study:");
-    if let Some(case) = outcome.resolver_case("Yandex") {
-        println!(
-            "  decoys {} | shadowed {:.1}% | HTTP(S)-probed {:.1}% | ≥10d tail {:.1}%",
-            case.decoys,
-            case.shadowed_fraction() * 100.0,
-            case.http_probed_fraction() * 100.0,
-            case.ten_day_tail * 100.0
-        );
+    println!("\nunsolicited requests by Decoy-Request combination:");
+    for (combo, n) in outcome.combo_counts() {
+        println!("  {combo:<12} {n}");
+    }
+    let fig4 = outcome.fig4_hist();
+    if !fig4.is_empty() {
+        println!("\nResolver_h retention (Figure 4 grid, streamed histogram):");
+        for (label, fraction) in
+            traffic_shadowing::shadow_analysis::temporal::histogram_paper_grid(&fig4)
+        {
+            println!("  ≤{label:<5} {:.1}%", fraction * 100.0);
+        }
     }
     println!("\n(elapsed: {:?})", started.elapsed());
 }

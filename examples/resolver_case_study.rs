@@ -35,6 +35,8 @@ fn main() {
         run_phase2: false,
         telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
         faults: None,
+        // The case studies are sample-level analyses.
+        retain_arrivals: true,
     };
     let outcome = Study::run(config);
 

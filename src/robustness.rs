@@ -9,10 +9,14 @@
 //! bridges them.
 
 use crate::study::{Study, StudyConfig, StudyOutcome};
-use shadow_analysis::robustness::{CellMetrics, RobustnessReport};
 use shadow_chaos::{FaultTargets, ScenarioMatrix};
 use shadow_core::decoy::DecoyProtocol;
 use shadow_core::world::{generate_spec, HostSpec, WorldSpec};
+
+// The comparison types live in `shadow-analysis`; this facade re-exports
+// them so sweep drivers import everything robustness-related from one
+// place.
+pub use shadow_analysis::robustness::{CellMetrics, CellReport, RobustnessReport};
 
 /// Pull the node populations a fault profile's scheduled outages act on
 /// out of a world spec. Pure spec data, so every shard — and the
@@ -63,11 +67,7 @@ pub fn cell_metrics(name: &str, outcome: &StudyOutcome) -> CellMetrics {
         traced_paths: outcome.traced_paths.len(),
         observer_ips: outcome.observer_ips().total_ips,
         observer_addrs: observer_addrs.into_iter().collect(),
-        unsolicited: outcome
-            .correlated
-            .iter()
-            .filter(|r| r.label.is_unsolicited())
-            .count(),
+        unsolicited: outcome.phase1.aggregates.unsolicited_total() as usize,
         decoys_sent: outcome.phase1.registry.len(),
     }
 }

@@ -10,14 +10,15 @@ use shadow_analysis::location::{ObserverHopTable, ObserverIpSummary};
 use shadow_analysis::origins::OriginAsReport;
 use shadow_analysis::probing::ProbingReport;
 use shadow_analysis::reuse::ReuseReport;
-use shadow_analysis::temporal::{interval_cdf, Cdf};
+use shadow_analysis::temporal::{interval_cdf, interval_histogram, Cdf};
 use shadow_chaos::FaultProfile;
 use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
-use shadow_core::correlate::{CorrelatedRequest, Correlator, PathKey};
+use shadow_core::correlate::{Combo, CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::DecoyProtocol;
-use shadow_core::executor::{run_phase1_sharded_conditioned, run_phase2_sharded, TelemetryOptions};
+use shadow_core::executor::{run_phase1_sharded_sink, run_phase2_sharded_sink, TelemetryOptions};
 use shadow_core::noise::{NoiseFilter, PreflightOutcome};
-use shadow_core::phase2::{paths_to_trace, Phase2Config, Phase2Runner, TracerouteResult};
+use shadow_core::phase2::{paths_to_trace_streamed, Phase2Config, Phase2Runner, TracerouteResult};
+use shadow_core::sink::{IntervalHistogram, SinkConfig};
 use shadow_core::world::{generate_spec, World, WorldConfig, WorldSpec};
 use shadow_dns::catalog::resolver_h;
 use shadow_geo::country::cc;
@@ -45,6 +46,13 @@ pub struct StudyConfig {
     /// (see `shadow_chaos`). `None` (the default) leaves the engine's
     /// conditioner slot empty — byte-identical to pre-chaos builds.
     pub faults: Option<FaultProfile>,
+    /// Keep the raw honeypot arrival vectors alongside the streamed
+    /// correlation aggregates. The default (`false`) streams: every
+    /// arrival is classified at capture time, the honeypots buffer
+    /// nothing, and memory stays flat in traffic volume. Opt in for the
+    /// sample-level analyses (Figure 6 origins, probing payloads, the
+    /// case studies) that need individual requests.
+    pub retain_arrivals: bool,
 }
 
 impl StudyConfig {
@@ -61,6 +69,7 @@ impl StudyConfig {
             run_phase2: true,
             telemetry: TelemetryOptions::disabled(),
             faults: None,
+            retain_arrivals: false,
         }
     }
 
@@ -74,6 +83,7 @@ impl StudyConfig {
             run_phase2: true,
             telemetry: TelemetryOptions::disabled(),
             faults: None,
+            retain_arrivals: false,
         }
     }
 
@@ -81,6 +91,22 @@ impl StudyConfig {
     pub fn with_faults(mut self, profile: FaultProfile) -> Self {
         self.faults = Some(profile);
         self
+    }
+
+    /// Opt into buffering raw arrivals (builder style) for the
+    /// sample-level analyses.
+    pub fn with_retained_arrivals(mut self) -> Self {
+        self.retain_arrivals = true;
+        self
+    }
+
+    /// The sink configuration both phases stream through.
+    fn sink(&self) -> SinkConfig {
+        if self.retain_arrivals {
+            SinkConfig::retained()
+        } else {
+            SinkConfig::streaming()
+        }
     }
 
     /// The Phase I configuration with the fault profile's DNS retry
@@ -116,8 +142,12 @@ pub struct StudyOutcome {
     pub phase1: CampaignData,
     /// Phase II data (the TTL sweeps), if Phase II ran.
     pub phase2: Option<CampaignData>,
-    /// Correlation of Phase I arrivals.
+    /// Correlation of Phase I arrivals — populated only when the study ran
+    /// with retained arrivals; the streaming default leaves it empty and
+    /// `phase1.aggregates` carries the classification state.
     pub correlated: Vec<CorrelatedRequest>,
+    /// Whether raw arrivals (and hence `correlated`) were retained.
+    pub retained: bool,
     pub traced_paths: Vec<PathKey>,
     pub traceroutes: Vec<TracerouteResult>,
     /// Destination address → display name.
@@ -155,14 +185,17 @@ impl Study {
         world.engine.set_conditioner(conditioner);
 
         let phase1_config = config.phase1_effective();
-        let mut phase1 = CampaignRunner::run_phase1(&mut world, &phase1_config);
-        let correlator = Correlator::new(&phase1.registry);
-        let correlated = correlator.correlate(&phase1.arrivals);
+        let mut phase1 = CampaignRunner::run_phase1_with(&mut world, &phase1_config, config.sink());
+        let correlated = if config.retain_arrivals {
+            Correlator::new(&phase1.registry).correlate(&phase1.arrivals)
+        } else {
+            Vec::new()
+        };
 
         let (traced_paths, traceroutes, mut phase2_data) = if config.run_phase2 {
-            let traced =
-                paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
-            let (results, data) = Phase2Runner::run(&mut world, &traced, &config.phase2);
+            let traced = paths_to_trace_streamed(&phase1.aggregates, config.trace_cap_per_protocol);
+            let (results, data) =
+                Phase2Runner::run_with(&mut world, &traced, &config.phase2, config.sink());
             (traced, results, Some(data))
         } else {
             (Vec::new(), Vec::new(), None)
@@ -190,6 +223,7 @@ impl Study {
             phase1,
             phase2: phase2_data,
             correlated,
+            retained: config.retain_arrivals,
             traced_paths,
             traceroutes,
             dest_names,
@@ -208,26 +242,30 @@ impl Study {
     pub fn run_sharded(config: StudyConfig, shards: usize) -> StudyOutcome {
         let spec = generate_spec(config.world.clone());
         let phase1_config = config.phase1_effective();
-        let mut sharded = run_phase1_sharded_conditioned(
+        let mut sharded = run_phase1_sharded_sink(
             &spec,
             &phase1_config,
             shards,
             config.telemetry,
             config.conditioner(&spec),
+            config.sink(),
         );
         let mut phase1 = sharded.data;
         let preflight = sharded.preflight;
-        let correlator = Correlator::new(&phase1.registry);
-        let correlated = correlator.correlate(&phase1.arrivals);
+        let correlated = if config.retain_arrivals {
+            Correlator::new(&phase1.registry).correlate(&phase1.arrivals)
+        } else {
+            Vec::new()
+        };
 
         let (traced_paths, traceroutes, mut phase2_data) = if config.run_phase2 {
-            let traced =
-                paths_to_trace(&correlated, &phase1.registry, config.trace_cap_per_protocol);
-            let (results, data) = run_phase2_sharded(
+            let traced = paths_to_trace_streamed(&phase1.aggregates, config.trace_cap_per_protocol);
+            let (results, data) = run_phase2_sharded_sink(
                 &mut sharded.worlds,
                 &sharded.assignment,
                 &traced,
                 &config.phase2,
+                config.sink(),
             );
             (traced, results, Some(data))
         } else {
@@ -261,6 +299,7 @@ impl Study {
             phase1,
             phase2: phase2_data,
             correlated,
+            retained: config.retain_arrivals,
             traced_paths,
             traceroutes,
             dest_names,
@@ -273,12 +312,14 @@ impl Study {
 }
 
 /// Merge the per-phase telemetry into the study-level artifacts and fold
-/// the post-correlation classification in: every correlated arrival lands
-/// in the `unsolicited_by_rule` map / retention-interval histogram, and
-/// (when journaling) every unsolicited arrival gets an
+/// the capture-time classification in: the Phase I sink aggregates supply
+/// the `unsolicited_by_rule` map and retention-interval histogram (the sink
+/// folds every classified arrival, so this matches the old post-hoc
+/// correlation pass byte for byte, for any shard count). When journaling in
+/// retained mode, every unsolicited correlated arrival additionally gets an
 /// [`UnsolicitedArrival`](shadow_telemetry::EventKind::UnsolicitedArrival)
-/// record. Classification runs on the *merged* data, so the synthesized
-/// records are identical for any shard count.
+/// record; the streaming path already journaled per-arrival
+/// `ArrivalClassified` events at capture time.
 fn finalize_telemetry(
     config: &StudyConfig,
     phase1: &mut CampaignData,
@@ -301,17 +342,31 @@ fn finalize_telemetry(
         metrics.run.shards = shards;
         journal.append(&mut p2.journal);
     }
-    for (i, req) in correlated.iter().enumerate() {
-        let rule = format!("{:?}", req.label);
-        metrics.record_classification(&rule, req.label.is_unsolicited(), req.interval.millis());
-        if config.telemetry.journal && req.label.is_unsolicited() {
+    for (label, n) in &phase1.aggregates.by_label {
+        if label.is_unsolicited() {
+            *metrics
+                .world
+                .unsolicited_by_rule
+                .entry(label.as_str().to_string())
+                .or_insert(0) += n;
+        }
+    }
+    metrics
+        .world
+        .retention_intervals_ms
+        .merge(&phase1.aggregates.retention_intervals_ms);
+    if config.telemetry.journal {
+        for (i, req) in correlated.iter().enumerate() {
+            if !req.label.is_unsolicited() {
+                continue;
+            }
             journal.push(shadow_telemetry::JournalRecord {
                 at_ms: req.arrival.at.millis(),
                 shard: 0,
                 node: None,
                 seq: i as u64,
                 event: shadow_telemetry::EventKind::UnsolicitedArrival {
-                    rule,
+                    rule: format!("{:?}", req.label),
                     domain: req.arrival.domain.as_str().to_string(),
                     src: req.arrival.src,
                     protocol: req.arrival.protocol.as_str().to_string(),
@@ -325,11 +380,12 @@ fn finalize_telemetry(
 }
 
 impl StudyOutcome {
-    /// Figure 3.
+    /// Figure 3 — read from the streamed aggregates, available in both
+    /// retained and streaming modes.
     pub fn landscape(&self) -> LandscapeReport {
-        LandscapeReport::compute(
+        LandscapeReport::compute_streamed(
             &self.phase1.registry,
-            &self.correlated,
+            &self.phase1.aggregates,
             &self.world.platform,
             &self.dest_names,
         )
@@ -346,16 +402,44 @@ impl StudyOutcome {
     }
 
     /// Figure 4: interval CDF for DNS decoys to Resolver_h.
+    ///
+    /// Sample-exact, so it needs [`StudyConfig::retain_arrivals`]; the
+    /// streaming default gets the same curve at the paper's grid points
+    /// from [`StudyOutcome::fig4_hist`].
     pub fn fig4_cdf(&self) -> Cdf {
         let dsts: Vec<Ipv4Addr> = resolver_h().iter().map(|d| d.addr).collect();
         interval_cdf(&self.correlated, DecoyProtocol::Dns, Some(&dsts))
     }
 
-    /// Figure 4's control: the other 15 public resolvers.
+    /// Figure 4 from the streamed fixed-bucket histograms — available in
+    /// both modes, and exact at every paper-grid edge.
+    pub fn fig4_hist(&self) -> IntervalHistogram {
+        let dsts: Vec<Ipv4Addr> = resolver_h().iter().map(|d| d.addr).collect();
+        interval_histogram(&self.phase1.aggregates, DecoyProtocol::Dns, Some(&dsts))
+    }
+
+    /// Figure 4's control: the other 15 public resolvers (sample-exact;
+    /// needs retained arrivals).
     pub fn fig4_other_resolvers_cdf(&self) -> Cdf {
+        interval_cdf(
+            &self.correlated,
+            DecoyProtocol::Dns,
+            Some(&self.other_resolver_addrs()),
+        )
+    }
+
+    /// The streamed control curve for Figure 4.
+    pub fn fig4_other_resolvers_hist(&self) -> IntervalHistogram {
+        interval_histogram(
+            &self.phase1.aggregates,
+            DecoyProtocol::Dns,
+            Some(&self.other_resolver_addrs()),
+        )
+    }
+
+    fn other_resolver_addrs(&self) -> Vec<Ipv4Addr> {
         let heavy: Vec<Ipv4Addr> = resolver_h().iter().map(|d| d.addr).collect();
-        let others: Vec<Ipv4Addr> = self
-            .world
+        self.world
             .dns_destinations
             .iter()
             .filter(|d| {
@@ -365,16 +449,20 @@ impl StudyOutcome {
                 ) && !heavy.contains(&d.addr)
             })
             .map(|d| d.addr)
-            .collect();
-        interval_cdf(&self.correlated, DecoyProtocol::Dns, Some(&others))
+            .collect()
     }
 
-    /// Figure 5.
+    /// Figure 5 — decoded from the per-decoy outcome bits the sink folded
+    /// at capture time.
     pub fn fig5_breakdown(&self) -> Vec<DestinationBreakdown> {
-        breakdown::compute(&self.phase1.registry, &self.correlated, &self.dest_names)
+        breakdown::compute_streamed(
+            &self.phase1.registry,
+            &self.phase1.aggregates,
+            &self.dest_names,
+        )
     }
 
-    /// Figure 6.
+    /// Figure 6 (sample-level origin attribution; needs retained arrivals).
     pub fn fig6_origins(&self) -> OriginAsReport {
         let dests: BTreeMap<Ipv4Addr, String> = resolver_h()
             .iter()
@@ -383,7 +471,8 @@ impl StudyOutcome {
         OriginAsReport::compute(&self.correlated, &dests, &self.world.geo, &self.blocklist)
     }
 
-    /// Figure 7: interval CDFs for HTTP and TLS decoys.
+    /// Figure 7: interval CDFs for HTTP and TLS decoys (sample-exact;
+    /// needs retained arrivals).
     pub fn fig7_cdfs(&self) -> (Cdf, Cdf) {
         (
             interval_cdf(&self.correlated, DecoyProtocol::Http, None),
@@ -391,16 +480,22 @@ impl StudyOutcome {
         )
     }
 
-    /// §5.1 reuse counts.
-    pub fn reuse(&self) -> ReuseReport {
-        ReuseReport::compute(
-            &self.correlated,
-            DecoyProtocol::Dns,
-            shadow_netsim::time::SimDuration::from_hours(1),
+    /// Figure 7 from the streamed histograms — available in both modes.
+    pub fn fig7_hists(&self) -> (IntervalHistogram, IntervalHistogram) {
+        (
+            interval_histogram(&self.phase1.aggregates, DecoyProtocol::Http, None),
+            interval_histogram(&self.phase1.aggregates, DecoyProtocol::Tls, None),
         )
     }
 
-    /// §5 probing incentives for decoys of one protocol.
+    /// §5.1 reuse counts — read from the per-decoy capture-time folds (the
+    /// late cutoff is the sink's, 1 h in the shipped configurations).
+    pub fn reuse(&self) -> ReuseReport {
+        ReuseReport::from_aggregates(&self.phase1.aggregates, DecoyProtocol::Dns)
+    }
+
+    /// §5 probing incentives for decoys of one protocol (payload-level;
+    /// needs retained arrivals).
     pub fn probing(&self, protocol: DecoyProtocol) -> ProbingReport {
         ProbingReport::compute(&self.correlated, protocol, &self.blocklist)
     }
@@ -434,18 +529,20 @@ impl StudyOutcome {
         CnObserverCase::compute(&self.traceroutes, &self.correlated, &self.world.geo)
     }
 
-    /// §5.2 protocol combinations per observer network.
+    /// §5.2 protocol combinations per observer network — from the sink's
+    /// per-path counters.
     pub fn observer_combos(&self) -> shadow_analysis::combos::ObserverCombos {
-        shadow_analysis::combos::ObserverCombos::compute(
-            &self.correlated,
+        shadow_analysis::combos::ObserverCombos::compute_streamed(
+            &self.phase1.aggregates,
             &self.traceroutes,
             &self.world.geo,
         )
     }
 
-    /// Overall Decoy-Request combination counts.
-    pub fn combo_counts(&self) -> std::collections::BTreeMap<String, usize> {
-        shadow_analysis::combos::combo_counts(&self.correlated)
+    /// Overall Decoy-Request combination counts, keyed by the typed
+    /// [`Combo`] (its `Display` is the paper's `DNS-HTTP` style label).
+    pub fn combo_counts(&self) -> std::collections::BTreeMap<Combo, usize> {
+        shadow_analysis::combos::combo_counts_streamed(&self.phase1.aggregates)
     }
 
     /// §5.2 open-port scan of ICMP-revealed observers.
@@ -465,20 +562,25 @@ impl StudyOutcome {
     }
 
     /// Bundle every analysis artifact for JSON export (diffing runs).
+    ///
+    /// The temporal grids come from the streamed histograms in both modes
+    /// (bit-identical to the retained CDFs at those points — enforced by
+    /// `tests/streaming_equivalence.rs`); the sample-level artifacts
+    /// (origins, probing payloads) are present only in retained mode.
     pub fn export_bundle(&self) -> shadow_analysis::export::AnalysisBundle {
-        use shadow_analysis::export::{grid_points, AnalysisBundle, SerializableHopTable};
-        let (http_cdf, tls_cdf) = self.fig7_cdfs();
+        use shadow_analysis::export::{grid_points_streamed, AnalysisBundle, SerializableHopTable};
+        let (http_hist, tls_hist) = self.fig7_hists();
         AnalysisBundle {
             landscape: Some(self.landscape()),
             hop_table: Some(SerializableHopTable::from_table(&self.hop_table())),
             observer_ips: Some(self.observer_ips()),
-            fig4_grid: Some(grid_points(&self.fig4_cdf())),
+            fig4_grid: Some(grid_points_streamed(&self.fig4_hist())),
             fig5: Some(self.fig5_breakdown()),
-            origins: Some(self.fig6_origins()),
-            fig7_http_grid: Some(grid_points(&http_cdf)),
-            fig7_tls_grid: Some(grid_points(&tls_cdf)),
+            origins: self.retained.then(|| self.fig6_origins()),
+            fig7_http_grid: Some(grid_points_streamed(&http_hist)),
+            fig7_tls_grid: Some(grid_points_streamed(&tls_hist)),
             reuse: Some(self.reuse()),
-            probing_dns: Some(self.probing(DecoyProtocol::Dns)),
+            probing_dns: self.retained.then(|| self.probing(DecoyProtocol::Dns)),
         }
     }
 
@@ -486,11 +588,6 @@ impl StudyOutcome {
     pub fn summary(&self) -> String {
         let counts = self.phase1.registry.counts();
         let landscape = self.landscape();
-        let unsolicited = self
-            .correlated
-            .iter()
-            .filter(|r| r.label.is_unsolicited())
-            .count();
         format!(
             "platform: {} VPs after vetting ({} excluded)\n\
              decoys: {} DNS / {} HTTP / {} TLS\n\
@@ -502,8 +599,8 @@ impl StudyOutcome {
             counts.get(&DecoyProtocol::Dns).unwrap_or(&0),
             counts.get(&DecoyProtocol::Http).unwrap_or(&0),
             counts.get(&DecoyProtocol::Tls).unwrap_or(&0),
-            self.phase1.arrivals.len(),
-            unsolicited,
+            self.phase1.aggregates.arrivals_seen,
+            self.phase1.aggregates.unsolicited_total(),
             landscape.protocol_ratio(DecoyProtocol::Dns) * 100.0,
             landscape.protocol_ratio(DecoyProtocol::Http) * 100.0,
             landscape.protocol_ratio(DecoyProtocol::Tls) * 100.0,

@@ -9,6 +9,7 @@ use traffic_shadowing::shadow_core::campaign::{CampaignData, CampaignRunner, Pha
 use traffic_shadowing::shadow_core::correlate::Correlator;
 use traffic_shadowing::shadow_core::executor::shard_vps;
 use traffic_shadowing::shadow_core::noise::NoiseFilter;
+use traffic_shadowing::shadow_core::sink::SinkConfig;
 use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
 use traffic_shadowing::shadow_vantage::platform::VpId;
 
@@ -22,7 +23,13 @@ fn shard_datas(seed: u64, shards: usize) -> Vec<CampaignData> {
             let mut world = spec.instantiate();
             NoiseFilter::run_and_apply(&mut world);
             let plan = CampaignRunner::plan_phase1(&world, &config);
-            CampaignRunner::execute_phase1(&mut world, &plan, &config, |vp| owned.contains(&vp))
+            CampaignRunner::execute_phase1(
+                &mut world,
+                &plan,
+                &config,
+                SinkConfig::retained(),
+                |vp| owned.contains(&vp),
+            )
         })
         .collect()
 }
@@ -59,6 +66,10 @@ fn absorb_is_commutative_across_all_shard_orders() {
             "absorb order {order:?} changed the merged arrival stream"
         );
         assert_eq!(reference.last_send, merged.last_send);
+        assert_eq!(
+            reference.aggregates, merged.aggregates,
+            "absorb order {order:?} changed the streamed aggregates"
+        );
         let correlated = Correlator::new(&merged.registry).correlate(&merged.arrivals);
         assert_eq!(
             ref_correlated.len(),

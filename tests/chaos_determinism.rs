@@ -49,8 +49,13 @@ fn rich_profile() -> FaultProfile {
     }
 }
 
+// Retained mode: these tests compare raw arrival streams packet-for-packet
+// (the streaming default buffers nothing — `tests/streaming_equivalence.rs`
+// covers that path under the same rich profile).
 fn config_with(profile: FaultProfile) -> StudyConfig {
-    StudyConfig::tiny(SEED).with_faults(profile)
+    StudyConfig::tiny(SEED)
+        .with_faults(profile)
+        .with_retained_arrivals()
 }
 
 #[test]
@@ -115,7 +120,7 @@ proptest! {
         let mut clean = FaultProfile::baseline("clean");
         clean.fault_seed = seed;
         let with_profile = Study::run(config_with(clean));
-        let without = Study::run(StudyConfig::tiny(SEED));
+        let without = Study::run(StudyConfig::tiny(SEED).with_retained_arrivals());
         prop_assert_eq!(&with_profile.phase1.arrivals, &without.phase1.arrivals);
         prop_assert_eq!(bundle_json(&with_profile), bundle_json(&without));
     }

@@ -12,12 +12,8 @@ fn fingerprint(outcome: &StudyOutcome) -> String {
          dns_at_dest={:.2} traced={} localized={}",
         outcome.world.platform.vps.len(),
         outcome.phase1.registry.len(),
-        outcome.phase1.arrivals.len(),
-        outcome
-            .correlated
-            .iter()
-            .filter(|r| r.label.is_unsolicited())
-            .count(),
+        outcome.phase1.aggregates.arrivals_seen,
+        outcome.phase1.aggregates.unsolicited_total(),
         landscape.protocol_ratio(DecoyProtocol::Dns),
         landscape.protocol_ratio(DecoyProtocol::Http),
         landscape.protocol_ratio(DecoyProtocol::Tls),
@@ -33,20 +29,23 @@ fn fingerprint(outcome: &StudyOutcome) -> String {
 
 #[test]
 fn same_seed_same_outcome() {
-    let a = Study::run(StudyConfig::tiny(99));
-    let b = Study::run(StudyConfig::tiny(99));
+    // Retained mode so the exact arrival stream is comparable.
+    let a = Study::run(StudyConfig::tiny(99).with_retained_arrivals());
+    let b = Study::run(StudyConfig::tiny(99).with_retained_arrivals());
     assert_eq!(fingerprint(&a), fingerprint(&b));
-    // Down to the exact arrival stream.
+    // Down to the exact arrival stream and streamed aggregates.
     assert_eq!(a.phase1.arrivals, b.phase1.arrivals);
+    assert_eq!(a.phase1.aggregates, b.phase1.aggregates);
     assert_eq!(a.traceroutes, b.traceroutes);
 }
 
 #[test]
 fn different_seeds_differ() {
+    // Streaming default: the capture-time aggregates carry the traffic.
     let a = Study::run(StudyConfig::tiny(100));
     let b = Study::run(StudyConfig::tiny(101));
     assert_ne!(
-        a.phase1.arrivals, b.phase1.arrivals,
+        a.phase1.aggregates, b.phase1.aggregates,
         "different seeds must produce different traffic"
     );
 }

@@ -20,6 +20,8 @@ fn run(seed: u64, encrypted: bool) -> StudyOutcome {
         run_phase2: false,
         telemetry: traffic_shadowing::shadow_core::executor::TelemetryOptions::disabled(),
         faults: None,
+        // `encrypted_queries_still_resolve` inspects raw arrivals.
+        retain_arrivals: true,
     })
 }
 

@@ -39,15 +39,22 @@ fn classifications(correlated: &[CorrelatedRequest]) -> Vec<String> {
 
 #[test]
 fn sharded_matches_sequential_for_every_shard_count() {
+    // Retained mode: the raw arrival stream and per-request classifications
+    // are part of the comparison (the streaming default is covered shard-
+    // for-shard by `tests/streaming_equivalence.rs`).
     for seed in SEEDS {
-        let sequential = Study::run(StudyConfig::tiny(seed));
+        let sequential = Study::run(StudyConfig::tiny(seed).with_retained_arrivals());
         let expected_json = bundle_json(&sequential);
         let expected_classes = classifications(&sequential.correlated);
         for k in SHARD_COUNTS {
-            let sharded = Study::run_sharded(StudyConfig::tiny(seed), k);
+            let sharded = Study::run_sharded(StudyConfig::tiny(seed).with_retained_arrivals(), k);
             assert_eq!(
                 sequential.phase1.arrivals, sharded.phase1.arrivals,
                 "seed {seed}, K={k}: Phase I arrival streams diverge"
+            );
+            assert_eq!(
+                sequential.phase1.aggregates, sharded.phase1.aggregates,
+                "seed {seed}, K={k}: streamed aggregates diverge"
             );
             assert_eq!(
                 expected_classes,
@@ -77,7 +84,7 @@ fn distinct_seeds_still_differ_under_sharding() {
     let a = Study::run_sharded(StudyConfig::tiny(SEEDS[0]), 2);
     let b = Study::run_sharded(StudyConfig::tiny(SEEDS[1]), 2);
     assert_ne!(
-        a.phase1.arrivals, b.phase1.arrivals,
+        a.phase1.aggregates, b.phase1.aggregates,
         "different seeds must produce different sharded traffic"
     );
 }

@@ -1,0 +1,220 @@
+//! Property test for the three §3 unsolicited-classification rules as the
+//! streaming classifier applies them at capture time:
+//!
+//!  1. HTTP/HTTPS arrivals are always `HttpTlsArrival`;
+//!  2. DNS arrivals for HTTP/TLS decoys are `CrossProtocol`;
+//!  3. DNS arrivals for DNS decoys split on the first-seen resolution —
+//!     first is `SolicitedResolution`, within the replication window is
+//!     `ReplicationNoise`, later is `RepeatedDnsQuery`.
+//!
+//! The streamed one-pass classifier (and the aggregate fold built on it)
+//! must agree with a naive whole-vector reference on randomly interleaved
+//! multi-decoy arrival streams.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use traffic_shadowing::shadow_core::correlate::{StreamingClassifier, UnsolicitedLabel};
+use traffic_shadowing::shadow_core::decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+use traffic_shadowing::shadow_core::sink::{CorrelationAggregates, SinkConfig};
+use traffic_shadowing::shadow_honeypot::capture::{Arrival, ArrivalProtocol};
+use traffic_shadowing::shadow_netsim::time::{SimDuration, SimTime};
+use traffic_shadowing::shadow_packet::dns::DnsName;
+use traffic_shadowing::shadow_vantage::platform::VpId;
+
+const WINDOW: SimDuration = StreamingClassifier::DEFAULT_REPLICATION_WINDOW;
+
+/// One generated arrival: (decoy index, offset after decoy emission,
+/// arrival protocol).
+type RawArrival = (usize, u64, u8);
+
+fn build_registry(protocols: &[DecoyProtocol]) -> (DecoyRegistry, Vec<DecoyRecord>) {
+    let zone = DnsName::parse("www.experiment.example").unwrap();
+    let mut registry = DecoyRegistry::new(zone);
+    let records = protocols
+        .iter()
+        .enumerate()
+        .map(|(i, &protocol)| {
+            registry.register(
+                VpId(1 + (i as u32 % 3)),
+                Ipv4Addr::new(10, 0, 0, 1 + (i as u8 % 3)),
+                Ipv4Addr::new(77, 88, 8, 1 + (i as u8 % 5)),
+                protocol,
+                64,
+                SimTime((i as u64) * 700),
+                None,
+            )
+        })
+        .collect();
+    (registry, records)
+}
+
+fn build_arrivals(records: &[DecoyRecord], raw: &[RawArrival]) -> Vec<Arrival> {
+    let mut arrivals: Vec<Arrival> = raw
+        .iter()
+        .map(|&(decoy_idx, offset_ms, proto)| {
+            let rec = &records[decoy_idx % records.len()];
+            Arrival {
+                at: rec.planned_at + SimDuration::from_millis(offset_ms),
+                src: Ipv4Addr::new(9, 9, 9, (proto % 250) + 1),
+                protocol: match proto % 3 {
+                    0 => ArrivalProtocol::Dns,
+                    1 => ArrivalProtocol::Http,
+                    _ => ArrivalProtocol::Https,
+                },
+                domain: rec.domain.clone(),
+                http_path: None,
+                honeypot: "AUTH".into(),
+            }
+        })
+        .collect();
+    // Capture order is time order; ties resolve by the full sort key, as
+    // in `CampaignData::absorb`.
+    arrivals.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    arrivals
+}
+
+/// The naive reference: label each arrival by re-deriving the first-seen
+/// DNS resolution time from the whole vector, with no incremental state.
+fn naive_labels(registry: &DecoyRegistry, arrivals: &[Arrival]) -> Vec<UnsolicitedLabel> {
+    // First DNS arrival per DNS-decoy domain, by position in the sorted
+    // stream (ties beyond the first occurrence are later arrivals).
+    let mut first_dns: BTreeMap<&DnsName, SimTime> = BTreeMap::new();
+    for a in arrivals {
+        if a.protocol != ArrivalProtocol::Dns {
+            continue;
+        }
+        let Some(decoy) = registry.lookup(&a.domain) else {
+            continue;
+        };
+        if decoy.protocol == DecoyProtocol::Dns {
+            first_dns.entry(&a.domain).or_insert(a.at);
+        }
+    }
+    let mut seen_first: BTreeMap<&DnsName, bool> = BTreeMap::new();
+    arrivals
+        .iter()
+        .map(|a| {
+            let decoy = registry.lookup(&a.domain).expect("generated domains");
+            match a.protocol {
+                ArrivalProtocol::Http | ArrivalProtocol::Https => UnsolicitedLabel::HttpTlsArrival,
+                ArrivalProtocol::Dns if decoy.protocol != DecoyProtocol::Dns => {
+                    UnsolicitedLabel::CrossProtocol
+                }
+                ArrivalProtocol::Dns => {
+                    let first = first_dns[&a.domain];
+                    let is_first =
+                        !std::mem::replace(seen_first.entry(&a.domain).or_insert(false), true);
+                    if is_first {
+                        UnsolicitedLabel::SolicitedResolution
+                    } else if a.at.since(first) <= WINDOW {
+                        UnsolicitedLabel::ReplicationNoise
+                    } else {
+                        UnsolicitedLabel::RepeatedDnsQuery
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn protocol_strategy() -> impl Strategy<Value = DecoyProtocol> {
+    prop_oneof![
+        Just(DecoyProtocol::Dns),
+        Just(DecoyProtocol::Http),
+        Just(DecoyProtocol::Tls),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streamed one-pass labels == naive whole-vector reference, on
+    /// randomly interleaved arrivals for up to 6 decoys. Offsets cluster
+    /// around the replication window and the 1 h late cutoff so every
+    /// rule fires.
+    #[test]
+    fn streamed_labels_match_naive_reference(
+        protocols in proptest::collection::vec(protocol_strategy(), 1..6),
+        raw in proptest::collection::vec(
+            (
+                0usize..6,
+                prop_oneof![
+                    0u64..4_000,                       // around the window
+                    3_500_000u64..3_700_000,           // around the 1 h cutoff
+                    86_000_000u64..90_000_000,         // about a day later
+                ],
+                0u8..6,
+            ),
+            1..40,
+        ),
+    ) {
+        let (registry, records) = build_registry(&protocols);
+        let arrivals = build_arrivals(&records, &raw);
+        let expected = naive_labels(&registry, &arrivals);
+
+        let mut classifier = StreamingClassifier::new(WINDOW);
+        let streamed: Vec<UnsolicitedLabel> = arrivals
+            .iter()
+            .map(|a| classifier.classify(registry.lookup(&a.domain).unwrap(), a))
+            .collect();
+        prop_assert_eq!(&streamed, &expected);
+
+        // The aggregate fold counts exactly the reference labels.
+        let agg = CorrelationAggregates::from_arrivals(
+            &registry,
+            &arrivals,
+            &SinkConfig::retained(),
+        );
+        let mut by_label: BTreeMap<UnsolicitedLabel, u64> = BTreeMap::new();
+        for label in &expected {
+            *by_label.entry(*label).or_insert(0) += 1;
+        }
+        prop_assert_eq!(&agg.by_label, &by_label);
+        prop_assert_eq!(agg.arrivals_seen, arrivals.len() as u64);
+        prop_assert_eq!(
+            agg.unsolicited_total(),
+            expected.iter().filter(|l| l.is_unsolicited()).count() as u64
+        );
+    }
+
+    /// Splitting one stream at an arbitrary point and absorbing the two
+    /// halves' aggregates reproduces the unsplit fold, as long as the split
+    /// respects domain ownership (each domain's arrivals stay in one half
+    /// — the shard invariant: one VP's decoys live in exactly one shard).
+    #[test]
+    fn absorb_of_domain_partition_matches_unsplit(
+        protocols in proptest::collection::vec(protocol_strategy(), 2..6),
+        raw in proptest::collection::vec(
+            (0usize..6, 0u64..8_000_000, 0u8..6),
+            1..30,
+        ),
+        pivot in 0usize..6,
+    ) {
+        let (registry, records) = build_registry(&protocols);
+        let arrivals = build_arrivals(&records, &raw);
+        let whole = CorrelationAggregates::from_arrivals(
+            &registry,
+            &arrivals,
+            &SinkConfig::retained(),
+        );
+
+        let pivot_domain = |a: &Arrival| {
+            records
+                .iter()
+                .position(|r| r.domain == a.domain)
+                .unwrap()
+                < pivot % records.len().max(1)
+        };
+        let left: Vec<Arrival> = arrivals.iter().filter(|a| pivot_domain(a)).cloned().collect();
+        let right: Vec<Arrival> = arrivals.iter().filter(|a| !pivot_domain(a)).cloned().collect();
+        let mut merged =
+            CorrelationAggregates::from_arrivals(&registry, &left, &SinkConfig::retained());
+        merged.absorb(CorrelationAggregates::from_arrivals(
+            &registry,
+            &right,
+            &SinkConfig::retained(),
+        ));
+        prop_assert_eq!(merged, whole);
+    }
+}

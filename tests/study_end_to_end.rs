@@ -8,7 +8,9 @@ use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 fn outcome() -> &'static StudyOutcome {
     use std::sync::OnceLock;
     static OUTCOME: OnceLock<StudyOutcome> = OnceLock::new();
-    OUTCOME.get_or_init(|| Study::run(StudyConfig::tiny(1234)))
+    // Retained: several of these tests are sample-level (Figure 6 origins,
+    // probing payloads, the case studies).
+    OUTCOME.get_or_init(|| Study::run(StudyConfig::tiny(1234).with_retained_arrivals()))
 }
 
 #[test]
