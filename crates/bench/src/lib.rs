@@ -15,6 +15,7 @@ use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
 pub mod correlate;
 pub mod hotpath;
+pub mod serving;
 
 /// The seed every bench harness uses, so printed tables match
 /// EXPERIMENTS.md.

@@ -26,6 +26,7 @@ use crate::correlate::{
     Combo, CorrelatedRequest, PathKey, ProblematicPath, StreamingClassifier, UnsolicitedLabel,
 };
 use crate::decoy::{DecoyProtocol, DecoyRecord, DecoyRegistry};
+use serde::{Deserialize, Serialize};
 use shadow_honeypot::capture::{
     Arrival, ArrivalProtocol, ArrivalSink, SharedArrivalSink, SinkDecision,
 };
@@ -152,6 +153,19 @@ impl IntervalHistogram {
         self.cumulative_at(edge.millis())
             .map(|n| n as f64 / total as f64)
     }
+
+    /// Raw bucket counts (len = `INTERVAL_EDGES_MS.len() + 1`, overflow
+    /// bucket last) — the checkpoint wire form.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild from the wire form; `None` if the bucket count does not
+    /// match this build's edge layout.
+    pub fn from_counts(counts: &[u64]) -> Option<Self> {
+        let counts: [u64; INTERVAL_EDGES_MS.len() + 1] = counts.try_into().ok()?;
+        Some(Self { counts })
+    }
 }
 
 /// Figure-5 outcome bits of one decoy, strongest-wins decodable.
@@ -162,7 +176,7 @@ pub const OUTCOME_HTTP_LATE: u8 = 8;
 
 /// Everything the analyses need to know about one decoy's unsolicited
 /// traffic, folded incrementally (Figure 5 breakdown + §5.1 reuse).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecoyFold {
     pub protocol: DecoyProtocol,
     /// OR of the `OUTCOME_*` bits this decoy's unsolicited arrivals set.
@@ -173,7 +187,7 @@ pub struct DecoyFold {
 
 /// Everything the analyses need to know about one client-server path,
 /// folded incrementally (Figure 3 numerators + Phase II TTL localization).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PathFold {
     pub unsolicited: u64,
     pub first_unsolicited_at: SimTime,
@@ -425,6 +439,87 @@ impl CorrelationAggregates {
     }
 }
 
+/// Serialization twin of [`CorrelationAggregates`].
+///
+/// The in-memory aggregates key three maps by tuples
+/// (`(DecoyProtocol, Ipv4Addr)`, `(PathKey, ArrivalProtocol)`) and one by a
+/// struct (`PathKey`) — shapes a JSON object key cannot carry losslessly.
+/// The portable form flattens every map to an entry vector (already in
+/// `BTreeMap` iteration order, so rendering is deterministic) and the
+/// fixed-size histogram arrays to plain `Vec<u64>`. This is the wire form
+/// used by both the `shadow-serve` checkpoint file and the
+/// `/api/aggregates` endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableAggregates {
+    pub arrivals_seen: u64,
+    pub classified: u64,
+    pub by_label: Vec<(UnsolicitedLabel, u64)>,
+    pub retention_intervals_ms: HistogramSnapshot,
+    pub interval_hists: Vec<(DecoyProtocol, Ipv4Addr, Vec<u64>)>,
+    pub combos: Vec<(Combo, u64)>,
+    pub path_combos: Vec<(PathKey, ArrivalProtocol, u64)>,
+    pub paths: Vec<(PathKey, PathFold)>,
+    pub decoys: Vec<(DnsName, DecoyFold)>,
+}
+
+impl CorrelationAggregates {
+    /// Flatten into the serializable entry-vector form.
+    pub fn to_portable(&self) -> PortableAggregates {
+        PortableAggregates {
+            arrivals_seen: self.arrivals_seen,
+            classified: self.classified,
+            by_label: self.by_label.iter().map(|(k, v)| (*k, *v)).collect(),
+            retention_intervals_ms: self.retention_intervals_ms.clone(),
+            interval_hists: self
+                .interval_hists
+                .iter()
+                .map(|((proto, dst), hist)| (*proto, *dst, hist.counts().to_vec()))
+                .collect(),
+            combos: self.combos.iter().map(|(k, v)| (*k, *v)).collect(),
+            path_combos: self
+                .path_combos
+                .iter()
+                .map(|((path, proto), n)| (*path, *proto, *n))
+                .collect(),
+            paths: self
+                .paths
+                .iter()
+                .map(|(k, fold)| (*k, fold.clone()))
+                .collect(),
+            decoys: self
+                .decoys
+                .iter()
+                .map(|(name, fold)| (name.clone(), *fold))
+                .collect(),
+        }
+    }
+
+    /// Rebuild from the portable form. `None` if a histogram's bucket
+    /// layout does not match this build (a checkpoint written by an
+    /// incompatible version).
+    pub fn from_portable(portable: &PortableAggregates) -> Option<Self> {
+        let mut interval_hists = BTreeMap::new();
+        for (proto, dst, counts) in &portable.interval_hists {
+            interval_hists.insert((*proto, *dst), IntervalHistogram::from_counts(counts)?);
+        }
+        Some(Self {
+            arrivals_seen: portable.arrivals_seen,
+            classified: portable.classified,
+            by_label: portable.by_label.iter().copied().collect(),
+            retention_intervals_ms: portable.retention_intervals_ms.clone(),
+            interval_hists,
+            combos: portable.combos.iter().copied().collect(),
+            path_combos: portable
+                .path_combos
+                .iter()
+                .map(|(path, proto, n)| ((*path, *proto), *n))
+                .collect(),
+            paths: portable.paths.iter().cloned().collect(),
+            decoys: portable.decoys.iter().cloned().collect(),
+        })
+    }
+}
+
 /// The capture-time [`ArrivalSink`]: one per shard engine, installed on
 /// the authoritative server and every honey web host before campaign
 /// traffic starts, drained into `CampaignData::aggregates` at harvest.
@@ -626,6 +721,32 @@ mod tests {
         let verdict = retained.offer(&arrivals[3]);
         assert!(verdict.unsolicited);
         assert_eq!(verdict.rule, Some("HttpTlsArrival"));
+    }
+
+    #[test]
+    fn portable_form_round_trips_through_json() {
+        let (reg, arrivals) = stream();
+        let agg = CorrelationAggregates::from_arrivals(&reg, &arrivals, &SinkConfig::streaming());
+        assert!(agg.classified > 0, "fixture must exercise every map");
+        let json = serde_json::to_string_pretty(&agg.to_portable()).unwrap();
+        let portable: PortableAggregates = serde_json::from_str(&json).unwrap();
+        let back = CorrelationAggregates::from_portable(&portable).unwrap();
+        assert_eq!(back, agg);
+        // Rendering is deterministic: same aggregates, same bytes.
+        assert_eq!(
+            serde_json::to_string_pretty(&back.to_portable()).unwrap(),
+            json
+        );
+    }
+
+    #[test]
+    fn portable_form_rejects_foreign_histogram_layout() {
+        let (reg, arrivals) = stream();
+        let agg = CorrelationAggregates::from_arrivals(&reg, &arrivals, &SinkConfig::streaming());
+        let mut portable = agg.to_portable();
+        assert!(!portable.interval_hists.is_empty());
+        portable.interval_hists[0].2.push(0); // one bucket too many
+        assert!(CorrelationAggregates::from_portable(&portable).is_none());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP client for the daemon's API — used by the
+//! end-to-end tests, the loadgen example, and the serving benchmark, so
+//! none of them hand-roll socket handling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// `GET path` against `addr`; returns `(status code, body)`. The body is
+/// read to `Content-Length` when the server framed it, to EOF otherwise.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+
+    let mut content_length: Option<usize> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some(value) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = Some(value);
+        }
+    }
+
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((code, body))
+}
+
+/// Subscribe to an SSE endpoint and collect `data:` payloads until the
+/// server sends the `end` event, `max_events` arrive, or `timeout`
+/// elapses. Returns the collected payloads and whether the end event was
+/// seen.
+pub fn sse_collect(
+    addr: SocketAddr,
+    path: &str,
+    max_events: usize,
+    timeout: Duration,
+) -> std::io::Result<(Vec<String>, bool)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: text/event-stream\r\n\r\n")
+            .as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+
+    let deadline = Instant::now() + timeout;
+    let mut events = Vec::new();
+    let mut ended = false;
+    let mut in_headers = true;
+    let mut pending_end = false;
+    let mut line = String::new();
+    while Instant::now() < deadline && events.len() < max_events && !ended {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            // Read timeout: loop to re-check the deadline.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if in_headers {
+            if trimmed.is_empty() {
+                in_headers = false;
+            }
+            continue;
+        }
+        if trimmed == "event: end" {
+            pending_end = true;
+        } else if let Some(payload) = trimmed.strip_prefix("data: ") {
+            if pending_end {
+                ended = true;
+            } else {
+                events.push(payload.to_string());
+            }
+        }
+    }
+    Ok((events, ended))
+}

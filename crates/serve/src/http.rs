@@ -1,0 +1,274 @@
+//! A hand-rolled HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! Scope: exactly what the daemon's query surface needs. `GET` only,
+//! `Connection: close` on every response, bodies framed by
+//! `Content-Length` — except `/api/journal/tail`, which is a Server-Sent
+//! Events stream framed by connection close.
+//!
+//! Threading: one accept thread feeds a `Mutex<VecDeque<TcpStream>>` +
+//! `Condvar` work queue drained by a **fixed** pool of worker threads.
+//! JSON endpoints are answered by a worker in microseconds (pre-rendered
+//! snapshot bytes; see [`crate::state`]). An SSE request would occupy its
+//! worker for the rest of the campaign, so the worker instead hands the
+//! connection to a dedicated per-subscriber thread and returns to the
+//! pool — the fixed pool can never be starved by tail readers.
+//!
+//! SSE wire format: `data: <journal-record JSON>\n\n` per event, a
+//! `: keep-alive\n\n` comment on idle, and a final `event: end\ndata:
+//! done\n\n` when the campaign closes the hub and the subscriber's ring
+//! is drained.
+
+use crate::state::ServeState;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-to-worker hand-off queue.
+struct WorkQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn push(&self, stream: TcpStream) {
+        self.queue
+            .lock()
+            .expect("work queue poisoned")
+            .push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Block until a connection arrives or shutdown is signalled.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("work queue poisoned");
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self
+                .ready
+                .wait_timeout(queue, Duration::from_millis(200))
+                .expect("work queue poisoned")
+                .0;
+        }
+    }
+}
+
+/// The running server: accept thread + fixed worker pool.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `state` on `workers` pool threads.
+    pub fn bind(addr: &str, state: Arc<ServeState>, workers: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(WorkQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        queue.push(stream);
+                    }
+                }
+            })
+        };
+
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let shutdown = Arc::clone(&shutdown);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Some(stream) = queue.pop(&shutdown) {
+                        handle_connection(stream, &state);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            addr: local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the pool, join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Parse the request line, route, respond. Any parse failure gets a 400;
+/// I/O failures mean the client went away and are ignored.
+fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block; the daemon's API has no use for headers.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => {
+            respond(
+                stream,
+                400,
+                "application/json",
+                "{\"error\":\"bad request\"}",
+            );
+            return;
+        }
+    };
+    if method != "GET" {
+        respond(
+            stream,
+            405,
+            "application/json",
+            "{\"error\":\"method not allowed\"}",
+        );
+        return;
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/api/status" => respond(stream, 200, "application/json", &state.status_json()),
+        "/api/aggregates" => respond(
+            stream,
+            200,
+            "application/json",
+            &state.snapshot().aggregates_json,
+        ),
+        "/api/metrics" => respond(
+            stream,
+            200,
+            "application/json",
+            &state.snapshot().metrics_json,
+        ),
+        "/api/robustness" => respond(
+            stream,
+            200,
+            "application/json",
+            &state.snapshot().robustness_json,
+        ),
+        "/api/journal/tail" => serve_tail(stream, state),
+        _ => respond(stream, 404, "application/json", "{\"error\":\"not found\"}"),
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(mut stream: TcpStream, code: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body.as_bytes()))
+        .and_then(|_| stream.flush());
+}
+
+/// Upgrade the connection to an SSE stream on a dedicated thread, so the
+/// fixed worker pool is never occupied by a long-lived subscriber.
+fn serve_tail(mut stream: TcpStream, state: &Arc<ServeState>) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let subscriber = state.tail.subscribe();
+    std::thread::spawn(move || loop {
+        match subscriber.next_line(Duration::from_millis(250)) {
+            Some(line) => {
+                if stream
+                    .write_all(format!("data: {line}\n\n").as_bytes())
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            None if subscriber.is_drained() => {
+                let _ = stream.write_all(b"event: end\ndata: done\n\n");
+                let _ = stream.flush();
+                break;
+            }
+            None => {
+                // Idle: a keep-alive comment doubles as disconnect
+                // detection, so dead subscribers get pruned.
+                if stream
+                    .write_all(b": keep-alive\n\n")
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    });
+}

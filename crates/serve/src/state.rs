@@ -1,0 +1,173 @@
+//! Snapshot publication: the lock-free read side of the daemon.
+//!
+//! After every wave the campaign thread renders the cumulative state to
+//! JSON **once** — aggregates (portable form), metrics, and the latest
+//! wave's robustness cell — and publishes the result as an
+//! `Arc<Snapshot>` swapped in under a `parking_lot::RwLock`. HTTP workers
+//! clone the `Arc` (a refcount bump under a read lock held for
+//! nanoseconds) and write the pre-rendered bytes; they never serialize,
+//! never touch campaign state, and never hold a lock across I/O. This is
+//! what keeps "32 concurrent readers" and "the campaign hot path" from
+//! ever meeting on a lock.
+
+use crate::driver::CampaignDriver;
+use serde::Serialize;
+use shadow_telemetry::JournalTailHub;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One wave's published view: everything an endpoint can answer, already
+/// rendered.
+pub struct Snapshot {
+    pub waves_done: usize,
+    pub waves_total: usize,
+    pub shards: usize,
+    pub sim_cursor_ms: u64,
+    pub arrivals_seen: u64,
+    pub unsolicited_total: u64,
+    /// `/api/aggregates` body (portable aggregates, pretty JSON).
+    pub aggregates_json: String,
+    /// `/api/metrics` body.
+    pub metrics_json: String,
+    /// `/api/robustness` body: the latest wave's robustness cell, or JSON
+    /// `null` before the first wave (and on resumed drivers until their
+    /// next wave completes).
+    pub robustness_json: String,
+}
+
+impl Snapshot {
+    /// Render the driver's cumulative state. `robustness_json` is the
+    /// pre-rendered latest-wave cell, if one is in hand.
+    pub fn from_driver(driver: &CampaignDriver, robustness_json: Option<String>) -> Self {
+        let aggregates = driver.aggregates();
+        Self {
+            waves_done: driver.waves_done(),
+            waves_total: driver.waves_total(),
+            shards: driver.config().shards,
+            sim_cursor_ms: driver.sim_cursor_ms(),
+            arrivals_seen: aggregates.arrivals_seen,
+            unsolicited_total: aggregates.unsolicited_total(),
+            aggregates_json: serde_json::to_string_pretty(&aggregates.to_portable())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+            metrics_json: driver
+                .metrics()
+                .to_json()
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+            robustness_json: robustness_json.unwrap_or_else(|| "null".to_string()),
+        }
+    }
+}
+
+/// The `/api/status` body.
+#[derive(Serialize)]
+struct StatusBody {
+    done: bool,
+    waves_done: u64,
+    waves_total: u64,
+    shards: u64,
+    sim_cursor_ms: u64,
+    arrivals_seen: u64,
+    unsolicited_total: u64,
+    tail_subscribers: u64,
+    /// Journal-tail lines dropped because a subscriber ring was full —
+    /// the explicit backpressure counter.
+    tail_events_dropped: u64,
+    checkpoint_error: Option<String>,
+}
+
+/// Shared between the campaign thread (writer) and HTTP workers (readers).
+pub struct ServeState {
+    snapshot: parking_lot::RwLock<Arc<Snapshot>>,
+    /// The journal fan-out hub backing `/api/journal/tail`.
+    pub tail: Arc<JournalTailHub>,
+    done: AtomicBool,
+    checkpoint_error: parking_lot::Mutex<Option<String>>,
+}
+
+impl ServeState {
+    pub fn new(initial: Snapshot, tail_capacity: usize) -> Self {
+        Self {
+            snapshot: parking_lot::RwLock::new(Arc::new(initial)),
+            tail: Arc::new(JournalTailHub::new(tail_capacity)),
+            done: AtomicBool::new(false),
+            checkpoint_error: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Swap in a freshly rendered wave snapshot.
+    pub fn publish(&self, snapshot: Snapshot) {
+        *self.snapshot.write() = Arc::new(snapshot);
+    }
+
+    /// The current snapshot — a refcount bump, no cloning, no rendering.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    pub fn mark_done(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Record a checkpoint-write failure so it surfaces in `/api/status`
+    /// instead of vanishing into a background thread.
+    pub fn record_checkpoint_error(&self, message: String) {
+        *self.checkpoint_error.lock() = Some(message);
+    }
+
+    /// Render `/api/status` from the current snapshot plus live tail
+    /// counters (subscribers, drops) — the only endpoint rendered
+    /// per-request, and it is a few hundred bytes.
+    pub fn status_json(&self) -> String {
+        let snapshot = self.snapshot();
+        let body = StatusBody {
+            done: self.is_done(),
+            waves_done: snapshot.waves_done as u64,
+            waves_total: snapshot.waves_total as u64,
+            shards: snapshot.shards as u64,
+            sim_cursor_ms: snapshot.sim_cursor_ms,
+            arrivals_seen: snapshot.arrivals_seen,
+            unsolicited_total: snapshot.unsolicited_total,
+            tail_subscribers: self.tail.subscriber_count() as u64,
+            tail_events_dropped: self.tail.events_dropped(),
+            checkpoint_error: self.checkpoint_error.lock().clone(),
+        };
+        serde_json::to_string_pretty(&body).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ServeConfig;
+
+    #[test]
+    fn status_reflects_driver_and_tail_state() {
+        let driver = CampaignDriver::new(ServeConfig::tiny(3));
+        let state = ServeState::new(Snapshot::from_driver(&driver, None), 8);
+        let status = state.status_json();
+        assert!(status.contains("\"done\": false"), "{status}");
+        assert!(status.contains("\"waves_total\": 2"), "{status}");
+        assert!(status.contains("\"tail_events_dropped\": 0"), "{status}");
+        assert_eq!(state.snapshot().robustness_json, "null");
+        state.mark_done();
+        assert!(state.status_json().contains("\"done\": true"));
+    }
+
+    #[test]
+    fn publish_swaps_the_served_snapshot() {
+        let driver = CampaignDriver::new(ServeConfig::tiny(3));
+        let state = ServeState::new(Snapshot::from_driver(&driver, None), 8);
+        let before = state.snapshot();
+        state.publish(Snapshot::from_driver(
+            &driver,
+            Some("{\"cell\":1}".to_string()),
+        ));
+        let after = state.snapshot();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.robustness_json, "{\"cell\":1}");
+    }
+}

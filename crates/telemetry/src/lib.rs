@@ -29,7 +29,9 @@
 pub mod diff;
 pub mod journal;
 pub mod metrics;
+pub mod tail;
 
 pub use diff::{diff, DiffReport, Divergence};
 pub use journal::{from_jsonl, sort_records, to_jsonl, EventKind, JournalRecord, Telemetry};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use tail::{JournalTailHub, TailSubscriber};

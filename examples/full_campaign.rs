@@ -15,21 +15,40 @@
 //! instead of the paper-scale one (used by CI). `--loss P` injects P%
 //! uniform per-link packet loss (with the standard DNS retry policy);
 //! `--fault-seed S` re-keys which packets the faults hit.
+//!
+//! **Campaign mode** (`--waves N`, `--checkpoint PATH`, `--resume PATH`):
+//! instead of a one-shot study, drive the `shadow-serve` campaign loop —
+//! N waves folded into one cumulative state, checkpointed after every
+//! wave when `--checkpoint` is given. `--resume PATH` restores a saved
+//! checkpoint and runs the remaining waves; the final state is
+//! byte-identical to a run that was never interrupted. The checkpoint
+//! header carries a world hash, so resuming under a different
+//! configuration (e.g. a `--tiny` checkpoint without `--tiny`) fails
+//! loudly instead of silently blending two campaigns. Campaign mode
+//! always records telemetry (the checkpoint carries the journal and
+//! metrics) and prints the evaluation report for the final wave.
 
 use shadow_analysis::report::{pct, render_series, render_table};
+use shadow_serve::{CampaignCheckpoint, CampaignDriver, ServeConfig, ServeError};
+use std::path::{Path, PathBuf};
 use traffic_shadowing::shadow_analysis;
 use traffic_shadowing::shadow_chaos::{FaultProfile, RetrySpec};
 use traffic_shadowing::shadow_core::decoy::DecoyProtocol;
 use traffic_shadowing::shadow_core::executor::TelemetryOptions;
 use traffic_shadowing::shadow_netsim::time::SimDuration;
-use traffic_shadowing::study::{Study, StudyConfig};
+use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
 const USAGE: &str = "usage: full_campaign [seed] [--shards N] [--tiny] [--metrics-out PATH] \
-     [--journal PATH] [--loss PERCENT] [--fault-seed S]";
+     [--journal PATH] [--loss PERCENT] [--fault-seed S] [--waves N] [--checkpoint PATH] \
+     [--resume PATH]";
 
 fn path_arg(args: &[String], i: usize, flag: &str) -> String {
     match args.get(i + 1) {
-        Some(p) if !p.starts_with("--") => p.clone(),
+        Some(p) if !p.is_empty() && !p.starts_with("--") => p.clone(),
+        Some(p) if p.is_empty() => {
+            eprintln!("{flag} needs a non-empty file path");
+            std::process::exit(2);
+        }
         _ => {
             eprintln!("{flag} needs a file path");
             std::process::exit(2);
@@ -46,6 +65,9 @@ fn main() {
     let mut journal_out: Option<String> = None;
     let mut loss_percent: f64 = 0.0;
     let mut fault_seed: u64 = 1;
+    let mut waves: Option<usize> = None;
+    let mut checkpoint_out: Option<String> = None;
+    let mut resume_from: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +122,28 @@ fn main() {
                 }
                 i += 2;
             }
+            "--waves" => {
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    None => {
+                        eprintln!("--waves needs a positive integer");
+                        std::process::exit(2);
+                    }
+                    Some(0) => {
+                        eprintln!("--waves must be at least 1 (got 0)");
+                        std::process::exit(2);
+                    }
+                    Some(w) => waves = Some(w),
+                }
+                i += 2;
+            }
+            "--checkpoint" => {
+                checkpoint_out = Some(path_arg(&args, i, "--checkpoint"));
+                i += 2;
+            }
+            "--resume" => {
+                resume_from = Some(path_arg(&args, i, "--resume"));
+                i += 2;
+            }
             raw => {
                 if let Ok(s) = raw.parse() {
                     seed = s;
@@ -111,19 +155,26 @@ fn main() {
             }
         }
     }
+    let faults = fault_profile(loss_percent, fault_seed);
+    if waves.is_some() || checkpoint_out.is_some() || resume_from.is_some() {
+        run_campaign(
+            seed,
+            tiny,
+            shards,
+            waves,
+            checkpoint_out,
+            resume_from,
+            faults,
+            metrics_out,
+            journal_out,
+        );
+        return;
+    }
     let telemetry = if metrics_out.is_some() || journal_out.is_some() {
         TelemetryOptions::enabled(journal_out.is_some())
     } else {
         TelemetryOptions::disabled()
     };
-    let faults = (loss_percent > 0.0).then(|| FaultProfile {
-        dns_retry: Some(RetrySpec::STANDARD),
-        ..FaultProfile::with_loss(
-            &format!("loss{loss_percent}%"),
-            loss_percent / 100.0,
-            fault_seed,
-        )
-    });
     let config = StudyConfig {
         telemetry,
         faults,
@@ -152,7 +203,14 @@ fn main() {
         ),
     }
     println!("{}\n", outcome.summary());
+    print_report(&outcome);
+    print_artifacts(&outcome, seed, &metrics_out, &journal_out);
+}
 
+/// Every table, figure, and case study of the evaluation section, printed
+/// from one study outcome — shared by the one-shot path and campaign
+/// mode's final-wave report.
+fn print_report(outcome: &StudyOutcome) {
     // ------------------------------------------------- Table 1
     println!("--- Table 1: measurement platform (after vetting) ---");
     let rows: Vec<Vec<String>> = outcome
@@ -414,7 +472,17 @@ fn main() {
         pct(cn.cn_observer_fraction()),
         pct(cn.cn_origin_fraction),
     );
+}
 
+/// The `--metrics-out` / `--journal` artifacts plus the analysis bundle,
+/// for the one-shot path (campaign mode writes its cumulative state
+/// instead).
+fn print_artifacts(
+    outcome: &StudyOutcome,
+    seed: u64,
+    metrics_out: &Option<String>,
+    journal_out: &Option<String>,
+) {
     // ------------------------------------------------- Telemetry artifacts
     if let (Some(metrics), Some(path)) = (&outcome.metrics, &metrics_out) {
         println!("\n--- telemetry: run metrics ---");
@@ -463,5 +531,170 @@ fn main() {
         if std::fs::write(&path, json).is_ok() {
             println!("\nanalysis bundle written to {}", path.display());
         }
+    }
+}
+
+fn fault_profile(loss_percent: f64, fault_seed: u64) -> Option<FaultProfile> {
+    (loss_percent > 0.0).then(|| FaultProfile {
+        dns_retry: Some(RetrySpec::STANDARD),
+        ..FaultProfile::with_loss(
+            &format!("loss{loss_percent}%"),
+            loss_percent / 100.0,
+            fault_seed,
+        )
+    })
+}
+
+/// Campaign mode: drive the `shadow-serve` wave loop from the CLI,
+/// checkpointing after every wave when asked, and restoring from
+/// `--resume` before running the remaining waves.
+#[allow(clippy::too_many_arguments)]
+fn run_campaign(
+    seed: u64,
+    tiny: bool,
+    shards: Option<usize>,
+    waves: Option<usize>,
+    checkpoint_out: Option<String>,
+    resume_from: Option<String>,
+    faults: Option<FaultProfile>,
+    metrics_out: Option<String>,
+    journal_out: Option<String>,
+) {
+    let loaded =
+        resume_from
+            .as_deref()
+            .map(|path| match CampaignCheckpoint::load(Path::new(path)) {
+                Ok(checkpoint) => checkpoint,
+                Err(ServeError::MissingCheckpoint(p)) => {
+                    eprintln!("--resume: no checkpoint file at {}", p.display());
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("--resume: cannot load checkpoint: {e}");
+                    std::process::exit(2);
+                }
+            });
+    let config = ServeConfig {
+        study: StudyConfig {
+            telemetry: TelemetryOptions::enabled(true),
+            faults,
+            retain_arrivals: true,
+            ..if tiny {
+                StudyConfig::tiny(seed)
+            } else {
+                StudyConfig::standard(seed)
+            }
+        },
+        // An unflagged resume inherits the checkpoint's wave count; a
+        // fresh campaign defaults to two waves.
+        waves: waves.unwrap_or_else(|| loaded.as_ref().map_or(2, |c| c.header.waves_total)),
+        shards: shards.unwrap_or(1),
+        checkpoint_path: checkpoint_out.map(PathBuf::from),
+        tail_capacity: 4096,
+        http_workers: 4,
+    };
+    let waves_total = config.waves;
+    let shard_count = config.shards;
+    let mut driver = match loaded {
+        Some(checkpoint) => match CampaignDriver::resume(config, checkpoint) {
+            Ok(driver) => driver,
+            Err(e) => {
+                eprintln!("--resume: {e}");
+                match e {
+                    ServeError::WorldMismatch { .. } => eprintln!(
+                        "hint: the checkpoint was written under a different campaign \
+                         configuration — check the seed and the --tiny / --loss / --waves flags"
+                    ),
+                    ServeError::ShardMismatch { .. } => {
+                        eprintln!("hint: pass the --shards the checkpoint was written with")
+                    }
+                    _ => {}
+                }
+                std::process::exit(2);
+            }
+        },
+        None => CampaignDriver::new(config),
+    };
+
+    let started = std::time::Instant::now();
+    if driver.waves_done() > 0 {
+        println!(
+            "=== campaign (seed {seed}, {waves_total} waves, {shard_count} shards; \
+             resumed after wave {}) ===\n",
+            driver.waves_done()
+        );
+    } else {
+        println!("=== campaign (seed {seed}, {waves_total} waves, {shard_count} shards) ===\n");
+    }
+
+    let mut last_outcome = None;
+    while let Some(report) = driver.run_next_wave() {
+        println!(
+            "wave {}/{waves_total} (seed {:#018x}): cumulative arrivals {} | unsolicited {} | \
+             sim cursor {} ms",
+            report.wave + 1,
+            report.wave_seed,
+            driver.aggregates().arrivals_seen,
+            driver.aggregates().unsolicited_total(),
+            driver.sim_cursor_ms(),
+        );
+        if let Some(path) = driver.config().checkpoint_path.clone() {
+            if let Err(e) = driver.save_checkpoint(&path) {
+                eprintln!("failed to write checkpoint to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("  checkpoint written to {}", path.display());
+        }
+        last_outcome = Some(report.outcome);
+    }
+    println!(
+        "\ncampaign complete in {:?}: {} waves | {} journal records | simulated span {} ms",
+        started.elapsed(),
+        driver.waves_done(),
+        driver.journal().len(),
+        driver.sim_cursor_ms(),
+    );
+
+    if let Some(path) = &metrics_out {
+        match driver.metrics().to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("cumulative metrics snapshot written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize metrics: {e:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &journal_out {
+        match traffic_shadowing::shadow_telemetry::to_jsonl(driver.journal()) {
+            Ok(jsonl) => {
+                if let Err(e) = std::fs::write(path, jsonl) {
+                    eprintln!("failed to write journal to {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "campaign journal ({} records) written to {path}",
+                    driver.journal().len()
+                );
+            }
+            Err(e) => {
+                eprintln!("failed to serialize journal: {e:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match last_outcome {
+        Some(outcome) => {
+            println!("\n--- evaluation report, final wave ---\n");
+            println!("{}\n", outcome.summary());
+            print_report(&outcome);
+        }
+        None => println!("nothing to run: the checkpoint already covers every wave"),
     }
 }

@@ -1,0 +1,133 @@
+//! Concurrent read load against a running `serve_campaign` daemon:
+//! N client threads hammer one JSON endpoint for a fixed window and
+//! report throughput and latency percentiles.
+//!
+//! Run with `cargo run --release --example serve_loadgen -- --addr
+//! 127.0.0.1:7070 [--clients N] [--seconds S] [--path /api/aggregates]`.
+
+use shadow_serve::client::http_get;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str =
+    "usage: serve_loadgen --addr HOST:PORT [--clients N] [--seconds S] [--path /api/...]";
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_micros.len() - 1) as f64 * p).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut clients: usize = 8;
+    let mut seconds: u64 = 5;
+    let mut path = "/api/aggregates".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                match args.get(i + 1).and_then(|a| a.parse().ok()) {
+                    None => {
+                        eprintln!("--addr needs HOST:PORT");
+                        std::process::exit(2);
+                    }
+                    some => addr = some,
+                }
+                i += 2;
+            }
+            "--clients" => {
+                match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    None | Some(0) => {
+                        eprintln!("--clients needs a positive integer");
+                        std::process::exit(2);
+                    }
+                    Some(n) => clients = n,
+                }
+                i += 2;
+            }
+            "--seconds" => {
+                match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    None | Some(0) => {
+                        eprintln!("--seconds needs a positive integer");
+                        std::process::exit(2);
+                    }
+                    Some(s) => seconds = s,
+                }
+                i += 2;
+            }
+            "--path" => {
+                match args.get(i + 1) {
+                    Some(p) if p.starts_with('/') => path = p.clone(),
+                    _ => {
+                        eprintln!("--path needs an absolute request path");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            _ => {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+
+    println!("loadgen: {clients} clients x {seconds}s against http://{addr}{path}");
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::new();
+                let mut errors = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let begun = Instant::now();
+                    match http_get(addr, &path) {
+                        Ok((200, _)) => latencies_us.push(begun.elapsed().as_micros() as u64),
+                        Ok((code, _)) => {
+                            eprintln!("HTTP {code} from {path}");
+                            errors += 1;
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (latencies_us, errors)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Release);
+
+    let mut all_us = Vec::new();
+    let mut errors = 0u64;
+    for worker in workers {
+        let (latencies, errs) = worker.join().expect("client thread");
+        all_us.extend(latencies);
+        errors += errs;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    all_us.sort_unstable();
+    println!(
+        "{} reads in {elapsed:.2}s = {:.0} reads/sec | p50 {}us p99 {}us max {}us | {errors} errors",
+        all_us.len(),
+        all_us.len() as f64 / elapsed,
+        percentile(&all_us, 0.50),
+        percentile(&all_us, 0.99),
+        all_us.last().copied().unwrap_or(0),
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

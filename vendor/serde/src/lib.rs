@@ -219,6 +219,11 @@ macro_rules! impl_serde_unsigned {
                         .map_err(|_| DeError::new(format!("{v} out of range"))),
                     Content::I64(v) if *v >= 0 => <$t>::try_from(*v as u64)
                         .map_err(|_| DeError::new(format!("{v} out of range"))),
+                    // JSON object keys always re-enter as strings; integer
+                    // map keys must parse back through here.
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| DeError::new(format!("{s:?} is not an unsigned integer"))),
                     other => Err(DeError::mismatch("unsigned integer", other)),
                 }
             }
@@ -246,6 +251,11 @@ macro_rules! impl_serde_signed {
                         <$t>::try_from(signed)
                             .map_err(|_| DeError::new(format!("{v} out of range")))
                     }
+                    // Same as the unsigned case: integer keys of a JSON map
+                    // come back as strings.
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| DeError::new(format!("{s:?} is not a signed integer"))),
                     other => Err(DeError::mismatch("signed integer", other)),
                 }
             }
@@ -621,6 +631,21 @@ mod tests {
         let addr = Ipv4Addr::new(10, 2, 3, 4);
         let back = Ipv4Addr::deserialize_content(&addr.serialize_content()).unwrap();
         assert_eq!(back, addr);
+    }
+
+    #[test]
+    fn integer_keys_parse_back_from_json_strings() {
+        // A JSON parser renders every object key as a string; integer-keyed
+        // maps must survive the round trip.
+        let content = Content::Map(vec![
+            (Content::Str("4".into()), Content::U64(40)),
+            (Content::Str("11".into()), Content::U64(110)),
+        ]);
+        let map: BTreeMap<u32, u64> = Deserialize::deserialize_content(&content).unwrap();
+        assert_eq!(map, BTreeMap::from([(4, 40), (11, 110)]));
+        let signed: i16 = Deserialize::deserialize_content(&Content::Str("-7".into())).unwrap();
+        assert_eq!(signed, -7);
+        assert!(u8::deserialize_content(&Content::Str("beef".into())).is_err());
     }
 
     #[test]

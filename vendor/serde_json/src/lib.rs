@@ -323,13 +323,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
                 *pos += 1;
             }
             _ => {
-                // Decode the next UTF-8 scalar from the original input.
-                let rest = &bytes[*pos..];
-                let s =
-                    std::str::from_utf8(rest).map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                let c = s.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Copy the maximal run of unescaped bytes in one step and
+                // UTF-8-validate just that slice. (Validating from `pos` to
+                // the end of the document per character made large-document
+                // parsing quadratic.)
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
             }
         }
     }
