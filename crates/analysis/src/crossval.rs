@@ -1,0 +1,318 @@
+//! Topology cross-validation: how well does the Phase II reconstruction
+//! match the world it probed?
+//!
+//! The simulator knows the true topology — every router on every routed
+//! path and the exact nodes the DPI taps sit on — so unlike the real
+//! measurement we can *score* the evidence: what fraction of the true
+//! on-path routers did Time-Exceeded answers reveal, what fraction of the
+//! true links the consecutive-TTL reconstruction recovered, and how often
+//! the localized observer address is actually an observer. Swept over the
+//! chaos ICMP rate-limiting axis this yields the accuracy-vs-ICMP-coverage
+//! figure (EXPERIMENTS.md): coverage decays with suppression, and
+//! localization accuracy with it.
+//!
+//! Like [`crate::robustness`], this module is a pure comparison layer:
+//! the study glue extracts a [`TopoGroundTruth`] and per-cell inputs; the
+//! scoring here touches nothing above the analysis layer.
+
+use crate::report::render_table;
+use serde::Serialize;
+use shadow_core::phase2::TracerouteResult;
+use shadow_topo::RouterGraph;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// What the simulator knows to be true for the traced path set: extracted
+/// once per world from `Topology::route_to_addr` and the ground-truth tap
+/// roster (study glue: `traffic_shadowing::topology_report`).
+#[derive(Debug, Clone, Default)]
+pub struct TopoGroundTruth {
+    /// Every router on the true route of any traced path (deduplicated).
+    pub routers: BTreeSet<Ipv4Addr>,
+    /// Directed consecutive-router links on those true routes.
+    pub links: BTreeSet<(Ipv4Addr, Ipv4Addr)>,
+    /// Addresses of the ground-truth observers (DPI tap nodes).
+    pub observers: BTreeSet<Ipv4Addr>,
+}
+
+/// One cross-validation cell: the reconstruction scored against ground
+/// truth at one ICMP rate-limiting level.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossValCell {
+    /// Cell label (fault profile name, e.g. "icmp90%").
+    pub name: String,
+    /// Fraction of ICMP Time-Exceeded answers suppressed (the swept axis).
+    pub icmp_rate_limit: f64,
+    /// Paths Phase II attempted to trace.
+    pub traced_paths: usize,
+    /// Distinct probe paths that revealed at least one hop.
+    pub paths_with_hops: u64,
+    /// Raw Time-Exceeded observations folded into the graph.
+    pub icmp_observations: u64,
+    /// Distinct routers the reconstruction revealed.
+    pub revealed_routers: usize,
+    /// True on-path routers for the traced path set.
+    pub true_routers: usize,
+    /// Revealed routers that are on a true route.
+    pub router_hits: usize,
+    /// IP-level links the reconstruction witnessed.
+    pub revealed_links: usize,
+    /// True consecutive-router links for the traced path set.
+    pub true_links: usize,
+    /// Witnessed links that exist in the true topology.
+    pub link_hits: usize,
+    /// AS-level adjacencies in the reconstruction.
+    pub as_links: usize,
+    /// Paths localized to a concrete observer address.
+    pub localized_paths: usize,
+    /// Localized paths whose observer address is a ground-truth observer.
+    pub correct_localizations: usize,
+}
+
+impl CrossValCell {
+    /// Score one cell's reconstruction against the ground truth.
+    pub fn score(
+        name: &str,
+        icmp_rate_limit: f64,
+        graph: &RouterGraph,
+        traceroutes: &[TracerouteResult],
+        truth: &TopoGroundTruth,
+    ) -> Self {
+        let revealed: BTreeSet<Ipv4Addr> = graph.router_addrs().collect();
+        let router_hits = revealed.intersection(&truth.routers).count();
+        let link_hits = graph
+            .links
+            .iter()
+            .filter(|l| truth.links.contains(&(l.from, l.to)))
+            .count();
+        let localized: Vec<Ipv4Addr> = traceroutes.iter().filter_map(|r| r.observer_addr).collect();
+        let correct = localized
+            .iter()
+            .filter(|a| truth.observers.contains(a))
+            .count();
+        Self {
+            name: name.to_string(),
+            icmp_rate_limit,
+            traced_paths: traceroutes.len(),
+            paths_with_hops: graph.traced_paths,
+            icmp_observations: graph.observations,
+            revealed_routers: revealed.len(),
+            true_routers: truth.routers.len(),
+            router_hits,
+            revealed_links: graph.links.len(),
+            true_links: truth.links.len(),
+            link_hits,
+            as_links: graph.as_links.len(),
+            localized_paths: localized.len(),
+            correct_localizations: correct,
+        }
+    }
+
+    /// Fraction of true on-path routers the reconstruction revealed.
+    pub fn router_recall(&self) -> f64 {
+        ratio(self.router_hits, self.true_routers)
+    }
+
+    /// Fraction of revealed routers that are on a true route (aliasing /
+    /// noise check — should be 1.0 in this simulator).
+    pub fn router_precision(&self) -> f64 {
+        ratio(self.router_hits, self.revealed_routers)
+    }
+
+    /// Fraction of true links the consecutive-TTL reconstruction found.
+    pub fn link_recall(&self) -> f64 {
+        ratio(self.link_hits, self.true_links)
+    }
+
+    /// Fraction of traced paths localized to a concrete observer address.
+    pub fn localization_coverage(&self) -> f64 {
+        ratio(self.localized_paths, self.traced_paths)
+    }
+
+    /// Fraction of localized paths whose observer address is a true
+    /// observer — the headline accuracy number.
+    pub fn localization_accuracy(&self) -> f64 {
+        ratio(self.correct_localizations, self.localized_paths)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The full ICMP-coverage sweep: one scored cell per rate-limit level, in
+/// sweep order (ascending suppression).
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossValReport {
+    pub cells: Vec<CrossValCell>,
+}
+
+impl CrossValReport {
+    pub fn new(cells: Vec<CrossValCell>) -> Self {
+        Self { cells }
+    }
+
+    /// The baseline (no suppression) cell, when the sweep includes one.
+    pub fn baseline(&self) -> Option<&CrossValCell> {
+        self.cells
+            .iter()
+            .find(|c| c.icmp_rate_limit == 0.0)
+            .or(self.cells.first())
+    }
+
+    /// Machine-readable export (the EXPERIMENTS.md diff workflow).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// The accuracy-vs-ICMP-coverage table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    c.icmp_observations.to_string(),
+                    format!("{}/{}", c.router_hits, c.true_routers),
+                    format!("{:.2}", c.router_recall()),
+                    format!("{:.2}", c.link_recall()),
+                    format!("{}/{}", c.correct_localizations, c.localized_paths),
+                    format!("{:.2}", c.localization_accuracy()),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "cell",
+                "ICMP obs",
+                "routers",
+                "rtr recall",
+                "link recall",
+                "loc ok",
+                "loc acc",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadow_core::correlate::PathKey;
+    use shadow_core::decoy::DecoyProtocol;
+    use shadow_topo::{ProbePath, RouterGraphBuilder};
+    use shadow_vantage::platform::VpId;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn truth() -> TopoGroundTruth {
+        TopoGroundTruth {
+            routers: [ip("1.0.0.1"), ip("2.0.0.1"), ip("3.0.0.1")].into(),
+            links: [
+                (ip("1.0.0.1"), ip("2.0.0.1")),
+                (ip("2.0.0.1"), ip("3.0.0.1")),
+            ]
+            .into(),
+            observers: [ip("2.0.0.1")].into(),
+        }
+    }
+
+    fn traceroute(observer: Option<&str>) -> TracerouteResult {
+        TracerouteResult {
+            path: PathKey {
+                vp: VpId(1),
+                dst: ip("10.0.0.1"),
+                protocol: DecoyProtocol::Dns,
+            },
+            observer_hop: observer.map(|_| 2),
+            dest_distance: Some(4),
+            normalized_hop: observer.map(|_| 5),
+            observer_addr: observer.map(ip),
+            revealed_routers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_scores_unit() {
+        let mut b = RouterGraphBuilder::new();
+        let p = ProbePath {
+            vp: 1,
+            dst: ip("10.0.0.1"),
+        };
+        b.observe(p, 1, ip("1.0.0.1"));
+        b.observe(p, 2, ip("2.0.0.1"));
+        b.observe(p, 3, ip("3.0.0.1"));
+        let graph = b.finalize(|_| None);
+        let cell = CrossValCell::score(
+            "icmp0%",
+            0.0,
+            &graph,
+            &[traceroute(Some("2.0.0.1"))],
+            &truth(),
+        );
+        assert_eq!(cell.router_recall(), 1.0);
+        assert_eq!(cell.router_precision(), 1.0);
+        assert_eq!(cell.link_recall(), 1.0);
+        assert_eq!(cell.localization_accuracy(), 1.0);
+        assert_eq!(cell.localization_coverage(), 1.0);
+    }
+
+    #[test]
+    fn suppressed_icmp_degrades_recall() {
+        // Only the TTL-2 hop answered: one router, zero links.
+        let mut b = RouterGraphBuilder::new();
+        b.observe(
+            ProbePath {
+                vp: 1,
+                dst: ip("10.0.0.1"),
+            },
+            2,
+            ip("2.0.0.1"),
+        );
+        let graph = b.finalize(|_| None);
+        let cell = CrossValCell::score("icmp90%", 0.9, &graph, &[traceroute(None)], &truth());
+        assert!((cell.router_recall() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cell.link_recall(), 0.0);
+        assert_eq!(cell.localized_paths, 0);
+        assert_eq!(cell.localization_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn wrong_observer_counts_against_accuracy() {
+        let graph = RouterGraphBuilder::new().finalize(|_| None);
+        let cell = CrossValCell::score(
+            "c",
+            0.5,
+            &graph,
+            &[traceroute(Some("9.9.9.9")), traceroute(Some("2.0.0.1"))],
+            &truth(),
+        );
+        assert_eq!(cell.localized_paths, 2);
+        assert_eq!(cell.correct_localizations, 1);
+        assert!((cell.localization_accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let graph = RouterGraphBuilder::new().finalize(|_| None);
+        let cells = vec![
+            CrossValCell::score("icmp0%", 0.0, &graph, &[], &truth()),
+            CrossValCell::score("icmp90%", 0.9, &graph, &[], &truth()),
+        ];
+        let report = CrossValReport::new(cells);
+        assert_eq!(report.baseline().unwrap().name, "icmp0%");
+        let json = report.to_json().unwrap();
+        assert!(json.contains("icmp_rate_limit"));
+        let table = report.render();
+        assert!(table.contains("loc acc"));
+        assert!(table.lines().count() >= 3);
+    }
+}

@@ -18,6 +18,7 @@
 pub mod breakdown;
 pub mod cases;
 pub mod combos;
+pub mod crossval;
 pub mod export;
 pub mod landscape;
 pub mod location;
@@ -30,6 +31,7 @@ pub mod temporal;
 
 pub use breakdown::{DecoyOutcome, DestinationBreakdown};
 pub use combos::{combo_counts, ObserverCombos};
+pub use crossval::{CrossValCell, CrossValReport, TopoGroundTruth};
 pub use export::{AnalysisBundle, SerializableHopTable};
 pub use landscape::{LandscapeCell, LandscapeReport};
 pub use location::{ObserverAsRow, ObserverHopTable, ObserverIpSummary};

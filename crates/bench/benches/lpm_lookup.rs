@@ -1,0 +1,77 @@
+//! LPM lookup throughput: the stride-4 treebitmap trie behind
+//! `GeoDb::lookup` against the old sorted-vec backward scan (kept as
+//! `GeoScanIndex`), over the standard world's prefix table and a shared
+//! deterministic probe stream. Records `BENCH_topo.json` so the trie/scan
+//! ratio and the end-to-end router-graph hops/sec are part of the repo's
+//! perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shadow_bench::topo::{gen_probes, record_topo_json, run_topo, topo_json_path};
+
+const PROBES: usize = 200_000;
+const FOLD_ROUNDS: usize = 50;
+
+/// One-shot trajectory measurement, recorded into `BENCH_topo.json`
+/// (skipped in `cargo test` smoke mode so a tiny debug run never
+/// overwrites the committed numbers).
+fn trajectory(_c: &mut Criterion) {
+    if criterion::test_mode() {
+        let metrics = run_topo(5_000, 2);
+        println!(
+            "Testing topo/lpm_lookup ... ok ({:.2}x trie vs scan, {} prefixes)",
+            metrics.trie_over_scan, metrics.prefixes
+        );
+        return;
+    }
+    run_topo(PROBES / 10, 5); // warm-up
+    let metrics = run_topo(PROBES, FOLD_ROUNDS);
+    println!(
+        "BENCH {{\"name\":\"topo/lpm_lookup\",\"iters\":1,\"scan_lookups_per_sec\":{:.0},\"trie_lookups_per_sec\":{:.0},\"trie_over_scan\":{:.2},\"hops_per_sec\":{:.0}}}",
+        metrics.scan_lookups_per_sec,
+        metrics.trie_lookups_per_sec,
+        metrics.trie_over_scan,
+        metrics.hops_per_sec
+    );
+    let record = record_topo_json(&topo_json_path(), "topo/lpm_lookup", metrics);
+    if let Some(speedup) = record.speedup_trie_per_sec {
+        println!("trie throughput vs recorded baseline: {speedup:.2}x lookups/sec");
+    }
+}
+
+/// Criterion comparison over a shared probe stream: identical addresses,
+/// identical answers (the fixture cross-checks), the difference is the
+/// index structure walking them.
+fn bench(c: &mut Criterion) {
+    let outcome = shadow_bench::study();
+    let db = &outcome.world.geo;
+    let probes = gen_probes(db, PROBES / 4);
+    let scan = db.scan_index();
+    let mut group = c.benchmark_group("lpm_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &addr in &probes {
+                if let Some(r) = scan.lookup(addr) {
+                    sum = sum.wrapping_add(u64::from(r.asn.0));
+                }
+            }
+            sum
+        })
+    });
+    group.bench_function("trie", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &addr in &probes {
+                if let Some(r) = db.lookup(addr) {
+                    sum = sum.wrapping_add(u64::from(r.asn.0));
+                }
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trajectory, bench);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 pub mod correlate;
 pub mod hotpath;
 pub mod serving;
+pub mod topo;
 
 /// The seed every bench harness uses, so printed tables match
 /// EXPERIMENTS.md.

@@ -72,6 +72,23 @@ impl ScenarioMatrix {
         matrix
     }
 
+    /// The topology cross-validation axis: a pure sweep of ICMP
+    /// Time-Exceeded rate-limiting levels (no loss), one cell per level.
+    /// Cell names encode the suppression percentage ("icmp0%", "icmp90%");
+    /// all cells share `fault_seed` so they differ only in ICMP coverage.
+    pub fn icmp_grid(levels: &[f64], fault_seed: u64, template: &FaultProfile) -> Self {
+        let mut matrix = Self::new();
+        for &icmp in levels {
+            matrix.push(FaultProfile {
+                name: format!("icmp{:.0}%", icmp * 100.0),
+                icmp_rate_limit: icmp,
+                fault_seed,
+                ..template.clone()
+            });
+        }
+        matrix
+    }
+
     pub fn cells(&self) -> &[ScenarioCell] {
         &self.cells
     }
@@ -150,6 +167,17 @@ mod tests {
             ]
         );
         assert!(grid.cells().iter().all(|c| c.profile.fault_seed == 7));
+    }
+
+    #[test]
+    fn icmp_grid_names_levels() {
+        let grid =
+            ScenarioMatrix::icmp_grid(&[0.0, 0.5, 0.9, 0.99], 11, &FaultProfile::baseline("t"));
+        assert_eq!(grid.len(), 4);
+        let names: Vec<&str> = grid.cells().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["icmp0%", "icmp50%", "icmp90%", "icmp99%"]);
+        assert!(grid.cells().iter().all(|c| c.profile.loss == 0.0));
+        assert!(grid.cells().iter().all(|c| c.profile.fault_seed == 11));
     }
 
     #[test]

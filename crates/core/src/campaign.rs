@@ -11,6 +11,7 @@ use shadow_honeypot::web::WebHost;
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_netsim::topology::NodeId;
 use shadow_telemetry::{sort_records, EventKind, JournalRecord, MetricsSnapshot};
+use shadow_topo::RouterGraphBuilder;
 use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
 use shadow_vantage::vp::{DnsRetry, VantagePointHost, VpCommand, VpReport};
@@ -79,6 +80,10 @@ pub struct CampaignData {
     pub journal: Vec<JournalRecord>,
     /// Streamed correlation aggregates folded at capture time.
     pub aggregates: CorrelationAggregates,
+    /// Router-graph fold from Phase II Time-Exceeded evidence (empty for
+    /// Phase I). Per-shard folds are disjoint by probe path, so absorbing
+    /// them reconstructs the sequential run's graph exactly.
+    pub router_graph: RouterGraphBuilder,
 }
 
 impl CampaignData {
@@ -102,6 +107,7 @@ impl CampaignData {
             sort_records(&mut self.journal);
         }
         self.aggregates.absorb(other.aggregates);
+        self.router_graph.absorb(other.router_graph);
     }
 }
 
@@ -307,6 +313,7 @@ impl CampaignRunner {
             metrics,
             journal,
             aggregates,
+            router_graph: RouterGraphBuilder::new(),
         }
     }
 

@@ -14,6 +14,8 @@ use crate::sink::{CorrelationAggregates, SinkConfig};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use shadow_netsim::time::{SimDuration, SimTime};
+use shadow_telemetry::EventKind;
+use shadow_topo::{ProbePath, RouterGraphBuilder};
 use shadow_vantage::platform::VpId;
 use shadow_vantage::schedule::RateLimitedScheduler;
 use shadow_vantage::vp::VpCommand;
@@ -201,6 +203,36 @@ impl Phase2Runner {
         world.engine.run_until(plan.last_send + config.grace);
         let (arrivals, vp_reports) = CampaignRunner::harvest_filtered(world, &owns);
         let aggregates = crate::campaign::drain_sink(world, &shared);
+
+        // Fold this shard's Time-Exceeded evidence into the router graph.
+        // Each probe path belongs to exactly one sweeping VP, and a VP to
+        // exactly one shard, so per-shard folds are disjoint and absorb
+        // into the sequential run's graph exactly.
+        let mut router_graph = RouterGraphBuilder::new();
+        for (vp, report) in &vp_reports {
+            for obs in &report.icmp {
+                // The identification field maps the expired probe back to
+                // its decoy (and initial TTL), mirroring localize's filter.
+                if let Some(&(ref domain, ttl, dst)) = report.ident_map.get(&obs.orig_ident) {
+                    if dst == obs.orig_dst && registry.lookup(domain).is_some() {
+                        router_graph.observe(ProbePath { vp: vp.0, dst }, ttl, obs.router);
+                    }
+                }
+            }
+        }
+        let telemetry = world.engine.telemetry();
+        if let Some(m) = telemetry.metrics() {
+            m.router_graph_edges.add(router_graph.observations());
+        }
+        let shard = telemetry.shard();
+        let paths = router_graph.path_count() as u64;
+        let observations = router_graph.observations();
+        telemetry.event(world.engine.now().0, None, || EventKind::RouterGraphBuilt {
+            shard,
+            paths,
+            observations,
+        });
+
         crate::campaign::emit_phase_end(world, "phase2");
         let (metrics, journal) = crate::campaign::drain_telemetry(world);
         CampaignData {
@@ -211,6 +243,7 @@ impl Phase2Runner {
             metrics,
             journal,
             aggregates,
+            router_graph,
         }
     }
 

@@ -4,7 +4,8 @@
 
 use crate::asn::{AsCatalog, AsInfo, AsKind, Asn};
 use crate::country::CountryCode;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
+use shadow_topo::IpLookupTable;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -132,12 +133,42 @@ pub struct GeoRecord {
 
 /// Longest-prefix-match lookup database over all routed prefixes in the
 /// simulated world. The stand-in for ip-api / IPinfo.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// A facade over [`shadow_topo::IpLookupTable`]: every `insert` updates
+/// the bitmap trie immediately, so the db is correct after each insert —
+/// there is no unsorted state for a missed `build()` call to leave behind
+/// (the old sorted-scan implementation only `debug_assert!`ed its sort
+/// flag, silently returning wrong answers in release builds).
+#[derive(Debug, Clone, Default)]
 pub struct GeoDb {
-    /// Sorted by (base, len) for binary-search candidate location; ties on
-    /// overlap are resolved longest-prefix-first at lookup time.
+    /// All inserted records in insertion order (duplicates included, so
+    /// `len`/`iter` report exactly what was registered).
     records: Vec<GeoRecord>,
-    sorted: bool,
+    /// Prefix → index of the authoritative record in `records` (on
+    /// duplicate (base, len) inserts the latest wins, matching the old
+    /// backward-scan tie-break).
+    table: IpLookupTable<u32>,
+}
+
+impl Serialize for GeoDb {
+    fn serialize_content(&self) -> Content {
+        // Only the records travel; the trie is derived state.
+        Content::Struct(vec![("records", self.records.serialize_content())])
+    }
+}
+
+impl Deserialize for GeoDb {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let records: Vec<GeoRecord> =
+            Deserialize::deserialize_content(content.get_field("records"))?;
+        // Rebuilding through insert re-derives the trie, so a deserialized
+        // db is as correct-by-construction as a hand-built one.
+        let mut db = Self::new();
+        for record in records {
+            db.insert(record);
+        }
+        Ok(db)
+    }
 }
 
 impl GeoDb {
@@ -145,10 +176,13 @@ impl GeoDb {
         Self::default()
     }
 
-    /// Register a routed prefix. Later lookups prefer the longest match.
+    /// Register a routed prefix. Later lookups prefer the longest match;
+    /// re-registering the same prefix replaces its record.
     pub fn insert(&mut self, record: GeoRecord) {
+        let idx = self.records.len() as u32;
+        self.table
+            .insert(record.prefix.base(), u32::from(record.prefix.len()), idx);
         self.records.push(record);
-        self.sorted = false;
     }
 
     /// Register a prefix for an AS, deriving country and hosting label from
@@ -166,43 +200,30 @@ impl GeoDb {
         });
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.records
-                .sort_by_key(|r| (r.prefix.base_u32(), r.prefix.len()));
-            self.sorted = true;
-        }
-    }
+    /// Historical finalize hook, kept for API compatibility. The trie is
+    /// maintained on every `insert`, so there is nothing to do.
+    pub fn build(&mut self) {}
 
-    /// Finalize after bulk insertion (lookups auto-sort lazily only through
-    /// `lookup`, which needs `&mut`; call this once to enable `&self` reads).
-    pub fn build(&mut self) {
-        self.ensure_sorted();
-    }
-
-    /// Longest-prefix-match lookup. Requires `build()` after the last insert.
+    /// Longest-prefix-match lookup. Correct immediately after any insert —
+    /// no `build()` required.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<&GeoRecord> {
-        debug_assert!(self.sorted, "GeoDb::build() must be called before lookup");
-        let key = u32::from(addr);
-        // Find the partition point: first record with base > addr. Every
-        // candidate containing addr has base <= addr, so scan backwards from
-        // there keeping the longest match. Containment fails permanently once
-        // base < addr & mask(0)=0, but prefixes can be nested, so we bound the
-        // scan by the widest allocation (/8): stop when base + 2^24 <= addr.
-        let idx = self.records.partition_point(|r| r.prefix.base_u32() <= key);
-        let mut best: Option<&GeoRecord> = None;
-        for r in self.records[..idx].iter().rev() {
-            if r.prefix.contains(addr) {
-                match best {
-                    Some(b) if b.prefix.len() >= r.prefix.len() => {}
-                    _ => best = Some(r),
-                }
-            }
-            if r.prefix.base_u32().saturating_add(0x0100_0000) <= key {
-                break;
-            }
-        }
-        best
+        self.table
+            .longest_match_value(addr)
+            .map(|&idx| &self.records[idx as usize])
+    }
+
+    /// A sorted-scan reference index over this db's records, implementing
+    /// the pre-trie lookup algorithm. Kept for the LPM equivalence tests
+    /// and as the microbenchmark baseline.
+    pub fn scan_index(&self) -> GeoScanIndex<'_> {
+        let mut order: Vec<u32> = (0..self.records.len() as u32).collect();
+        // Stable sort: equal (base, len) keeps insertion order, and the
+        // backward scan prefers the later (latest-inserted) record.
+        order.sort_by_key(|&i| {
+            let p = &self.records[i as usize].prefix;
+            (p.base_u32(), p.len())
+        });
+        GeoScanIndex { db: self, order }
     }
 
     /// The AS a routed address belongs to.
@@ -230,6 +251,43 @@ impl GeoDb {
 
     pub fn iter(&self) -> impl Iterator<Item = &GeoRecord> {
         self.records.iter()
+    }
+}
+
+/// The pre-trie `GeoDb` lookup: a binary-search-anchored backward scan
+/// over (base, len)-sorted records, bounded by the widest allocation the
+/// simulated world hands out (/8). Exists only as a reference — the LPM
+/// equivalence tests check the trie against it on the standard world, and
+/// the `lpm_lookup` bench uses it as the baseline.
+pub struct GeoScanIndex<'a> {
+    db: &'a GeoDb,
+    /// Record indexes sorted by (base, len), ties in insertion order.
+    order: Vec<u32>,
+}
+
+impl GeoScanIndex<'_> {
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&GeoRecord> {
+        let key = u32::from(addr);
+        // First record with base > addr; every candidate containing addr
+        // has base <= addr, so scan backwards keeping the longest match,
+        // stopping once even a /8 starting at base could not reach addr.
+        let idx = self
+            .order
+            .partition_point(|&i| self.db.records[i as usize].prefix.base_u32() <= key);
+        let mut best: Option<&GeoRecord> = None;
+        for &i in self.order[..idx].iter().rev() {
+            let r = &self.db.records[i as usize];
+            if r.prefix.contains(addr) {
+                match best {
+                    Some(b) if b.prefix.len() >= r.prefix.len() => {}
+                    _ => best = Some(r),
+                }
+            }
+            if r.prefix.base_u32().saturating_add(0x0100_0000) <= key {
+                break;
+            }
+        }
+        best
     }
 }
 
@@ -338,6 +396,84 @@ mod tests {
         assert_eq!(pre.host(0), Some(Ipv4Addr::new(192, 0, 2, 0)));
         assert_eq!(pre.host(3), Some(Ipv4Addr::new(192, 0, 2, 3)));
         assert_eq!(pre.host(4), None);
+    }
+
+    #[test]
+    fn lookup_is_correct_without_build() {
+        // The release-mode footgun: the old implementation only
+        // debug_assert!ed its sort flag, so skipping build() silently
+        // returned wrong answers in release. Now inserts maintain the trie.
+        let mut db = GeoDb::new();
+        db.insert(record(p("9.0.0.0", 8), Asn(2), cc("DE"), AsKind::Cloud));
+        db.insert(record(p("8.0.0.0", 8), Asn(1), cc("US"), AsKind::Cloud));
+        db.insert(record(
+            p("8.8.0.0", 16),
+            Asn(15169),
+            cc("US"),
+            AsKind::ResolverOperator,
+        ));
+        // No build() call on purpose.
+        assert_eq!(db.asn_of(Ipv4Addr::new(8, 8, 1, 1)), Some(Asn(15169)));
+        assert_eq!(db.asn_of(Ipv4Addr::new(9, 1, 1, 1)), Some(Asn(2)));
+    }
+
+    #[test]
+    fn duplicate_prefix_latest_record_wins() {
+        let mut db = GeoDb::new();
+        db.insert(record(p("7.0.0.0", 8), Asn(1), cc("US"), AsKind::Cloud));
+        db.insert(record(p("7.0.0.0", 8), Asn(2), cc("DE"), AsKind::Cloud));
+        assert_eq!(db.len(), 2); // both registrations are retained
+        assert_eq!(db.asn_of(Ipv4Addr::new(7, 1, 1, 1)), Some(Asn(2)));
+        let scan = db.scan_index();
+        assert_eq!(scan.lookup(Ipv4Addr::new(7, 1, 1, 1)).unwrap().asn, Asn(2));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_trie() {
+        let mut db = GeoDb::new();
+        db.insert(record(p("8.0.0.0", 8), Asn(1), cc("US"), AsKind::Cloud));
+        db.insert(record(
+            p("8.8.0.0", 16),
+            Asn(15169),
+            cc("US"),
+            AsKind::ResolverOperator,
+        ));
+        let back = GeoDb::deserialize_content(&db.serialize_content()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.asn_of(Ipv4Addr::new(8, 8, 1, 1)), Some(Asn(15169)));
+        assert_eq!(back.asn_of(Ipv4Addr::new(8, 1, 1, 1)), Some(Asn(1)));
+    }
+
+    #[test]
+    fn trie_lookup_agrees_with_scan_reference() {
+        let mut db = GeoDb::new();
+        for i in 0..64u32 {
+            let base = Ipv4Addr::from(((i % 16) + 1) << 24);
+            db.insert(record(
+                Ipv4Prefix::new(base, 8).unwrap(),
+                Asn(i + 1),
+                cc("US"),
+                AsKind::Enterprise,
+            ));
+            let sub = Ipv4Addr::from((((i % 16) + 1) << 24) | ((i / 16) << 16));
+            db.insert(record(
+                Ipv4Prefix::new(sub, 16).unwrap(),
+                Asn(1000 + i),
+                cc("DE"),
+                AsKind::Cloud,
+            ));
+        }
+        let scan = db.scan_index();
+        for a in 0..18u32 {
+            for b in [0u32, 1, 3, 200] {
+                let addr = Ipv4Addr::from((a << 24) | (b << 16) | 0x0101);
+                assert_eq!(
+                    db.lookup(addr).map(|r| (r.prefix, r.asn)),
+                    scan.lookup(addr).map(|r| (r.prefix, r.asn)),
+                    "disagreement at {addr}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,4 +22,5 @@ pub mod db;
 pub use alloc::{PrefixAllocator, MIN_PUBLIC_OCTET};
 pub use asn::{AsCatalog, AsInfo, AsKind, Asn, WellKnownAs, WELL_KNOWN_ASES};
 pub use country::{CountryCode, CountryInfo, Region, COUNTRIES};
-pub use db::{GeoDb, GeoRecord, HostingLabel, Ipv4Prefix};
+pub use db::{GeoDb, GeoRecord, GeoScanIndex, HostingLabel, Ipv4Prefix};
+pub use shadow_topo::IpLookupTable;

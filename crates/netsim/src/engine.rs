@@ -379,9 +379,15 @@ impl Engine {
         }
         let path = match self.route_cache.entry((from, pkt.header.dst)) {
             Entry::Occupied(e) => e.get().clone(),
-            Entry::Vacant(v) => v
-                .insert(self.topo.route_to_addr(from, pkt.header.dst))
-                .clone(),
+            Entry::Vacant(v) => {
+                // Cache miss: resolve the destination through the LPM
+                // address table (via route_to_addr → select_instance).
+                if let Some(m) = self.telemetry.metrics() {
+                    m.topo_lookups.inc();
+                }
+                v.insert(self.topo.route_to_addr(from, pkt.header.dst))
+                    .clone()
+            }
         };
         let Some(path) = path else {
             self.stats.packets_dropped_unroutable += 1;

@@ -14,6 +14,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use shadow_geo::{Asn, Region};
+use shadow_topo::IpLookupTable;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -244,12 +245,22 @@ impl TopologyBuilder {
         for neighbors in adj.values_mut() {
             neighbors.sort(); // deterministic BFS order
         }
+        // Freeze the address map into the LPM table as /32 entries (node
+        // addresses are hosts, not prefixes — exact match semantics are
+        // preserved). Sorted insertion keeps the trie's internal layout
+        // independent of builder call order.
+        let mut by_addr: Vec<(Ipv4Addr, Vec<NodeId>)> = self.addr_map.into_iter().collect();
+        by_addr.sort_by_key(|(addr, _)| u32::from(*addr));
+        let addr_map = by_addr
+            .into_iter()
+            .map(|(addr, ids)| (addr, 32, ids))
+            .collect();
         Ok(Topology {
             seed: self.seed,
             nodes: self.nodes,
             ases: self.ases,
             adj,
-            addr_map: self.addr_map,
+            addr_map,
             bfs_cache: Mutex::new(HashMap::new()),
         })
     }
@@ -269,7 +280,10 @@ pub struct Topology {
     nodes: Vec<Node>,
     ases: HashMap<Asn, AsEntry>,
     adj: HashMap<Asn, Vec<Asn>>,
-    addr_map: HashMap<Ipv4Addr, Vec<NodeId>>,
+    /// Address → anycast group, frozen into the LPM trie at build time
+    /// (every entry a /32; the per-packet destination resolutions the
+    /// engine's route cache misses on go through this table).
+    addr_map: IpLookupTable<Vec<NodeId>>,
     bfs_cache: Mutex<HashMap<Asn, Arc<BfsTree>>>,
 }
 
@@ -308,7 +322,10 @@ impl Topology {
 
     /// All nodes registered under `addr` (several for anycast).
     pub fn nodes_at(&self, addr: Ipv4Addr) -> &[NodeId] {
-        self.addr_map.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+        self.addr_map
+            .exact_match(addr, 32)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Routers of one AS (used to attach wire taps).

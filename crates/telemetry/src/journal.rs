@@ -82,6 +82,15 @@ pub enum EventKind {
     },
     /// Meta: a named phase finished on one shard.
     PhaseEnded { phase: String, shard: u32 },
+    /// Meta: one shard finished folding its router-graph contribution
+    /// from Phase II Time-Exceeded evidence.
+    RouterGraphBuilt {
+        shard: u32,
+        /// Distinct probe paths with at least one revealed hop.
+        paths: u64,
+        /// Raw Time-Exceeded observations folded (pre-dedup).
+        observations: u64,
+    },
 }
 
 impl EventKind {
@@ -91,7 +100,9 @@ impl EventKind {
     pub fn is_meta(&self) -> bool {
         matches!(
             self,
-            EventKind::ShardMerged { .. } | EventKind::PhaseEnded { .. }
+            EventKind::ShardMerged { .. }
+                | EventKind::PhaseEnded { .. }
+                | EventKind::RouterGraphBuilt { .. }
         )
     }
 
@@ -108,6 +119,7 @@ impl EventKind {
             EventKind::ShardMerged { .. } => 6,
             EventKind::PhaseEnded { .. } => 7,
             EventKind::ArrivalClassified { .. } => 8,
+            EventKind::RouterGraphBuilt { .. } => 9,
         }
     }
 }

@@ -230,6 +230,13 @@ pub struct MetricsRegistry {
     /// the sink's memory footprint proxy. Run-section: each shard's sink
     /// only tracks the decoys its own traffic touched.
     pub sink_tracked_decoys: Counter,
+    /// LPM table resolutions the engine performed on route-cache misses.
+    /// Run-section: cache hit rates depend on per-shard traffic order.
+    pub topo_lookups: Counter,
+    /// Time-Exceeded observations folded into the router-graph builder.
+    /// Run-section: per-shard folds sum to at least the merged graph's
+    /// dedup'd edge count, not exactly it.
+    pub router_graph_edges: Counter,
     /// Wall-clock nanoseconds per named phase (this shard).
     phase_wall_ns: Mutex<BTreeMap<String, u64>>,
 }
@@ -263,6 +270,8 @@ impl Default for MetricsRegistry {
             events_drained: Counter::default(),
             retention_capacity_evictions: Counter::default(),
             sink_tracked_decoys: Counter::default(),
+            topo_lookups: Counter::default(),
+            router_graph_edges: Counter::default(),
             phase_wall_ns: Mutex::new(BTreeMap::new()),
         }
     }
@@ -317,6 +326,8 @@ impl MetricsRegistry {
                 queue_depth: self.queue_depth.take(),
                 retention_capacity_evictions: self.retention_capacity_evictions.take(),
                 sink_tracked_decoys: self.sink_tracked_decoys.take(),
+                topo_lookups: self.topo_lookups.take(),
+                router_graph_edges: self.router_graph_edges.take(),
                 phase_wall_ns: std::mem::take(&mut self.phase_wall_ns.lock()),
             },
         }
@@ -400,6 +411,11 @@ pub struct RunMetrics {
     pub retention_capacity_evictions: u64,
     /// Streaming-sink decoy states held at drain time, summed over shards.
     pub sink_tracked_decoys: u64,
+    /// LPM resolutions on route-cache misses, summed over shards.
+    pub topo_lookups: u64,
+    /// Time-Exceeded observations folded into router-graph builders,
+    /// summed over shards (pre-dedup, so ≥ the merged graph's hop count).
+    pub router_graph_edges: u64,
     pub phase_wall_ns: BTreeMap<String, u64>,
 }
 
@@ -412,6 +428,8 @@ impl RunMetrics {
         self.queue_depth.merge(&other.queue_depth);
         self.retention_capacity_evictions += other.retention_capacity_evictions;
         self.sink_tracked_decoys += other.sink_tracked_decoys;
+        self.topo_lookups += other.topo_lookups;
+        self.router_graph_edges += other.router_graph_edges;
         for (phase, ns) in &other.phase_wall_ns {
             *self.phase_wall_ns.entry(phase.clone()).or_insert(0) += ns;
         }
@@ -533,6 +551,18 @@ impl MetricsSnapshot {
             rows.push((
                 "sink tracked decoys".to_string(),
                 self.run.sink_tracked_decoys.to_string(),
+            ));
+        }
+        if self.run.topo_lookups > 0 {
+            rows.push((
+                "topo LPM lookups".to_string(),
+                self.run.topo_lookups.to_string(),
+            ));
+        }
+        if self.run.router_graph_edges > 0 {
+            rows.push((
+                "router graph edges folded".to_string(),
+                self.run.router_graph_edges.to_string(),
             ));
         }
         rows.push(("shards merged".to_string(), self.run.shards.to_string()));

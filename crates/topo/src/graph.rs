@@ -1,0 +1,404 @@
+//! Router-graph reconstruction from ICMP Time-Exceeded traces.
+//!
+//! Phase II sends TTL-limited decoy queries; on-path routers that expire
+//! them answer with Time-Exceeded, each revealing one (probe path, TTL,
+//! router IP) sample. [`RouterGraphBuilder`] folds those samples
+//! incrementally — one `observe` per ICMP arrival, the same shape as the
+//! streaming correlation sinks — and shards merge with the commutative
+//! [`RouterGraphBuilder::absorb`], so the reconstruction is byte-identical
+//! at any shard count. [`RouterGraphBuilder::finalize`] then projects the
+//! per-path hop maps into an IP-level link graph, an AS-level adjacency
+//! (via an `asn_of` lookup, in practice the LPM-backed `GeoDb`), and
+//! per-AS hop-distance estimates.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// One TTL-limited probe path: a vantage point probing one destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProbePath {
+    pub vp: u32,
+    pub dst: Ipv4Addr,
+}
+
+/// Incremental fold of Time-Exceeded observations into per-path hop maps.
+///
+/// Per (path, TTL) slot the smallest router IP wins, so the fold is
+/// order-independent: merging shard-local builders in any order yields the
+/// same state as a single sequential pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterGraphBuilder {
+    paths: BTreeMap<ProbePath, BTreeMap<u8, Ipv4Addr>>,
+    observations: u64,
+}
+
+impl RouterGraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one Time-Exceeded observation: `router` expired the probe
+    /// that `path` sent with the given `ttl`.
+    pub fn observe(&mut self, path: ProbePath, ttl: u8, router: Ipv4Addr) {
+        self.observations += 1;
+        self.paths
+            .entry(path)
+            .or_default()
+            .entry(ttl)
+            .and_modify(|existing| {
+                if router < *existing {
+                    *existing = router;
+                }
+            })
+            .or_insert(router);
+    }
+
+    /// Merge another shard's fold into this one. Commutative and
+    /// associative: observation counts add, and per-(path, TTL) slots
+    /// resolve by minimum router IP exactly as `observe` does.
+    pub fn absorb(&mut self, other: Self) {
+        self.observations += other.observations;
+        for (path, hops) in other.paths {
+            let mine = self.paths.entry(path).or_default();
+            for (ttl, router) in hops {
+                mine.entry(ttl)
+                    .and_modify(|existing| {
+                        if router < *existing {
+                            *existing = router;
+                        }
+                    })
+                    .or_insert(router);
+            }
+        }
+    }
+
+    /// Number of distinct probe paths with at least one revealed hop.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total Time-Exceeded observations folded (pre-dedup).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The deduplicated hop map for one path, if any hop was revealed.
+    pub fn hops(&self, path: &ProbePath) -> Option<&BTreeMap<u8, Ipv4Addr>> {
+        self.paths.get(path)
+    }
+
+    /// All paths with their TTL→router hop maps, in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProbePath, &BTreeMap<u8, Ipv4Addr>)> {
+        self.paths.iter()
+    }
+
+    /// Project the folded hop maps into a [`RouterGraph`].
+    ///
+    /// `asn_of` maps a router address to its origin AS (in practice the
+    /// LPM-backed `GeoDb`); routers outside every known prefix get
+    /// `asn: None` and are excluded from the AS layer.
+    pub fn finalize<F>(&self, asn_of: F) -> RouterGraph
+    where
+        F: Fn(Ipv4Addr) -> Option<u32>,
+    {
+        let mut routers: BTreeMap<Ipv4Addr, RouterInfo> = BTreeMap::new();
+        let mut links: BTreeMap<(Ipv4Addr, Ipv4Addr), u64> = BTreeMap::new();
+        let mut as_links: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut as_hops: BTreeMap<u32, AsHopStats> = BTreeMap::new();
+
+        for hops in self.paths.values() {
+            let mut prev: Option<(u8, Ipv4Addr)> = None;
+            for (&ttl, &addr) in hops {
+                let asn = asn_of(addr);
+                let info = routers.entry(addr).or_insert(RouterInfo {
+                    addr,
+                    asn,
+                    min_ttl: ttl,
+                    paths: 0,
+                });
+                info.min_ttl = info.min_ttl.min(ttl);
+                info.paths += 1;
+                if let Some(a) = asn {
+                    let stats = as_hops.entry(a).or_insert(AsHopStats {
+                        asn: a,
+                        min_ttl: ttl,
+                        max_ttl: ttl,
+                        samples: 0,
+                        ttl_sum: 0,
+                    });
+                    stats.min_ttl = stats.min_ttl.min(ttl);
+                    stats.max_ttl = stats.max_ttl.max(ttl);
+                    stats.samples += 1;
+                    stats.ttl_sum += u64::from(ttl);
+                }
+                // Only consecutive TTLs witness a direct link; a gap means
+                // at least one silent router sits between the two.
+                if let Some((pttl, paddr)) = prev {
+                    if ttl == pttl + 1 && paddr != addr {
+                        *links.entry((paddr, addr)).or_insert(0) += 1;
+                        if let (Some(pa), Some(a)) = (asn_of(paddr), asn) {
+                            if pa != a {
+                                let key = (pa.min(a), pa.max(a));
+                                *as_links.entry(key).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                prev = Some((ttl, addr));
+            }
+        }
+
+        RouterGraph {
+            traced_paths: self.paths.len() as u64,
+            observations: self.observations,
+            routers: routers.into_values().collect(),
+            links: links
+                .into_iter()
+                .map(|((from, to), paths)| RouterLink { from, to, paths })
+                .collect(),
+            as_links: as_links
+                .into_iter()
+                .map(|((a, b), links)| AsLink { a, b, links })
+                .collect(),
+            as_hops: as_hops.into_values().collect(),
+        }
+    }
+}
+
+/// A router revealed by at least one Time-Exceeded answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterInfo {
+    pub addr: Ipv4Addr,
+    /// Origin AS per the LPM table; `None` when no prefix covers `addr`.
+    pub asn: Option<u32>,
+    /// Smallest TTL at which any path revealed this router.
+    pub min_ttl: u8,
+    /// Number of path hop-slots this router appears in.
+    pub paths: u64,
+}
+
+/// A directed IP-level link witnessed by consecutive-TTL hops on a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterLink {
+    pub from: Ipv4Addr,
+    pub to: Ipv4Addr,
+    /// Number of paths that witnessed this link.
+    pub paths: u64,
+}
+
+/// An undirected AS-level adjacency (`a < b`), self-loops excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsLink {
+    pub a: u32,
+    pub b: u32,
+    /// Number of witnessed IP-level link crossings between the two ASes.
+    pub links: u64,
+}
+
+/// Hop-distance estimate for one AS: the TTL range at which its routers
+/// answered, Snippet-style evidence for "how far into the path does this
+/// AS sit".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsHopStats {
+    pub asn: u32,
+    pub min_ttl: u8,
+    pub max_ttl: u8,
+    pub samples: u64,
+    pub ttl_sum: u64,
+}
+
+impl AsHopStats {
+    /// Mean TTL at which this AS's routers were revealed.
+    pub fn mean_ttl(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.ttl_sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// The finalized reconstruction: IP-level link graph, AS adjacency, and
+/// per-AS hop estimates. All fields are sorted vectors so serialization
+/// is canonical — two equal graphs serialize byte-identically.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouterGraph {
+    /// Distinct probe paths that revealed at least one hop.
+    pub traced_paths: u64,
+    /// Raw Time-Exceeded observations folded (pre-dedup).
+    pub observations: u64,
+    /// Revealed routers, sorted by address.
+    pub routers: Vec<RouterInfo>,
+    /// Directed IP-level links, sorted by (from, to).
+    pub links: Vec<RouterLink>,
+    /// Undirected AS adjacencies, sorted by (a, b).
+    pub as_links: Vec<AsLink>,
+    /// Per-AS hop-distance estimates, sorted by ASN.
+    pub as_hops: Vec<AsHopStats>,
+}
+
+impl RouterGraph {
+    /// Addresses of all revealed routers, sorted.
+    pub fn router_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.routers.iter().map(|r| r.addr)
+    }
+
+    /// Total IP-level link count.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn path(vp: u32, dst: &str) -> ProbePath {
+        ProbePath { vp, dst: ip(dst) }
+    }
+
+    #[test]
+    fn observe_dedups_by_min_router_ip() {
+        let mut b = RouterGraphBuilder::new();
+        b.observe(path(1, "10.0.0.1"), 3, ip("9.9.9.9"));
+        b.observe(path(1, "10.0.0.1"), 3, ip("1.1.1.1"));
+        b.observe(path(1, "10.0.0.1"), 3, ip("5.5.5.5"));
+        assert_eq!(b.observations(), 3);
+        assert_eq!(b.hops(&path(1, "10.0.0.1")).unwrap()[&3], ip("1.1.1.1"));
+    }
+
+    #[test]
+    fn absorb_is_commutative() {
+        let mut left = RouterGraphBuilder::new();
+        left.observe(path(1, "10.0.0.1"), 2, ip("8.8.8.8"));
+        left.observe(path(2, "10.0.0.2"), 1, ip("7.7.7.7"));
+        let mut right = RouterGraphBuilder::new();
+        right.observe(path(1, "10.0.0.1"), 2, ip("6.6.6.6"));
+        right.observe(path(1, "10.0.0.1"), 3, ip("5.5.5.5"));
+
+        let mut ab = left.clone();
+        ab.absorb(right.clone());
+        let mut ba = right;
+        ba.absorb(left);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.hops(&path(1, "10.0.0.1")).unwrap()[&2], ip("6.6.6.6"));
+    }
+
+    #[test]
+    fn finalize_links_require_consecutive_ttls() {
+        let mut b = RouterGraphBuilder::new();
+        let p = path(1, "10.0.0.1");
+        b.observe(p, 1, ip("1.0.0.1"));
+        b.observe(p, 2, ip("2.0.0.1"));
+        b.observe(p, 4, ip("4.0.0.1")); // TTL 3 silent: no 2→4 link
+        let g = b.finalize(|_| None);
+        assert_eq!(g.traced_paths, 1);
+        assert_eq!(g.routers.len(), 3);
+        assert_eq!(g.links.len(), 1);
+        assert_eq!(
+            (g.links[0].from, g.links[0].to),
+            (ip("1.0.0.1"), ip("2.0.0.1"))
+        );
+    }
+
+    #[test]
+    fn finalize_builds_as_layer_and_hop_stats() {
+        let mut b = RouterGraphBuilder::new();
+        let asn_of = |addr: Ipv4Addr| match addr.octets()[0] {
+            1 => Some(100),
+            2 => Some(200),
+            _ => None,
+        };
+        let p1 = path(1, "10.0.0.1");
+        b.observe(p1, 1, ip("1.0.0.1"));
+        b.observe(p1, 2, ip("2.0.0.1"));
+        let p2 = path(2, "10.0.0.2");
+        b.observe(p2, 1, ip("1.0.0.2"));
+        b.observe(p2, 2, ip("2.0.0.1"));
+        b.observe(p2, 3, ip("3.0.0.1")); // unknown AS: dropped from AS layer
+
+        let g = b.finalize(asn_of);
+        assert_eq!(
+            g.as_links,
+            vec![AsLink {
+                a: 100,
+                b: 200,
+                links: 2
+            }]
+        );
+        let a100 = g.as_hops.iter().find(|s| s.asn == 100).unwrap();
+        assert_eq!((a100.min_ttl, a100.max_ttl, a100.samples), (1, 1, 2));
+        let a200 = g.as_hops.iter().find(|s| s.asn == 200).unwrap();
+        assert_eq!((a200.min_ttl, a200.max_ttl, a200.samples), (2, 2, 2));
+        assert!(g
+            .routers
+            .iter()
+            .any(|r| r.addr == ip("3.0.0.1") && r.asn.is_none()));
+    }
+
+    #[test]
+    fn as_links_exclude_self_loops_and_normalize() {
+        let mut b = RouterGraphBuilder::new();
+        let asn_of = |addr: Ipv4Addr| Some(u32::from(addr.octets()[0] / 2));
+        let p = path(1, "10.0.0.1");
+        b.observe(p, 1, ip("4.0.0.1")); // AS 2
+        b.observe(p, 2, ip("5.0.0.1")); // AS 2: self-loop, excluded
+        b.observe(p, 3, ip("2.0.0.1")); // AS 1: crossing recorded as (1, 2)
+        let g = b.finalize(asn_of);
+        assert_eq!(
+            g.as_links,
+            vec![AsLink {
+                a: 1,
+                b: 2,
+                links: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn sequential_equals_sharded_fold() {
+        let samples = [
+            (1u32, "10.0.0.1", 1u8, "1.0.0.1"),
+            (1, "10.0.0.1", 2, "2.0.0.1"),
+            (2, "10.0.0.2", 1, "1.0.0.9"),
+            (2, "10.0.0.2", 2, "2.0.0.9"),
+            (3, "10.0.0.3", 1, "1.0.0.5"),
+        ];
+        let mut seq = RouterGraphBuilder::new();
+        for &(vp, dst, ttl, router) in &samples {
+            seq.observe(path(vp, dst), ttl, ip(router));
+        }
+        // Shard by vp % 2, merge in reverse order.
+        let mut shards = [RouterGraphBuilder::new(), RouterGraphBuilder::new()];
+        for &(vp, dst, ttl, router) in &samples {
+            shards[(vp % 2) as usize].observe(path(vp, dst), ttl, ip(router));
+        }
+        let [s0, s1] = shards;
+        let mut merged = s1;
+        merged.absorb(s0);
+        assert_eq!(seq, merged);
+        assert_eq!(seq.finalize(|_| None), merged.finalize(|_| None));
+    }
+
+    #[test]
+    fn graph_serde_round_trips() {
+        let mut b = RouterGraphBuilder::new();
+        b.observe(path(1, "10.0.0.1"), 1, ip("1.0.0.1"));
+        b.observe(path(1, "10.0.0.1"), 2, ip("2.0.0.1"));
+        let g = b.finalize(|_| Some(7));
+        let back = RouterGraph::deserialize_content(&g.serialize_content()).unwrap();
+        assert_eq!(g, back);
+        let builder_back = RouterGraphBuilder::deserialize_content(&b.serialize_content()).unwrap();
+        assert_eq!(b, builder_back);
+    }
+}

@@ -1,0 +1,21 @@
+//! Topology intelligence for the traffic-shadowing reproduction.
+//!
+//! Two layers, both dependency-free:
+//!
+//! - [`IpLookupTable`]: a bitmap-indexed stride-4 longest-prefix-match
+//!   trie (treebitmap idiom). `shadow-geo`'s `GeoDb` is a facade over it,
+//!   and `shadow-netsim` resolves packet destinations through it, making
+//!   this the single IP→(ASN, country, hosting) lookup structure.
+//! - [`RouterGraphBuilder`] / [`RouterGraph`]: an incremental fold of
+//!   Phase II ICMP Time-Exceeded observations into an IP-level link
+//!   graph, AS-level adjacency, and per-AS hop-distance estimates, with
+//!   a commutative `absorb` so sharded runs reconstruct byte-identical
+//!   graphs.
+
+mod graph;
+mod lpm;
+
+pub use graph::{
+    AsHopStats, AsLink, ProbePath, RouterGraph, RouterGraphBuilder, RouterInfo, RouterLink,
+};
+pub use lpm::IpLookupTable;

@@ -1,0 +1,559 @@
+//! A bitmap-indexed longest-prefix-match table for IPv4 (treebitmap idiom).
+//!
+//! The structure is a stride-4 multibit trie: each node covers one nibble
+//! of the address. A 15-bit *internal* bitmap marks prefixes whose length
+//! falls inside the node's stride (relative lengths 0–3, heap-ordered:
+//! bit `(1 << r) - 1 + p` holds the relative-length-`r` prefix with path
+//! bits `p`), and a 16-bit *external* bitmap marks which of the 16 child
+//! branches exist. Result and child arrays are popcount-compressed — slot
+//! `i` of a node's results belongs to the `i`-th set internal bit — so a
+//! lookup is at most nine node visits of pure bit arithmetic, independent
+//! of how many prefixes are loaded. A `/32` lands in a tenth conceptual
+//! level: depth 8 with relative length 0.
+//!
+//! Inserts are incremental (no build step): the table is correct after
+//! every insert, which is what lets `shadow-geo`'s `GeoDb` stay
+//! correct-by-construction instead of assert-guarded.
+
+use std::net::Ipv4Addr;
+
+/// Bits covered per trie level.
+const STRIDE: u32 = 4;
+/// Maximum node depth: depths 0–7 consume the eight nibbles; depth 8
+/// exists only to hold /32 entries in its relative-length-0 slot.
+const MAX_DEPTH: u32 = 8;
+
+/// For a nibble `n`, the internal-bitmap positions whose stored prefix
+/// matches an address passing through `n`: one candidate per relative
+/// length 0–3, the longest at the highest bit position.
+const fn match_masks() -> [u16; 16] {
+    let mut table = [0u16; 16];
+    let mut n = 0;
+    while n < 16 {
+        let r0 = 1u16; // bit 0: the node's /0-relative prefix
+        let r1 = 1u16 << (1 + (n >> 3));
+        let r2 = 1u16 << (3 + (n >> 2));
+        let r3 = 1u16 << (7 + (n >> 1));
+        table[n as usize] = r0 | r1 | r2 | r3;
+        n += 1;
+    }
+    table
+}
+
+const MATCH_MASK: [u16; 16] = match_masks();
+
+/// One trie node: 12 bytes, no owned allocations. Result and child slots
+/// live in the table-level arenas (`IpLookupTable::results` /
+/// `::children`) as contiguous segments starting at the node's base
+/// offsets — a lookup therefore touches only two flat arrays, not a heap
+/// allocation per node.
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    /// Prefixes stored at this node (relative lengths 0–3, heap order).
+    internal: u16,
+    /// Which 4-bit branches have a child node.
+    external: u16,
+    /// Base offset of this node's entry-index segment in the results
+    /// arena (one slot per set `internal` bit, in bit order).
+    results: u32,
+    /// Base offset of this node's child-index segment in the children
+    /// arena (one slot per set `external` bit, in bit order).
+    children: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    base: u32,
+    masklen: u32,
+    value: V,
+}
+
+/// Longest-prefix-match table mapping IPv4 prefixes to values.
+///
+/// ```
+/// use shadow_topo::IpLookupTable;
+/// use std::net::Ipv4Addr;
+///
+/// let mut table = IpLookupTable::new();
+/// table.insert(Ipv4Addr::new(10, 0, 0, 0), 8, "coarse");
+/// table.insert(Ipv4Addr::new(10, 1, 0, 0), 16, "fine");
+/// let (base, len, value) = table.longest_match(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!((base, len, *value), (Ipv4Addr::new(10, 1, 0, 0), 16, "fine"));
+/// ```
+/// Sentinel for "no node" / "no entry" in the jump table.
+const NONE: u32 = u32::MAX;
+
+/// One slot of the /8 initial array: where to resume the walk (the
+/// depth-2 node reached through this slot's two nibbles) and the best
+/// match among the two skipped levels (prefixes shorter than /8),
+/// pre-resolved to an entry index.
+#[derive(Debug, Clone, Copy)]
+struct JumpSlot {
+    node: u32,
+    best: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct IpLookupTable<V> {
+    nodes: Vec<Node>,
+    /// Results arena: entry indexes, segmented per node.
+    results: Vec<u32>,
+    /// Children arena: node indexes, segmented per node.
+    children: Vec<u32>,
+    entries: Vec<Entry<V>>,
+    /// The "initial array" optimization shared by production treebitmap
+    /// implementations: one slot per /8, letting a lookup start at depth
+    /// 2 with the sub-/8 best already resolved. Rebuilt on insert — 256
+    /// two-level walks — trading the cold path for two fewer dependent
+    /// loads on every hot lookup.
+    jump: Vec<JumpSlot>,
+}
+
+impl<V> Default for IpLookupTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> IpLookupTable<V> {
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+            results: Vec::new(),
+            children: Vec::new(),
+            entries: Vec::new(),
+            jump: vec![
+                JumpSlot {
+                    node: NONE,
+                    best: NONE,
+                };
+                256
+            ],
+        }
+    }
+
+    /// Re-derive the /8 initial array from the first two trie levels.
+    fn rebuild_jump(&mut self) {
+        for b in 0..256u32 {
+            let key = b << 24;
+            let mut best = NONE;
+            let mut node_idx = 0u32;
+            for depth in 0..2 {
+                let node = &self.nodes[node_idx as usize];
+                let nib = (key >> (28 - STRIDE * depth)) & 0xF;
+                let hits = node.internal & MATCH_MASK[nib as usize];
+                if hits != 0 {
+                    let pos = 15 - hits.leading_zeros() as u16;
+                    let slot = (node.internal & ((1u16 << pos) - 1)).count_ones() as usize;
+                    best = self.results[node.results as usize + slot];
+                }
+                let bit = 1u16 << nib;
+                if node.external & bit == 0 {
+                    node_idx = NONE;
+                    break;
+                }
+                let slot = (node.external & (bit - 1)).count_ones() as usize;
+                node_idx = self.children[node.children as usize + slot];
+            }
+            self.jump[b as usize] = JumpSlot {
+                node: node_idx,
+                best,
+            };
+        }
+    }
+
+    /// Insert `value` at `slot` of `node`'s results segment, shifting the
+    /// segments of every node further along the arena. Inserts are O(n)
+    /// in table size so lookups can be allocation-free and flat.
+    fn results_insert(&mut self, node: usize, slot: usize, value: u32) {
+        let pos = self.nodes[node].results as usize + slot;
+        self.results.insert(pos, value);
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if i != node && n.results as usize >= pos {
+                n.results += 1;
+            }
+        }
+    }
+
+    /// [`Self::results_insert`] for the children arena.
+    fn children_insert(&mut self, node: usize, slot: usize, value: u32) {
+        let pos = self.nodes[node].children as usize + slot;
+        self.children.insert(pos, value);
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if i != node && n.children as usize >= pos {
+                n.children += 1;
+            }
+        }
+    }
+
+    /// Number of distinct prefixes stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The nibble of `key` consumed at `depth` (0 for the /32 level).
+    #[inline]
+    fn nibble(key: u32, depth: u32) -> u32 {
+        if depth < MAX_DEPTH {
+            (key >> (28 - STRIDE * depth)) & 0xF
+        } else {
+            0
+        }
+    }
+
+    /// Insert `ip/masklen`, zeroing host bits. Returns the previous value
+    /// when the exact prefix was already present (replace semantics — the
+    /// latest insert wins, matching what a stable-sorted backward scan
+    /// that prefers later records resolves duplicates to).
+    ///
+    /// # Panics
+    /// Panics if `masklen > 32`.
+    pub fn insert(&mut self, ip: Ipv4Addr, masklen: u32, value: V) -> Option<V> {
+        assert!(masklen <= 32, "IPv4 mask length {masklen} out of range");
+        let mask = if masklen == 0 {
+            0
+        } else {
+            u32::MAX << (32 - masklen)
+        };
+        let base = u32::from(ip) & mask;
+        let depth = masklen / STRIDE;
+        let rel = masklen % STRIDE;
+
+        let mut node = 0usize;
+        for d in 0..depth {
+            let nib = Self::nibble(base, d);
+            let bit = 1u16 << nib;
+            let slot = (self.nodes[node].external & (bit - 1)).count_ones() as usize;
+            if self.nodes[node].external & bit == 0 {
+                let child = self.nodes.len();
+                self.nodes.push(Node {
+                    internal: 0,
+                    external: 0,
+                    results: self.results.len() as u32,
+                    children: self.children.len() as u32,
+                });
+                self.nodes[node].external |= bit;
+                self.children_insert(node, slot, child as u32);
+                node = child;
+            } else {
+                node = self.children[self.nodes[node].children as usize + slot] as usize;
+            }
+        }
+
+        // Path bits inside the stride: the top `rel` bits of this node's
+        // nibble (zero for relative length 0).
+        let path = if rel == 0 {
+            0
+        } else {
+            Self::nibble(base, depth) >> (STRIDE - rel)
+        };
+        let pos = (1u16 << rel) - 1 + path as u16;
+        let bit = 1u16 << pos;
+        let slot = (self.nodes[node].internal & (bit - 1)).count_ones() as usize;
+        if self.nodes[node].internal & bit != 0 {
+            let idx = self.results[self.nodes[node].results as usize + slot] as usize;
+            let old = std::mem::replace(&mut self.entries[idx].value, value);
+            return Some(old);
+        }
+        let idx = self.entries.len() as u32;
+        self.entries.push(Entry {
+            base,
+            masklen,
+            value,
+        });
+        self.nodes[node].internal |= bit;
+        self.results_insert(node, slot, idx);
+        self.rebuild_jump();
+        None
+    }
+
+    /// The longest stored prefix containing `ip`, with its value.
+    #[inline]
+    pub fn longest_match(&self, ip: Ipv4Addr) -> Option<(Ipv4Addr, u32, &V)> {
+        self.longest_match_idx(u32::from(ip)).map(|idx| {
+            let e = &self.entries[idx];
+            (Ipv4Addr::from(e.base), e.masklen, &e.value)
+        })
+    }
+
+    /// [`IpLookupTable::longest_match`] returning only the value — the
+    /// per-packet shape (no entry re-materialization).
+    #[inline]
+    pub fn longest_match_value(&self, ip: Ipv4Addr) -> Option<&V> {
+        self.longest_match_idx(u32::from(ip))
+            .map(|idx| &self.entries[idx].value)
+    }
+
+    #[inline]
+    fn longest_match_idx(&self, key: u32) -> Option<usize> {
+        // The initial array covers depths 0–1: resume at the depth-2 node
+        // with the sub-/8 best already resolved.
+        let jump = self.jump[(key >> 24) as usize];
+        let fallback = if jump.best == NONE {
+            None
+        } else {
+            Some(jump.best as usize)
+        };
+        if jump.node == NONE {
+            return fallback;
+        }
+        // Deeper nodes always hold longer prefixes, so the deepest node
+        // with a hit wins; the walk only records *which* node and bitmap
+        // hit, and the slot arithmetic + arena load happen once at the
+        // end instead of at every matching level.
+        let mut best: Option<(&Node, u16)> = None;
+        let mut node = &self.nodes[jump.node as usize];
+        let mut depth = 2;
+        loop {
+            let nib = Self::nibble(key, depth);
+            let mask = if depth < MAX_DEPTH {
+                MATCH_MASK[nib as usize]
+            } else {
+                1
+            };
+            let hits = node.internal & mask;
+            if hits != 0 {
+                best = Some((node, hits));
+            }
+            if depth == MAX_DEPTH {
+                break;
+            }
+            let bit = 1u16 << nib;
+            if node.external & bit == 0 {
+                break;
+            }
+            let slot = (node.external & (bit - 1)).count_ones() as usize;
+            node = &self.nodes[self.children[node.children as usize + slot] as usize];
+            depth += 1;
+        }
+        match best {
+            Some((node, hits)) => {
+                // Within the node the highest set bit is the longest prefix.
+                let pos = 15 - hits.leading_zeros() as u16;
+                let slot = (node.internal & ((1u16 << pos) - 1)).count_ones() as usize;
+                Some(self.results[node.results as usize + slot] as usize)
+            }
+            None => fallback,
+        }
+    }
+
+    /// The value stored for exactly `ip/masklen`, if any.
+    pub fn exact_match(&self, ip: Ipv4Addr, masklen: u32) -> Option<&V> {
+        if masklen > 32 {
+            return None;
+        }
+        let mask = if masklen == 0 {
+            0
+        } else {
+            u32::MAX << (32 - masklen)
+        };
+        let base = u32::from(ip) & mask;
+        let depth = masklen / STRIDE;
+        let rel = masklen % STRIDE;
+        let mut node = &self.nodes[0];
+        for d in 0..depth {
+            let bit = 1u16 << Self::nibble(base, d);
+            if node.external & bit == 0 {
+                return None;
+            }
+            let slot = (node.external & (bit - 1)).count_ones() as usize;
+            node = &self.nodes[self.children[node.children as usize + slot] as usize];
+        }
+        let path = if rel == 0 {
+            0
+        } else {
+            Self::nibble(base, depth) >> (STRIDE - rel)
+        };
+        let pos = (1u16 << rel) - 1 + path as u16;
+        let bit = 1u16 << pos;
+        if node.internal & bit == 0 {
+            return None;
+        }
+        let slot = (node.internal & (bit - 1)).count_ones() as usize;
+        Some(&self.entries[self.results[node.results as usize + slot] as usize].value)
+    }
+
+    /// Mutable access to the value stored for exactly `ip/masklen`.
+    pub fn exact_match_mut(&mut self, ip: Ipv4Addr, masklen: u32) -> Option<&mut V> {
+        if masklen > 32 {
+            return None;
+        }
+        let mask = if masklen == 0 {
+            0
+        } else {
+            u32::MAX << (32 - masklen)
+        };
+        let base = u32::from(ip) & mask;
+        let depth = masklen / STRIDE;
+        let rel = masklen % STRIDE;
+        let mut node = 0usize;
+        for d in 0..depth {
+            let bit = 1u16 << Self::nibble(base, d);
+            if self.nodes[node].external & bit == 0 {
+                return None;
+            }
+            let slot = (self.nodes[node].external & (bit - 1)).count_ones() as usize;
+            node = self.children[self.nodes[node].children as usize + slot] as usize;
+        }
+        let path = if rel == 0 {
+            0
+        } else {
+            Self::nibble(base, depth) >> (STRIDE - rel)
+        };
+        let pos = (1u16 << rel) - 1 + path as u16;
+        let bit = 1u16 << pos;
+        if self.nodes[node].internal & bit == 0 {
+            return None;
+        }
+        let slot = (self.nodes[node].internal & (bit - 1)).count_ones() as usize;
+        let idx = self.results[self.nodes[node].results as usize + slot] as usize;
+        Some(&mut self.entries[idx].value)
+    }
+
+    /// Stored prefixes in insertion order (replacements keep the original
+    /// position).
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, u32, &V)> {
+        self.entries
+            .iter()
+            .map(|e| (Ipv4Addr::from(e.base), e.masklen, &e.value))
+    }
+}
+
+impl<V> FromIterator<(Ipv4Addr, u32, V)> for IpLookupTable<V> {
+    fn from_iter<T: IntoIterator<Item = (Ipv4Addr, u32, V)>>(iter: T) -> Self {
+        let mut table = Self::new();
+        for (ip, masklen, value) in iter {
+            table.insert(ip, masklen, value);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_table_matches_nothing() {
+        let table: IpLookupTable<u32> = IpLookupTable::new();
+        assert!(table.longest_match(ip("1.2.3.4")).is_none());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("0.0.0.0"), 0, 99u32);
+        for probe in ["0.0.0.0", "255.255.255.255", "8.8.8.8"] {
+            let (base, len, v) = table.longest_match(ip(probe)).unwrap();
+            assert_eq!((base, len, *v), (ip("0.0.0.0"), 0, 99));
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins_across_levels() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("10.0.0.0"), 8, "a");
+        table.insert(ip("10.1.0.0"), 16, "b");
+        table.insert(ip("10.1.2.0"), 24, "c");
+        table.insert(ip("10.1.2.3"), 32, "d");
+        assert_eq!(*table.longest_match_value(ip("10.9.0.1")).unwrap(), "a");
+        assert_eq!(*table.longest_match_value(ip("10.1.9.1")).unwrap(), "b");
+        assert_eq!(*table.longest_match_value(ip("10.1.2.9")).unwrap(), "c");
+        assert_eq!(*table.longest_match_value(ip("10.1.2.3")).unwrap(), "d");
+        assert!(table.longest_match(ip("11.0.0.0")).is_none());
+    }
+
+    #[test]
+    fn intra_stride_lengths_resolve() {
+        // Lengths 1–3 and 5–7 exercise the internal bitmap's heap order.
+        let mut table = IpLookupTable::new();
+        table.insert(ip("128.0.0.0"), 1, 1u8);
+        table.insert(ip("192.0.0.0"), 2, 2);
+        table.insert(ip("224.0.0.0"), 3, 3);
+        table.insert(ip("248.0.0.0"), 5, 5);
+        table.insert(ip("252.0.0.0"), 6, 6);
+        table.insert(ip("254.0.0.0"), 7, 7);
+        assert_eq!(*table.longest_match_value(ip("129.0.0.1")).unwrap(), 1);
+        assert_eq!(*table.longest_match_value(ip("193.0.0.1")).unwrap(), 2);
+        assert_eq!(*table.longest_match_value(ip("226.0.0.1")).unwrap(), 3);
+        assert_eq!(*table.longest_match_value(ip("249.0.0.1")).unwrap(), 5);
+        assert_eq!(*table.longest_match_value(ip("253.0.0.1")).unwrap(), 6);
+        assert_eq!(*table.longest_match_value(ip("255.0.0.1")).unwrap(), 7);
+        assert!(table.longest_match(ip("1.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn adjacent_slash8_blocks_do_not_bleed() {
+        // The old GeoDb backward scan special-cased this boundary with a
+        // /8-width bound; the trie must keep 41.x and 42.x fully separate.
+        let mut table = IpLookupTable::new();
+        table.insert(ip("41.0.0.0"), 8, "41");
+        table.insert(ip("42.0.0.0"), 8, "42");
+        assert_eq!(
+            *table.longest_match_value(ip("41.255.255.255")).unwrap(),
+            "41"
+        );
+        assert_eq!(*table.longest_match_value(ip("42.0.0.0")).unwrap(), "42");
+        assert!(table.longest_match(ip("43.0.0.0")).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old_value() {
+        let mut table = IpLookupTable::new();
+        assert_eq!(table.insert(ip("10.0.0.0"), 8, 1u32), None);
+        assert_eq!(table.insert(ip("10.0.0.0"), 8, 2), Some(1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(*table.longest_match_value(ip("10.1.1.1")).unwrap(), 2);
+    }
+
+    #[test]
+    fn insert_zeroes_host_bits() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("10.1.2.3"), 16, "x");
+        let (base, len, _) = table.longest_match(ip("10.1.9.9")).unwrap();
+        assert_eq!((base, len), (ip("10.1.0.0"), 16));
+    }
+
+    #[test]
+    fn exact_match_distinguishes_lengths() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("10.0.0.0"), 8, "eight");
+        table.insert(ip("10.0.0.0"), 16, "sixteen");
+        assert_eq!(*table.exact_match(ip("10.0.0.0"), 8).unwrap(), "eight");
+        assert_eq!(*table.exact_match(ip("10.0.0.0"), 16).unwrap(), "sixteen");
+        assert!(table.exact_match(ip("10.0.0.0"), 24).is_none());
+        *table.exact_match_mut(ip("10.0.0.0"), 8).unwrap() = "EIGHT";
+        assert_eq!(*table.exact_match(ip("10.0.0.0"), 8).unwrap(), "EIGHT");
+    }
+
+    #[test]
+    fn slash32_entries_live_at_the_final_level() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("192.0.2.1"), 32, "one");
+        table.insert(ip("192.0.2.2"), 32, "two");
+        assert_eq!(*table.longest_match_value(ip("192.0.2.1")).unwrap(), "one");
+        assert_eq!(*table.longest_match_value(ip("192.0.2.2")).unwrap(), "two");
+        assert!(table.longest_match(ip("192.0.2.3")).is_none());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut table = IpLookupTable::new();
+        table.insert(ip("9.0.0.0"), 8, 0u8);
+        table.insert(ip("8.0.0.0"), 8, 1);
+        let collected: Vec<_> = table.iter().map(|(b, l, v)| (b, l, *v)).collect();
+        assert_eq!(
+            collected,
+            vec![(ip("9.0.0.0"), 8, 0), (ip("8.0.0.0"), 8, 1)]
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the bitmap trie must agree with a naive
+//! longest-prefix linear scan on arbitrary nested/overlapping prefix
+//! sets, including the /0 and /32 extremes and the adjacent-/8 boundary
+//! the old `GeoDb` backward-scan bound special-cased.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use shadow_topo::IpLookupTable;
+
+/// Reference model: keep every (base, len, value) and scan all of them,
+/// longest match wins; on equal (base, len) the latest insert wins, the
+/// same replace semantics as the trie.
+#[derive(Default)]
+struct NaiveLpm {
+    entries: Vec<(u32, u32, u32)>,
+}
+
+impl NaiveLpm {
+    fn insert(&mut self, ip: Ipv4Addr, len: u32, value: u32) {
+        let base = u32::from(ip) & mask(len);
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(b, l, _)| *b == base && *l == len)
+        {
+            e.2 = value;
+        } else {
+            self.entries.push((base, len, value));
+        }
+    }
+
+    fn longest_match(&self, ip: Ipv4Addr) -> Option<(u32, u32, u32)> {
+        let key = u32::from(ip);
+        self.entries
+            .iter()
+            .filter(|(b, l, _)| key & mask(*l) == *b)
+            .max_by_key(|(_, l, _)| *l)
+            .copied()
+    }
+}
+
+fn mask(len: u32) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+fn arb_prefix() -> impl Strategy<Value = (Ipv4Addr, u32)> {
+    (any::<u32>(), 0u32..=32).prop_map(|(bits, len)| (Ipv4Addr::from(bits), len))
+}
+
+/// Prefixes clustered into two adjacent /8 blocks plus their boundary,
+/// to pound on the transition the old scan bound special-cased.
+fn arb_boundary_prefix() -> impl Strategy<Value = (Ipv4Addr, u32)> {
+    (0u32..=0x01FF_FFFF, 8u32..=32).prop_map(|(low, len)| {
+        let bits = (41u32 << 24) | low.min(0x01FF_FFFF);
+        (Ipv4Addr::from(bits), len)
+    })
+}
+
+fn check_agreement(
+    prefixes: &[(Ipv4Addr, u32)],
+    probes: impl Iterator<Item = Ipv4Addr>,
+) -> Result<(), TestCaseError> {
+    let mut trie = IpLookupTable::new();
+    let mut naive = NaiveLpm::default();
+    for (i, &(ip, len)) in prefixes.iter().enumerate() {
+        trie.insert(ip, len, i as u32);
+        naive.insert(ip, len, i as u32);
+    }
+    prop_assert_eq!(trie.len(), naive.entries.len());
+    for probe in probes {
+        let got = trie
+            .longest_match(probe)
+            .map(|(b, l, v)| (u32::from(b), l, *v));
+        let want = naive.longest_match(probe);
+        prop_assert_eq!(got, want);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_naive_on_random_prefixes(
+        prefixes in proptest::collection::vec(arb_prefix(), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // Probe both arbitrary addresses and each prefix's own base (the
+        // base always matches its prefix, so hits are guaranteed too).
+        let probe_addrs = probes
+            .iter()
+            .map(|&p| Ipv4Addr::from(p))
+            .chain(prefixes.iter().map(|&(ip, len)| {
+                Ipv4Addr::from(u32::from(ip) & mask(len))
+            }))
+            .collect::<Vec<_>>();
+        check_agreement(&prefixes, probe_addrs.into_iter())?;
+    }
+
+    #[test]
+    fn trie_matches_naive_on_nested_chains(
+        base in any::<u32>(),
+        lens in proptest::collection::vec(0u32..=32, 1..10),
+        probes in proptest::collection::vec(any::<u32>(), 1..32),
+    ) {
+        // Deliberately nested: every prefix shares one base address, so
+        // each longer length sits strictly inside the shorter ones.
+        let prefixes: Vec<_> = lens
+            .iter()
+            .map(|&len| (Ipv4Addr::from(base), len))
+            .collect();
+        // Probe near the shared base so deep matches actually occur.
+        let probe_addrs = probes
+            .iter()
+            .map(|&p| Ipv4Addr::from(base ^ (p % 1024)))
+            .chain(std::iter::once(Ipv4Addr::from(base)))
+            .collect::<Vec<_>>();
+        check_agreement(&prefixes, probe_addrs.into_iter())?;
+    }
+
+    #[test]
+    fn trie_matches_naive_across_adjacent_slash8_boundary(
+        prefixes in proptest::collection::vec(arb_boundary_prefix(), 1..48),
+        offsets in proptest::collection::vec(0u32..=0x01FF_FFFF, 1..48),
+    ) {
+        // Probes straddle 41.0.0.0–42.255.255.255 and one address each
+        // side, where the old scan's /8-width bound cut off.
+        let probe_addrs = offsets
+            .iter()
+            .map(|&o| Ipv4Addr::from((41u32 << 24) + o))
+            .chain([
+                Ipv4Addr::from((41u32 << 24) - 1),
+                Ipv4Addr::new(41, 0, 0, 0),
+                Ipv4Addr::new(42, 0, 0, 0),
+                Ipv4Addr::from(43u32 << 24),
+            ])
+            .collect::<Vec<_>>();
+        check_agreement(&prefixes, probe_addrs.into_iter())?;
+    }
+
+    #[test]
+    fn replace_semantics_match_naive(
+        prefix in arb_prefix(),
+        values in proptest::collection::vec(any::<u32>(), 2..6),
+        probe in any::<u32>(),
+    ) {
+        let (ip, len) = prefix;
+        let mut trie = IpLookupTable::new();
+        let mut naive = NaiveLpm::default();
+        for &v in &values {
+            trie.insert(ip, len, v);
+            naive.insert(ip, len, v);
+        }
+        prop_assert_eq!(trie.len(), 1);
+        let base = Ipv4Addr::from(u32::from(ip) & mask(len));
+        prop_assert_eq!(
+            trie.longest_match(base).map(|(_, _, v)| *v),
+            Some(*values.last().unwrap())
+        );
+        prop_assert_eq!(
+            trie.longest_match(Ipv4Addr::from(probe)).map(|(b, l, v)| (u32::from(b), l, *v)),
+            naive.longest_match(Ipv4Addr::from(probe))
+        );
+    }
+}

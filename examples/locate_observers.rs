@@ -43,7 +43,7 @@ fn main() {
         traced.len()
     );
 
-    let (results, _) = Phase2Runner::run(
+    let (results, phase2_data) = Phase2Runner::run(
         &mut world,
         &traced,
         &Phase2Config {
@@ -105,4 +105,30 @@ fn main() {
         protocols.len(),
         dns_total
     );
+
+    // The sweep's Time-Exceeded arrivals double as topology intelligence:
+    // Phase II folds them into a router graph as it runs (the same
+    // structure `full_campaign --topology-report` cross-validates), so the
+    // hop-by-hop walkthrough above can close with the AS-level picture.
+    let graph = phase2_data
+        .router_graph
+        .finalize(|addr| world.geo.asn_of(addr).map(|asn| asn.0));
+    println!(
+        "\nrouter graph from the sweep: {} routers, {} IP links, {} AS adjacencies",
+        graph.routers.len(),
+        graph.links.len(),
+        graph.as_links.len()
+    );
+    for link in graph.as_links.iter().take(8) {
+        println!(
+            "  AS{} ↔ AS{} ({} IP link{})",
+            link.a,
+            link.b,
+            link.links,
+            if link.links == 1 { "" } else { "s" }
+        );
+    }
+    if graph.as_links.len() > 8 {
+        println!("  … {} more adjacencies", graph.as_links.len() - 8);
+    }
 }

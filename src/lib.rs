@@ -39,9 +39,11 @@ pub use shadow_netsim;
 pub use shadow_observer;
 pub use shadow_packet;
 pub use shadow_telemetry;
+pub use shadow_topo;
 pub use shadow_vantage;
 
 pub mod robustness;
 pub mod study;
+pub mod topology_report;
 
 pub use study::{Study, StudyConfig, StudyOutcome};

@@ -150,6 +150,10 @@ pub struct StudyOutcome {
     pub retained: bool,
     pub traced_paths: Vec<PathKey>,
     pub traceroutes: Vec<TracerouteResult>,
+    /// Router graph reconstructed from Phase II Time-Exceeded arrivals,
+    /// annotated with ASNs from the world's geo database. Empty when
+    /// Phase II did not run.
+    pub router_graph: shadow_topo::RouterGraph,
     /// Destination address → display name.
     pub dest_names: BTreeMap<Ipv4Addr, String>,
     /// The Spamhaus stand-in, populated from world ground truth
@@ -216,6 +220,7 @@ impl Study {
         for addr in &world.ground_truth.bgp_speaking_observers {
             port_scanner.set_open(*addr, 179);
         }
+        let router_graph = finalize_router_graph(phase2_data.as_ref(), &world);
 
         StudyOutcome {
             world,
@@ -226,6 +231,7 @@ impl Study {
             retained: config.retain_arrivals,
             traced_paths,
             traceroutes,
+            router_graph,
             dest_names,
             blocklist,
             port_scanner,
@@ -292,6 +298,7 @@ impl Study {
         for addr in &world.ground_truth.bgp_speaking_observers {
             port_scanner.set_open(*addr, 179);
         }
+        let router_graph = finalize_router_graph(phase2_data.as_ref(), &world);
 
         StudyOutcome {
             world,
@@ -302,6 +309,7 @@ impl Study {
             retained: config.retain_arrivals,
             traced_paths,
             traceroutes,
+            router_graph,
             dest_names,
             blocklist,
             port_scanner,
@@ -309,6 +317,19 @@ impl Study {
             journal,
         }
     }
+}
+
+/// Finalize the Phase II router-graph builder against the world's geo
+/// database. The builder's per-shard folds are commutative and each probe
+/// path is wholly owned by one shard, so the merged builder — and hence
+/// the finalized graph — is identical for any shard count.
+fn finalize_router_graph(phase2: Option<&CampaignData>, world: &World) -> shadow_topo::RouterGraph {
+    phase2
+        .map(|data| {
+            data.router_graph
+                .finalize(|addr| world.geo.asn_of(addr).map(|asn| asn.0))
+        })
+        .unwrap_or_default()
 }
 
 /// Merge the per-phase telemetry into the study-level artifacts and fold
