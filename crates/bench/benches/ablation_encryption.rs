@@ -61,6 +61,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tiny_encrypted_campaign", |b| b.iter(|| run(41, true)));
     group.finish();
+
+    shadow_bench::report_peak_rss("ablation_encryption");
 }
 
 criterion_group!(benches, bench);

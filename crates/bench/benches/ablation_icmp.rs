@@ -63,6 +63,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tiny_campaign_icmp_50", |b| b.iter(|| localization_at(50)));
     group.finish();
+
+    shadow_bench::report_peak_rss("ablation_icmp");
 }
 
 criterion_group!(benches, bench);

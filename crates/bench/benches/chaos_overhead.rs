@@ -65,6 +65,8 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    shadow_bench::report_peak_rss("chaos_overhead");
 }
 
 criterion_group!(benches, bench);

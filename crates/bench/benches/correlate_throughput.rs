@@ -82,6 +82,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| correlator.correlate(&stream).len())
     });
     group.finish();
+
+    shadow_bench::report_peak_rss("correlate_throughput");
 }
 
 criterion_group!(benches, trajectory, bench);

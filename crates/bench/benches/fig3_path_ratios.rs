@@ -44,6 +44,8 @@ fn bench(c: &mut Criterion) {
     println!("paper: Resolver_h > 70%, HTTP/TLS < 10%, roots/control 0%\n");
 
     c.bench_function("fig3/landscape_compute", |b| b.iter(|| outcome.landscape()));
+
+    shadow_bench::report_peak_rss("fig3_path_ratios");
 }
 
 criterion_group!(benches, bench);

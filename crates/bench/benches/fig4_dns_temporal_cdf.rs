@@ -33,6 +33,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig4/interval_cdf", |b| {
         b.iter(|| interval_cdf(&outcome.correlated, DecoyProtocol::Dns, None))
     });
+
+    shadow_bench::report_peak_rss("fig4_dns_temporal_cdf");
 }
 
 criterion_group!(benches, bench);

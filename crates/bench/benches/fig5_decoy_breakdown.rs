@@ -58,6 +58,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig5/breakdown_compute", |b| {
         b.iter(|| outcome.fig5_breakdown())
     });
+
+    shadow_bench::report_peak_rss("fig5_decoy_breakdown");
 }
 
 criterion_group!(benches, bench);

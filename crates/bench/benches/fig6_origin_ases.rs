@@ -41,6 +41,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6/origins_compute", |b| {
         b.iter(|| outcome.fig6_origins())
     });
+
+    shadow_bench::report_peak_rss("fig6_origin_ases");
 }
 
 criterion_group!(benches, bench);

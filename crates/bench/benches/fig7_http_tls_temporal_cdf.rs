@@ -47,6 +47,8 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    shadow_bench::report_peak_rss("fig7_http_tls_temporal_cdf");
 }
 
 criterion_group!(benches, bench);

@@ -71,6 +71,8 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    shadow_bench::report_peak_rss("lpm_lookup");
 }
 
 criterion_group!(benches, trajectory, bench);

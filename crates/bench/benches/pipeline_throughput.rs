@@ -82,6 +82,8 @@ fn bench(c: &mut Criterion) {
         )
     });
     group.finish();
+
+    shadow_bench::report_peak_rss("pipeline_throughput");
 }
 
 criterion_group!(benches, hot_path, bench);

@@ -38,6 +38,8 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    shadow_bench::report_peak_rss("s51_reuse_counts");
 }
 
 criterion_group!(benches, bench);

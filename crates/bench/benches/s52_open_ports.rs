@@ -24,6 +24,8 @@ fn bench(c: &mut Criterion) {
     println!("per-port counts: {:?}\n", report.port_counts);
 
     c.bench_function("s52/port_scan", |b| b.iter(|| outcome.observer_port_scan()));
+
+    shadow_bench::report_peak_rss("s52_open_ports");
 }
 
 criterion_group!(benches, bench);

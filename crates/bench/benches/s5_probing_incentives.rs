@@ -57,6 +57,8 @@ fn bench(c: &mut Criterion) {
             ProbingReport::compute(&outcome.correlated, DecoyProtocol::Dns, &outcome.blocklist)
         })
     });
+
+    shadow_bench::report_peak_rss("s5_probing_incentives");
 }
 
 criterion_group!(benches, bench);

@@ -89,6 +89,7 @@ fn serve_surface(_c: &mut Criterion) {
             metrics.reads, metrics.errors
         );
         assert_eq!(metrics.errors, 0, "loadgen saw failed reads");
+        shadow_bench::report_peak_rss("serve_throughput");
         return;
     }
     let metrics = measure(32, Duration::from_secs(5), 60_000);
@@ -100,6 +101,8 @@ fn serve_surface(_c: &mut Criterion) {
     if let Some(speedup) = record.speedup_reads_per_sec {
         println!("snapshot reads vs recorded baseline: {speedup:.2}x reads/sec");
     }
+
+    shadow_bench::report_peak_rss("serve_throughput");
 }
 
 criterion_group!(benches, serve_surface);

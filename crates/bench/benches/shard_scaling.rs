@@ -101,6 +101,8 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    shadow_bench::report_peak_rss("shard_scaling");
 }
 
 criterion_group!(benches, bench);

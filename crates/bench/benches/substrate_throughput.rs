@@ -91,6 +91,7 @@ struct SubstrateEntry {
 /// never overwrites real numbers.
 fn save_json(_c: &mut Criterion) {
     if criterion::test_mode() {
+        shadow_bench::report_peak_rss("substrate_throughput");
         return;
     }
     let entries: Vec<SubstrateEntry> = criterion::take_reports()
@@ -110,6 +111,8 @@ fn save_json(_c: &mut Criterion) {
     let text = serde_json::to_string_pretty(&record).expect("substrate record serializes");
     std::fs::write(&path, text + "\n").expect("substrate record written");
     println!("substrate trajectory written to {}", path.display());
+
+    shadow_bench::report_peak_rss("substrate_throughput");
 }
 
 criterion_group!(benches, bench, save_json);

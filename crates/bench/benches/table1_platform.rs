@@ -33,6 +33,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table1/platform_summary", |b| {
         b.iter(|| outcome.world.platform.table1(&outcome.world.geo))
     });
+
+    shadow_bench::report_peak_rss("table1_platform");
 }
 
 criterion_group!(benches, bench);

@@ -38,6 +38,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table2/hop_table_compute", |b| {
         b.iter(|| ObserverHopTable::compute(&outcome.traceroutes))
     });
+
+    shadow_bench::report_peak_rss("table2_observer_location");
 }
 
 criterion_group!(benches, bench);

@@ -54,6 +54,8 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    shadow_bench::report_peak_rss("table3_observer_ases");
 }
 
 criterion_group!(benches, bench);

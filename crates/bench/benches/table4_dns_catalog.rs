@@ -40,6 +40,8 @@ fn bench(c: &mut Criterion) {
                 .collect::<Vec<_>>()
         })
     });
+
+    shadow_bench::report_peak_rss("table4_dns_catalog");
 }
 
 criterion_group!(benches, bench);

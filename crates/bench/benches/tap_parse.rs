@@ -98,6 +98,8 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    shadow_bench::report_peak_rss("tap_parse");
 }
 
 criterion_group!(benches, bench);

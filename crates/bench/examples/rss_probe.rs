@@ -1,0 +1,30 @@
+//! Peak-RSS attribution probe for the hot-path fixture.
+//!
+//! VmHWM is a process-lifetime high-water mark, so each configuration must
+//! run in its own process: `rss_probe <packets> <retention_capacity>`.
+//! Sweeping packets at fixed capacity gives the per-event slope; sweeping
+//! capacity at fixed packets gives the retention-store share.
+
+use shadow_bench::hotpath::{peak_rss_bytes, run_hot_path_with};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let packets: u64 = args
+        .next()
+        .expect("usage: rss_probe <packets> <retention_capacity>")
+        .parse()
+        .expect("packets must be an integer");
+    let capacity: usize = args
+        .next()
+        .expect("usage: rss_probe <packets> <retention_capacity>")
+        .parse()
+        .expect("retention_capacity must be an integer");
+    let metrics = run_hot_path_with(packets, capacity);
+    println!(
+        "{{\"packets\":{},\"retention_capacity\":{},\"hops_per_sec\":{:.0},\"peak_rss_bytes\":{}}}",
+        packets,
+        capacity,
+        metrics.hops_per_sec,
+        peak_rss_bytes().unwrap_or(0)
+    );
+}

@@ -1,0 +1,36 @@
+//! One-line probe of world-construction cost at a given scale:
+//! `world_probe <vps_global> <vps_cn> <tranco_sites>` prints spec
+//! generation and instantiation wall times plus peak RSS as JSON.
+
+use shadow_bench::hotpath::peak_rss_bytes;
+use std::time::Instant;
+use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let vps_global: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(2_182);
+    let vps_cn: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(2_182);
+    let tranco_sites: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(2_325);
+
+    let config = WorldConfig {
+        vps_global,
+        vps_cn,
+        tranco_sites,
+        ..WorldConfig::standard(0x5eed)
+    };
+    let t0 = Instant::now();
+    let spec = generate_spec(config);
+    let spec_ns = t0.elapsed().as_nanos();
+    let t1 = Instant::now();
+    let world = spec.instantiate();
+    let inst_ns = t1.elapsed().as_nanos();
+    println!(
+        "{{\"vps\":{},\"sites\":{},\"spec_ns\":{},\"instantiate_ns\":{},\"hosts\":{},\"peak_rss_bytes\":{}}}",
+        world.platform.vps.len(),
+        world.tranco.len(),
+        spec_ns,
+        inst_ns,
+        spec.hosts.len(),
+        peak_rss_bytes().unwrap_or(0),
+    );
+}

@@ -212,16 +212,33 @@ pub fn run_correlate(decoys: usize, arrivals: u64) -> CorrelateMetrics {
 /// Fold `current` into the JSON trajectory file at `path`, preserving an
 /// existing baseline (same contract as `hotpath::record_bench_json`,
 /// except a fresh file anchors the trajectory on its first measurement).
+///
+/// A wall-clock measurement never reproduces bit-for-bit, so a `current`
+/// identical to the file's recorded baseline means the caller recycled a
+/// stored record instead of re-running the bench — the writer refuses
+/// rather than re-committing a stale `current` section (the failure mode
+/// the first anchoring write of this file once shipped: `current ==
+/// baseline`, speedup pinned at 1.0, long after the code had moved).
 pub fn record_correlate_json(
     path: &Path,
     bench: &str,
     current: CorrelateMetrics,
 ) -> CorrelateRecord {
-    let baseline = std::fs::read_to_string(path)
+    let previous = std::fs::read_to_string(path)
         .ok()
         .and_then(|text| serde_json::from_str::<CorrelateRecord>(&text).ok())
-        .and_then(|old| old.baseline)
-        .or_else(|| Some(current.clone()));
+        .and_then(|old| old.baseline);
+    if let Some(prev) = &previous {
+        let same = serde_json::to_string(prev).expect("metrics serialize")
+            == serde_json::to_string(&current).expect("metrics serialize");
+        assert!(
+            !same,
+            "stale current: metrics are byte-identical to the recorded baseline in {} — \
+             re-run the bench instead of recycling the stored record",
+            path.display()
+        );
+    }
+    let baseline = previous.or_else(|| Some(current.clone()));
     let speedup = baseline
         .as_ref()
         .map(|b| current.streamed_arrivals_per_sec / b.streamed_arrivals_per_sec.max(1e-9));

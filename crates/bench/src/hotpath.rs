@@ -61,6 +61,13 @@ pub struct BenchRecord {
 
 /// Build the tapped-chain world and drive `packets` decoys through it.
 pub fn run_hot_path(packets: u64) -> HotPathMetrics {
+    run_hot_path_with(packets, 1 << 16)
+}
+
+/// [`run_hot_path`] with an explicit per-tap retention capacity — the
+/// memory-profile knob (`examples/rss_probe.rs` sweeps it to attribute
+/// peak RSS between in-flight events and retained observations).
+pub fn run_hot_path_with(packets: u64, retention_capacity: usize) -> HotPathMetrics {
     let mut tb = TopologyBuilder::new(11);
     for i in 0..CHAIN_ASES {
         let region = if i < CHAIN_ASES / 2 {
@@ -112,7 +119,7 @@ pub fn run_hot_path(packets: u64) -> HotPathMetrics {
                 watch_tls: true,
                 zone_filter: Some(DnsName::parse("www.experiment.example").unwrap()),
                 policy: policy.clone(),
-                retention_capacity: 1 << 16,
+                retention_capacity,
                 retention_ttl: SimDuration::from_days(2),
                 dst_filter: None,
                 origins: vec![WeightedChoice::new(origin, 1)],

@@ -15,6 +15,7 @@ use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
 pub mod correlate;
 pub mod hotpath;
+pub mod scale;
 pub mod serving;
 pub mod topo;
 
@@ -39,4 +40,19 @@ pub fn study() -> &'static StudyOutcome {
 /// Percentage formatting shared by harness printers.
 pub fn pct(fraction: f64) -> String {
     format!("{:.1}%", fraction * 100.0)
+}
+
+/// Print this harness process's peak RSS (VmHWM) as a grep-friendly
+/// tagged line. Every bench harness calls this at the end of its last
+/// registered routine, so the CI smoke sweep (`cargo bench -- --test`)
+/// reports the memory high-water mark of each harness alongside its
+/// printed tables. `null` on platforms without `/proc`.
+pub fn report_peak_rss(harness: &str) {
+    match hotpath::peak_rss_bytes() {
+        Some(bytes) => println!(
+            "BENCH_RSS {{\"bench\":\"{harness}\",\"peak_rss_bytes\":{bytes},\"peak_rss_mb\":{:.1}}}",
+            bytes as f64 / (1 << 20) as f64
+        ),
+        None => println!("BENCH_RSS {{\"bench\":\"{harness}\",\"peak_rss_bytes\":null}}"),
+    }
 }

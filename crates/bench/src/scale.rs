@@ -1,0 +1,156 @@
+//! Paper-scale campaign throughput behind `BENCH_scale.json`: Phase I at
+//! the source paper's deployment scale (4,364 VPs × 2,325 Tranco sites,
+//! ~20M decoys per round) and at 10× that volume, under both execution
+//! shapes — the work-stealing scheduler at `K = num_cpus` and the fixed
+//! 4-shard split it replaces.
+//!
+//! Full Phase I at these scales runs for minutes (paper) to hours (10×)
+//! on one core, so each cell executes a bounded, documented **VP slice**:
+//! the world, Appendix-E pre-flight and the full-campaign plan are built
+//! at true scale (that setup is the serial tail the work-stealing path
+//! amortizes — one scout plan shared via `Arc` versus one replan per
+//! fixed shard), while only the first `vp_slice` VPs post their decoys.
+//! `hops/sec` is therefore end-to-end throughput of the bounded campaign
+//! including setup, which is exactly the regime where shared-plan
+//! work-stealing beats the fixed split.
+//!
+//! Peak RSS is VmHWM, which is a process-lifetime high-water mark — so
+//! every cell must run in its own process. `examples/scale_probe.rs`
+//! measures one cell and prints it as one-line JSON;
+//! `examples/scale_bench.rs` orchestrates the probe across cells and
+//! folds the results into the trajectory record.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
+use traffic_shadowing::shadow_core::campaign::Phase1Config;
+use traffic_shadowing::shadow_core::executor::{
+    run_phase1_sharded_bounded, run_phase1_work_stealing_bounded, StealConfig, TelemetryOptions,
+};
+use traffic_shadowing::shadow_core::sink::SinkConfig;
+use traffic_shadowing::shadow_core::world::{generate_spec, WorldConfig};
+
+use crate::hotpath::peak_rss_bytes;
+
+/// Deterministic world seed shared by every scale cell.
+pub const SCALE_SEED: u64 = 0x5eed_2024;
+
+/// One `(scale, execution shape)` measurement, produced in a dedicated
+/// process so `peak_rss_bytes` attributes to this cell alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleCell {
+    /// World scale: `smoke`, `paper` or `10x`.
+    pub scale: String,
+    /// Execution shape: `ws` (work-stealing) or `fixed` (K static shards).
+    pub mode: String,
+    /// Worker threads (`ws`) or shard count (`fixed`).
+    pub workers: usize,
+    pub vps: usize,
+    pub sites: usize,
+    /// VPs that actually posted decoys (`None` = all of them).
+    pub vp_slice: Option<usize>,
+    /// Spec generation wall (the incremental world builder's share).
+    pub spec_ns: u64,
+    /// Phase I wall: instantiation + pre-flight + plan + bounded execution.
+    pub run_ns: u64,
+    pub events: u64,
+    /// Router-hop arrivals (events minus endpoint deliveries).
+    pub hops: u64,
+    pub packets_sent: u64,
+    pub hops_per_sec: f64,
+    /// VmHWM at cell end (Linux; `None` elsewhere).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The trajectory record committed as `BENCH_scale.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleRecord {
+    pub bench: String,
+    /// Cores visible to the run (`ws` cells use this as K).
+    pub host_cpus: usize,
+    pub cells: Vec<ScaleCell>,
+    /// Paper-scale `ws @ num_cpus` hops/sec over `fixed @ 4` hops/sec —
+    /// the scheduler-versus-static-split headline.
+    pub ws_over_fixed_paper: Option<f64>,
+}
+
+/// The world configuration behind a scale name.
+pub fn world_for(scale: &str) -> WorldConfig {
+    match scale {
+        "paper" => WorldConfig::paper_scale(SCALE_SEED),
+        "10x" => WorldConfig::paper_scale_10x(SCALE_SEED),
+        "smoke" => WorldConfig::tiny(SCALE_SEED),
+        other => panic!("unknown scale {other:?} (expected smoke|paper|10x)"),
+    }
+}
+
+/// Measure one cell in-process: build the spec, run bounded Phase I under
+/// the requested shape, and derive throughput from the merged engine
+/// counters (hops = events − endpoint deliveries, as in the pipeline
+/// bench).
+pub fn run_scale_cell(
+    scale: &str,
+    mode: &str,
+    workers: usize,
+    vp_slice: Option<usize>,
+) -> ScaleCell {
+    let world = world_for(scale);
+    let t0 = Instant::now();
+    let spec = generate_spec(world);
+    let spec_ns = t0.elapsed().as_nanos() as u64;
+
+    let config = Phase1Config::default();
+    let telemetry = TelemetryOptions::disabled();
+    let sink = SinkConfig::streaming();
+    let started = Instant::now();
+    let sharded = match mode {
+        "ws" => run_phase1_work_stealing_bounded(
+            &spec,
+            &config,
+            StealConfig::with_workers(workers),
+            telemetry,
+            None,
+            sink,
+            vp_slice,
+        ),
+        "fixed" => {
+            run_phase1_sharded_bounded(&spec, &config, workers, telemetry, None, sink, vp_slice)
+        }
+        other => panic!("unknown mode {other:?} (expected ws|fixed)"),
+    };
+    let run = started.elapsed();
+
+    let stats = sharded.stats;
+    let events = stats.events_processed;
+    let hops = events - stats.packets_delivered;
+    let secs = run.as_secs_f64().max(1e-9);
+    ScaleCell {
+        scale: scale.to_string(),
+        mode: mode.to_string(),
+        workers,
+        vps: spec.platform.vps.len(),
+        sites: spec.tranco.len(),
+        vp_slice,
+        spec_ns,
+        run_ns: run.as_nanos() as u64,
+        events,
+        hops,
+        packets_sent: stats.packets_sent,
+        hops_per_sec: hops as f64 / secs,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Write the assembled record to `path`. Unlike the trajectory writers
+/// with a preserved baseline, the scale record is regenerated whole —
+/// every cell was freshly measured by a probe process this run, so there
+/// is no stale-`current` hazard to guard against.
+pub fn record_scale_json(path: &Path, record: &ScaleRecord) {
+    let text = serde_json::to_string_pretty(record).expect("scale record serializes");
+    std::fs::write(path, text + "\n").expect("scale record written");
+}
+
+/// Workspace-root location of the scale trajectory file.
+pub fn scale_json_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}

@@ -160,7 +160,6 @@ impl CampaignRunner {
         let zone = world.zone.clone();
         let mut registry = DecoyRegistry::new(zone);
         let mut scheduler = RateLimitedScheduler::paper_defaults();
-        let mut sends = Vec::new();
         let mut last_send = world.engine.now();
         let start0 = world.engine.now() + SimDuration::from_secs(5);
 
@@ -172,6 +171,19 @@ impl CampaignRunner {
             .iter()
             .map(|vp| (vp.id, vp.node, vp.addr))
             .collect();
+
+        // The send count is exact up front; pre-sizing matters at paper
+        // scale, where the plan holds ~20M registry entries and growing
+        // the map by doubling would re-insert every one of them.
+        let per_vp = if config.send_dns {
+            dns_targets.len()
+        } else {
+            0
+        } + web_targets.len()
+            * (usize::from(config.send_http) + usize::from(config.send_tls));
+        let expected = vps.len() * per_vp * config.rounds;
+        registry.reserve(expected);
+        let mut sends = Vec::with_capacity(expected);
 
         for round in 0..config.rounds {
             let round_start = start0 + config.round_gap.saturating_mul(round as u64);

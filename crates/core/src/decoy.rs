@@ -53,11 +53,16 @@ impl DecoyRecord {
 /// The registry of every decoy the campaign generated, indexed by domain.
 /// Honeypot arrivals are resolved against this to recover the triggering
 /// decoy.
+///
+/// Records live in a registration-order vector with a domain → index map
+/// on the side: iteration (which the sharded executor's `filter_vps` runs
+/// over the full multi-million-entry plan registry once per chunk) walks
+/// the vector with no hashing, and the map entries stay small.
 #[derive(Debug, Clone, Default)]
 pub struct DecoyRegistry {
     zone: Option<DnsName>,
-    by_domain: HashMap<DnsName, DecoyRecord>,
-    order: Vec<DnsName>,
+    by_domain: HashMap<DnsName, u32>,
+    records: Vec<DecoyRecord>,
 }
 
 impl DecoyRegistry {
@@ -65,8 +70,17 @@ impl DecoyRegistry {
         Self {
             zone: Some(zone),
             by_domain: HashMap::new(),
-            order: Vec::new(),
+            records: Vec::new(),
         }
+    }
+
+    /// Pre-size for `additional` more decoys. The campaign planner knows
+    /// its exact send count up front; growing a multi-million-entry map
+    /// by doubling re-inserts every entry roughly once, which is real
+    /// time at paper scale.
+    pub fn reserve(&mut self, additional: usize) {
+        self.by_domain.reserve(additional);
+        self.records.reserve(additional);
     }
 
     pub fn zone(&self) -> &DnsName {
@@ -87,10 +101,11 @@ impl DecoyRegistry {
         sweep: Option<u32>,
     ) -> DecoyRecord {
         let ident = DecoyIdent::at(planned_at, vp_addr, dst, ttl);
-        let label = ident.encode();
+        let mut label_buf = [0u8; DecoyIdent::LABEL_LEN];
+        let label = ident.encode_to(&mut label_buf);
         let domain = self
             .zone()
-            .prepend(&label)
+            .prepend(label)
             .expect("identifier labels are DNS-safe");
         let record = DecoyRecord {
             domain: domain.clone(),
@@ -100,29 +115,32 @@ impl DecoyRegistry {
             planned_at,
             sweep,
         };
-        let previous = self.by_domain.insert(domain.clone(), record.clone());
+        let previous = self.by_domain.insert(domain, self.records.len() as u32);
         debug_assert!(
             previous.is_none(),
-            "decoy domains must be unique: {domain} reused"
+            "decoy domains must be unique: {} reused",
+            record.domain
         );
-        self.order.push(domain);
+        self.records.push(record.clone());
         record
     }
 
     pub fn lookup(&self, domain: &DnsName) -> Option<&DecoyRecord> {
-        self.by_domain.get(domain)
+        self.by_domain
+            .get(domain)
+            .map(|&i| &self.records[i as usize])
     }
 
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.records.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.records.is_empty()
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &DecoyRecord> {
-        self.order.iter().map(|d| &self.by_domain[d])
+        self.records.iter()
     }
 
     /// Count decoys per protocol (the paper reports 46.6M DNS / 1.69G HTTP
@@ -143,27 +161,30 @@ impl DecoyRegistry {
         let mut out = DecoyRegistry {
             zone: self.zone.clone(),
             by_domain: HashMap::new(),
-            order: Vec::new(),
+            records: Vec::new(),
         };
         for record in self.iter() {
             if owns(record.vp) {
-                out.by_domain.insert(record.domain.clone(), record.clone());
-                out.order.push(record.domain.clone());
+                out.by_domain
+                    .insert(record.domain.clone(), out.records.len() as u32);
+                out.records.push(record.clone());
             }
         }
         out
     }
 
-    /// Merge another registry (e.g. Phase II sweeps) into this one.
+    /// Merge another registry (e.g. Phase II sweeps) into this one. A
+    /// domain already present is overwritten in place; new domains append
+    /// in the other registry's order.
     pub fn absorb(&mut self, other: DecoyRegistry) {
-        for domain in other.order {
-            if let Some(record) = other.by_domain.get(&domain) {
-                if self
-                    .by_domain
-                    .insert(domain.clone(), record.clone())
-                    .is_none()
-                {
-                    self.order.push(domain);
+        self.reserve(other.records.len());
+        for record in other.records {
+            match self.by_domain.get(&record.domain) {
+                Some(&i) => self.records[i as usize] = record,
+                None => {
+                    self.by_domain
+                        .insert(record.domain.clone(), self.records.len() as u32);
+                    self.records.push(record);
                 }
             }
         }

@@ -32,6 +32,7 @@ use crate::noise::{NoiseFilter, PreflightOutcome};
 use crate::phase2::{Phase2Config, Phase2Runner, TracerouteResult};
 use crate::sink::SinkConfig;
 use crate::world::{World, WorldSpec};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use shadow_netsim::engine::EngineStats;
 use shadow_netsim::fault::LinkConditioner;
 use shadow_telemetry::{EventKind, JournalRecord, Telemetry};
@@ -91,6 +92,13 @@ pub fn shard_vps(vps: &[VpId], shards: usize) -> Vec<BTreeSet<VpId>> {
         out[i % k].insert(*vp);
     }
     out
+}
+
+/// The set of VPs that actually execute under an optional bound: the
+/// first `limit` VPs in platform order, or `None` (everyone) when
+/// unbounded. A `Some` set composes with shard ownership by intersection.
+fn executing_vps(vp_ids: &[VpId], limit: Option<usize>) -> Option<BTreeSet<VpId>> {
+    limit.map(|n| vp_ids.iter().take(n).copied().collect())
 }
 
 /// Everything a sharded Phase I produces: the merged campaign data plus
@@ -166,7 +174,28 @@ pub fn run_phase1_sharded_sink(
     conditioner: Option<Arc<LinkConditioner>>,
     sink: SinkConfig,
 ) -> ShardedPhase1 {
+    run_phase1_sharded_bounded(spec, config, shards, telemetry, conditioner, sink, None)
+}
+
+/// [`run_phase1_sharded_sink`] with an optional execution bound: when
+/// `vp_limit` is `Some(n)`, only the first `n` VPs (in platform order)
+/// post their sends. World construction, pre-flight replay and plan
+/// compilation still run at full scale — the bound trims the measured
+/// slice, not the fixed per-shard setup cost, which is exactly what the
+/// scale bench wants to expose. Unbounded callers are unaffected.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase1_sharded_bounded(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    shards: usize,
+    telemetry: TelemetryOptions,
+    conditioner: Option<Arc<LinkConditioner>>,
+    sink: SinkConfig,
+    vp_limit: Option<usize>,
+) -> ShardedPhase1 {
     let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
+    let allowed = executing_vps(&vp_ids, vp_limit);
+    let allowed = &allowed;
     let assignment = shard_vps(&vp_ids, shards);
 
     // Scoped threads: every shard borrows the shared spec; all joins
@@ -191,6 +220,7 @@ pub fn run_phase1_sharded_sink(
                         let mut data =
                             CampaignRunner::execute_phase1(&mut world, &plan, config, sink, |vp| {
                                 owned.contains(&vp)
+                                    && allowed.as_ref().is_none_or(|a| a.contains(&vp))
                             });
                         record_phase_wall(&mut data, "phase1", started);
                         (world, preflight, data)
@@ -204,6 +234,273 @@ pub fn run_phase1_sharded_sink(
         });
 
     merge_shards(shard_outputs, assignment)
+}
+
+/// Execution shape for the work-stealing scheduler: how many path chunks
+/// the VP set splits into and how many OS workers drain them.
+///
+/// Chunks are the unit of stealing — more chunks means better balancing on
+/// skewed worlds (a VP whose paths trigger heavy probe replay no longer
+/// pins its whole fixed shard to one thread) at the cost of one world
+/// instantiation + pre-flight replay per chunk. The defaults oversubscribe
+/// 2× so an unlucky worker always has something to steal, except at
+/// `workers == 1` where splitting only adds instantiation overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Number of path-chunk work units (clamped to `[1, #VPs]`).
+    pub chunks: usize,
+    /// Number of worker threads (clamped to `[1, chunks]`).
+    pub workers: usize,
+}
+
+impl StealConfig {
+    /// Scale to the machine: one worker per available core, 2× chunk
+    /// oversubscription (collapsing to a single chunk on one core).
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(workers)
+    }
+
+    /// A fixed worker count with the default 2× chunk oversubscription.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            chunks: if workers == 1 { 1 } else { workers * 2 },
+            workers,
+        }
+    }
+
+    /// Override the chunk count (builder style).
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks.max(1);
+        self
+    }
+}
+
+/// Pop the next chunk index: own deque first, then steal from peers.
+/// Returns `None` only once every deque is empty — no new work units are
+/// ever produced mid-run, so an `Empty` sweep (with `Retry` re-polled) is
+/// a safe termination condition.
+fn next_chunk(local: &Worker<usize>, me: usize, stealers: &[Stealer<usize>]) -> Option<usize> {
+    if let Some(chunk) = local.pop() {
+        return Some(chunk);
+    }
+    loop {
+        let mut contended = false;
+        for (peer, stealer) in stealers.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(chunk) => return Some(chunk),
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+    }
+}
+
+/// Phase I under the work-stealing scheduler: the VP set splits into
+/// [`StealConfig::chunks`] round-robin path chunks, seeded across
+/// per-worker deques; idle workers steal chunks from their peers, so a
+/// skewed world (one chunk's VPs triggering heavy exhibitor replay) keeps
+/// every core busy instead of serializing on the slowest fixed shard.
+///
+/// Two structural differences from the fixed-shape
+/// [`run_phase1_sharded_sink`], both invisible in the output:
+///
+/// * the global plan is computed **once** on a scout world and shared
+///   read-only (`Arc`) with every chunk — the plan is a pure function of
+///   the post-pre-flight world, so replanning per chunk was pure overhead
+///   (and the dominant serial tail at paper scale);
+/// * chunk→thread placement is nondeterministic (stealing), but each chunk
+///   runs in its own private world keyed by chunk index and the merge
+///   folds in chunk-index order, so output is byte-identical to the
+///   sequential run for any `(chunks, workers)` — the same guarantee the
+///   fixed path gives, enforced by `tests/sharded_equivalence.rs`.
+///
+/// The scout world is not wasted: worker 0 uses it (post-pre-flight,
+/// pre-telemetry) for the first chunk it claims, so `chunks == 1` costs
+/// exactly one instantiation, like the sequential pipeline.
+pub fn run_phase1_work_stealing(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    steal: StealConfig,
+    telemetry: TelemetryOptions,
+    conditioner: Option<Arc<LinkConditioner>>,
+    sink: SinkConfig,
+) -> ShardedPhase1 {
+    run_phase1_work_stealing_bounded(spec, config, steal, telemetry, conditioner, sink, None)
+}
+
+/// [`run_phase1_work_stealing`] with the same optional execution bound as
+/// [`run_phase1_sharded_bounded`]: `vp_limit` trims which VPs post sends
+/// while the scout world, pre-flight replay and shared plan stay at full
+/// scale.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase1_work_stealing_bounded(
+    spec: &WorldSpec,
+    config: &Phase1Config,
+    steal: StealConfig,
+    telemetry: TelemetryOptions,
+    conditioner: Option<Arc<LinkConditioner>>,
+    sink: SinkConfig,
+    vp_limit: Option<usize>,
+) -> ShardedPhase1 {
+    let vp_ids: Vec<VpId> = spec.platform.vps.iter().map(|vp| vp.id).collect();
+    let allowed = executing_vps(&vp_ids, vp_limit);
+    let allowed = &allowed;
+    let chunks = steal.chunks.clamp(1, vp_ids.len().max(1));
+    let workers = steal.workers.clamp(1, chunks);
+    let assignment = shard_vps(&vp_ids, chunks);
+
+    // Scout: pay one instantiation + pre-flight up front to compute the
+    // global plan every chunk shares.
+    let mut scout = spec.instantiate();
+    let scout_preflight = NoiseFilter::run_and_apply(&mut scout);
+    let plan = Arc::new(CampaignRunner::plan_phase1(&scout, config));
+    let mut scout_slot = Some((scout, scout_preflight));
+
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+    for chunk in 0..chunks {
+        locals[chunk % workers].push(chunk);
+    }
+
+    let mut chunk_outputs: Vec<(usize, (World, PreflightOutcome, CampaignData))> =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = locals
+                .into_iter()
+                .enumerate()
+                .map(|(me, local)| {
+                    let stealers = &stealers;
+                    let assignment = &assignment;
+                    let plan = Arc::clone(&plan);
+                    let conditioner = conditioner.clone();
+                    // Worker 0 recycles the scout world for its first chunk.
+                    let mut spare = if me == 0 { scout_slot.take() } else { None };
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        while let Some(chunk) = next_chunk(&local, me, stealers) {
+                            let started = std::time::Instant::now();
+                            let (mut world, preflight) = match spare.take() {
+                                Some(ready) => ready,
+                                None => {
+                                    let mut world = spec.instantiate();
+                                    let preflight = NoiseFilter::run_and_apply(&mut world);
+                                    (world, preflight)
+                                }
+                            };
+                            world.engine.set_telemetry(telemetry.handle(chunk as u32));
+                            world.engine.set_conditioner(conditioner.clone());
+                            let owned = &assignment[chunk];
+                            let mut data = CampaignRunner::execute_phase1(
+                                &mut world,
+                                &plan,
+                                config,
+                                sink,
+                                |vp| {
+                                    owned.contains(&vp)
+                                        && allowed.as_ref().is_none_or(|a| a.contains(&vp))
+                                },
+                            );
+                            record_phase_wall(&mut data, "phase1", started);
+                            done.push((chunk, (world, preflight, data)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("steal worker panicked"))
+                .collect()
+        });
+
+    // Completion order is schedule-dependent; the merge order is not.
+    chunk_outputs.sort_by_key(|(chunk, _)| *chunk);
+    merge_shards(
+        chunk_outputs.into_iter().map(|(_, out)| out).collect(),
+        assignment,
+    )
+}
+
+/// Phase II under the work-stealing scheduler, over the chunk worlds kept
+/// from [`run_phase1_work_stealing`]. The sweep plan is computed once on
+/// chunk 0's world and shared; workers steal `(chunk, world)` pairs from a
+/// global injector until the queue drains. Byte-identical to
+/// [`run_phase2_sharded_sink`] for the same assignment.
+pub fn run_phase2_work_stealing(
+    worlds: &mut [World],
+    assignment: &[BTreeSet<VpId>],
+    paths: &[PathKey],
+    config: &Phase2Config,
+    workers: usize,
+    sink: SinkConfig,
+) -> (Vec<TracerouteResult>, CampaignData) {
+    assert_eq!(
+        worlds.len(),
+        assignment.len(),
+        "one world per chunk, in chunk order"
+    );
+    let plan = Arc::new(Phase2Runner::plan(&worlds[0], paths, config));
+    let workers = workers.clamp(1, worlds.len().max(1));
+
+    let queue: Injector<(usize, &mut World)> = Injector::new();
+    for (chunk, world) in worlds.iter_mut().enumerate() {
+        queue.push((chunk, world));
+    }
+
+    let mut chunk_outputs: Vec<(usize, CampaignData)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let queue = &queue;
+                let plan = Arc::clone(&plan);
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        match queue.steal() {
+                            Steal::Success((chunk, world)) => {
+                                let started = std::time::Instant::now();
+                                let owned = &assignment[chunk];
+                                let mut data =
+                                    Phase2Runner::execute(world, &plan, config, sink, |vp| {
+                                        owned.contains(&vp)
+                                    });
+                                record_phase_wall(&mut data, "phase2", started);
+                                done.push((chunk, data));
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("steal worker panicked"))
+            .collect()
+    });
+
+    chunk_outputs.sort_by_key(|(chunk, _)| *chunk);
+    let mut merged: Option<CampaignData> = None;
+    for (_, data) in chunk_outputs {
+        match &mut merged {
+            None => merged = Some(data),
+            Some(acc) => acc.absorb(data),
+        }
+    }
+    let mut merged = merged.expect("at least one chunk");
+    shadow_telemetry::sort_records(&mut merged.journal);
+    let results = Phase2Runner::localize(&merged, &plan.traced, config.max_ttl);
+    (results, merged)
 }
 
 /// Fold a shard's wall-clock into its already-taken snapshot. The snapshot

@@ -99,10 +99,21 @@ impl DecoyIdent {
         out
     }
 
+    /// Encoded label length: identifier + `-` + 4-digit checksum.
+    pub const LABEL_LEN: usize = ENCODED_LEN + 5;
+
     /// Encode into the DNS label (identifier + `-` + 4-digit checksum).
     pub fn encode(&self) -> String {
+        let mut buf = [0u8; Self::LABEL_LEN];
+        self.encode_to(&mut buf).to_string()
+    }
+
+    /// [`DecoyIdent::encode`] into a caller-provided buffer, avoiding the
+    /// heap — the planner registers one decoy per planned send (~20M at
+    /// paper scale), so per-label allocations are a measured hot spot.
+    pub fn encode_to<'a>(&self, buf: &'a mut [u8; Self::LABEL_LEN]) -> &'a str {
         let payload = self.payload();
-        let mut label = String::with_capacity(ENCODED_LEN + 5);
+        let mut i = 0;
         let mut acc: u32 = 0;
         let mut bits = 0u8;
         for &byte in &payload {
@@ -110,17 +121,22 @@ impl DecoyIdent {
             bits += 8;
             while bits >= 5 {
                 bits -= 5;
-                label.push(ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+                buf[i] = ALPHABET[((acc >> bits) & 0x1f) as usize];
+                i += 1;
             }
         }
         if bits > 0 {
-            label.push(ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+            buf[i] = ALPHABET[((acc << (5 - bits)) & 0x1f) as usize];
+            i += 1;
         }
-        debug_assert_eq!(label.len(), ENCODED_LEN);
+        debug_assert_eq!(i, ENCODED_LEN);
+        buf[i] = b'-';
         let check = checksum(&payload);
-        label.push('-');
-        label.push_str(&format!("{check:04}"));
-        label
+        buf[i + 1] = b'0' + (check / 1000 % 10) as u8;
+        buf[i + 2] = b'0' + (check / 100 % 10) as u8;
+        buf[i + 3] = b'0' + (check / 10 % 10) as u8;
+        buf[i + 4] = b'0' + (check % 10) as u8;
+        std::str::from_utf8(&buf[..i + 5]).expect("base32 + digits are ASCII")
     }
 
     /// Decode a label produced by [`DecoyIdent::encode`].

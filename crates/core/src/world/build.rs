@@ -54,6 +54,12 @@ struct Builder {
     zone: DnsName,
     /// Origin pools per exhibitor label.
     origin_pools: HashMap<String, Vec<WeightedChoice<NodeId>>>,
+    /// Memo for [`Builder::as_in`]: the catalog is frozen before the
+    /// builder exists, so the (country, kind) → AS choice never changes.
+    /// Uncached, paper-scale recruitment re-scans the whole catalog once
+    /// per VP and once per site — the dominant superlinear term in spec
+    /// generation.
+    as_in_cache: HashMap<(CountryCode, AsKind), Asn>,
 }
 
 impl Builder {
@@ -86,7 +92,11 @@ impl Builder {
     }
 
     /// First AS of `kind` in `country` (deterministic), with fallbacks.
-    fn as_in(&self, country: CountryCode, kind: AsKind) -> Asn {
+    /// Memoized — consults no RNG, so caching cannot perturb draw order.
+    fn as_in(&mut self, country: CountryCode, kind: AsKind) -> Asn {
+        if let Some(&hit) = self.as_in_cache.get(&(country, kind)) {
+            return hit;
+        }
         let pick = |k: AsKind| {
             let mut candidates: Vec<Asn> = self
                 .catalog
@@ -97,11 +107,13 @@ impl Builder {
             candidates.sort();
             candidates.first().copied()
         };
-        pick(kind)
+        let chosen = pick(kind)
             .or_else(|| pick(AsKind::Cloud))
             .or_else(|| pick(AsKind::IspRegional))
             .or_else(|| pick(AsKind::IspBackbone))
-            .unwrap_or_else(|| panic!("no AS at all in {country}"))
+            .unwrap_or_else(|| panic!("no AS at all in {country}"));
+        self.as_in_cache.insert((country, kind), chosen);
+        chosen
     }
 
     /// All backbone ASes of a country, sorted (so AS4134 leads in CN).
@@ -255,6 +267,7 @@ pub fn generate_spec(config: WorldConfig) -> WorldSpec {
         ground_truth: GroundTruth::default(),
         zone: zone.clone(),
         origin_pools: HashMap::new(),
+        as_in_cache: HashMap::new(),
     };
 
     link_topology(&mut b);
@@ -974,16 +987,17 @@ fn recruit_vps(b: &mut Builder) -> Platform {
     }
 
     let cn_providers: Vec<_> = providers_in(Market::China).collect();
+    // Spread CN VPs across every CN *cloud* AS (datacenter egress only,
+    // per the Appendix C vetting). The candidate list is a pure catalog
+    // scan — hoisted out of the loop, same list every iteration.
+    let cn_clouds: Vec<Asn> = b
+        .catalog
+        .in_country(cc("CN"))
+        .filter(|a| a.kind == AsKind::Cloud)
+        .map(|a| a.asn)
+        .collect();
     for i in 0..b.config.vps_cn {
         let provider = cn_providers[i % cn_providers.len()];
-        // Spread CN VPs across every CN *cloud* AS (datacenter egress only,
-        // per the Appendix C vetting).
-        let cn_clouds: Vec<Asn> = b
-            .catalog
-            .in_country(cc("CN"))
-            .filter(|a| a.kind == AsKind::Cloud)
-            .map(|a| a.asn)
-            .collect();
         let asn = if cn_clouds.is_empty() {
             b.as_in(cc("CN"), AsKind::Cloud)
         } else {

@@ -85,6 +85,40 @@ impl WorldConfig {
             ..Self::default()
         }
     }
+
+    /// The source paper's campaign scale: 4,364 vantage points (split
+    /// evenly between global and China-market providers) against 2,325
+    /// Tranco-stand-in sites — the §3 deployment whose Phase I sends
+    /// roughly 20M decoys per round.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            seed,
+            vps_global: 2_182,
+            vps_cn: 2_182,
+            tranco_sites: 2_325,
+            ..Self::default()
+        }
+    }
+
+    /// `factor`× the paper's decoy volume: decoys scale as VPs × sites,
+    /// so both axes grow by √factor. `factor = 1` is [`Self::paper_scale`].
+    pub fn paper_scale_factor(seed: u64, factor: u32) -> Self {
+        let base = Self::paper_scale(seed);
+        let axis = f64::from(factor.max(1)).sqrt();
+        let scale = |n: usize| (n as f64 * axis).round() as usize;
+        Self {
+            vps_global: scale(base.vps_global),
+            vps_cn: scale(base.vps_cn),
+            tranco_sites: scale(base.tranco_sites),
+            ..base
+        }
+    }
+
+    /// Ten times the paper's decoy volume ([`Self::paper_scale_factor`]
+    /// with `factor = 10`).
+    pub fn paper_scale_10x(seed: u64) -> Self {
+        Self::paper_scale_factor(seed, 10)
+    }
 }
 
 /// A Tranco-stand-in destination site.

@@ -189,7 +189,7 @@ impl RecursiveResolverHost {
             &cfg.origins,
             self.profile.seed ^ RESOLVER_SEED_SALT,
             qname,
-            "dns",
+            shadow_observer::ObservedProtocol::Dns,
             ctx.now(),
             &self.profile.name,
         );

@@ -11,7 +11,7 @@ use shadow_netsim::time::SimDuration;
 use shadow_netsim::topology::NodeId;
 use shadow_netsim::transport::Transport;
 use shadow_observer::policy::{ReplayPolicy, WeightedChoice};
-use shadow_observer::retention::RetentionStore;
+use shadow_observer::retention::{ObservedProtocol, RetentionStore};
 use shadow_observer::scheduler::plan_probes;
 use shadow_packet::dns::DnsName;
 use shadow_packet::http::{HttpRequest, HttpResponse};
@@ -92,7 +92,7 @@ impl SiteShadow {
         }
     }
 
-    fn observe(&mut self, domain: &DnsName, via: &'static str, ctx: &mut Ctx<'_>) {
+    fn observe(&mut self, domain: &DnsName, via: ObservedProtocol, ctx: &mut Ctx<'_>) {
         if let Some(zone) = &self.zone_filter {
             if !domain.is_subdomain_of(zone) {
                 return;
@@ -218,7 +218,7 @@ impl WebHost {
                     if let Ok(req) = HttpRequest::decode(&seg.payload) {
                         if let Some(host) = req.host() {
                             if let Ok(domain) = DnsName::parse(host) {
-                                shadow.observe(&domain, "http", ctx);
+                                shadow.observe(&domain, ObservedProtocol::Http, ctx);
                             }
                         }
                     }
@@ -226,7 +226,7 @@ impl WebHost {
                 443 if shadow.watch_tls => {
                     if let Some(sni) = shadow_packet::tls::sniff_sni(&seg.payload) {
                         if let Ok(domain) = DnsName::parse(&sni) {
-                            shadow.observe(&domain, "tls", ctx);
+                            shadow.observe(&domain, ObservedProtocol::Tls, ctx);
                         }
                     }
                 }

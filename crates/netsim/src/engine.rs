@@ -3,6 +3,7 @@
 //! on-path wire taps (where traffic observers live).
 
 use crate::fault::{LinkConditioner, LinkVerdict};
+use crate::slab::{Slab, SlabKey};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
 use crate::wheel::TimeWheel;
@@ -240,7 +241,13 @@ impl EngineStats {
 /// The simulator.
 pub struct Engine {
     topo: Topology,
-    queue: TimeWheel<EventKind>,
+    /// The time wheel carries 8-byte slab keys; the event payloads live in
+    /// [`Engine::events`]. See `slab.rs` for why.
+    queue: TimeWheel<SlabKey>,
+    /// In-flight event state: grows to the peak queued population once,
+    /// then recycles freed slots through the slab's free list — the hot
+    /// loop stops round-tripping the global allocator per event.
+    events: Slab<EventKind>,
     hosts: HashMap<NodeId, Box<dyn Host>>,
     taps: HashMap<NodeId, Vec<Box<dyn WireTap>>>,
     now: SimTime,
@@ -257,6 +264,11 @@ pub struct Engine {
     /// with exactly the routes its traffic uses. `None` records an
     /// unroutable destination (negative caching).
     route_cache: HashMap<(NodeId, Ipv4Addr), Option<Arc<[NodeId]>>>,
+    /// Reusable action buffer for [`Engine::dispatch`] (one allocation for
+    /// the whole run instead of one per event).
+    scratch_actions: Vec<Action>,
+    /// Reusable same-tick batch buffer for the batched run loop.
+    batch: Vec<(SimTime, u64, SlabKey)>,
 }
 
 impl Engine {
@@ -264,6 +276,7 @@ impl Engine {
         Self {
             topo,
             queue: TimeWheel::new(),
+            events: Slab::new(),
             hosts: HashMap::new(),
             taps: HashMap::new(),
             now: SimTime::ZERO,
@@ -273,6 +286,8 @@ impl Engine {
             telemetry: Telemetry::disabled(),
             conditioner: None,
             route_cache: HashMap::new(),
+            scratch_actions: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -361,7 +376,8 @@ impl Engine {
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(at, self.seq, kind);
+        let key = self.events.insert(kind);
+        self.queue.push(at, self.seq, key);
     }
 
     /// Route a packet leaving `from` and schedule its first hop.
@@ -486,23 +502,36 @@ impl Engine {
 
     /// Run until the queue drains or the clock passes `deadline`.
     /// Returns the number of events processed.
+    ///
+    /// Events are popped in whole same-tick batches ([`TimeWheel::pop_batch`])
+    /// so the wheel's slot/overflow bookkeeping runs once per simulated
+    /// millisecond instead of once per event. Mid-batch pushes always land
+    /// at `>= now` with a higher sequence number, so they are picked up by
+    /// the next `peek_at` — the dispatch order is identical to the
+    /// one-pop-at-a-time loop.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
+        let mut batch = std::mem::take(&mut self.batch);
         while let Some(at) = self.queue.peek_at() {
             if at > deadline {
                 break;
             }
-            let (at, _, kind) = self.queue.pop().expect("peeked");
+            batch.clear();
+            self.queue.pop_batch(&mut batch);
             self.now = at;
-            self.dispatch(kind);
-            processed += 1;
-            self.stats.events_processed += 1;
-            if processed & 0xFFF == 0 {
-                if let Some(m) = self.telemetry.metrics() {
-                    m.queue_depth.record(self.queue.len() as u64);
+            for &(_, _, key) in &batch {
+                let kind = self.events.remove(key).expect("queued event is live");
+                self.dispatch(kind);
+                processed += 1;
+                self.stats.events_processed += 1;
+                if processed & 0xFFF == 0 {
+                    if let Some(m) = self.telemetry.metrics() {
+                        m.queue_depth.record(self.events.len() as u64);
+                    }
                 }
             }
         }
+        self.batch = batch;
         if processed > 0 {
             if let Some(m) = self.telemetry.metrics() {
                 m.events_drained.add(processed);
@@ -525,7 +554,8 @@ impl Engine {
     pub fn run_with_budget(&mut self, max_events: u64) -> (u64, bool) {
         let mut processed = 0;
         while processed < max_events {
-            let Some((at, _, kind)) = self.queue.pop() else {
+            // Single-pop on purpose: the budget must cut mid-tick exactly.
+            let Some((at, _, key)) = self.queue.pop() else {
                 if processed > 0 {
                     if let Some(m) = self.telemetry.metrics() {
                         m.events_drained.add(processed);
@@ -533,13 +563,14 @@ impl Engine {
                 }
                 return (processed, true);
             };
+            let kind = self.events.remove(key).expect("queued event is live");
             self.now = at;
             self.dispatch(kind);
             processed += 1;
             self.stats.events_processed += 1;
             if processed & 0xFFF == 0 {
                 if let Some(m) = self.telemetry.metrics() {
-                    m.queue_depth.record(self.queue.len() as u64);
+                    m.queue_depth.record(self.events.len() as u64);
                 }
             }
         }
@@ -552,7 +583,8 @@ impl Engine {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
-        let mut actions = Vec::new();
+        // Reuse one action buffer across the whole run; `apply` drains it.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         match kind {
             EventKind::Hop {
                 pkt,
@@ -608,7 +640,8 @@ impl Engine {
                 }
             }
         }
-        self.apply(actions);
+        self.apply(&mut actions);
+        self.scratch_actions = actions;
     }
 
     fn hop(
@@ -758,8 +791,8 @@ impl Engine {
         }
     }
 
-    fn apply(&mut self, actions: Vec<Action>) {
-        for action in actions {
+    fn apply(&mut self, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { from, pkt, delay } => {
                     let at = self.now + delay;

@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod slab;
 pub mod tcp;
 pub mod time;
 pub mod topology;
@@ -34,6 +35,7 @@ pub mod wheel;
 
 pub use engine::{Ctx, Engine, EngineStats, Host, TapVerdict, WireTap};
 pub use fault::{LinkConditioner, LinkVerdict, OutageWindow};
+pub use slab::{Slab, SlabKey};
 pub use tcp::{ConnKey, TcpEvent, TcpStack};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkClass, NodeId, NodeKind, Topology, TopologyBuilder, TopologyError};

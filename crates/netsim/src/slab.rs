@@ -1,0 +1,206 @@
+//! [`Slab`]: a generational arena for in-flight event state.
+//!
+//! The engine's hot loop used to carry each queued event's payload (packet,
+//! decode memo, route, indices — ~100 bytes) *inside* the time-wheel
+//! buckets, so every stage of the queue (slot → due buffer → batch buffer)
+//! moved the full payload and every bucket resize round-tripped the global
+//! allocator with large blocks. The slab inverts that: event payloads live
+//! in one flat, engine-owned arena that grows to the campaign's peak
+//! in-flight population **once** and then recycles freed slots through a
+//! free list; the wheel carries 8-byte [`SlabKey`]s.
+//!
+//! Keys are *generational*: each slot carries a generation counter bumped
+//! on every removal, and a key only resolves while its generation matches.
+//! A stale key (double-remove, use-after-free) returns `None` instead of
+//! silently aliasing a recycled slot — turning the classic arena bug class
+//! into a loud, testable failure.
+
+/// Handle to an occupied (or once-occupied) slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabKey {
+    /// The raw slot index (diagnostics only — resolving a value must go
+    /// through [`Slab::get`]/[`Slab::remove`] so the generation is checked).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+enum Slot<T> {
+    Vacant { generation: u32 },
+    Occupied { generation: u32, value: T },
+}
+
+/// A growable arena with free-list slot reuse and generational keys.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slots (the high-water mark of the in-flight population).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match slot {
+                Slot::Vacant { generation } => *generation,
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            SlabKey { index, generation }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            SlabKey {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Take the value behind `key`; `None` if the key is stale (the slot
+    /// was freed — and possibly reused — since the key was issued).
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == key.generation => {
+                let next_generation = generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        generation: next_generation,
+                    },
+                );
+                self.free.push(key.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrow the value behind `key`, generation-checked.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.slots.get(key.index as usize)? {
+            Slot::Occupied { generation, value } if *generation == key.generation => Some(value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(b), Some("b"));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_and_capacity_stays_at_peak() {
+        let mut slab = Slab::new();
+        let keys: Vec<_> = (0..100).map(|i| slab.insert(i)).collect();
+        assert_eq!(slab.capacity(), 100);
+        for key in keys {
+            slab.remove(key).unwrap();
+        }
+        // Refill: the freed slots are recycled, no new slots allocated.
+        for i in 0..100 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.capacity(), 100);
+        assert_eq!(slab.len(), 100);
+    }
+
+    #[test]
+    fn stale_keys_are_rejected() {
+        let mut slab = Slab::new();
+        let key = slab.insert(1u32);
+        assert_eq!(slab.remove(key), Some(1));
+        assert_eq!(slab.remove(key), None, "double remove");
+        // The slot gets recycled under a new generation; the old key still
+        // must not resolve.
+        let newer = slab.insert(2u32);
+        assert_eq!(newer.index(), key.index(), "slot recycled");
+        assert_eq!(slab.get(key), None);
+        assert_eq!(slab.get(newer), Some(&2));
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_len_consistent() {
+        let mut slab = Slab::new();
+        let mut live = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for i in 0..10_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.is_multiple_of(3) && !live.is_empty() {
+                let idx = (state as usize / 3) % live.len();
+                let key: SlabKey = live.swap_remove(idx);
+                assert!(slab.remove(key).is_some());
+            } else {
+                live.push(slab.insert(i));
+            }
+            assert_eq!(slab.len(), live.len());
+        }
+        // Steady-state churn must not grow the arena past its peak.
+        assert!(slab.capacity() <= 10_000);
+    }
+}

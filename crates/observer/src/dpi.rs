@@ -7,6 +7,7 @@
 //! that is precisely what makes traffic shadowing covert.
 
 use crate::policy::{ReplayPolicy, WeightedChoice};
+pub use crate::retention::ObservedProtocol;
 use crate::retention::RetentionStore;
 use shadow_netsim::engine::{Ctx, TapVerdict, WireTap};
 use shadow_netsim::time::SimDuration;
@@ -15,24 +16,6 @@ use shadow_packet::dns::DnsName;
 use shadow_packet::ipv4::Ipv4Packet;
 use shadow_packet::{AppProtocol, DecodedView};
 use std::any::Any;
-
-/// Which protocol a domain was extracted from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ObservedProtocol {
-    Dns,
-    Http,
-    Tls,
-}
-
-impl ObservedProtocol {
-    pub fn as_str(self) -> &'static str {
-        match self {
-            ObservedProtocol::Dns => "dns",
-            ObservedProtocol::Http => "http",
-            ObservedProtocol::Tls => "tls",
-        }
-    }
-}
 
 impl From<AppProtocol> for ObservedProtocol {
     fn from(p: AppProtocol) -> Self {
@@ -173,7 +156,7 @@ impl WireTap for DpiTap {
             &self.config.origins,
             self.config.seed ^ 0xd91_7a9,
             &domain,
-            proto.as_str(),
+            proto,
             ctx.now(),
             &self.config.label,
         );

@@ -6,7 +6,7 @@
 
 use crate::policy::{sample_weighted, ReplayPolicy, WeightedChoice};
 use crate::probe::ProbeOrder;
-use crate::retention::RetentionStore;
+use crate::retention::{ObservedProtocol, RetentionStore};
 use rand_chacha::rand_core::{RngCore, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use shadow_netsim::time::{SimDuration, SimTime};
@@ -62,7 +62,7 @@ pub fn plan_probes(
     origins: &[WeightedChoice<NodeId>],
     seed: u64,
     domain: &DnsName,
-    via: &'static str,
+    via: ObservedProtocol,
     now: SimTime,
     exhibitor: &str,
 ) -> (Vec<(NodeId, SimDuration, ProbeOrder)>, PlanStats) {
@@ -137,7 +137,7 @@ mod tests {
             &origins,
             seed,
             &name("a.example"),
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(0),
             "x",
         );
@@ -161,7 +161,7 @@ mod tests {
             &origins,
             seed,
             &d,
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(0),
             "x",
         );
@@ -171,7 +171,7 @@ mod tests {
             &origins,
             seed,
             &d,
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(5),
             "x",
         );
@@ -190,7 +190,7 @@ mod tests {
             &origins,
             seed,
             &name("b.example"),
-            "tls",
+            ObservedProtocol::Tls,
             SimTime(0),
             "x",
         );
@@ -210,7 +210,7 @@ mod tests {
             &origins,
             seed,
             &name("noise-1.example"),
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(0),
             "x",
         );
@@ -220,7 +220,7 @@ mod tests {
             &origins,
             seed,
             &name("noise-2.example"),
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(1),
             "x",
         );
@@ -230,7 +230,7 @@ mod tests {
             &origins,
             seed,
             &name("same.example"),
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(9),
             "x",
         );
@@ -240,7 +240,7 @@ mod tests {
             &origins,
             seed,
             &name("same.example"),
-            "dns",
+            ObservedProtocol::Dns,
             SimTime(9),
             "x",
         );

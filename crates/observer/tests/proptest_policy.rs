@@ -6,7 +6,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use shadow_netsim::time::{SimDuration, SimTime};
 use shadow_observer::policy::{DelayBucket, ProbeKind, ReplayPolicy, WeightedChoice};
-use shadow_observer::retention::RetentionStore;
+use shadow_observer::retention::{ObservedProtocol, RetentionStore};
 use shadow_packet::dns::DnsName;
 
 fn arb_bucket() -> impl Strategy<Value = DelayBucket> {
@@ -81,7 +81,7 @@ proptest! {
             let t = last_t + t % 10_000;
             last_t = t;
             let name = DnsName::parse(&format!("{label}.example")).unwrap();
-            store.observe(name, "dns", SimTime(t));
+            store.observe(name, ObservedProtocol::Dns, SimTime(t));
             prop_assert!(store.len() <= capacity);
         }
     }
@@ -94,7 +94,7 @@ proptest! {
         let ttl = SimDuration::from_secs(ttl_secs);
         let mut store = RetentionStore::new(16, ttl);
         let name = DnsName::parse("probe.example").unwrap();
-        store.observe(name.clone(), "dns", SimTime(0));
+        store.observe(name.clone(), ObservedProtocol::Dns, SimTime(0));
         let still_there = gap_ms <= ttl.millis();
         prop_assert_eq!(store.contains(&name, SimTime(gap_ms)), still_there);
     }

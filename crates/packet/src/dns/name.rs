@@ -3,8 +3,8 @@
 
 use crate::cursor::Reader;
 use crate::error::DecodeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum length of one label (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -16,8 +16,14 @@ pub const MAX_NAME_LEN: usize = 253;
 ///
 /// Decoys embed identifiers as the leftmost label, so label-level access
 /// ([`DnsName::labels`], [`DnsName::first_label`]) is first-class here.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct DnsName(String);
+///
+/// Backed by `Arc<str>`: a decoy's name is decoded once per packet and
+/// then cloned into every observer's retention store, capture log and
+/// probe order along the route — with a shared allocation those clones
+/// are refcount bumps, and the per-hop memory cost of wide observation
+/// stays flat.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnsName(Arc<str>);
 
 /// Why a string failed to validate as a domain name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,14 +79,18 @@ impl DnsName {
             if i > 0 {
                 canon.push('.');
             }
-            canon.push_str(&label.to_ascii_lowercase());
+            // Labels are ASCII-validated above, so per-char lowercasing
+            // matches `to_ascii_lowercase` without its per-label String.
+            for ch in label.chars() {
+                canon.push(ch.to_ascii_lowercase());
+            }
         }
-        Ok(Self(canon))
+        Ok(Self(canon.into()))
     }
 
     /// The root name (zero labels).
     pub fn root() -> Self {
-        Self(String::new())
+        Self("".into())
     }
 
     pub fn is_root(&self) -> bool {
@@ -111,17 +121,46 @@ impl DnsName {
         }
         self.0 == suffix.0
             || (self.0.len() > suffix.0.len()
-                && self.0.ends_with(&suffix.0)
+                && self.0.ends_with(&*suffix.0)
                 && self.0.as_bytes()[self.0.len() - suffix.0.len() - 1] == b'.')
     }
 
     /// Prepend one label, validating it.
+    ///
+    /// `self` is already canonical, so only the new label needs checking
+    /// and lowercasing — one concatenation, no re-parse. (Decoy planning
+    /// calls this once per registered decoy; at paper scale that is ~20M
+    /// calls, so the allocation count here is a measured hot spot.)
     pub fn prepend(&self, label: &str) -> Result<Self, NameError> {
         if self.is_root() {
-            Self::parse(label)
-        } else {
-            Self::parse(&format!("{label}.{}", self.0))
+            return Self::parse(label);
         }
+        if label.contains('.') {
+            // Multi-label prefixes take the full validating parse.
+            return Self::parse(&format!("{label}.{}", self.0));
+        }
+        if label.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong(label.to_string()));
+        }
+        for ch in label.chars() {
+            if !(ch.is_ascii_alphanumeric() || ch == '-' || ch == '_') {
+                return Err(NameError::BadCharacter(ch));
+            }
+        }
+        let total = label.len() + 1 + self.0.len();
+        if total > MAX_NAME_LEN {
+            return Err(NameError::TooLong(total));
+        }
+        let mut canon = String::with_capacity(total);
+        for ch in label.chars() {
+            canon.push(ch.to_ascii_lowercase());
+        }
+        canon.push('.');
+        canon.push_str(&self.0);
+        Ok(Self(canon.into()))
     }
 
     /// Strip the leftmost label; `None` if already root.
@@ -130,7 +169,7 @@ impl DnsName {
             return None;
         }
         match self.0.find('.') {
-            Some(i) => Some(Self(self.0[i + 1..].to_string())),
+            Some(i) => Some(Self(self.0[i + 1..].into())),
             None => Some(Self::root()),
         }
     }
@@ -201,6 +240,27 @@ impl DnsName {
         }
         Self::parse(&labels.join("."))
             .map_err(|e| DecodeError::malformed("DNS name", e.to_string()))
+    }
+}
+
+// Hand-written (instead of derived) so the `Arc<str>` interior still
+// serializes as a plain string — the shape every committed bundle and
+// journal already uses. Deserialization revalidates through `parse`.
+impl serde::Serialize for DnsName {
+    fn serialize_content(&self) -> serde::Content {
+        serde::Content::Str(self.0.to_string())
+    }
+}
+
+impl serde::Deserialize for DnsName {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        match content {
+            serde::Content::Str(s) if s.is_empty() => Ok(Self::root()),
+            serde::Content::Str(s) => {
+                Self::parse(s).map_err(|e| serde::DeError::new(e.to_string()))
+            }
+            other => Err(serde::DeError::mismatch("domain name string", other)),
+        }
     }
 }
 

@@ -424,11 +424,98 @@ impl<V> IpLookupTable<V> {
 }
 
 impl<V> FromIterator<(Ipv4Addr, u32, V)> for IpLookupTable<V> {
+    /// Bulk build. Repeated [`IpLookupTable::insert`] is quadratic in
+    /// table size — every insert shifts the shared arenas (O(nodes)) and
+    /// rebuilds the 256-slot jump table — which turns the ~20k node
+    /// addresses of a paper-scale topology freeze into hundreds of
+    /// milliseconds of serial tail. Building per-node segment lists first,
+    /// flattening once, and deriving the jump table once is O(entries).
+    /// Semantics match insert-in-a-loop exactly, including
+    /// latest-insert-wins replacement at the original entry position.
     fn from_iter<T: IntoIterator<Item = (Ipv4Addr, u32, V)>>(iter: T) -> Self {
-        let mut table = Self::new();
-        for (ip, masklen, value) in iter {
-            table.insert(ip, masklen, value);
+        /// [`Node`] with owned segments, before arena flattening.
+        #[derive(Default)]
+        struct BuildNode {
+            internal: u16,
+            external: u16,
+            results: Vec<u32>,
+            children: Vec<u32>,
         }
+        let mut nodes: Vec<BuildNode> = vec![BuildNode::default()];
+        let mut entries: Vec<Entry<V>> = Vec::new();
+        for (ip, masklen, value) in iter {
+            assert!(masklen <= 32, "IPv4 mask length {masklen} out of range");
+            let mask = if masklen == 0 {
+                0
+            } else {
+                u32::MAX << (32 - masklen)
+            };
+            let base = u32::from(ip) & mask;
+            let depth = masklen / STRIDE;
+            let rel = masklen % STRIDE;
+            let mut node = 0usize;
+            for d in 0..depth {
+                let nib = Self::nibble(base, d);
+                let bit = 1u16 << nib;
+                let slot = (nodes[node].external & (bit - 1)).count_ones() as usize;
+                if nodes[node].external & bit == 0 {
+                    let child = nodes.len();
+                    nodes.push(BuildNode::default());
+                    nodes[node].external |= bit;
+                    nodes[node].children.insert(slot, child as u32);
+                    node = child;
+                } else {
+                    node = nodes[node].children[slot] as usize;
+                }
+            }
+            let path = if rel == 0 {
+                0
+            } else {
+                Self::nibble(base, depth) >> (STRIDE - rel)
+            };
+            let pos = (1u16 << rel) - 1 + path as u16;
+            let bit = 1u16 << pos;
+            let slot = (nodes[node].internal & (bit - 1)).count_ones() as usize;
+            if nodes[node].internal & bit != 0 {
+                let idx = nodes[node].results[slot] as usize;
+                entries[idx].value = value;
+            } else {
+                let idx = entries.len() as u32;
+                entries.push(Entry {
+                    base,
+                    masklen,
+                    value,
+                });
+                nodes[node].internal |= bit;
+                nodes[node].results.insert(slot, idx);
+            }
+        }
+        // Flatten: temp node index == final node index (same push order),
+        // so the children segments transfer verbatim.
+        let mut table = Self {
+            nodes: Vec::with_capacity(nodes.len()),
+            results: Vec::new(),
+            children: Vec::new(),
+            entries,
+            jump: vec![
+                JumpSlot {
+                    node: NONE,
+                    best: NONE,
+                };
+                256
+            ],
+        };
+        for built in &nodes {
+            table.nodes.push(Node {
+                internal: built.internal,
+                external: built.external,
+                results: table.results.len() as u32,
+                children: table.children.len() as u32,
+            });
+            table.results.extend_from_slice(&built.results);
+            table.children.extend_from_slice(&built.children);
+        }
+        table.rebuild_jump();
         table
     }
 }
@@ -543,6 +630,39 @@ mod tests {
         assert_eq!(*table.longest_match_value(ip("192.0.2.1")).unwrap(), "one");
         assert_eq!(*table.longest_match_value(ip("192.0.2.2")).unwrap(), "two");
         assert!(table.longest_match(ip("192.0.2.3")).is_none());
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_inserts() {
+        // The FromIterator fast path must be indistinguishable from
+        // insert-in-a-loop: same matches, same iteration order, same
+        // replacement semantics.
+        let prefixes: Vec<(Ipv4Addr, u32, u32)> = (0u32..600)
+            .map(|i| {
+                let addr = Ipv4Addr::from(0x0a00_0000 | (i.wrapping_mul(2_654_435_761) >> 10));
+                let len = [8, 12, 16, 20, 24, 28, 32][i as usize % 7];
+                (addr, len, i)
+            })
+            // A replacement: same prefix inserted twice, later value wins.
+            .chain([(Ipv4Addr::new(10, 0, 0, 0), 8u32, 999_999u32)])
+            .collect();
+        let bulk: IpLookupTable<u32> = prefixes.iter().copied().collect();
+        let mut incremental = IpLookupTable::new();
+        for &(addr, len, v) in &prefixes {
+            incremental.insert(addr, len, v);
+        }
+        assert_eq!(bulk.len(), incremental.len());
+        let a: Vec<_> = bulk.iter().map(|(b, l, v)| (b, l, *v)).collect();
+        let b: Vec<_> = incremental.iter().map(|(b, l, v)| (b, l, *v)).collect();
+        assert_eq!(a, b);
+        for probe in 0u32..4_096 {
+            let key = Ipv4Addr::from(0x0a00_0000 | (probe * 65_537));
+            assert_eq!(
+                bulk.longest_match(key),
+                incremental.longest_match(key),
+                "probe {key} diverges"
+            );
+        }
     }
 
     #[test]

@@ -40,13 +40,13 @@ use std::path::{Path, PathBuf};
 use traffic_shadowing::shadow_analysis;
 use traffic_shadowing::shadow_chaos::{FaultProfile, RetrySpec};
 use traffic_shadowing::shadow_core::decoy::DecoyProtocol;
-use traffic_shadowing::shadow_core::executor::TelemetryOptions;
+use traffic_shadowing::shadow_core::executor::{StealConfig, TelemetryOptions};
 use traffic_shadowing::shadow_netsim::time::SimDuration;
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
-const USAGE: &str = "usage: full_campaign [seed] [--shards N] [--tiny] [--metrics-out PATH] \
-     [--journal PATH] [--loss PERCENT] [--fault-seed S] [--waves N] [--checkpoint PATH] \
-     [--resume PATH] [--topology-report]";
+const USAGE: &str = "usage: full_campaign [seed] [--shards N] [--tiny] [--paper-scale] \
+     [--scale-factor N] [--metrics-out PATH] [--journal PATH] [--loss PERCENT] \
+     [--fault-seed S] [--waves N] [--checkpoint PATH] [--resume PATH] [--topology-report]";
 
 fn path_arg(args: &[String], i: usize, flag: &str) -> String {
     match args.get(i + 1) {
@@ -67,6 +67,7 @@ fn main() {
     let mut seed: u64 = 7;
     let mut shards: Option<usize> = None;
     let mut tiny = false;
+    let mut scale_factor: Option<u32> = None;
     let mut metrics_out: Option<String> = None;
     let mut journal_out: Option<String> = None;
     let mut loss_percent: f64 = 0.0;
@@ -96,6 +97,30 @@ fn main() {
             "--tiny" => {
                 tiny = true;
                 i += 1;
+            }
+            "--paper-scale" => {
+                scale_factor = scale_factor.or(Some(1));
+                i += 1;
+            }
+            "--scale-factor" => {
+                match args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                    None => {
+                        eprintln!(
+                            "--scale-factor needs a positive integer (e.g. --scale-factor 10 \
+                             for ten times the paper's decoy volume; 1 is the paper's own scale)"
+                        );
+                        std::process::exit(2);
+                    }
+                    Some(0) => {
+                        eprintln!(
+                            "--scale-factor must be at least 1 (got 0) — 1 is the paper's own \
+                             scale; did you mean --paper-scale?"
+                        );
+                        std::process::exit(2);
+                    }
+                    Some(f) => scale_factor = Some(f),
+                }
+                i += 2;
             }
             "--metrics-out" => {
                 metrics_out = Some(path_arg(&args, i, "--metrics-out"));
@@ -167,6 +192,38 @@ fn main() {
         }
     }
     let faults = fault_profile(loss_percent, fault_seed);
+    if let Some(factor) = scale_factor {
+        if tiny {
+            eprintln!(
+                "--tiny and --paper-scale/--scale-factor are mutually exclusive — pick one \
+                 world scale"
+            );
+            std::process::exit(2);
+        }
+        if waves.is_some() || checkpoint_out.is_some() || resume_from.is_some() {
+            eprintln!(
+                "campaign mode (--waves/--checkpoint/--resume) is not supported at paper \
+                 scale — drop those flags, or run waves on the standard world"
+            );
+            std::process::exit(2);
+        }
+        if topology_report {
+            eprintln!(
+                "--topology-report re-runs the campaign once per ICMP level and is not \
+                 supported at paper scale — drop it, or run it on the standard/tiny world"
+            );
+            std::process::exit(2);
+        }
+        if journal_out.is_some() {
+            eprintln!(
+                "--journal buffers one record per simulator event and is not supported at \
+                 paper scale (~20M decoys/round) — drop it, or journal the standard world"
+            );
+            std::process::exit(2);
+        }
+        run_paper_scale(seed, factor, shards, faults, metrics_out);
+        return;
+    }
     if waves.is_some() || checkpoint_out.is_some() || resume_from.is_some() {
         run_campaign(
             seed,
@@ -219,6 +276,149 @@ fn main() {
     if topology_report {
         print_topology_report(&outcome, &config_for_sweep(seed, tiny), shards.unwrap_or(1));
     }
+}
+
+/// The `--paper-scale` / `--scale-factor N` path: the §3 deployment scale
+/// (4,364 VPs × 2,325 sites, ~20M Phase I decoys per round at factor 1),
+/// streamed end-to-end — arrivals fold into capture-time sinks and are
+/// never retained, so the sample-level tables (Figure 6 origins, probing
+/// payloads, case studies) are skipped; the aggregate report and telemetry
+/// artifacts still print. Without `--shards`, the work-stealing executor
+/// runs with one worker per available core and a single shared scout plan.
+fn run_paper_scale(
+    seed: u64,
+    factor: u32,
+    shards: Option<usize>,
+    faults: Option<FaultProfile>,
+    metrics_out: Option<String>,
+) {
+    let telemetry = if metrics_out.is_some() {
+        TelemetryOptions::enabled(false)
+    } else {
+        TelemetryOptions::disabled()
+    };
+    let config = StudyConfig {
+        telemetry,
+        faults,
+        ..StudyConfig::paper_scale_factor(seed, factor)
+    };
+    let world = &config.world;
+    eprintln!(
+        "[paper-scale] factor {factor}: {} VPs x {} sites (building world + plan; \
+         this is minutes of setup before sends start)",
+        world.vps_global + world.vps_cn,
+        world.tranco_sites,
+    );
+    let started = std::time::Instant::now();
+    let outcome = match shards {
+        Some(k) => Study::run_sharded(config, k),
+        None => Study::run_work_stealing(config, StealConfig::auto()),
+    };
+    match shards {
+        Some(k) => println!(
+            "=== paper-scale campaign (seed {seed}, factor {factor}, {k} shards, {:?}) ===\n",
+            started.elapsed()
+        ),
+        None => println!(
+            "=== paper-scale campaign (seed {seed}, factor {factor}, work-stealing, {:?}) ===\n",
+            started.elapsed()
+        ),
+    }
+    println!("{}\n", outcome.summary());
+    print_streamed_report(&outcome);
+    print_artifacts(&outcome, seed, &metrics_out, &None);
+}
+
+/// The subset of the reproduction report computable from the capture-time
+/// aggregates alone — what the paper-scale path prints. The sample-exact
+/// sections (Figure 6 origins, §5 probing payloads, case studies) need
+/// retained arrivals and are skipped; their streamed histogram twins
+/// (Figure 4/7 grids) print instead.
+fn print_streamed_report(outcome: &StudyOutcome) {
+    use traffic_shadowing::shadow_analysis::temporal::histogram_paper_grid;
+
+    println!("--- Figure 3: problematic-path ratios (streamed) ---");
+    let landscape = outcome.landscape();
+    println!(
+        "protocol totals: DNS {} | HTTP {} | TLS {}\n",
+        pct(landscape.protocol_ratio(DecoyProtocol::Dns)),
+        pct(landscape.protocol_ratio(DecoyProtocol::Http)),
+        pct(landscape.protocol_ratio(DecoyProtocol::Tls)),
+    );
+
+    println!("--- Table 2: normalized location of traffic observers ---");
+    let hop_table = outcome.hop_table();
+    let mut rows = Vec::new();
+    for protocol in [DecoyProtocol::Dns, DecoyProtocol::Http, DecoyProtocol::Tls] {
+        let mut row = vec![protocol.as_str().to_string()];
+        for hop in 1..=10u8 {
+            row.push(format!("{:.1}", hop_table.percent(protocol, hop)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["proto", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10=dst"],
+            &rows
+        )
+    );
+
+    let ips = outcome.observer_ips();
+    println!(
+        "observer IPs revealed: {} ({} in CN)\n",
+        ips.total_ips,
+        pct(ips.country_fraction("CN"))
+    );
+
+    println!("--- Figure 4: Resolver_h retention (streamed histogram) ---");
+    let fig4 = outcome.fig4_hist();
+    for (label, fraction) in histogram_paper_grid(&fig4) {
+        println!("  ≤{label:<5} {}", pct(fraction));
+    }
+
+    println!("\n--- Figure 5: DNS decoy outcome breakdown (selected) ---");
+    let breakdown = outcome.fig5_breakdown();
+    let mut rows = Vec::new();
+    for dest in ["Yandex", "114DNS", "One DNS", "Google", "self-built"] {
+        if let Some(row) = breakdown.iter().find(|b| b.destination == dest) {
+            rows.push(vec![
+                dest.to_string(),
+                pct(row.shadowed_fraction()),
+                pct(row.late_http_fraction()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["Destination", "shadowed", "HTTP(S) after 1h"], &rows)
+    );
+
+    let reuse = outcome.reuse();
+    println!("--- §5.1: reuse of retained data (cutoff 1h) ---");
+    println!(
+        "late-active decoys: {} | >3 requests: {} (paper 51%) | >10: {} (paper 2.4%)\n",
+        reuse.late_active_decoys(),
+        pct(reuse.fraction_exceeding(3)),
+        pct(reuse.fraction_exceeding(10)),
+    );
+
+    println!("--- §5.2: Decoy-Request combinations ---");
+    println!("overall combos: {:?}\n", outcome.combo_counts());
+
+    let scan = outcome.observer_port_scan();
+    println!("--- §5.2: open ports of on-wire observers ---");
+    println!(
+        "{} observers scanned | no open ports: {} (paper 92%) | top open port: {:?} (paper 179)\n",
+        scan.targets,
+        pct(scan.closed_fraction()),
+        scan.top_port()
+    );
+
+    println!(
+        "(sample-level sections — Figure 6 origins, §5 probing payloads, case studies — \
+         need retained arrivals; the paper-scale path streams and skips them)"
+    );
 }
 
 /// A fault-free, telemetry-free copy of the study configuration for the

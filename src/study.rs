@@ -15,7 +15,10 @@ use shadow_chaos::FaultProfile;
 use shadow_core::campaign::{CampaignData, CampaignRunner, Phase1Config};
 use shadow_core::correlate::{Combo, CorrelatedRequest, Correlator, PathKey};
 use shadow_core::decoy::DecoyProtocol;
-use shadow_core::executor::{run_phase1_sharded_sink, run_phase2_sharded_sink, TelemetryOptions};
+use shadow_core::executor::{
+    run_phase1_sharded_sink, run_phase1_work_stealing, run_phase2_sharded_sink,
+    run_phase2_work_stealing, ShardedPhase1, StealConfig, TelemetryOptions,
+};
 use shadow_core::noise::{NoiseFilter, PreflightOutcome};
 use shadow_core::phase2::{paths_to_trace_streamed, Phase2Config, Phase2Runner, TracerouteResult};
 use shadow_core::sink::{IntervalHistogram, SinkConfig};
@@ -84,6 +87,42 @@ impl StudyConfig {
             telemetry: TelemetryOptions::disabled(),
             faults: None,
             retain_arrivals: false,
+        }
+    }
+
+    /// The paper's §3 deployment: 4,364 VPs against the full destination
+    /// set. Streams (no retained arrivals) — at this scale the raw
+    /// arrival vector is the difference between flat and unbounded
+    /// memory — and is meant to run under
+    /// [`Study::run_work_stealing`] with [`StealConfig::auto`]
+    /// (`shadow_core::executor::StealConfig`).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::paper_scale(seed),
+            phase1: Phase1Config::default(),
+            phase2: Phase2Config::default(),
+            trace_cap_per_protocol: 60,
+            run_phase2: true,
+            telemetry: TelemetryOptions::disabled(),
+            faults: None,
+            retain_arrivals: false,
+        }
+    }
+
+    /// `factor`× the paper's decoy volume (both scale axes grow √factor;
+    /// `factor = 1` is [`Self::paper_scale`]).
+    pub fn paper_scale_factor(seed: u64, factor: u32) -> Self {
+        Self {
+            world: WorldConfig::paper_scale_factor(seed, factor),
+            ..Self::paper_scale(seed)
+        }
+    }
+
+    /// Ten times the paper's decoy volume (both scale axes grow ~√10).
+    pub fn paper_scale_10x(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::paper_scale_10x(seed),
+            ..Self::paper_scale(seed)
         }
     }
 
@@ -248,7 +287,7 @@ impl Study {
     pub fn run_sharded(config: StudyConfig, shards: usize) -> StudyOutcome {
         let spec = generate_spec(config.world.clone());
         let phase1_config = config.phase1_effective();
-        let mut sharded = run_phase1_sharded_sink(
+        let sharded = run_phase1_sharded_sink(
             &spec,
             &phase1_config,
             shards,
@@ -256,6 +295,40 @@ impl Study {
             config.conditioner(&spec),
             config.sink(),
         );
+        Self::assemble_sharded(config, sharded, None)
+    }
+
+    /// [`Study::run`] under the work-stealing scheduler: VPs split into
+    /// [`StealConfig::chunks`] work units drained by
+    /// [`StealConfig::workers`] threads, with the global plan computed
+    /// once and shared. Byte-identical to [`Study::run`] and
+    /// [`Study::run_sharded`] for any execution shape (enforced by
+    /// `tests/sharded_equivalence.rs`); this is the path that scales to
+    /// core count on skewed worlds, and the one `--paper-scale` campaigns
+    /// should use.
+    pub fn run_work_stealing(config: StudyConfig, steal: StealConfig) -> StudyOutcome {
+        let spec = generate_spec(config.world.clone());
+        let phase1_config = config.phase1_effective();
+        let sharded = run_phase1_work_stealing(
+            &spec,
+            &phase1_config,
+            steal,
+            config.telemetry,
+            config.conditioner(&spec),
+            config.sink(),
+        );
+        Self::assemble_sharded(config, sharded, Some(steal.workers))
+    }
+
+    /// Shared continuation for the sharded execution paths: correlation,
+    /// Phase II over the kept chunk worlds (work-stealing when
+    /// `steal_workers` is set, one-thread-per-shard otherwise), telemetry
+    /// finalization, and the analysis inputs.
+    fn assemble_sharded(
+        config: StudyConfig,
+        mut sharded: ShardedPhase1,
+        steal_workers: Option<usize>,
+    ) -> StudyOutcome {
         let mut phase1 = sharded.data;
         let preflight = sharded.preflight;
         let correlated = if config.retain_arrivals {
@@ -266,13 +339,23 @@ impl Study {
 
         let (traced_paths, traceroutes, mut phase2_data) = if config.run_phase2 {
             let traced = paths_to_trace_streamed(&phase1.aggregates, config.trace_cap_per_protocol);
-            let (results, data) = run_phase2_sharded_sink(
-                &mut sharded.worlds,
-                &sharded.assignment,
-                &traced,
-                &config.phase2,
-                config.sink(),
-            );
+            let (results, data) = match steal_workers {
+                Some(workers) => run_phase2_work_stealing(
+                    &mut sharded.worlds,
+                    &sharded.assignment,
+                    &traced,
+                    &config.phase2,
+                    workers,
+                    config.sink(),
+                ),
+                None => run_phase2_sharded_sink(
+                    &mut sharded.worlds,
+                    &sharded.assignment,
+                    &traced,
+                    &config.phase2,
+                    config.sink(),
+                ),
+            };
             (traced, results, Some(data))
         } else {
             (Vec::new(), Vec::new(), None)

@@ -11,9 +11,16 @@
 
 use proptest::prelude::*;
 use traffic_shadowing::shadow_chaos::{ChurnSpec, FaultProfile, OutageSpec, RetrySpec, Window};
+use traffic_shadowing::shadow_core::executor::StealConfig;
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
 const SEED: u64 = 99;
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn bundle_json(outcome: &StudyOutcome) -> String {
     outcome
@@ -71,7 +78,7 @@ fn same_profile_same_seed_is_byte_identical() {
 fn sharded_equivalence_survives_faults() {
     let sequential = Study::run(config_with(rich_profile()));
     let expected = bundle_json(&sequential);
-    for k in [1usize, 4] {
+    for k in [1usize, 3, 7, num_cpus()] {
         let sharded = Study::run_sharded(config_with(rich_profile()), k);
         assert_eq!(
             sequential.phase1.arrivals, sharded.phase1.arrivals,
@@ -85,6 +92,36 @@ fn sharded_equivalence_survives_faults() {
             expected,
             bundle_json(&sharded),
             "K={k}: exported analysis bundles diverge under faults"
+        );
+    }
+}
+
+#[test]
+fn work_stealing_equivalence_survives_faults() {
+    // The conditioner's decisions are value-derived from packet bytes, so
+    // nondeterministic chunk→thread placement must not change which
+    // packets suffer. Shapes mirror tests/sharded_equivalence.rs.
+    let sequential = Study::run(config_with(rich_profile()));
+    let expected = bundle_json(&sequential);
+    let shapes = [
+        StealConfig::with_workers(1),
+        StealConfig::with_workers(2).with_chunks(7),
+        StealConfig::auto(),
+    ];
+    for shape in shapes {
+        let stolen = Study::run_work_stealing(config_with(rich_profile()), shape);
+        assert_eq!(
+            sequential.phase1.arrivals, stolen.phase1.arrivals,
+            "{shape:?}: Phase I arrival streams diverge under faults"
+        );
+        assert_eq!(
+            sequential.traceroutes, stolen.traceroutes,
+            "{shape:?}: Phase II traceroutes diverge under faults"
+        );
+        assert_eq!(
+            expected,
+            bundle_json(&stolen),
+            "{shape:?}: exported analysis bundles diverge under faults"
         );
     }
 }

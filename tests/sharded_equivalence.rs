@@ -9,10 +9,44 @@
 //! so a bug that collapses output to a constant cannot pass.
 
 use traffic_shadowing::shadow_core::correlate::CorrelatedRequest;
+use traffic_shadowing::shadow_core::executor::StealConfig;
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
-const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+const SHARD_COUNTS: [usize; 4] = [1, 3, 7, 0 /* replaced by num_cpus */];
 const SEEDS: [u64; 2] = [99, 424_242];
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The fixed shard counts under test: 1, 3, 7, and the machine's core
+/// count (so CI exercises whatever parallelism the runner actually has).
+fn shard_counts() -> Vec<usize> {
+    let mut counts: Vec<usize> = SHARD_COUNTS
+        .iter()
+        .map(|&k| if k == 0 { num_cpus() } else { k })
+        .collect();
+    counts.dedup();
+    counts
+}
+
+/// Work-stealing shapes: the same chunk counts as the fixed grid, with
+/// worker counts both below and equal to the chunk count (stealing only
+/// happens when a worker's own deque drains first), plus the
+/// machine-shaped [`StealConfig::auto`].
+fn steal_shapes() -> Vec<StealConfig> {
+    let mut shapes = vec![
+        StealConfig::with_workers(1),
+        StealConfig::with_workers(2).with_chunks(3),
+        StealConfig::with_workers(3).with_chunks(7),
+        StealConfig::with_workers(7).with_chunks(7),
+        StealConfig::auto(),
+    ];
+    shapes.dedup();
+    shapes
+}
 
 fn bundle_json(outcome: &StudyOutcome) -> String {
     outcome
@@ -46,7 +80,7 @@ fn sharded_matches_sequential_for_every_shard_count() {
         let sequential = Study::run(StudyConfig::tiny(seed).with_retained_arrivals());
         let expected_json = bundle_json(&sequential);
         let expected_classes = classifications(&sequential.correlated);
-        for k in SHARD_COUNTS {
+        for k in shard_counts() {
             let sharded = Study::run_sharded(StudyConfig::tiny(seed).with_retained_arrivals(), k);
             assert_eq!(
                 sequential.phase1.arrivals, sharded.phase1.arrivals,
@@ -77,6 +111,52 @@ fn sharded_preserves_phase2_localization() {
     let sharded = Study::run_sharded(StudyConfig::tiny(seed), 2);
     assert_eq!(sequential.traced_paths, sharded.traced_paths);
     assert_eq!(sequential.traceroutes, sharded.traceroutes);
+}
+
+#[test]
+fn work_stealing_matches_sequential_for_every_shape() {
+    // Same matrix as the fixed-shard test, but under the work-stealing
+    // scheduler: chunk→thread placement is nondeterministic, the merged
+    // output must not be.
+    for seed in SEEDS {
+        let sequential = Study::run(StudyConfig::tiny(seed).with_retained_arrivals());
+        let expected_json = bundle_json(&sequential);
+        let expected_classes = classifications(&sequential.correlated);
+        for shape in steal_shapes() {
+            let stolen =
+                Study::run_work_stealing(StudyConfig::tiny(seed).with_retained_arrivals(), shape);
+            assert_eq!(
+                sequential.phase1.arrivals, stolen.phase1.arrivals,
+                "seed {seed}, {shape:?}: Phase I arrival streams diverge"
+            );
+            assert_eq!(
+                sequential.phase1.aggregates, stolen.phase1.aggregates,
+                "seed {seed}, {shape:?}: streamed aggregates diverge"
+            );
+            assert_eq!(
+                expected_classes,
+                classifications(&stolen.correlated),
+                "seed {seed}, {shape:?}: unsolicited classifications diverge"
+            );
+            assert_eq!(
+                expected_json,
+                bundle_json(&stolen),
+                "seed {seed}, {shape:?}: exported analysis bundles diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn work_stealing_preserves_phase2_localization() {
+    let seed = 99;
+    let sequential = Study::run(StudyConfig::tiny(seed));
+    let stolen = Study::run_work_stealing(
+        StudyConfig::tiny(seed),
+        StealConfig::with_workers(2).with_chunks(5),
+    );
+    assert_eq!(sequential.traced_paths, stolen.traced_paths);
+    assert_eq!(sequential.traceroutes, stolen.traceroutes);
 }
 
 #[test]

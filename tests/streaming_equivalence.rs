@@ -5,10 +5,17 @@
 //! retains no raw arrival vector at all.
 
 use traffic_shadowing::shadow_chaos::{FaultProfile, OutageSpec, RetrySpec, Window};
+use traffic_shadowing::shadow_core::executor::StealConfig;
 use traffic_shadowing::shadow_core::sink::{CorrelationAggregates, SinkConfig};
 use traffic_shadowing::study::{Study, StudyConfig, StudyOutcome};
 
 const SEED: u64 = 4_021;
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn bundle_json(outcome: &StudyOutcome) -> String {
     outcome
@@ -99,7 +106,7 @@ fn streaming_bundle_matches_retained_bundle() {
 fn streaming_is_shard_invariant() {
     let sequential = Study::run(StudyConfig::tiny(SEED));
     let expected = bundle_json(&sequential);
-    for k in [1usize, 4] {
+    for k in [1usize, 3, 7, num_cpus()] {
         let sharded = Study::run_sharded(StudyConfig::tiny(SEED), k);
         assert_eq!(
             sequential.phase1.aggregates, sharded.phase1.aggregates,
@@ -111,6 +118,25 @@ fn streaming_is_shard_invariant() {
             "K={k}: streamed analysis bundles diverge"
         );
         assert!(sharded.phase1.arrivals.is_empty());
+    }
+    // The streaming default is exactly what paper-scale work-stealing
+    // campaigns run; cover the same shapes here.
+    for shape in [
+        StealConfig::with_workers(1),
+        StealConfig::with_workers(3).with_chunks(7),
+        StealConfig::auto(),
+    ] {
+        let stolen = Study::run_work_stealing(StudyConfig::tiny(SEED), shape);
+        assert_eq!(
+            sequential.phase1.aggregates, stolen.phase1.aggregates,
+            "{shape:?}: streamed aggregates diverge"
+        );
+        assert_eq!(
+            expected,
+            bundle_json(&stolen),
+            "{shape:?}: streamed analysis bundles diverge"
+        );
+        assert!(stolen.phase1.arrivals.is_empty());
     }
 }
 
@@ -125,7 +151,7 @@ fn streaming_is_shard_invariant_under_faults() {
         bundle_json_without_samples(&retained),
         "faults: streamed vs retained bundles diverge"
     );
-    for k in [1usize, 4] {
+    for k in [1usize, 3, 7, num_cpus()] {
         let sharded = Study::run_sharded(config(), k);
         assert_eq!(
             sequential.phase1.aggregates, sharded.phase1.aggregates,
@@ -135,6 +161,21 @@ fn streaming_is_shard_invariant_under_faults() {
             expected,
             bundle_json(&sharded),
             "K={k}: streamed bundles diverge under faults"
+        );
+    }
+    for shape in [
+        StealConfig::with_workers(2).with_chunks(5),
+        StealConfig::auto(),
+    ] {
+        let stolen = Study::run_work_stealing(config(), shape);
+        assert_eq!(
+            sequential.phase1.aggregates, stolen.phase1.aggregates,
+            "{shape:?}: streamed aggregates diverge under faults"
+        );
+        assert_eq!(
+            expected,
+            bundle_json(&stolen),
+            "{shape:?}: streamed bundles diverge under faults"
         );
     }
 }
@@ -192,4 +233,7 @@ fn streaming_matches_retained_on_standard_world() {
         assert_eq!(streamed.phase1.aggregates, sharded.phase1.aggregates);
         assert_eq!(bundle_json(&streamed), bundle_json(&sharded));
     }
+    let stolen = Study::run_work_stealing(StudyConfig::standard(SEED), StealConfig::auto());
+    assert_eq!(streamed.phase1.aggregates, stolen.phase1.aggregates);
+    assert_eq!(bundle_json(&streamed), bundle_json(&stolen));
 }

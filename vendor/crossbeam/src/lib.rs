@@ -1,16 +1,250 @@
-//! Offline stand-in for `crossbeam`, covering the one feature this
-//! workspace uses: scoped worker threads. `std::thread::scope` (stable
-//! since 1.63) provides the same structured-concurrency guarantee —
+//! Offline stand-in for `crossbeam`, covering the two features this
+//! workspace uses: scoped worker threads and work-stealing deques.
+//!
+//! `std::thread::scope` (stable since 1.63) provides the same
+//! structured-concurrency guarantee as `crossbeam::thread::scope` —
 //! spawned threads are joined before `scope` returns, so borrows of stack
 //! data are sound — with a slightly different signature (no `Result`
 //! wrapper, spawn closures take no scope argument).
+//!
+//! The `deque` module mirrors `crossbeam-deque`'s `Injector` / `Worker` /
+//! `Stealer` API over a locked ring instead of the lock-free Chase-Lev
+//! original. The campaign scheduler steals *path chunks* (each worth a
+//! whole sub-campaign of simulated traffic), so queue operations are
+//! millions of simulated events apart and contention on the lock is
+//! unmeasurable; what matters is the API contract: LIFO/FIFO worker pops,
+//! FIFO steals from the cold end, and `Steal::Retry` on contention.
 
 pub mod thread {
     pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
 
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, TryLockError};
+
+    /// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A shared FIFO injector queue all workers push into and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steal one task from the front (FIFO: oldest injected first).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(TryLockError::WouldBlock) => Steal::Retry,
+                Err(TryLockError::Poisoned(_)) => panic!("injector poisoned"),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// Which end [`Worker::pop`] takes from (steals always take the
+    /// opposite, coldest end).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A worker-owned deque; `pop` is for the owner, [`Stealer`] clones
+    /// hand the cold end to other workers.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        pub fn new_lifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().expect("deque poisoned");
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("deque poisoned").len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A handle that steals from the front (cold end) of a [`Worker`].
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(TryLockError::WouldBlock) => Steal::Retry,
+                Err(TryLockError::Poisoned(_)) => panic!("deque poisoned"),
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn injector_is_fifo_and_reports_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(matches!(inj.steal(), Steal::Empty));
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(1));
+        assert_eq!(inj.steal().success(), Some(2));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn worker_flavors_and_stealer_take_opposite_ends() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        // Owner pops hottest (3); stealer takes coldest (1).
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+
+        let f = Worker::new_fifo();
+        f.push(1);
+        f.push(2);
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+    }
+
+    #[test]
+    fn stealing_across_threads_consumes_each_task_once() {
+        let inj: Injector<u64> = Injector::new();
+        for i in 0..1_000u64 {
+            inj.push(i);
+        }
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut sum = 0u64;
+                        loop {
+                            match inj.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 999 * 1_000 / 2);
+    }
+
     #[test]
     fn scoped_threads_join_and_return_values() {
         let data = [1u64, 2, 3, 4];
